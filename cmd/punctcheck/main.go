@@ -1,0 +1,144 @@
+// Punctcheck is the compile-time safety checker as a command line tool:
+// it reads a query spec (streams, join predicates, punctuation schemes),
+// runs the paper's safety analysis, and explains the verdict — including
+// the punctuation graph, the TPG transformation trace, the per-stream
+// purge plans and, with -plans, the safe execution plans with costs.
+//
+// Usage:
+//
+//	punctcheck [-v] [-plans] [file.spec]
+//
+// With no file the spec is read from stdin. Exit status 0 = safe,
+// 1 = unsafe, 2 = invalid input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"punctsafe/plan"
+	"punctsafe/safety"
+	"punctsafe/spec"
+	"punctsafe/streamsql"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print the punctuation graph and TPG transformation trace")
+	plans := flag.Bool("plans", false, "enumerate safe execution plans with estimated costs")
+	dot := flag.String("dot", "", "emit a Graphviz graph instead of text: pg | gpg | tpg")
+	sql := flag.Bool("sql", false, "input is a streamsql script (CREATE STREAM / DECLARE SCHEME / SELECT)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: punctcheck [-v] [-plans] [file.spec]\n\n")
+		fmt.Fprintf(os.Stderr, "Spec format:\n")
+		fmt.Fprintf(os.Stderr, "  stream S1(A:int, B:int)\n")
+		fmt.Fprintf(os.Stderr, "  join S1.B = S2.B\n")
+		fmt.Fprintf(os.Stderr, "  scheme S1(_, +)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	if *sql {
+		src, err := io.ReadAll(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cqs, err := streamsql.ParseAndCompile(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(cqs) == 0 {
+			fmt.Fprintln(os.Stderr, "streamsql: no SELECT statements")
+			os.Exit(2)
+		}
+		anyUnsafe := false
+		for i, cq := range cqs {
+			fmt.Printf("-- query %d --\n", i+1)
+			fmt.Print(cq.Report.Explain(cq.Query))
+			if !cq.Report.Safe {
+				anyUnsafe = true
+			}
+		}
+		if anyUnsafe {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sp, err := spec.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *dot != "" {
+		switch *dot {
+		case "pg":
+			fmt.Print(safety.BuildPG(sp.Query, sp.Schemes).Dot())
+		case "gpg":
+			fmt.Print(safety.BuildGPG(sp.Query, sp.Schemes).Dot())
+		case "tpg":
+			fmt.Print(safety.Transform(sp.Query, sp.Schemes).Dot())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -dot target %q (pg | gpg | tpg)\n", *dot)
+			os.Exit(2)
+		}
+		return
+	}
+
+	rep, err := safety.Check(sp.Query, sp.Schemes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.Explain(sp.Query))
+
+	if *verbose {
+		fmt.Println()
+		fmt.Println("punctuation graph:", safety.BuildPG(sp.Query, sp.Schemes))
+		gpg := safety.BuildGPG(sp.Query, sp.Schemes)
+		if gens := gpg.GenEdges(); len(gens) > 0 {
+			fmt.Println("generalized edges:")
+			for _, e := range gens {
+				fmt.Printf("  -> %s via %s\n", sp.Query.Stream(e.Head).Name(), e.Scheme)
+			}
+		}
+		fmt.Println("TPG transformation:")
+		fmt.Print(safety.Transform(sp.Query, sp.Schemes))
+	}
+
+	if *plans && rep.Safe {
+		fmt.Println()
+		model := plan.DefaultCostModel(sp.Query)
+		safePlans, err := plan.EnumerateSafe(sp.Query, sp.Schemes, model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("safe execution plans (%d):\n", len(safePlans))
+		for i, p := range safePlans {
+			fmt.Printf("  %d. %-36s cost: %s\n", i+1, p.Render(sp.Query), model.PlanCost(sp.Query, sp.Schemes, p))
+		}
+	}
+
+	if !rep.Safe {
+		os.Exit(1)
+	}
+}

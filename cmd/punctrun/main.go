@@ -1,0 +1,229 @@
+// Punctrun executes a continuous join query over a generated workload and
+// reports the runtime behaviour the safety theory predicts: join-state
+// sizes over time, purge counts, punctuation-store sizes and throughput.
+//
+// Usage:
+//
+//	punctrun -scenario auction|netmon|sensors|chain|cycle|star|clique [flags]
+//	punctrun -spec query.spec [flags]
+//	punctrun -sql script.sql [flags]
+//
+// Flags tune the workload size, the purge strategy (eager/lazy batch),
+// punctuation lifespans, §5.1 punctuation purging, Zipf skew, CSV
+// timeline export, and whether punctuations are generated at all (the
+// unsafe baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"punctsafe/engine"
+	"punctsafe/exec"
+	"punctsafe/query"
+	"punctsafe/spec"
+	"punctsafe/stream"
+	"punctsafe/streamsql"
+	"punctsafe/workload"
+)
+
+func main() {
+	var (
+		scenario   = flag.String("scenario", "auction", "auction | netmon | sensors | chain | cycle | star | clique")
+		size       = flag.Int("n", 2000, "scenario size (items/flows/epochs/rounds)")
+		k          = flag.Int("k", 3, "stream count for synthetic topologies")
+		noPunct    = flag.Bool("nopunct", false, "generate no punctuations (unbounded baseline)")
+		batch      = flag.Int("batch", 1, "purge batch size (1 = eager)")
+		lifespan   = flag.Uint64("lifespan", 0, "punctuation lifespan in elements (0 = forever)")
+		purgePunct = flag.Bool("purgepunct", false, "enable §5.1 punctuation purging")
+		interval   = flag.Int("interval", 0, "print state sizes every N elements (0 = summary only)")
+		zipf       = flag.Float64("zipf", 0, "Zipf skew s (>1) for synthetic value draws")
+		specFile   = flag.String("spec", "", "run the query declared in this spec file on a generated closed workload")
+		sqlFile    = flag.String("sql", "", "run the first query of this streamsql script on a generated closed workload")
+		csvPath    = flag.String("csv", "", "write a state/punctuation/result timeline as CSV to this file")
+	)
+	flag.Parse()
+
+	q, schemes, inputs, err := buildScenario(*scenario, *size, *k, !*noPunct, *zipf, *specFile, *sqlFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	d := engine.New()
+	for _, s := range schemes.All() {
+		d.RegisterScheme(s)
+	}
+	results := 0
+	reg, err := d.Register(*scenario, q, engine.Options{
+		PurgeBatch:        *batch,
+		PunctLifespan:     *lifespan,
+		PurgePunctuations: *purgePunct,
+		OnResult:          func(stream.Tuple) { results++ },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("query:   %s\n", q)
+	fmt.Printf("schemes: %s\n", schemes)
+	fmt.Printf("plan:    %s\n", reg.Plan.Render(q))
+	st := workload.Summarize(inputs)
+	fmt.Printf("feed:    %d tuples, %d punctuations\n\n", st.Tuples, st.Puncts)
+
+	if *interval > 0 {
+		fmt.Printf("%12s %12s %12s %12s\n", "element", "state", "puncts", "results")
+	}
+	var timeline *exec.Timeline
+	if *csvPath != "" {
+		every := *interval
+		if every <= 0 {
+			every = 100
+		}
+		timeline = &exec.Timeline{Every: every}
+	}
+	start := time.Now()
+	for i, in := range inputs {
+		if err := d.Push(in.Stream, in.Elem); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if timeline != nil {
+			timeline.Observe(reg.Tree, results)
+		}
+		if *interval > 0 && (i+1)%*interval == 0 {
+			fmt.Printf("%12d %12d %12d %12d\n",
+				i+1, reg.Tree.TotalState(), reg.Tree.TotalPunctStore(), results)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println()
+	fmt.Printf("results:            %d\n", results)
+	fmt.Printf("elapsed:            %v (%.0f elements/s)\n",
+		elapsed.Round(time.Millisecond), float64(len(inputs))/elapsed.Seconds())
+	fmt.Printf("final state:        %d tuples\n", reg.Tree.TotalState())
+	fmt.Printf("max state:          %d tuples\n", reg.Tree.MaxState())
+	fmt.Printf("final punct store:  %d\n", reg.Tree.TotalPunctStore())
+	for i, op := range reg.Tree.Operators() {
+		fmt.Printf("operator %d:         %s\n", i, op.Stats())
+	}
+	if timeline != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := timeline.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline:           %d samples -> %s\n", len(timeline.Samples), *csvPath)
+	}
+}
+
+func buildScenario(name string, n, k int, punct bool, zipf float64, specFile, sqlFile string) (*query.CJQ, *stream.SchemeSet, []workload.Input, error) {
+	if specFile != "" || sqlFile != "" {
+		return declaredScenario(n, punct, zipf, specFile, sqlFile)
+	}
+	switch name {
+	case "auction":
+		q := workload.AuctionQuery()
+		schemes := workload.AuctionSchemes()
+		inputs := workload.Auction(workload.AuctionConfig{
+			Items: n, MaxBidsPerItem: 8, OpenWindow: 6,
+			PunctuateItems: punct, PunctuateClose: punct, Seed: 1,
+		})
+		return q, schemes, inputs, nil
+	case "netmon":
+		q := workload.NetMonQuery()
+		schemes := workload.NetMonSchemes()
+		inputs := workload.NetMon(workload.NetMonConfig{
+			Flows: n, MaxPktsPerFlow: 10, OpenWindow: 8,
+			PunctuateFlowEnd: punct, PunctuateConn: punct, Seed: 1,
+		})
+		return q, schemes, inputs, nil
+	case "sensors":
+		q := workload.SensorQuery()
+		schemes := workload.SensorSchemes()
+		inputs := workload.Sensor(workload.SensorConfig{
+			Epochs: n, ReadingsPerEpoch: 2, Disorder: 8,
+			HeartbeatEvery: 4, Heartbeats: punct, Seed: 1,
+		})
+		return q, schemes, inputs, nil
+	case "chain", "cycle", "star", "clique":
+		q, err := workload.SyntheticQuery(workload.Topology(name), k)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		schemes := workload.AllJoinAttrSchemes(q)
+		frac := 1.0
+		if !punct {
+			frac = 0
+		}
+		inputs := workload.Closed(q, schemes, workload.ClosedConfig{
+			Rounds: n, TuplesPerRound: 8, Window: 4, PunctFraction: frac, ZipfS: zipf, Seed: 1,
+		})
+		return q, schemes, inputs, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+// declaredScenario loads a user-declared query (spec or streamsql) and
+// generates a closed workload for it.
+func declaredScenario(n int, punct bool, zipf float64, specFile, sqlFile string) (*query.CJQ, *stream.SchemeSet, []workload.Input, error) {
+	var q *query.CJQ
+	var schemes *stream.SchemeSet
+	switch {
+	case specFile != "":
+		f, err := os.Open(specFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer f.Close()
+		sp, err := spec.Parse(f)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		q, schemes = sp.Query, sp.Schemes
+	default:
+		src, err := os.ReadFile(sqlFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cqs, err := streamsql.ParseAndCompile(string(src))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(cqs) == 0 {
+			return nil, nil, nil, fmt.Errorf("script has no SELECT statement")
+		}
+		script, _ := streamsql.Parse(string(src))
+		q, schemes = cqs[0].Query, script.Schemes
+	}
+	// Closed workloads need integer join attributes; reject others early.
+	for i := 0; i < q.N(); i++ {
+		for _, a := range q.JoinAttrs(i) {
+			if q.Stream(i).Attr(a).Kind != stream.KindInt {
+				return nil, nil, nil, fmt.Errorf("closed workload generation needs int join attributes (%s.%s is %s)",
+					q.Stream(i).Name(), q.Stream(i).Attr(a).Name, q.Stream(i).Attr(a).Kind)
+			}
+		}
+	}
+	frac := 1.0
+	if !punct {
+		frac = 0
+	}
+	inputs := workload.Closed(q, schemes, workload.ClosedConfig{
+		Rounds: n, TuplesPerRound: 8, Window: 4, PunctFraction: frac, ZipfS: zipf, Seed: 1,
+	})
+	return q, schemes, inputs, nil
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"punctsafe/stream"
+)
+
+// TaggedElement is one element of a named stream, as delivered to the
+// input manager by the application environment (Figure 2).
+type TaggedElement struct {
+	Stream string
+	Elem   stream.Element
+}
+
+// AsyncInput is the concurrent front end of the input manager: producers
+// send TaggedElements into a buffered channel from any number of
+// goroutines; a single consumer goroutine drains it into the DSMS,
+// preserving channel order. While the AsyncInput is running the DSMS must
+// not be used directly; call Close and Wait first.
+type AsyncInput struct {
+	ch   chan TaggedElement
+	done chan struct{}
+	once sync.Once
+	err  error
+	n    uint64
+}
+
+// RunAsync starts the consumer goroutine with the given channel buffer
+// size (the input manager's buffering).
+func (d *DSMS) RunAsync(buffer int) *AsyncInput {
+	if buffer < 0 {
+		buffer = 0
+	}
+	a := &AsyncInput{
+		ch:   make(chan TaggedElement, buffer),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		for te := range a.ch {
+			if err := d.Push(te.Stream, te.Elem); err != nil {
+				a.err = err
+				// Drain the channel so producers never block forever.
+				for range a.ch {
+				}
+				return
+			}
+			a.n++
+		}
+		if err := d.Flush(); err != nil && a.err == nil {
+			a.err = err
+		}
+	}()
+	return a
+}
+
+// Send enqueues one element; it blocks while the buffer is full. Sending
+// after Close panics (like any closed channel), so coordinate producers
+// before closing.
+func (a *AsyncInput) Send(streamName string, e stream.Element) {
+	a.ch <- TaggedElement{Stream: streamName, Elem: e}
+}
+
+// Chan exposes the input channel for producers that select or fan in.
+func (a *AsyncInput) Chan() chan<- TaggedElement { return a.ch }
+
+// Close signals the end of input; safe to call once all producers are
+// done (idempotent).
+func (a *AsyncInput) Close() {
+	a.once.Do(func() { close(a.ch) })
+}
+
+// Wait blocks until the consumer has drained the channel (after Close)
+// and returns the first processing error, if any.
+func (a *AsyncInput) Wait() error {
+	<-a.done
+	if a.err != nil {
+		return fmt.Errorf("engine: async input: %w", a.err)
+	}
+	return nil
+}
+
+// Processed returns the number of elements successfully pushed.
+func (a *AsyncInput) Processed() uint64 {
+	<-a.done
+	return a.n
+}

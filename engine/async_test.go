@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// TestAsyncMatchesSync: feeding the auction workload through the
+// concurrent input manager produces exactly the synchronous results.
+func TestAsyncMatchesSync(t *testing.T) {
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 300, MaxBidsPerItem: 5, OpenWindow: 4,
+		PunctuateItems: true, PunctuateClose: true, Seed: 31,
+	})
+
+	runSync := func() int {
+		d := New()
+		for _, s := range workload.AuctionSchemes().All() {
+			d.RegisterScheme(s)
+		}
+		reg, err := d.Register("q", workload.AuctionQuery(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range inputs {
+			if err := d.Push(in.Stream, in.Elem); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return len(reg.Results)
+	}
+
+	d := New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	reg, err := d.Register("q", workload.AuctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.RunAsync(64)
+	for _, in := range inputs {
+		a.Send(in.Stream, in.Elem)
+	}
+	a.Close()
+	a.Close() // idempotent
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Processed(); got != uint64(len(inputs)) {
+		t.Fatalf("processed %d of %d", got, len(inputs))
+	}
+	if want := runSync(); len(reg.Results) != want {
+		t.Fatalf("async results %d != sync %d", len(reg.Results), want)
+	}
+	if reg.Tree.TotalState() != 0 {
+		t.Fatal("state should drain")
+	}
+}
+
+// TestAsyncFanIn: multiple producer goroutines share the channel; result
+// count is invariant (each item's bids arrive after the item because the
+// producers partition by item).
+func TestAsyncFanIn(t *testing.T) {
+	d := New()
+	d.RegisterScheme(stream.MustScheme("item", false, true, false, false))
+	d.RegisterScheme(stream.MustScheme("bid", false, true, false))
+	reg, err := d.Register("q", workload.AuctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.RunAsync(16)
+
+	const producers = 4
+	const itemsPer = 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < itemsPer; i++ {
+				id := int64(p*itemsPer + i)
+				a.Send("item", stream.TupleElement(stream.NewTuple(
+					stream.Int(1), stream.Int(id), stream.Str("x"), stream.Float(1))))
+				a.Send("bid", stream.TupleElement(stream.NewTuple(
+					stream.Int(2), stream.Int(id), stream.Float(3))))
+				a.Send("bid", stream.PunctElement(stream.MustPunctuation(
+					stream.Wildcard(), stream.Const(stream.Int(id)), stream.Wildcard())))
+				a.Send("item", stream.PunctElement(stream.MustPunctuation(
+					stream.Wildcard(), stream.Const(stream.Int(id)), stream.Wildcard(), stream.Wildcard())))
+			}
+		}(p)
+	}
+	wg.Wait()
+	a.Close()
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(reg.Results), producers*itemsPer; got != want {
+		t.Fatalf("results = %d, want %d", got, want)
+	}
+	if reg.Tree.TotalState() != 0 {
+		t.Fatalf("state = %d, want 0", reg.Tree.TotalState())
+	}
+}
+
+// TestAsyncErrorPropagates: a malformed element surfaces from Wait and
+// does not wedge producers.
+func TestAsyncErrorPropagates(t *testing.T) {
+	d := New()
+	d.RegisterScheme(stream.MustScheme("item", false, true, false, false))
+	d.RegisterScheme(stream.MustScheme("bid", false, true, false))
+	if _, err := d.Register("q", workload.AuctionQuery(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	a := d.RunAsync(1)
+	// Wrong arity for the item stream.
+	a.Send("item", stream.TupleElement(stream.NewTuple(stream.Int(1))))
+	for i := 0; i < 100; i++ {
+		a.Send("item", stream.TupleElement(stream.NewTuple(stream.Int(1)))) // drained, not processed
+	}
+	a.Close()
+	if err := a.Wait(); err == nil {
+		t.Fatal("expected the malformed element's error")
+	}
+}

@@ -1,0 +1,285 @@
+// Package engine is the DSMS shell of the paper's Figure 2: a query
+// register that holds the system's punctuation scheme set and admits only
+// continuous join queries that pass the compile-time safety check, an
+// input manager that routes stream elements (tuples and punctuations) to
+// every registered query, and a query processor that runs each admitted
+// query on a safe execution plan.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"punctsafe/exec"
+	"punctsafe/plan"
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+// DSMS is a single-threaded data stream management system instance. All
+// methods must be called from one goroutine; wrap the Push entry point in
+// a channel loop for concurrent feeding.
+type DSMS struct {
+	schemes *stream.SchemeSet
+	queries map[string]*Registered
+	order   []string
+}
+
+// New returns an empty DSMS with no schemes registered.
+func New() *DSMS {
+	return &DSMS{
+		schemes: stream.NewSchemeSet(),
+		queries: make(map[string]*Registered),
+	}
+}
+
+// RegisterScheme adds a punctuation scheme to the query register (the
+// application-semantics knowledge of §2.3). Schemes must be registered
+// before the queries that rely on them.
+func (d *DSMS) RegisterScheme(s stream.Scheme) { d.schemes.Add(s) }
+
+// Schemes returns a copy of the registered scheme set.
+func (d *DSMS) Schemes() *stream.SchemeSet { return d.schemes.Clone() }
+
+// Options tunes how an admitted query is executed.
+type Options struct {
+	// Plan forces a specific execution plan. When nil the engine picks
+	// the cheapest safe plan (§5.2). A forced plan is still checked for
+	// safety (Definition 2) and rejected if unsafe.
+	Plan *plan.Node
+	// CostModel overrides the default cost model for plan choice.
+	CostModel *plan.CostModel
+	// PurgeBatch, PunctLifespan, PurgePunctuations, StateLimit and
+	// EnforcePromises mirror exec.Config.
+	PurgeBatch        int
+	PunctLifespan     uint64
+	PurgePunctuations bool
+	StateLimit        int
+	EnforcePromises   bool
+	// OnResult, when set, is invoked for every result tuple instead of
+	// buffering it in Results.
+	OnResult func(stream.Tuple)
+	// OnPunct, when set, is invoked for every punctuation the plan's root
+	// operator propagates (e.g. to drive a downstream blocking operator
+	// such as a group-by).
+	OnPunct func(stream.Punctuation)
+}
+
+// Registered is one admitted continuous join query.
+type Registered struct {
+	Name   string
+	Query  *query.CJQ
+	Report *safety.Report
+	Plan   *plan.Node
+	Tree   *exec.Tree
+	// Results buffers emitted result tuples when no OnResult callback is
+	// installed.
+	Results []stream.Tuple
+	// Output is the schema of delivered results (the plan's join output,
+	// or the projected schema for SQL-registered queries).
+	Output   *stream.Schema
+	onResult func(stream.Tuple)
+	onPunct  func(stream.Punctuation)
+	// filter, when set, drops input tuples before they reach the plan
+	// (SQL literal predicates); punctuations always pass.
+	filter func(input int, t stream.Tuple) bool
+	// streamInput maps a stream name to this query's stream index.
+	streamInput map[string]int
+}
+
+// Register admits a continuous join query: it runs the safety check
+// (Theorem 4 via the TPG) and rejects unsafe queries, then compiles a
+// safe execution plan. The returned Registered handle exposes the plan,
+// the safety report and the live operator statistics.
+func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, error) {
+	if _, dup := d.queries[name]; dup {
+		return nil, fmt.Errorf("engine: query %q already registered", name)
+	}
+	rep, err := safety.Check(q, d.schemes)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Safe {
+		return nil, fmt.Errorf("engine: query %q rejected as unsafe:\n%s", name, rep.Explain(q))
+	}
+	p := opts.Plan
+	if p == nil {
+		p, err = plan.ChooseSafe(q, d.schemes, opts.CostModel)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		safePlan, _, err := plan.CheckPlan(q, d.schemes, p)
+		if err != nil {
+			return nil, err
+		}
+		if !safePlan {
+			return nil, fmt.Errorf("engine: forced plan %s for query %q is unsafe (Definition 2)", p.Render(q), name)
+		}
+	}
+	tree, err := exec.NewTree(exec.Config{
+		Query:             q,
+		Schemes:           d.schemes,
+		PurgeBatch:        opts.PurgeBatch,
+		PunctLifespan:     opts.PunctLifespan,
+		PurgePunctuations: opts.PurgePunctuations,
+		StateLimit:        opts.StateLimit,
+		EnforcePromises:   opts.EnforcePromises,
+	}, p)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registered{
+		Name:        name,
+		Query:       q,
+		Report:      rep,
+		Plan:        p,
+		Tree:        tree,
+		onResult:    opts.OnResult,
+		onPunct:     opts.OnPunct,
+		streamInput: make(map[string]int, q.N()),
+	}
+	r.Output = tree.OutputSchema()
+	for i := 0; i < q.N(); i++ {
+		r.streamInput[q.Stream(i).Name()] = i
+	}
+	d.queries[name] = r
+	d.order = append(d.order, name)
+	return r, nil
+}
+
+// Unregister removes a query.
+func (d *DSMS) Unregister(name string) bool {
+	if _, ok := d.queries[name]; !ok {
+		return false
+	}
+	delete(d.queries, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Queries returns the registered query names in registration order.
+func (d *DSMS) Queries() []string { return append([]string(nil), d.order...) }
+
+// Get returns a registered query by name.
+func (d *DSMS) Get(name string) (*Registered, bool) {
+	r, ok := d.queries[name]
+	return r, ok
+}
+
+// Push feeds one element of the named raw stream to every registered
+// query that consumes that stream (the input manager of Figure 2).
+func (d *DSMS) Push(streamName string, e stream.Element) error {
+	for _, name := range d.order {
+		r := d.queries[name]
+		input, ok := r.streamInput[streamName]
+		if !ok {
+			continue
+		}
+		if r.filter != nil && !e.IsPunct() && !r.filter(input, e.Tuple()) {
+			continue
+		}
+		outs, err := r.Tree.Push(input, e)
+		if err != nil {
+			return fmt.Errorf("engine: query %q: %w", name, err)
+		}
+		r.deliver(outs)
+	}
+	return nil
+}
+
+// Sweep runs the §5.1 background clean-up over every registered query
+// and returns the total number of tuples removed.
+func (d *DSMS) Sweep() (int, error) {
+	total := 0
+	for _, name := range d.order {
+		r := d.queries[name]
+		removed, outs, err := r.Tree.Sweep()
+		if err != nil {
+			return total, err
+		}
+		total += removed
+		r.deliver(outs)
+	}
+	return total, nil
+}
+
+// Flush forces pending lazy purge rounds in every query.
+func (d *DSMS) Flush() error {
+	for _, name := range d.order {
+		r := d.queries[name]
+		outs, err := r.Tree.Flush()
+		if err != nil {
+			return err
+		}
+		r.deliver(outs)
+	}
+	return nil
+}
+
+func (r *Registered) deliver(outs []stream.Element) {
+	for _, o := range outs {
+		if o.IsPunct() {
+			if r.onPunct != nil {
+				r.onPunct(o.Punct())
+			}
+			continue
+		}
+		if r.onResult != nil {
+			r.onResult(o.Tuple())
+		} else {
+			r.Results = append(r.Results, o.Tuple())
+		}
+	}
+}
+
+// Describe renders a human-readable status block for a registered query:
+// its plan, per-stream purgeability, and live operator statistics.
+func (d *DSMS) Describe(name string) (string, error) {
+	r, ok := d.queries[name]
+	if !ok {
+		return "", fmt.Errorf("engine: no query %q", name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %q: %s\n", r.Name, r.Query)
+	fmt.Fprintf(&b, "plan: %s\n", r.Plan.Render(r.Query))
+	fmt.Fprintf(&b, "output: %s\n", r.Output)
+	b.WriteString(r.Report.Explain(r.Query))
+	for i, op := range r.Tree.Operators() {
+		fmt.Fprintf(&b, "operator %d: %s\n", i, op.Stats())
+	}
+	return b.String(), nil
+}
+
+// TotalState sums stored tuples across all queries.
+func (d *DSMS) TotalState() int {
+	total := 0
+	for _, r := range d.queries {
+		total += r.Tree.TotalState()
+	}
+	return total
+}
+
+// StreamsInUse returns the names of streams any registered query consumes,
+// sorted.
+func (d *DSMS) StreamsInUse() []string {
+	set := make(map[string]bool)
+	for _, r := range d.queries {
+		for name := range r.streamInput {
+			set[name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+// DropScheme removes a punctuation scheme from the query register. Since
+// a scheme is a promise the application makes, withdrawing it can strip a
+// registered query of its safety guarantee; the call therefore re-checks
+// every registered query against the reduced scheme set first and refuses
+// (listing the victims) unless force is set, in which case the
+// newly-unsafe queries are unregistered. It returns the names of the
+// queries affected.
+func (d *DSMS) DropScheme(s stream.Scheme, force bool) ([]string, error) {
+	if !d.schemes.Remove(s) {
+		return nil, fmt.Errorf("engine: scheme %s is not registered", s)
+	}
+	var unsafe []string
+	for _, name := range d.order {
+		r := d.queries[name]
+		rep, err := safety.Check(r.Query, d.schemes)
+		if err != nil {
+			d.schemes.Add(s)
+			return nil, err
+		}
+		if !rep.Safe {
+			unsafe = append(unsafe, name)
+		}
+	}
+	if len(unsafe) > 0 && !force {
+		d.schemes.Add(s) // restore
+		return unsafe, fmt.Errorf("engine: dropping %s would make %d registered query(ies) unsafe: %s",
+			s, len(unsafe), strings.Join(unsafe, ", "))
+	}
+	for _, name := range unsafe {
+		d.Unregister(name)
+	}
+	return unsafe, nil
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+
+	"punctsafe/exec"
+	"punctsafe/stream"
+	"punctsafe/streamsql"
+)
+
+// RegisterSQL runs a streamsql script against the DSMS: stream
+// declarations register their schemas, DECLARE SCHEME statements add to
+// the query register's scheme set, and each SELECT statement is admitted
+// as a continuous query named <prefix>#<n> — with its literal filters
+// applied as selections in front of the join and its select list applied
+// as a projection over the join output. Unsafe queries are rejected, as
+// in Register.
+func (d *DSMS) RegisterSQL(prefix, src string, opts Options) ([]*Registered, error) {
+	script, err := streamsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range script.Schemes.All() {
+		d.RegisterScheme(s)
+	}
+	compiled, err := streamsql.Compile(script)
+	if err != nil {
+		return nil, err
+	}
+	var regs []*Registered
+	for i, cq := range compiled {
+		name := fmt.Sprintf("%s#%d", prefix, i+1)
+		reg, err := d.registerCompiled(name, cq, opts)
+		if err != nil {
+			// Roll back the queries this call already registered so a
+			// failing script leaves the DSMS unchanged.
+			for _, r := range regs {
+				d.Unregister(r.Name)
+			}
+			return nil, fmt.Errorf("engine: %s: %w", name, err)
+		}
+		regs = append(regs, reg)
+	}
+	return regs, nil
+}
+
+func (d *DSMS) registerCompiled(name string, cq *streamsql.CompiledQuery, opts Options) (*Registered, error) {
+	// Build the projection over the join output, if any.
+	var project *exec.Project
+	userOnResult := opts.OnResult
+
+	reg, err := d.Register(name, cq.Query, optsWithResultHook(opts, nil))
+	if err != nil {
+		return nil, err
+	}
+	if len(cq.Projection) > 0 {
+		project, err = exec.NewProject(reg.Tree.OutputSchema(), cq.Projection...)
+		if err != nil {
+			d.Unregister(name)
+			return nil, err
+		}
+		reg.Output = project.OutputSchema()
+	} else {
+		reg.Output = reg.Tree.OutputSchema()
+	}
+
+	// Result hook: project, then deliver.
+	reg.onResult = func(t stream.Tuple) {
+		if project != nil {
+			outs, err := project.Push(stream.TupleElement(t))
+			if err != nil || len(outs) == 0 {
+				return
+			}
+			t = outs[0].Tuple()
+		}
+		if userOnResult != nil {
+			userOnResult(t)
+		} else {
+			reg.Results = append(reg.Results, t)
+		}
+	}
+
+	// Per-stream literal filters, evaluated before elements reach the
+	// plan (tuples failing a filter are dropped; punctuations always
+	// pass — the Select operator's rule).
+	if len(cq.Filters) > 0 {
+		filters := make(map[int][]streamsql.CompiledFilter)
+		for _, f := range cq.Filters {
+			filters[f.Stream] = append(filters[f.Stream], f)
+		}
+		reg.filter = func(input int, t stream.Tuple) bool {
+			for _, f := range filters[input] {
+				if !t.Values[f.Attr].Equal(f.Value) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return reg, nil
+}
+
+// optsWithResultHook strips the user's OnResult (the compiled wrapper
+// re-installs it around the projection).
+func optsWithResultHook(opts Options, hook func(stream.Tuple)) Options {
+	opts.OnResult = hook
+	return opts
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"punctsafe/stream"
+)
+
+// The wire format carries multiplexed stream elements from the
+// application environment into the input manager (Figure 2):
+//
+//	frame = uvarint(len(streamName)) streamName uvarint(len(payload)) payload
+//
+// where payload is the stream.Codec encoding of one element against the
+// stream's schema.
+
+// WireWriter encodes tagged elements for transmission.
+type WireWriter struct {
+	w      io.Writer
+	codecs map[string]*stream.Codec
+	buf    []byte
+}
+
+// NewWireWriter builds a writer for the given stream schemas.
+func NewWireWriter(w io.Writer, schemas ...*stream.Schema) *WireWriter {
+	ww := &WireWriter{w: w, codecs: make(map[string]*stream.Codec, len(schemas))}
+	for _, sc := range schemas {
+		ww.codecs[sc.Name()] = stream.NewCodec(sc)
+	}
+	return ww
+}
+
+// Write encodes one element of the named stream.
+func (ww *WireWriter) Write(streamName string, e stream.Element) error {
+	c, ok := ww.codecs[streamName]
+	if !ok {
+		return fmt.Errorf("engine: wire writer has no schema for stream %q", streamName)
+	}
+	payload, err := c.Encode(ww.buf[:0], e)
+	if err != nil {
+		return err
+	}
+	ww.buf = payload[:0]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(streamName)))
+	if _, err := ww.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(ww.w, streamName); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := ww.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = ww.w.Write(payload)
+	return err
+}
+
+// IngestWire reads frames from r until EOF and pushes each element into
+// the DSMS. The schemas declare the streams the wire may carry. It
+// returns the number of elements ingested.
+func (d *DSMS) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
+	codecs := make(map[string]*stream.Codec, len(schemas))
+	for _, sc := range schemas {
+		codecs[sc.Name()] = stream.NewCodec(sc)
+	}
+	br := bufio.NewReader(r)
+	count := 0
+	for {
+		nameLen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return count, nil
+		}
+		if err != nil {
+			return count, fmt.Errorf("engine: wire: %w", err)
+		}
+		if nameLen > 1<<16 {
+			return count, fmt.Errorf("engine: wire: stream name length %d too large", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return count, fmt.Errorf("engine: wire: %w", err)
+		}
+		payloadLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return count, fmt.Errorf("engine: wire: %w", err)
+		}
+		if payloadLen > 1<<24 {
+			return count, fmt.Errorf("engine: wire: payload length %d too large", payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return count, fmt.Errorf("engine: wire: %w", err)
+		}
+		name := string(nameBuf)
+		c, ok := codecs[name]
+		if !ok {
+			return count, fmt.Errorf("engine: wire: unknown stream %q", name)
+		}
+		e, rest, err := c.Decode(payload)
+		if err != nil {
+			return count, fmt.Errorf("engine: wire: stream %q: %w", name, err)
+		}
+		if len(rest) != 0 {
+			return count, fmt.Errorf("engine: wire: stream %q: %d trailing bytes", name, len(rest))
+		}
+		if err := d.Push(name, e); err != nil {
+			return count, err
+		}
+		count++
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// TestWireRoundTripAuction: the auction workload encoded to the wire and
+// ingested back produces exactly the direct-push results.
+func TestWireRoundTripAuction(t *testing.T) {
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 120, MaxBidsPerItem: 5, OpenWindow: 4,
+		PunctuateItems: true, PunctuateClose: true, Seed: 23,
+	})
+	item, bid := workload.AuctionSchemas()
+
+	// Direct run.
+	direct := New()
+	for _, s := range workload.AuctionSchemes().All() {
+		direct.RegisterScheme(s)
+	}
+	dreg, err := direct.Register("q", workload.AuctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs {
+		if err := direct.Push(in.Stream, in.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wire run.
+	var buf bytes.Buffer
+	ww := NewWireWriter(&buf, item, bid)
+	for _, in := range inputs {
+		if err := ww.Write(in.Stream, in.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wired := New()
+	for _, s := range workload.AuctionSchemes().All() {
+		wired.RegisterScheme(s)
+	}
+	wreg, err := wired.Register("q", workload.AuctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := wired.IngestWire(&buf, item, bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(inputs) {
+		t.Fatalf("ingested %d of %d", n, len(inputs))
+	}
+	if len(wreg.Results) != len(dreg.Results) {
+		t.Fatalf("wire results %d != direct %d", len(wreg.Results), len(dreg.Results))
+	}
+	for i := range wreg.Results {
+		if wreg.Results[i].String() != dreg.Results[i].String() {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+	if wreg.Tree.TotalState() != 0 {
+		t.Fatal("state should drain")
+	}
+}
+
+// TestWireErrors: unknown streams, truncation, and junk are reported.
+func TestWireErrors(t *testing.T) {
+	item, bid := workload.AuctionSchemas()
+	d := New()
+
+	var buf bytes.Buffer
+	ww := NewWireWriter(&buf, item)
+	if err := ww.Write("bid", stream.TupleElement(stream.NewTuple(
+		stream.Int(1), stream.Int(1), stream.Float(1)))); err == nil {
+		t.Fatal("writer must reject undeclared stream")
+	}
+	if err := ww.Write("item", stream.TupleElement(stream.NewTuple(stream.Int(1)))); err == nil {
+		t.Fatal("writer must reject arity mismatch")
+	}
+
+	// A valid frame for a stream the reader does not know.
+	buf.Reset()
+	ww = NewWireWriter(&buf, item)
+	if err := ww.Write("item", stream.TupleElement(stream.NewTuple(
+		stream.Int(1), stream.Int(2), stream.Str("x"), stream.Float(1)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.IngestWire(bytes.NewReader(buf.Bytes()), bid); err == nil {
+		t.Fatal("reader must reject unknown stream")
+	}
+
+	// Truncated frame.
+	full := append([]byte(nil), buf.Bytes()...)
+	if _, err := d.IngestWire(bytes.NewReader(full[:len(full)-3]), item); err == nil {
+		t.Fatal("reader must reject truncation")
+	}
+	// Junk header.
+	if _, err := d.IngestWire(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}), item); err == nil {
+		t.Fatal("reader must reject oversized name length")
+	}
+}
+
+// TestDropScheme: withdrawing a promise that a registered query depends
+// on is refused, then force-dropped.
+func TestDropScheme(t *testing.T) {
+	d := New()
+	itemScheme := stream.MustScheme("item", false, true, false, false)
+	bidScheme := stream.MustScheme("bid", false, true, false)
+	d.RegisterScheme(itemScheme)
+	d.RegisterScheme(bidScheme)
+	if _, err := d.Register("q", workload.AuctionQuery(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropping the bid scheme would strand the item state: refused.
+	victims, err := d.DropScheme(bidScheme, false)
+	if err == nil {
+		t.Fatal("drop must be refused while q depends on the scheme")
+	}
+	if len(victims) != 1 || victims[0] != "q" {
+		t.Fatalf("victims = %v", victims)
+	}
+	// The register is unchanged.
+	if d.Schemes().Len() != 2 || len(d.Queries()) != 1 {
+		t.Fatal("refused drop must leave the register unchanged")
+	}
+
+	// Force: the query is evicted along with the scheme.
+	victims, err = d.DropScheme(bidScheme, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 1 || len(d.Queries()) != 0 {
+		t.Fatalf("victims = %v, queries = %v", victims, d.Queries())
+	}
+	if d.Schemes().Len() != 1 {
+		t.Fatalf("schemes left = %d", d.Schemes().Len())
+	}
+	// Dropping an unregistered scheme errors.
+	if _, err := d.DropScheme(bidScheme, false); err == nil {
+		t.Fatal("double drop must fail")
+	}
+	// Dropping an unused scheme succeeds with no victims.
+	if victims, err := d.DropScheme(itemScheme, false); err != nil || len(victims) != 0 {
+		t.Fatalf("unused drop: victims=%v err=%v", victims, err)
+	}
+}

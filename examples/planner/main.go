@@ -1,0 +1,102 @@
+// Planner walks the paper's Figures 5, 7, 8, 9 and 10 interactively: it
+// builds the cyclic 3-way query, prints the punctuation graph and the
+// safety verdict under Example 3's schemes, shows that the MJoin plan is
+// safe while every binary tree is not (Figure 7), then switches to the
+// §4.2 scheme set with a multi-attribute scheme, where the plain PG fails
+// but the generalized/transformed punctuation graph proves safety
+// (Figures 8-10), and finally enumerates the safe plans with costs.
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"punctsafe/plan"
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+func main() {
+	ia := func(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+	q := query.NewBuilder().
+		AddStream(stream.MustSchema("S1", ia("A"), ia("B"))).
+		AddStream(stream.MustSchema("S2", ia("B"), ia("C"))).
+		AddStream(stream.MustSchema("S3", ia("A"), ia("C"))).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Join("S3.A", "S1.A").
+		MustBuild()
+
+	fmt.Println("=== Figure 5: punctuation graph and safety ===")
+	ex3 := stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true), // punctuations on S1.B
+		stream.MustScheme("S2", false, true), // punctuations on S2.C
+		stream.MustScheme("S3", true, false), // punctuations on S3.A
+	)
+	fmt.Printf("query:   %s\n", q)
+	fmt.Printf("schemes: %s\n", ex3)
+	fmt.Printf("PG:      %s\n", safety.BuildPG(q, ex3))
+	rep, err := safety.Check(q, ex3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Explain(q))
+
+	fmt.Println()
+	fmt.Println("=== Figure 7: plan shape matters ===")
+	shapes := []*plan.Node{
+		plan.Join(plan.Leaf(0), plan.Leaf(1), plan.Leaf(2)),
+		plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)),
+		plan.Join(plan.Join(plan.Leaf(1), plan.Leaf(2)), plan.Leaf(0)),
+		plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(2)), plan.Leaf(1)),
+	}
+	for _, shape := range shapes {
+		ok, _, err := plan.CheckPlan(q, ex3, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "UNSAFE"
+		if ok {
+			verdict = "safe"
+		}
+		fmt.Printf("  %-28s %s\n", shape.Render(q), verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("=== Figures 8-10: multi-attribute schemes need the GPG/TPG ===")
+	fig8 := stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, true), // two punctuatable attributes
+	)
+	fmt.Printf("schemes: %s\n", fig8)
+	pg := safety.BuildPG(q, fig8)
+	fmt.Printf("plain PG strongly connected:   %v (Corollary 1 alone would reject)\n",
+		pg.OperatorPurgeable())
+	gpg := safety.BuildGPG(q, fig8)
+	fmt.Printf("GPG strongly connected:        %v (Theorem 4: safe)\n", gpg.StronglyConnected())
+	tpg := safety.Transform(q, fig8)
+	fmt.Printf("TPG condenses to single node:  %v (Theorem 5)\n", tpg.SingleNode())
+	fmt.Println("TPG transformation trace:")
+	fmt.Print(tpg)
+
+	fmt.Println()
+	fmt.Println("=== §5.2: safe plan enumeration with costs ===")
+	model := plan.DefaultCostModel(q)
+	plans, err := plan.EnumerateSafe(q, fig8, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range plans {
+		fmt.Printf("  %d. %-28s cost: %s\n", i+1, p.Render(q), model.PlanCost(q, fig8, p))
+	}
+	best, err := plan.ChooseSafe(q, fig8, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen: %s\n", best.Render(q))
+}

@@ -1,0 +1,78 @@
+// Quickstart: declare two punctuated streams, check that a continuous
+// join over them is safe, and run it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"punctsafe/engine"
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+func main() {
+	// Two streams: orders(orderid, amount) and shipments(orderid, carrier).
+	orders := stream.MustSchema("orders",
+		stream.Attribute{Name: "orderid", Kind: stream.KindInt},
+		stream.Attribute{Name: "amount", Kind: stream.KindFloat})
+	shipments := stream.MustSchema("shipments",
+		stream.Attribute{Name: "orderid", Kind: stream.KindInt},
+		stream.Attribute{Name: "carrier", Kind: stream.KindString})
+
+	// The continuous join query: orders ⨝ shipments on orderid.
+	q := query.NewBuilder().
+		AddStream(orders).AddStream(shipments).
+		JoinOn("orders", "shipments", "orderid").
+		MustBuild()
+
+	// The application promises punctuations on orderid for both streams
+	// (an order is placed once; a shipment batch for an order closes).
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("orders", true, false),
+		stream.MustScheme("shipments", true, false),
+	)
+
+	// Compile-time safety check (Theorem 4 via the transformed
+	// punctuation graph).
+	rep, err := safety.Check(q, schemes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Explain(q))
+
+	// Run it through the DSMS.
+	d := engine.New()
+	for _, s := range schemes.All() {
+		d.RegisterScheme(s)
+	}
+	reg, err := d.Register("orders-shipments", q, engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted with plan %s\n\n", reg.Plan.Render(q))
+
+	push := func(name string, e stream.Element) {
+		if err := d.Push(name, e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	punct := func(id int64) stream.Punctuation {
+		return stream.MustPunctuation(stream.Const(stream.Int(id)), stream.Wildcard())
+	}
+
+	push("orders", stream.TupleElement(stream.NewTuple(stream.Int(1), stream.Float(99.5))))
+	push("orders", stream.PunctElement(punct(1))) // order 1 placed exactly once
+	push("shipments", stream.TupleElement(stream.NewTuple(stream.Int(1), stream.Str("DHL"))))
+	push("shipments", stream.TupleElement(stream.NewTuple(stream.Int(1), stream.Str("UPS"))))
+	push("shipments", stream.PunctElement(punct(1))) // no more shipments for order 1
+
+	for _, r := range reg.Results {
+		fmt.Println("result:", r)
+	}
+	fmt.Printf("stored tuples after punctuations: %d (everything about order 1 was purged)\n",
+		reg.Tree.TotalState())
+}

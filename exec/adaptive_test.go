@@ -1,0 +1,129 @@
+package exec
+
+import (
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	q := binaryQuery(t)
+	cases := []AdaptivePolicy{
+		{HighWater: 10, LowWater: 2, LazyBatch: 1},  // batch too small
+		{HighWater: 2, LowWater: 10, LazyBatch: 8},  // inverted watermarks
+		{HighWater: 10, LowWater: -1, LazyBatch: 8}, // negative low
+	}
+	for _, p := range cases {
+		if _, err := NewAdaptiveMJoin(Config{Query: q, Schemes: bothSideSchemes()}, p); err == nil {
+			t.Errorf("policy %+v must be rejected", p)
+		}
+	}
+}
+
+// TestAdaptiveSwitches: the policy flips to eager when the watermark is
+// crossed and flushes the backlog, then relaxes once state sinks.
+func TestAdaptiveSwitches(t *testing.T) {
+	q := binaryQuery(t)
+	a, err := NewAdaptiveMJoin(
+		Config{Query: q, Schemes: bothSideSchemes()},
+		AdaptivePolicy{HighWater: 10, LowWater: 3, LazyBatch: 1 << 20},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(input int, e stream.Element) {
+		if _, err := a.Push(input, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill state past the high watermark with the huge lazy batch
+	// deferring all purge work. First 9 tuples: lazy, state grows.
+	for i := int64(0); i < 9; i++ {
+		push(0, stream.TupleElement(tup(i, i)))
+		push(1, stream.PunctElement(punct(i, -1)))
+	}
+	if a.Eager() {
+		t.Fatalf("still below the high watermark (state=%d), must be lazy", a.Stats().TotalState())
+	}
+	if got := a.Stats().TotalState(); got != 9 {
+		t.Fatalf("lazy mode must defer purging, state=%d want 9", got)
+	}
+	// The 10th tuple crosses the watermark: the operator flips to eager
+	// and flushes the backlog inside that Push.
+	push(0, stream.TupleElement(tup(9, 9)))
+	if !a.Eager() {
+		t.Fatal("must have switched to eager at the high watermark")
+	}
+	if got := a.Stats().TotalState(); got != 1 {
+		t.Fatalf("switch must flush the 9 punctuated tuples, state=%d want 1 (tuple 9)", got)
+	}
+	// The matching punctuation purges tuple 9 eagerly; the resulting
+	// empty state sits below the low watermark, so the next Push relaxes
+	// back to lazy.
+	push(1, stream.PunctElement(punct(9, -1)))
+	push(0, stream.TupleElement(tup(10, 10)))
+	if a.Eager() {
+		t.Fatal("must have relaxed below the low watermark")
+	}
+	if a.Switches != 2 {
+		t.Fatalf("expected exactly 2 policy switches, got %d", a.Switches)
+	}
+}
+
+// TestAdaptiveBoundsStateLikeEager: on the auction workload the adaptive
+// operator keeps max state within the policy band while spending fewer
+// purge rounds than always-eager.
+func TestAdaptiveBoundsStateLikeEager(t *testing.T) {
+	q := workload.AuctionQuery()
+	schemes := workload.AuctionSchemes()
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 3000, MaxBidsPerItem: 6, OpenWindow: 8,
+		PunctuateItems: true, PunctuateClose: true, Seed: 21,
+	})
+	feed, err := workload.NewFeed(q, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := NewAdaptiveMJoin(Config{Query: q, Schemes: schemes},
+		AdaptivePolicy{HighWater: 64, LowWater: 16, LazyBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveResults := 0
+	if err := feed.Each(func(i int, e stream.Element) error {
+		outs, err := a.Push(i, e)
+		adaptiveResults += countTuples(outs)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+
+	eager, err := NewMJoin(Config{Query: q, Schemes: schemes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed2, _ := workload.NewFeed(q, inputs)
+	eagerResults := 0
+	if err := feed2.Each(func(i int, e stream.Element) error {
+		outs, err := eager.Push(i, e)
+		eagerResults += countTuples(outs)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if adaptiveResults != eagerResults {
+		t.Fatalf("results adaptive=%d eager=%d", adaptiveResults, eagerResults)
+	}
+	// Max state stays within a small slack of the high watermark (state
+	// can overshoot by the elements arriving within one batch window).
+	if a.Stats().MaxStateSize > 64+256 {
+		t.Fatalf("adaptive max state %d exceeded the policy band", a.Stats().MaxStateSize)
+	}
+	if a.Stats().TotalState() != 0 {
+		t.Fatalf("adaptive end state = %d", a.Stats().TotalState())
+	}
+}

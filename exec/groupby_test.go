@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"testing"
+
+	"punctsafe/stream"
+)
+
+func gbSchema() *stream.Schema {
+	return stream.MustSchema("sales",
+		stream.Attribute{Name: "item", Kind: stream.KindInt},
+		stream.Attribute{Name: "price", Kind: stream.KindFloat})
+}
+
+func gbPush(t *testing.T, g *GroupBy, e stream.Element) []stream.Element {
+	t.Helper()
+	out, err := g.Push(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func saleTuple(item int64, price float64) stream.Element {
+	return stream.TupleElement(stream.NewTuple(stream.Int(item), stream.Float(price)))
+}
+
+func closeItem(item int64) stream.Element {
+	return stream.PunctElement(stream.MustPunctuation(
+		stream.Const(stream.Int(item)), stream.Wildcard()))
+}
+
+func TestGroupBySum(t *testing.T) {
+	g, err := NewGroupBy(gbSchema(), "item", AggSum, "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbPush(t, g, saleTuple(1, 10))
+	gbPush(t, g, saleTuple(1, 2.5))
+	gbPush(t, g, saleTuple(2, 7))
+	if out := gbPush(t, g, saleTuple(1, 0.5)); len(out) != 0 {
+		t.Fatal("group must stay blocked until punctuated")
+	}
+	if g.GroupsHeld() != 2 {
+		t.Fatalf("groups held = %d", g.GroupsHeld())
+	}
+	out := gbPush(t, g, closeItem(1))
+	if len(out) != 1 {
+		t.Fatalf("want 1 closed group, got %d", len(out))
+	}
+	r := out[0].Tuple()
+	if r.Values[0].AsInt() != 1 || r.Values[1].AsFloat() != 13.0 {
+		t.Fatalf("sum tuple = %s", r)
+	}
+	if g.GroupsHeld() != 1 || g.Emitted() != 1 {
+		t.Fatalf("bookkeeping: held=%d emitted=%d", g.GroupsHeld(), g.Emitted())
+	}
+	// Closing an empty group emits nothing.
+	if out := gbPush(t, g, closeItem(99)); len(out) != 0 {
+		t.Fatal("empty group must not emit")
+	}
+	// Non-grouping punctuation passes through unused.
+	other := stream.PunctElement(stream.MustPunctuation(
+		stream.Wildcard(), stream.Const(stream.Float(7))))
+	if out := gbPush(t, g, other); len(out) != 0 {
+		t.Fatal("non-group punctuation must not close groups")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	for _, tc := range []struct {
+		kind AggKind
+		want float64
+	}{
+		{AggMin, 2.5},
+		{AggMax, 10},
+	} {
+		g, err := NewGroupBy(gbSchema(), "item", tc.kind, "price")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gbPush(t, g, saleTuple(1, 10))
+		gbPush(t, g, saleTuple(1, 2.5))
+		out := gbPush(t, g, closeItem(1))
+		if len(out) != 1 || out[0].Tuple().Values[1].AsFloat() != tc.want {
+			t.Fatalf("agg %d: got %v, want %v", tc.kind, out, tc.want)
+		}
+	}
+	g, err := NewGroupBy(gbSchema(), "item", AggCount, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbPush(t, g, saleTuple(3, 1))
+	gbPush(t, g, saleTuple(3, 1))
+	gbPush(t, g, saleTuple(3, 1))
+	out := gbPush(t, g, closeItem(3))
+	if len(out) != 1 || out[0].Tuple().Values[1].AsInt() != 3 {
+		t.Fatalf("count: %v", out)
+	}
+	if g.OutputSchema().Attr(1).Name != "count" {
+		t.Fatalf("output schema %s", g.OutputSchema())
+	}
+}
+
+func TestGroupByIntAggregate(t *testing.T) {
+	s := stream.MustSchema("x",
+		stream.Attribute{Name: "k", Kind: stream.KindInt},
+		stream.Attribute{Name: "v", Kind: stream.KindInt})
+	g, err := NewGroupBy(s, "k", AggSum, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		gbPush(t, g, stream.TupleElement(stream.NewTuple(stream.Int(7), stream.Int(i))))
+	}
+	out := gbPush(t, g, stream.PunctElement(stream.MustPunctuation(
+		stream.Const(stream.Int(7)), stream.Wildcard())))
+	if len(out) != 1 || out[0].Tuple().Values[1].AsFloat() != 10 {
+		t.Fatalf("int sum: %v", out)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	s := gbSchema()
+	if _, err := NewGroupBy(s, "nope", AggSum, "price"); err == nil {
+		t.Error("unknown group attr must fail")
+	}
+	if _, err := NewGroupBy(s, "item", AggSum, "nope"); err == nil {
+		t.Error("unknown agg attr must fail")
+	}
+	str := stream.MustSchema("s",
+		stream.Attribute{Name: "k", Kind: stream.KindInt},
+		stream.Attribute{Name: "v", Kind: stream.KindString})
+	if _, err := NewGroupBy(str, "k", AggSum, "v"); err == nil {
+		t.Error("string aggregate must fail")
+	}
+	g, err := NewGroupBy(s, "item", AggSum, "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Push(stream.TupleElement(stream.NewTuple(stream.Int(1)))); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if _, err := g.Push(stream.PunctElement(stream.MustPunctuation(stream.Const(stream.Int(1))))); err == nil {
+		t.Error("punctuation arity mismatch must fail")
+	}
+}
+
+func TestGroupByHighWater(t *testing.T) {
+	g, err := NewGroupBy(gbSchema(), "item", AggCount, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		gbPush(t, g, saleTuple(i, 1))
+	}
+	for i := int64(0); i < 10; i++ {
+		gbPush(t, g, closeItem(i))
+	}
+	if g.GroupsHeld() != 0 || g.MaxGroupsHeld() != 10 || g.Emitted() != 10 {
+		t.Fatalf("held=%d max=%d emitted=%d", g.GroupsHeld(), g.MaxGroupsHeld(), g.Emitted())
+	}
+}

@@ -1,0 +1,447 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+// Config parameterizes an MJoin operator. The zero value of the optional
+// knobs selects the paper's defaults: eager purging, punctuations kept
+// forever, output punctuation propagation on.
+type Config struct {
+	// Query describes the operator's inputs and join predicates. A
+	// 2-stream query yields the classic symmetric binary hash join; more
+	// streams yield a generalized symmetric MJoin.
+	Query *query.CJQ
+	// Schemes is the punctuation scheme set ℜ visible to the operator.
+	Schemes *stream.SchemeSet
+	// PurgeBatch controls purge timing (§5.2 Plan Parameter II): 0 or 1
+	// purges eagerly on every punctuation arrival; K>1 batches
+	// punctuations and purges every K input elements.
+	PurgeBatch int
+	// PunctLifespan, when nonzero, expires stored punctuations after this
+	// many input elements (§5.1 lifespans). Expired punctuations stop
+	// contributing to purge decisions.
+	PunctLifespan uint64
+	// DisablePurge turns data purging off entirely; join states then grow
+	// without bound. Used as the no-punctuation baseline in experiments.
+	DisablePurge bool
+	// PurgePunctuations enables §5.1 punctuation purging: a stored
+	// punctuation is dropped once counter-punctuations on its non-*
+	// attributes arrive from every join partner and no stored partner
+	// tuples still need it.
+	PurgePunctuations bool
+	// DisableOutputPuncts turns off punctuation propagation to the
+	// operator output (needed by upper operators of tree plans).
+	DisableOutputPuncts bool
+	// DynamicProbeOrder expands join results by always probing the
+	// not-yet-bound input with the smallest candidate set next (the
+	// greedy ordering of MJoin literature), instead of the static BFS
+	// order. Identical results, often far less intermediate work on
+	// skewed data.
+	DynamicProbeOrder bool
+	// StateLimit, when nonzero, makes Push fail once the total stored
+	// tuple count would exceed it — the resource back-stop that keeps an
+	// unsafe (or insufficiently punctuated) query from exhausting memory,
+	// the failure mode the paper's compile-time check exists to prevent.
+	StateLimit int
+	// EnforcePromises makes Push fail when an input tuple matches a live
+	// punctuation previously received on ITS OWN input — a violation of
+	// the punctuation contract ("no future tuple will satisfy this
+	// predicate"). Correctness of purging rests on that contract, so
+	// surfacing violations loudly beats silently wrong results. Off by
+	// default: §5.1 notes punctuations can be missed or malformed in
+	// practice, and some applications prefer to tolerate them.
+	EnforcePromises bool
+}
+
+// ErrPromiseViolated is returned (wrapped) when EnforcePromises catches a
+// tuple arriving after a punctuation that forbids it.
+var ErrPromiseViolated = fmt.Errorf("exec: punctuation promise violated")
+
+// ErrStateLimit is returned (wrapped) when a configured StateLimit is
+// exceeded.
+var ErrStateLimit = fmt.Errorf("exec: join state limit exceeded")
+
+// MJoin is a symmetric, non-blocking multi-way join operator with
+// punctuation-driven state purging. It is single-threaded by design; the
+// engine package provides the concurrent shell around operators.
+type MJoin struct {
+	q       *query.CJQ
+	cfg     Config
+	states  []*joinState
+	puncts  []*punctStore
+	plans   []*safety.PurgePlan
+	stats   *Stats
+	clock   uint64
+	out     *stream.Schema
+	colBase []int // output column offset per input
+	// pending holds punctuations awaiting a lazy purge round.
+	pending []pendingPunct
+	// probeOrders[i] is the BFS stream order used to expand results for a
+	// tuple arriving on input i.
+	probeOrders [][]int
+	// stepScheme[i][k] caches the punct-store scheme index used by step k
+	// of input i's purge plan.
+	stepScheme [][]int
+}
+
+type pendingPunct struct {
+	input int
+	p     stream.Punctuation
+}
+
+// NewMJoin builds the operator. The safety analysis runs once here: each
+// input that is purgeable under the scheme set (Theorem 3) gets its
+// chained purge plan; non-purgeable inputs are stored but never purged
+// (exactly the failure mode the compile-time safety check exists to
+// reject).
+func NewMJoin(cfg Config) (*MJoin, error) {
+	if cfg.Query == nil {
+		return nil, fmt.Errorf("exec: Config.Query is nil")
+	}
+	if cfg.Schemes == nil {
+		cfg.Schemes = stream.NewSchemeSet()
+	}
+	q := cfg.Query
+	m := &MJoin{
+		q:      q,
+		cfg:    cfg,
+		states: make([]*joinState, q.N()),
+		puncts: make([]*punctStore, q.N()),
+		plans:  make([]*safety.PurgePlan, q.N()),
+		stats:  newStats(q.N()),
+	}
+	gpg := safety.BuildGPG(q, cfg.Schemes)
+	for i := 0; i < q.N(); i++ {
+		m.states[i] = newJoinState(q.JoinAttrs(i))
+		m.puncts[i] = newPunctStore(cfg.Schemes.ForStream(q.Stream(i).Name()))
+		m.plans[i] = gpg.PurgePlan(i)
+	}
+	m.stepScheme = make([][]int, q.N())
+	for i, plan := range m.plans {
+		if plan == nil {
+			continue
+		}
+		idx := make([]int, len(plan.Steps))
+		for k, st := range plan.Steps {
+			idx[k] = m.puncts[st.Stream].indexOfScheme(st.Scheme)
+			if idx[k] < 0 {
+				return nil, fmt.Errorf("exec: purge plan for input %d uses unregistered scheme %s", i, st.Scheme)
+			}
+		}
+		m.stepScheme[i] = idx
+	}
+	m.buildOutputSchema()
+	m.buildProbeOrders()
+	return m, nil
+}
+
+// Purgeable reports whether input i's join state is purgeable (Theorem 3).
+func (m *MJoin) Purgeable(i int) bool { return m.plans[i] != nil }
+
+// Stats returns the operator's counters (live; do not modify).
+func (m *MJoin) Stats() *Stats { return m.stats }
+
+// OutputSchema is the schema of emitted result tuples: the concatenation
+// of the input schemas, with columns named <stream>_<attr>.
+func (m *MJoin) OutputSchema() *stream.Schema { return m.out }
+
+// Query returns the operator's join query.
+func (m *MJoin) Query() *query.CJQ { return m.q }
+
+func (m *MJoin) buildOutputSchema() {
+	var attrs []stream.Attribute
+	m.colBase = make([]int, m.q.N())
+	var names []string
+	for i := 0; i < m.q.N(); i++ {
+		m.colBase[i] = len(attrs)
+		sc := m.q.Stream(i)
+		names = append(names, sc.Name())
+		for j := 0; j < sc.Arity(); j++ {
+			attrs = append(attrs, stream.Attribute{
+				Name: sc.Name() + "_" + sc.Attr(j).Name,
+				Kind: sc.Attr(j).Kind,
+			})
+		}
+	}
+	m.out = stream.MustSchema("join("+strings.Join(names, ",")+")", attrs...)
+}
+
+// buildProbeOrders computes, per arrival input, a BFS order of the other
+// inputs over the join graph so each expansion step joins a stream
+// already connected to the bound set.
+func (m *MJoin) buildProbeOrders() {
+	jg := m.q.JoinGraph()
+	m.probeOrders = make([][]int, m.q.N())
+	for i := 0; i < m.q.N(); i++ {
+		var order []int
+		seen := make([]bool, m.q.N())
+		seen[i] = true
+		queue := []int{i}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range jg.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					order = append(order, v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		m.probeOrders[i] = order
+	}
+}
+
+// Push feeds one element into the given input and returns the emitted
+// output elements (result tuples first, then any output punctuations).
+func (m *MJoin) Push(input int, e stream.Element) ([]stream.Element, error) {
+	if input < 0 || input >= m.q.N() {
+		return nil, fmt.Errorf("exec: input %d out of range [0,%d)", input, m.q.N())
+	}
+	m.clock++
+	var out []stream.Element
+	if e.IsPunct() {
+		outs, err := m.pushPunct(input, e.Punct())
+		if err != nil {
+			return nil, err
+		}
+		out = outs
+	} else {
+		results, err := m.pushTuple(input, e.Tuple())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			out = append(out, stream.TupleElement(r))
+		}
+	}
+	if m.cfg.PunctLifespan > 0 && m.clock%256 == 0 {
+		for i, ps := range m.puncts {
+			n := ps.expire(m.clock)
+			m.stats.PunctsPurged[i] += uint64(n)
+			m.stats.PunctStoreSize[i] = ps.size
+		}
+	}
+	// Lazy purge round when the batch threshold is crossed.
+	if len(m.pending) > 0 && m.cfg.PurgeBatch > 1 && m.clock%uint64(m.cfg.PurgeBatch) == 0 {
+		morePuncts := m.flushPending()
+		out = append(out, morePuncts...)
+	}
+	m.stats.noteWatermarks()
+	return out, nil
+}
+
+func (m *MJoin) pushTuple(input int, t stream.Tuple) ([]stream.Tuple, error) {
+	if err := t.Validate(m.q.Stream(input)); err != nil {
+		return nil, fmt.Errorf("exec: input %d: %w", input, err)
+	}
+	if m.cfg.EnforcePromises {
+		if p, violated := m.violatedPromise(input, t); violated {
+			return nil, fmt.Errorf("%w: stream %s tuple %s matches its own punctuation %s",
+				ErrPromiseViolated, m.q.Stream(input).Name(), t, p)
+		}
+	}
+	m.stats.TuplesIn[input]++
+	results := m.probe(input, t)
+	m.stats.Results += uint64(len(results))
+	// Drop-at-insertion (eager mode): a tuple already covered by stored
+	// punctuations can never join future inputs — after emitting its
+	// results against the stored states, it need not be stored at all.
+	// Lazy mode defers this to the next batched purge round, which finds
+	// the tuple through its state lookups.
+	if !m.cfg.DisablePurge && m.cfg.PurgeBatch <= 1 && m.plans[input] != nil {
+		m.stats.PurgeChecks++
+		if m.purgeableTuple(input, t) {
+			m.stats.TuplesPurged[input]++
+			return results, nil
+		}
+	}
+	if m.cfg.StateLimit > 0 && m.stats.TotalState() >= m.cfg.StateLimit {
+		return nil, fmt.Errorf("%w: %d tuples stored, limit %d (query %s)",
+			ErrStateLimit, m.stats.TotalState(), m.cfg.StateLimit, m.q)
+	}
+	m.states[input].insert(t)
+	m.stats.StateSize[input] = m.states[input].size()
+	return results, nil
+}
+
+func (m *MJoin) pushPunct(input int, p stream.Punctuation) ([]stream.Element, error) {
+	if err := p.Validate(m.q.Stream(input)); err != nil {
+		return nil, fmt.Errorf("exec: input %d: %w", input, err)
+	}
+	m.stats.PunctsIn[input]++
+	entry := m.puncts[input].add(p, m.clock, m.cfg.PunctLifespan)
+	m.stats.PunctStoreSize[input] = m.puncts[input].size
+	if entry == nil {
+		// Irrelevant (no registered scheme) or duplicate punctuation:
+		// nothing further to do — this is the "identify the useful
+		// punctuations" filtering of §1.
+		return nil, nil
+	}
+	var out []stream.Element
+	if m.cfg.PurgeBatch <= 1 {
+		out = m.purgeRound([]pendingPunct{{input: input, p: p}})
+	} else {
+		m.pending = append(m.pending, pendingPunct{input: input, p: p})
+	}
+	// Output punctuation propagation for the freshly arrived punctuation.
+	if !m.cfg.DisableOutputPuncts {
+		if op, ok := m.tryEmitPunct(input, entry); ok {
+			out = append(out, op)
+		}
+	}
+	return out, nil
+}
+
+// flushPending runs one purge round over the accumulated punctuations
+// (the lazy strategy of §5.2).
+func (m *MJoin) flushPending() []stream.Element {
+	batch := m.pending
+	m.pending = nil
+	return m.purgeRound(batch)
+}
+
+// Flush forces a purge round over any pending punctuations (used at the
+// end of a lazy-mode run).
+func (m *MJoin) Flush() []stream.Element {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	return m.flushPending()
+}
+
+// probe computes all join results involving the arriving tuple t on input
+// `input` and the stored tuples of every other input, by expanding along
+// the precomputed BFS order (or, with DynamicProbeOrder, the greedy
+// smallest-candidate-set order) and verifying every predicate against the
+// bound prefix.
+func (m *MJoin) probe(input int, t stream.Tuple) []stream.Tuple {
+	bound := make([]stream.Tuple, m.q.N())
+	isBound := make([]bool, m.q.N())
+	bound[input] = t
+	isBound[input] = true
+	var results []stream.Tuple
+
+	if m.cfg.DynamicProbeOrder {
+		m.probeDynamic(1, bound, isBound, &results)
+		return results
+	}
+
+	order := m.probeOrders[input]
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(order) {
+			results = append(results, m.concat(bound))
+			return
+		}
+		j := order[k]
+		candidates := m.candidateSet(j, isBound, bound)
+		for id := range candidates {
+			u := m.states[j].tuples[id]
+			if !m.matchesBound(j, u, isBound, bound) {
+				continue
+			}
+			bound[j] = u
+			isBound[j] = true
+			rec(k + 1)
+			isBound[j] = false
+		}
+	}
+	rec(0)
+	return results
+}
+
+// candidateSet probes stream j's index through the first predicate to a
+// bound stream.
+func (m *MJoin) candidateSet(j int, isBound []bool, bound []stream.Tuple) map[tupleID]struct{} {
+	for _, p := range m.q.PredicatesTouching(j) {
+		other, jAttr, otherAttr := p.Other(j)
+		if isBound[other] {
+			return m.states[j].lookup(jAttr, bound[other].Values[otherAttr])
+		}
+	}
+	// Unreachable for connected queries expanded in a connectivity order.
+	panic("exec: probe order disconnected")
+}
+
+// probeDynamic expands the join by always choosing, among the unbound
+// streams adjacent to the bound set, the one with the fewest index
+// candidates — pruning dead branches as early as possible.
+func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []bool, results *[]stream.Tuple) {
+	if boundCount == m.q.N() {
+		*results = append(*results, m.concat(bound))
+		return
+	}
+	best := -1
+	var bestSet map[tupleID]struct{}
+	for j := 0; j < m.q.N(); j++ {
+		if isBound[j] {
+			continue
+		}
+		adjacent := false
+		for _, p := range m.q.PredicatesTouching(j) {
+			other, _, _ := p.Other(j)
+			if isBound[other] {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			continue
+		}
+		set := m.candidateSet(j, isBound, bound)
+		if best < 0 || len(set) < len(bestSet) {
+			best, bestSet = j, set
+		}
+		if len(bestSet) == 0 {
+			return // some adjacent stream has no match: dead branch
+		}
+	}
+	if best < 0 {
+		panic("exec: probe order disconnected")
+	}
+	for id := range bestSet {
+		u := m.states[best].tuples[id]
+		if !m.matchesBound(best, u, isBound, bound) {
+			continue
+		}
+		bound[best] = u
+		isBound[best] = true
+		m.probeDynamic(boundCount+1, bound, isBound, results)
+		isBound[best] = false
+	}
+}
+
+// matchesBound verifies every predicate between stream j's tuple u and the
+// bound prefix.
+func (m *MJoin) matchesBound(j int, u stream.Tuple, isBound []bool, bound []stream.Tuple) bool {
+	for _, p := range m.q.PredicatesTouching(j) {
+		other, jAttr, otherAttr := p.Other(j)
+		if !isBound[other] {
+			continue
+		}
+		if !u.Values[jAttr].Equal(bound[other].Values[otherAttr]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *MJoin) concat(bound []stream.Tuple) stream.Tuple {
+	values := make([]stream.Value, 0, m.out.Arity())
+	for i := range bound {
+		values = append(values, bound[i].Values...)
+	}
+	return stream.NewTuple(values...)
+}
+
+// String summarizes the operator.
+func (m *MJoin) String() string {
+	return fmt.Sprintf("MJoin(%s)", m.q)
+}

@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"punctsafe/stream"
+)
+
+// punctEntry is one stored punctuation together with its §5.1 lifecycle
+// metadata. For an ordered (watermark) scheme the entry is the compacted
+// representative of every instantiation seen for its equality constants:
+// only the widest bound needs keeping, since a <=T promise subsumes every
+// <=T' with T' <= T.
+type punctEntry struct {
+	punct stream.Punctuation
+	// consts are the constant values in punctuatable-attribute order
+	// (the ordered slot, if any, holds the current bound).
+	consts []stream.Value
+	// arrived is the operator clock value when the punctuation arrived
+	// (or was last widened).
+	arrived uint64
+	// expires is the clock value after which the punctuation no longer
+	// holds (§5.1 lifespans, e.g. TCP sequence-number wraparound); zero
+	// means it holds forever.
+	expires uint64
+	// emitted records whether the operator already propagated this
+	// punctuation to its output (so tree plans do not emit duplicates).
+	// Widening a watermark bound resets it: the wider promise is news.
+	emitted bool
+}
+
+// punctStore holds the punctuations received on one operator input,
+// organized per scheme and keyed by the constants assigned to the
+// scheme's equality attributes, so the chained purge machinery can answer
+// "is the punctuation P(v1..vm) present?" in one lookup. Watermark
+// schemes compare the ordered slot against the stored bound instead.
+type punctStore struct {
+	schemes []stream.Scheme
+	// ordSlot[k] is the position of schemes[k]'s ordered attribute within
+	// its punctuatable-attribute order, or -1.
+	ordSlot []int
+	// entries[k] holds the stored instantiations of schemes[k], keyed by
+	// the equality constants.
+	entries []map[string]*punctEntry
+	size    int
+}
+
+func newPunctStore(schemes []stream.Scheme) *punctStore {
+	ps := &punctStore{
+		schemes: schemes,
+		ordSlot: make([]int, len(schemes)),
+		entries: make([]map[string]*punctEntry, len(schemes)),
+	}
+	for i, s := range schemes {
+		ps.entries[i] = make(map[string]*punctEntry)
+		ps.ordSlot[i] = -1
+		oi := s.OrderedIndex()
+		for slot, a := range s.PunctuatableIndexes() {
+			if a == oi {
+				ps.ordSlot[i] = slot
+			}
+		}
+	}
+	return ps
+}
+
+// eqKey drops the ordered slot (if any) from the constant list and
+// encodes the rest as the entry key.
+func (ps *punctStore) eqKey(schemeIdx int, consts []stream.Value) string {
+	slot := ps.ordSlot[schemeIdx]
+	if slot < 0 {
+		return keyOf(consts)
+	}
+	eq := make([]stream.Value, 0, len(consts)-1)
+	for i, v := range consts {
+		if i != slot {
+			eq = append(eq, v)
+		}
+	}
+	return keyOf(eq)
+}
+
+// schemeIndex returns the index of the scheme the punctuation
+// instantiates, or -1 when it matches none (the punctuation is then
+// irrelevant to this operator and is dropped).
+func (ps *punctStore) schemeIndex(p stream.Punctuation) int {
+	for i, s := range ps.schemes {
+		if s.Instantiates(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexOfScheme returns the store's index for a registered scheme value.
+func (ps *punctStore) indexOfScheme(s stream.Scheme) int {
+	for i, have := range ps.schemes {
+		if have.Equal(s) {
+			return i
+		}
+	}
+	return -1
+}
+
+// lookup returns the live entry for the scheme with the given constants'
+// equality part, or nil.
+func (ps *punctStore) lookup(schemeIdx int, consts []stream.Value, now uint64) *punctEntry {
+	e, ok := ps.entries[schemeIdx][ps.eqKey(schemeIdx, consts)]
+	if !ok || e.expired(now) {
+		return nil
+	}
+	return e
+}
+
+// add stores a punctuation. It returns the entry when the punctuation is
+// new information (fresh entry, or a widened watermark bound), or nil
+// when it instantiates no registered scheme or adds nothing.
+func (ps *punctStore) add(p stream.Punctuation, now, lifespan uint64) *punctEntry {
+	si := ps.schemeIndex(p)
+	if si < 0 {
+		return nil
+	}
+	consts := constsOf(p)
+	key := ps.eqKey(si, consts)
+	slot := ps.ordSlot[si]
+	if old, ok := ps.entries[si][key]; ok && !old.expired(now) {
+		if slot < 0 {
+			return nil // exact duplicate
+		}
+		// Watermark: keep only the widest bound.
+		le, cmp := stream.LessEq(consts[slot], old.consts[slot])
+		if cmp && le {
+			return nil // not wider than what we hold
+		}
+		old.punct = p
+		old.consts = consts
+		old.arrived = now
+		if lifespan > 0 {
+			old.expires = now + lifespan
+		}
+		old.emitted = false
+		return old
+	} else if ok {
+		ps.size-- // replace an expired entry
+	}
+	e := &punctEntry{punct: p, consts: consts, arrived: now}
+	if lifespan > 0 {
+		e.expires = now + lifespan
+	}
+	ps.entries[si][key] = e
+	ps.size++
+	return e
+}
+
+func (e *punctEntry) expired(now uint64) bool {
+	return e.expires != 0 && now > e.expires
+}
+
+// covered reports whether a live stored punctuation guarantees the given
+// constants: for equality slots an exact match, for the ordered slot a
+// stored bound at or above the value.
+func (ps *punctStore) covered(schemeIdx int, consts []stream.Value, now uint64) bool {
+	e := ps.lookup(schemeIdx, consts, now)
+	if e == nil {
+		return false
+	}
+	slot := ps.ordSlot[schemeIdx]
+	if slot < 0 {
+		return true
+	}
+	le, ok := stream.LessEq(consts[slot], e.consts[slot])
+	return ok && le
+}
+
+// coveredSimple reports whether a live stored punctuation constrains
+// exactly the single attribute attr so as to forbid the value v — the
+// guarantee "no future tuple carries v at attr" needed by plain
+// purge-chain steps.
+func (ps *punctStore) coveredSimple(attr int, v stream.Value, now uint64) bool {
+	for si, s := range ps.schemes {
+		idx := s.PunctuatableIndexes()
+		if len(idx) != 1 || idx[0] != attr {
+			continue
+		}
+		if ps.covered(si, []stream.Value{v}, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// remove deletes the stored entry matching the constants' equality part;
+// it reports whether an entry was removed.
+func (ps *punctStore) remove(schemeIdx int, consts []stream.Value) bool {
+	key := ps.eqKey(schemeIdx, consts)
+	if _, ok := ps.entries[schemeIdx][key]; !ok {
+		return false
+	}
+	delete(ps.entries[schemeIdx], key)
+	ps.size--
+	return true
+}
+
+// expire removes entries whose lifespan has elapsed and returns the count.
+func (ps *punctStore) expire(now uint64) int {
+	removed := 0
+	for _, m := range ps.entries {
+		for k, e := range m {
+			if e.expired(now) {
+				delete(m, k)
+				removed++
+			}
+		}
+	}
+	ps.size -= removed
+	return removed
+}
+
+// each visits every live entry until fn returns false.
+func (ps *punctStore) each(now uint64, fn func(schemeIdx int, e *punctEntry) bool) {
+	for si, m := range ps.entries {
+		for _, e := range m {
+			if e.expired(now) {
+				continue
+			}
+			if !fn(si, e) {
+				return
+			}
+		}
+	}
+}
+
+// constsOf extracts the constant values of a punctuation in ascending
+// attribute order (bounds included).
+func constsOf(p stream.Punctuation) []stream.Value {
+	var out []stream.Value
+	for _, pat := range p.Patterns {
+		if !pat.IsWildcard() {
+			out = append(out, pat.Value())
+		}
+	}
+	return out
+}
+
+// keyOf encodes a value list as an injective map key.
+func keyOf(consts []stream.Value) string { return stream.KeyOf(consts...) }

@@ -1,0 +1,735 @@
+package exec
+
+import (
+	"fmt"
+
+	"punctsafe/stream"
+)
+
+// productCap bounds the number of punctuation-coverage combinations one
+// purge check will evaluate. A tuple whose requirement product exceeds the
+// cap is conservatively kept (never wrongly purged); the overflow counter
+// surfaces how often that happens.
+const productCap = 4096
+
+// purgeRound runs the chained purge strategy for a batch of freshly
+// arrived punctuations: it collects the join-connected neighborhood of
+// the punctuated values, repeatedly purges every tuple in it whose purge
+// plan is fully covered by stored punctuations, and finally re-evaluates
+// punctuation propagation and §5.1 punctuation purging. It returns any
+// output punctuations that became emittable.
+func (m *MJoin) purgeRound(batch []pendingPunct) []stream.Element {
+	if m.cfg.DisablePurge {
+		return nil
+	}
+	n := m.q.N()
+	cand := make([]map[tupleID]struct{}, n)
+	for i := range cand {
+		cand[i] = make(map[tupleID]struct{})
+	}
+
+	// Anchor tuples: stored tuples in partner states carrying a value a
+	// new punctuation constrains.
+	type sid struct {
+		s  int
+		id tupleID
+	}
+	var queue []sid
+	seen := make(map[sid]struct{})
+	push := func(s int, id tupleID) {
+		k := sid{s, id}
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+		cand[s][id] = struct{}{}
+		queue = append(queue, k)
+	}
+	for _, pp := range batch {
+		for _, a := range pp.p.ConstIndexes() {
+			pat := pp.p.Patterns[a]
+			for _, p := range m.q.PredicatesTouching(pp.input) {
+				other, myAttr, otherAttr := p.Other(pp.input)
+				if myAttr != a {
+					continue
+				}
+				if pat.IsLeq() {
+					// Ordered bound: the hash index cannot answer range
+					// queries, so scan the partner state (watermarks are
+					// periodic and few, so this stays cheap).
+					m.states[other].each(func(id tupleID, u stream.Tuple) bool {
+						if pat.MatchesValue(u.Values[otherAttr]) {
+							push(other, id)
+						}
+						return true
+					})
+					continue
+				}
+				for id := range m.states[other].lookup(otherAttr, pat.Value()) {
+					push(other, id)
+				}
+			}
+		}
+	}
+	// Closure: everything join-reachable from an anchor may have had its
+	// purge requirements (or frontiers) touched.
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		u, ok := m.states[k.s].tuples[k.id]
+		if !ok {
+			continue
+		}
+		for _, p := range m.q.PredicatesTouching(k.s) {
+			other, myAttr, otherAttr := p.Other(k.s)
+			for id := range m.states[other].lookup(otherAttr, u.Values[myAttr]) {
+				push(other, id)
+			}
+		}
+	}
+
+	removed := m.purgeFixpoint(cand)
+
+	var out []stream.Element
+	if !m.cfg.DisableOutputPuncts {
+		out = append(out, m.emitForRemoved(removed)...)
+	}
+	if m.cfg.PurgePunctuations {
+		m.purgePunctStores(batch, removed)
+	}
+	return out
+}
+
+// purgeFixpoint repeatedly attempts to purge every candidate until a pass
+// makes no progress (removals shrink frontiers, which can unlock further
+// removals — the cascade of the chained purge strategy). It returns the
+// removed tuples per input so punctuation re-emission and §5.1 store
+// purging can be targeted instead of rescanning whole stores.
+func (m *MJoin) purgeFixpoint(cand []map[tupleID]struct{}) [][]stream.Tuple {
+	removed := make([][]stream.Tuple, m.q.N())
+	for changed := true; changed; {
+		changed = false
+		for s := range cand {
+			if m.plans[s] == nil {
+				continue
+			}
+			for id := range cand[s] {
+				t, ok := m.states[s].tuples[id]
+				if !ok {
+					delete(cand[s], id)
+					continue
+				}
+				m.stats.PurgeChecks++
+				if !m.purgeableTuple(s, t) {
+					continue
+				}
+				m.states[s].remove(id)
+				delete(cand[s], id)
+				m.stats.TuplesPurged[s]++
+				m.stats.StateSize[s] = m.states[s].size()
+				removed[s] = append(removed[s], t)
+				changed = true
+			}
+		}
+	}
+	return removed
+}
+
+// Sweep runs a full purge pass over every stored tuple of every purgeable
+// input (the §5.1 "background clean-up mechanism") and returns the number
+// of tuples removed plus any output punctuations that became emittable.
+func (m *MJoin) Sweep() (int, []stream.Element) {
+	if m.cfg.DisablePurge {
+		return 0, nil
+	}
+	n := m.q.N()
+	cand := make([]map[tupleID]struct{}, n)
+	for i := range cand {
+		cand[i] = make(map[tupleID]struct{}, m.states[i].size())
+		m.states[i].each(func(id tupleID, _ stream.Tuple) bool {
+			cand[i][id] = struct{}{}
+			return true
+		})
+	}
+	removed := m.purgeFixpoint(cand)
+	total := 0
+	for _, r := range removed {
+		total += len(r)
+	}
+	var out []stream.Element
+	if !m.cfg.DisableOutputPuncts {
+		out = m.emitPendingPuncts()
+	}
+	if m.cfg.PurgePunctuations {
+		m.sweepPunctStores()
+	}
+	return total, out
+}
+
+// purgeableTuple replays the chained purge strategy (§3.2.1, generalized
+// §4.2) for tuple t stored on input root: walk the purge-plan steps; at
+// each step compute the punctuation constants required from the source
+// frontiers and verify the punctuation store holds every combination;
+// then advance the joinable frontier into the step's stream. True means
+// t cannot join any future input combination and may be dropped.
+func (m *MJoin) purgeableTuple(root int, t stream.Tuple) bool {
+	plan := m.plans[root]
+	n := m.q.N()
+	frontiers := make([][]stream.Tuple, n)
+	covered := make([]bool, n)
+	frontiers[root] = []stream.Tuple{t}
+	covered[root] = true
+
+	for k, st := range plan.Steps {
+		j := st.Stream
+		valueSets := make([][]stream.Value, len(st.Attrs))
+		vacuous := false
+		total := 1
+		for a := range st.Attrs {
+			vs := distinctValues(frontiers[st.Sources[a]], st.SourceAttrs[a])
+			if len(vs) == 0 {
+				vacuous = true
+				break
+			}
+			valueSets[a] = vs
+			total *= len(vs)
+			if total > productCap {
+				m.stats.PurgeChecks++ // count the aborted attempt's extra work
+				return false
+			}
+		}
+		if !vacuous && !m.coveredProduct(j, m.stepScheme[root][k], valueSets) {
+			return false
+		}
+		frontiers[j] = m.frontier(j, covered, frontiers)
+		covered[j] = true
+	}
+	return true
+}
+
+// coveredProduct verifies that every combination of the per-attribute
+// value sets has a live stored punctuation on input j instantiating
+// scheme schemeIdx.
+func (m *MJoin) coveredProduct(j, schemeIdx int, valueSets [][]stream.Value) bool {
+	consts := make([]stream.Value, len(valueSets))
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(valueSets) {
+			return m.puncts[j].covered(schemeIdx, consts, m.clock)
+		}
+		for _, v := range valueSets[k] {
+			consts[k] = v
+			if !rec(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// frontier computes the joinable tuples of stream j with respect to the
+// already-covered frontiers: stored tuples of j that match, for every
+// predicate linking j to a covered stream, at least one value present in
+// that stream's frontier. This is the semijoin T_t[Υ_j] of §3.2.1
+// (computed per covered neighbor, a superset of the exact joint-joinable
+// set, hence conservative).
+func (m *MJoin) frontier(j int, covered []bool, frontiers [][]stream.Tuple) []stream.Tuple {
+	type constraint struct {
+		jAttr int
+		set   map[stream.ValueKey]struct{}
+	}
+	var cons []constraint
+	for _, p := range m.q.PredicatesTouching(j) {
+		other, jAttr, otherAttr := p.Other(j)
+		if !covered[other] {
+			continue
+		}
+		set := make(map[stream.ValueKey]struct{}, len(frontiers[other]))
+		for _, u := range frontiers[other] {
+			set[u.Values[otherAttr].Key()] = struct{}{}
+		}
+		cons = append(cons, constraint{jAttr: jAttr, set: set})
+	}
+	if len(cons) == 0 {
+		// Cannot happen for purge plans (each step's stream is adjacent
+		// to its sources), but guard against programming errors: with no
+		// constraint every stored tuple is joinable.
+		out := make([]stream.Tuple, 0, m.states[j].size())
+		m.states[j].each(func(_ tupleID, u stream.Tuple) bool {
+			out = append(out, u)
+			return true
+		})
+		return out
+	}
+	// Probe the index with the smallest constraint set; verify the rest.
+	best := 0
+	for i := 1; i < len(cons); i++ {
+		if len(cons[i].set) < len(cons[best].set) {
+			best = i
+		}
+	}
+	var out []stream.Tuple
+	seenIDs := make(map[tupleID]struct{})
+	for vk := range cons[best].set {
+		for id := range m.states[j].lookup(cons[best].jAttr, vk.Value()) {
+			if _, dup := seenIDs[id]; dup {
+				continue
+			}
+			seenIDs[id] = struct{}{}
+			u := m.states[j].tuples[id]
+			ok := true
+			for ci, c := range cons {
+				if ci == best {
+					continue
+				}
+				if _, match := c.set[u.Values[c.jAttr].Key()]; !match {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// distinctValues projects the frontier onto one attribute, deduplicated.
+func distinctValues(frontier []stream.Tuple, attr int) []stream.Value {
+	seen := make(map[stream.ValueKey]struct{}, len(frontier))
+	var out []stream.Value
+	for _, u := range frontier {
+		k := u.Values[attr].Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, u.Values[attr])
+	}
+	return out
+}
+
+// tryEmitPunct propagates a stored punctuation to the operator output
+// when no stored tuple of its input still matches it: from then on no
+// output tuple can carry the punctuated values in that input's columns,
+// so downstream operators may rely on it (the propagation invariant that
+// lets tree plans purge their upper operators).
+func (m *MJoin) tryEmitPunct(input int, e *punctEntry) (stream.Element, bool) {
+	if e.emitted || e.expired(m.clock) {
+		return stream.Element{}, false
+	}
+	if m.hasMatchingTuple(input, e.punct) {
+		return stream.Element{}, false
+	}
+	e.emitted = true
+	m.stats.OutPuncts++
+	pats := make([]stream.Pattern, m.out.Arity())
+	for i := range pats {
+		pats[i] = stream.Wildcard()
+	}
+	for _, a := range e.punct.ConstIndexes() {
+		pats[m.colBase[input]+a] = e.punct.Patterns[a]
+	}
+	return stream.PunctElement(stream.MustPunctuation(pats...)), true
+}
+
+// emitForRemoved re-tests exactly the stored punctuations a purge round
+// could have unblocked: for each removed tuple, the punctuations (on the
+// same input) whose constants equal the tuple's values at each scheme's
+// punctuatable positions. A removal can only drop the last matching tuple
+// of such a punctuation, so nothing else needs rechecking.
+func (m *MJoin) emitForRemoved(removed [][]stream.Tuple) []stream.Element {
+	var out []stream.Element
+	for input, tuples := range removed {
+		ps := m.puncts[input]
+		for _, u := range tuples {
+			for si, scheme := range ps.schemes {
+				idx := scheme.PunctuatableIndexes()
+				consts := make([]stream.Value, len(idx))
+				for k, a := range idx {
+					consts[k] = u.Values[a]
+				}
+				e := ps.lookup(si, consts, m.clock)
+				if e == nil {
+					continue
+				}
+				if el, emitted := m.tryEmitPunct(input, e); emitted {
+					out = append(out, el)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// emitPendingPuncts re-tests every stored, not-yet-emitted punctuation (a
+// full pass, used by the background clean-up Sweep).
+func (m *MJoin) emitPendingPuncts() []stream.Element {
+	var out []stream.Element
+	for input := range m.puncts {
+		m.puncts[input].each(m.clock, func(_ int, e *punctEntry) bool {
+			if el, ok := m.tryEmitPunct(input, e); ok {
+				out = append(out, el)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasMatchingTuple reports whether any stored tuple of the input matches
+// the punctuation's constant patterns. Indexed attributes are probed;
+// otherwise the state is scanned.
+func (m *MJoin) hasMatchingTuple(input int, p stream.Punctuation) bool {
+	consts := p.ConstIndexes()
+	st := m.states[input]
+	for _, a := range consts {
+		// The hash index answers equality constraints only.
+		if st.index[a] == nil || p.Patterns[a].IsLeq() {
+			continue
+		}
+		ids := st.lookup(a, p.Patterns[a].Value())
+		for id := range ids {
+			if p.Matches(st.tuples[id]) {
+				return true
+			}
+		}
+		return false
+	}
+	// No constrained attribute is indexed: scan.
+	found := false
+	st.each(func(_ tupleID, u stream.Tuple) bool {
+		if p.Matches(u) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// punctVictim identifies one stored punctuation.
+type punctVictim struct {
+	input     int
+	schemeIdx int
+	consts    []stream.Value
+}
+
+// violatedPromise reports whether a live punctuation stored on the
+// tuple's own input forbids it, returning the offending punctuation. The
+// check is one exact-key lookup per registered scheme: a tuple matches a
+// scheme's instantiation iff its values at the punctuatable positions
+// equal the stored constants (with <= for the ordered slot) — exactly the
+// covered() query over constants drawn from the tuple itself.
+func (m *MJoin) violatedPromise(input int, t stream.Tuple) (stream.Punctuation, bool) {
+	ps := m.puncts[input]
+	for si, scheme := range ps.schemes {
+		idx := scheme.PunctuatableIndexes()
+		consts := make([]stream.Value, len(idx))
+		for k, a := range idx {
+			consts[k] = t.Values[a]
+		}
+		if ps.covered(si, consts, m.clock) {
+			return ps.lookup(si, consts, m.clock).punct, true
+		}
+	}
+	return stream.Punctuation{}, false
+}
+
+// purgePunctStores implements §5.1 punctuation purgeability. A stored
+// punctuation e on stream j can be dropped once every join partner side
+// is closed for it: the partner holds a counter-punctuation implied by
+// e's constraint (mapped through the join predicates) and stores no
+// tuple still matching that constraint. Candidates are derived from the
+// batch (a new punctuation may be the missing counter for its partners'
+// punctuations) and from the purge round's removed tuples (a removal may
+// have been the last matching partner tuple); a punctuation whose
+// blockers lie beyond this neighbourhood is caught by the Sweep's full
+// pass instead.
+func (m *MJoin) purgePunctStores(batch []pendingPunct, removed [][]stream.Tuple) {
+	seen := make(map[string]bool)
+	var victims []punctVictim
+	consider := func(input, schemeIdx int, e *punctEntry) {
+		key := fmt.Sprintf("%d/%d/%s", input, schemeIdx, keyOf(e.consts))
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if m.punctPurgeable(input, schemeIdx, e) {
+			victims = append(victims, punctVictim{input: input, schemeIdx: schemeIdx, consts: e.consts})
+		}
+	}
+
+	// (a) New punctuations: they may complete the counter-coverage of a
+	// partner stream's stored punctuation with the mapped constants.
+	for _, pp := range batch {
+		m.eachMappedEntry(pp.input, pp.p, consider)
+		// The new punctuation itself may already be droppable.
+		if si := m.puncts[pp.input].schemeIndex(pp.p); si >= 0 {
+			if e := m.puncts[pp.input].lookup(si, constsOf(pp.p), m.clock); e != nil {
+				consider(pp.input, si, e)
+			}
+		}
+	}
+	// (b) Removed tuples: a stored punctuation that matched them on a
+	// partner stream may have lost its last blocker.
+	for input, tuples := range removed {
+		for _, u := range tuples {
+			for _, p := range m.q.PredicatesTouching(input) {
+				other, myAttr, otherAttr := p.Other(input)
+				ps := m.puncts[other]
+				for si, scheme := range ps.schemes {
+					idx := scheme.PunctuatableIndexes()
+					if len(idx) != 1 || idx[0] != otherAttr {
+						continue
+					}
+					if e := ps.lookup(si, []stream.Value{u.Values[myAttr]}, m.clock); e != nil {
+						consider(other, si, e)
+					}
+				}
+				// Multi-attribute schemes: reconstruct the constants from
+				// the removed tuple when every punctuatable attribute maps
+				// back to this input.
+				for si, scheme := range ps.schemes {
+					idx := scheme.PunctuatableIndexes()
+					if len(idx) < 2 {
+						continue
+					}
+					consts := make([]stream.Value, len(idx))
+					ok := true
+					for k, a := range idx {
+						back := m.q.PartnerAttr(other, a, input)
+						if back < 0 {
+							ok = false
+							break
+						}
+						consts[k] = u.Values[back]
+					}
+					if !ok {
+						continue
+					}
+					if e := ps.lookup(si, consts, m.clock); e != nil {
+						consider(other, si, e)
+					}
+				}
+			}
+		}
+	}
+
+	// Collect all victims before removing any: two punctuations may
+	// certify each other (both sides closed on the same values), and
+	// removing one first would strand the other.
+	m.removeVictims(victims)
+}
+
+// sweepPunctStores is the full §5.1 pass used by Sweep: every stored
+// punctuation is re-evaluated.
+func (m *MJoin) sweepPunctStores() {
+	var victims []punctVictim
+	for j := range m.puncts {
+		ps := m.puncts[j]
+		ps.each(m.clock, func(si int, e *punctEntry) bool {
+			if m.punctPurgeable(j, si, e) {
+				victims = append(victims, punctVictim{input: j, schemeIdx: si, consts: e.consts})
+			}
+			return true
+		})
+	}
+	m.removeVictims(victims)
+}
+
+func (m *MJoin) removeVictims(victims []punctVictim) {
+	for _, v := range victims {
+		if m.puncts[v.input].remove(v.schemeIdx, v.consts) {
+			m.stats.PunctsPurged[v.input]++
+			m.stats.PunctStoreSize[v.input] = m.puncts[v.input].size
+		}
+	}
+}
+
+// eachMappedEntry maps a punctuation's constraint through the join
+// predicates onto each partner stream and invokes fn for every stored
+// partner punctuation whose constants equal the mapped values.
+func (m *MJoin) eachMappedEntry(input int, p stream.Punctuation, fn func(input, schemeIdx int, e *punctEntry)) {
+	consts := p.ConstIndexes()
+	for _, other := range m.partnerStreams(input) {
+		// mapped[attr of other] = value implied by p.
+		mapped := make(map[int]stream.Value)
+		conflict := false
+		for _, a := range consts {
+			v := p.Patterns[a].Value()
+			for _, pr := range m.q.PredicatesTouching(input) {
+				o, myAttr, otherAttr := pr.Other(input)
+				if o != other || myAttr != a {
+					continue
+				}
+				if prev, ok := mapped[otherAttr]; ok && !prev.Equal(v) {
+					conflict = true
+				}
+				mapped[otherAttr] = v
+			}
+		}
+		if conflict || len(mapped) == 0 {
+			continue
+		}
+		ps := m.puncts[other]
+		for si, scheme := range ps.schemes {
+			idx := scheme.PunctuatableIndexes()
+			vals := make([]stream.Value, len(idx))
+			ok := true
+			for k, a := range idx {
+				v, has := mapped[a]
+				if !has {
+					ok = false
+					break
+				}
+				vals[k] = v
+			}
+			if !ok {
+				continue
+			}
+			if e := ps.lookup(si, vals, m.clock); e != nil {
+				fn(other, si, e)
+			}
+		}
+	}
+}
+
+// partnerStreams returns the streams sharing a predicate with input.
+func (m *MJoin) partnerStreams(input int) []int {
+	set := make(map[int]bool)
+	var out []int
+	for _, p := range m.q.PredicatesTouching(input) {
+		other, _, _ := p.Other(input)
+		if !set[other] {
+			set[other] = true
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// punctPurgeable decides whether a stored punctuation e on input j can be
+// dropped: for every join partner reachable through e's constrained
+// attributes, the partner must hold a live counter-punctuation implied by
+// e's mapped constraint and store no tuple still matching it. Constrained
+// attributes that join nothing keep the punctuation alive (nothing can
+// certify they will not be needed).
+func (m *MJoin) punctPurgeable(j, schemeIdx int, e *punctEntry) bool {
+	if m.puncts[j].ordSlot[schemeIdx] >= 0 {
+		// Watermark entries are self-compacting (one entry per equality
+		// key, bound monotonically widened), so counter-punctuation
+		// purging is unnecessary for them; lifespans still apply.
+		return false
+	}
+	scheme := m.puncts[j].schemes[schemeIdx]
+	idx := scheme.PunctuatableIndexes()
+	partnersTouched := false
+	for _, other := range m.partnerStreams(j) {
+		// Map e's constraint onto the partner.
+		mapped := make(map[int]stream.Value)
+		for k, a := range idx {
+			v := e.consts[k]
+			for _, pr := range m.q.PredicatesTouching(j) {
+				o, myAttr, otherAttr := pr.Other(j)
+				if o == other && myAttr == a {
+					if prev, ok := mapped[otherAttr]; ok && !prev.Equal(v) {
+						// Contradictory constraint: no partner tuple can
+						// ever match e through this stream.
+						mapped = nil
+					}
+					if mapped != nil {
+						mapped[otherAttr] = v
+					}
+				}
+			}
+			if mapped == nil {
+				break
+			}
+		}
+		if mapped == nil {
+			continue // e matches nothing on this partner
+		}
+		if len(mapped) == 0 {
+			continue // partner not linked through constrained attributes
+		}
+		partnersTouched = true
+		if !m.counterCovered(other, mapped) {
+			return false
+		}
+		if m.hasTupleMatching(other, mapped) {
+			return false
+		}
+	}
+	// Every constrained attribute must join at least one partner;
+	// otherwise the punctuation's purpose cannot be certified away.
+	for _, a := range idx {
+		if len(m.q.JoinPartners(j, a)) == 0 {
+			return false
+		}
+	}
+	return partnersTouched
+}
+
+// counterCovered reports whether stream s holds a live punctuation whose
+// constrained attributes are a subset of the mapped constraint with equal
+// values — such a punctuation forbids every future s-tuple matching the
+// constraint.
+func (m *MJoin) counterCovered(s int, mapped map[int]stream.Value) bool {
+	ps := m.puncts[s]
+	for si, scheme := range ps.schemes {
+		idx := scheme.PunctuatableIndexes()
+		consts := make([]stream.Value, len(idx))
+		ok := true
+		for k, a := range idx {
+			v, has := mapped[a]
+			if !has {
+				ok = false
+				break
+			}
+			consts[k] = v
+		}
+		if ok && ps.covered(si, consts, m.clock) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasTupleMatching reports whether stream s stores a tuple matching every
+// (attr, value) pair of the constraint.
+func (m *MJoin) hasTupleMatching(s int, mapped map[int]stream.Value) bool {
+	// Probe the first indexed attribute; verify the rest.
+	for a, v := range mapped {
+		if m.states[s].index[a] == nil {
+			continue
+		}
+		for id := range m.states[s].lookup(a, v) {
+			u := m.states[s].tuples[id]
+			all := true
+			for a2, v2 := range mapped {
+				if !u.Values[a2].Equal(v2) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	m.states[s].each(func(_ tupleID, u stream.Tuple) bool {
+		for a, v := range mapped {
+			if !u.Values[a].Equal(v) {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"punctsafe/stream"
+)
+
+// tupleID identifies a stored tuple within one join state.
+type tupleID uint64
+
+// joinState is the stored input of one stream inside a join operator
+// (the Υ_S of §2.2): tuples plus a hash index per join attribute, so both
+// probing (for result emission) and purging (for punctuation matching)
+// are value lookups rather than scans.
+type joinState struct {
+	tuples map[tupleID]stream.Tuple
+	// index[attr][valueKey] = set of tuple ids whose attribute attr holds
+	// the value. Only join attributes are indexed.
+	index  map[int]map[stream.ValueKey]map[tupleID]struct{}
+	nextID tupleID
+}
+
+func newJoinState(joinAttrs []int) *joinState {
+	st := &joinState{
+		tuples: make(map[tupleID]stream.Tuple),
+		index:  make(map[int]map[stream.ValueKey]map[tupleID]struct{}, len(joinAttrs)),
+	}
+	for _, a := range joinAttrs {
+		st.index[a] = make(map[stream.ValueKey]map[tupleID]struct{})
+	}
+	return st
+}
+
+// insert stores a tuple and indexes its join attributes.
+func (st *joinState) insert(t stream.Tuple) tupleID {
+	id := st.nextID
+	st.nextID++
+	st.tuples[id] = t
+	for a, idx := range st.index {
+		k := t.Values[a].Key()
+		set := idx[k]
+		if set == nil {
+			set = make(map[tupleID]struct{})
+			idx[k] = set
+		}
+		set[id] = struct{}{}
+	}
+	return id
+}
+
+// remove deletes a stored tuple and unindexes it. It reports whether the
+// id was present.
+func (st *joinState) remove(id tupleID) bool {
+	t, ok := st.tuples[id]
+	if !ok {
+		return false
+	}
+	delete(st.tuples, id)
+	for a, idx := range st.index {
+		k := t.Values[a].Key()
+		if set := idx[k]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(idx, k)
+			}
+		}
+	}
+	return true
+}
+
+// size returns the number of stored tuples.
+func (st *joinState) size() int { return len(st.tuples) }
+
+// lookup returns the ids of stored tuples whose attribute attr equals v.
+// The returned set is owned by the state; callers must not modify it.
+func (st *joinState) lookup(attr int, v stream.Value) map[tupleID]struct{} {
+	idx := st.index[attr]
+	if idx == nil {
+		return nil
+	}
+	return idx[v.Key()]
+}
+
+// each calls fn for every stored tuple until fn returns false.
+func (st *joinState) each(fn func(tupleID, stream.Tuple) bool) {
+	for id, t := range st.tuples {
+		if !fn(id, t) {
+			return
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// TestStateLimitTripsOnUnpunctuatedFeed: the resource back-stop fails the
+// push once the stored-tuple budget is exhausted — the runtime symptom of
+// the failure mode the compile-time safety check prevents.
+func TestStateLimitTrips(t *testing.T) {
+	q := workload.AuctionQuery()
+	schemes := workload.AuctionSchemes()
+	m, err := NewMJoin(Config{Query: q, Schemes: schemes, StateLimit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 500, MaxBidsPerItem: 5, OpenWindow: 4,
+		PunctuateItems: false, PunctuateClose: false, Seed: 2, // no punctuations
+	})
+	feed, _ := workload.NewFeed(q, inputs)
+	err = feed.Each(func(i int, e stream.Element) error {
+		_, err := m.Push(i, e)
+		return err
+	})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("expected ErrStateLimit, got %v", err)
+	}
+	if m.Stats().TotalState() > 50 {
+		t.Fatalf("state %d exceeded the limit", m.Stats().TotalState())
+	}
+}
+
+// TestStateLimitNeverTripsWhenPunctuated: the same limit is generous for
+// the punctuated feed, whose state stays near the open-auction window.
+func TestStateLimitNeverTripsWhenPunctuated(t *testing.T) {
+	q := workload.AuctionQuery()
+	schemes := workload.AuctionSchemes()
+	m, err := NewMJoin(Config{Query: q, Schemes: schemes, StateLimit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 500, MaxBidsPerItem: 5, OpenWindow: 4,
+		PunctuateItems: true, PunctuateClose: true, Seed: 2,
+	})
+	feed, _ := workload.NewFeed(q, inputs)
+	if err := feed.Each(func(i int, e stream.Element) error {
+		_, err := m.Push(i, e)
+		return err
+	}); err != nil {
+		t.Fatalf("punctuated feed must stay under the limit: %v", err)
+	}
+	if m.Stats().TotalState() != 0 {
+		t.Fatal("state should drain")
+	}
+}

@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"fmt"
+
+	"punctsafe/plan"
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Tree executes a plan tree: one MJoin per join node, with each
+// operator's outputs (result tuples and propagated punctuations) fed to
+// its parent. Pushing a raw stream element routes it to the operator
+// holding that stream as a leaf; the returned elements are the root
+// operator's outputs.
+type Tree struct {
+	q    *query.CJQ
+	root *treeOp
+	// leafRoute[streamIdx] locates the operator input a raw stream feeds.
+	leafRoute []struct {
+		op    *treeOp
+		input int
+	}
+	ops []*treeOp // bottom-up
+}
+
+type treeOp struct {
+	node   *plan.Node
+	join   *MJoin
+	parent *treeOp
+	// inputIdx is this operator's input position within its parent.
+	inputIdx int
+}
+
+// NewTree compiles a validated plan into an operator tree. The base
+// config's purge knobs (PurgeBatch, PunctLifespan, PurgePunctuations,
+// DisablePurge) apply to every operator; Query and Schemes describe the
+// whole continuous join query and the register's scheme set.
+func NewTree(base Config, root *plan.Node) (*Tree, error) {
+	if base.Query == nil {
+		return nil, fmt.Errorf("exec: Config.Query is nil")
+	}
+	if base.Schemes == nil {
+		base.Schemes = stream.NewSchemeSet()
+	}
+	if err := root.Validate(base.Query); err != nil {
+		return nil, err
+	}
+	t := &Tree{q: base.Query}
+	t.leafRoute = make([]struct {
+		op    *treeOp
+		input int
+	}, base.Query.N())
+
+	var build func(n *plan.Node, parent *treeOp, inputIdx int) (*treeOp, error)
+	build = func(n *plan.Node, parent *treeOp, inputIdx int) (*treeOp, error) {
+		oq, err := plan.OperatorQuery(base.Query, n)
+		if err != nil {
+			return nil, err
+		}
+		oset := plan.OperatorSchemes(base.Query, base.Schemes, n)
+		cfg := base
+		cfg.Query = oq
+		cfg.Schemes = oset
+		join, err := NewMJoin(cfg)
+		if err != nil {
+			return nil, err
+		}
+		op := &treeOp{node: n, join: join, parent: parent, inputIdx: inputIdx}
+		for ci, child := range n.Children {
+			if child.IsLeaf() {
+				t.leafRoute[child.Stream] = struct {
+					op    *treeOp
+					input int
+				}{op: op, input: ci}
+				continue
+			}
+			childOp, err := build(child, op, ci)
+			if err != nil {
+				return nil, err
+			}
+			t.ops = append(t.ops, childOp)
+		}
+		return op, nil
+	}
+	rootOp, err := build(root, nil, -1)
+	if err != nil {
+		return nil, err
+	}
+	t.ops = append(t.ops, rootOp)
+	t.root = rootOp
+	return t, nil
+}
+
+// Push feeds one raw stream element and returns the plan's final outputs.
+func (t *Tree) Push(streamIdx int, e stream.Element) ([]stream.Element, error) {
+	if streamIdx < 0 || streamIdx >= t.q.N() {
+		return nil, fmt.Errorf("exec: stream %d out of range", streamIdx)
+	}
+	route := t.leafRoute[streamIdx]
+	return t.feed(route.op, route.input, e)
+}
+
+// feed pushes an element into an operator input and recursively forwards
+// the operator's outputs to its parent until the root emits.
+func (t *Tree) feed(op *treeOp, input int, e stream.Element) ([]stream.Element, error) {
+	outs, err := op.join.Push(input, e)
+	if err != nil {
+		return nil, err
+	}
+	if op.parent == nil {
+		return outs, nil
+	}
+	var final []stream.Element
+	for _, o := range outs {
+		f, err := t.feed(op.parent, op.inputIdx, o)
+		if err != nil {
+			return nil, err
+		}
+		final = append(final, f...)
+	}
+	return final, nil
+}
+
+// Flush forces pending lazy purge rounds in every operator (bottom-up)
+// and forwards any resulting output punctuations; it returns the root's
+// outputs.
+func (t *Tree) Flush() ([]stream.Element, error) {
+	var final []stream.Element
+	for _, op := range t.ops {
+		outs := op.join.Flush()
+		if op.parent == nil {
+			final = append(final, outs...)
+			continue
+		}
+		for _, o := range outs {
+			f, err := t.feed(op.parent, op.inputIdx, o)
+			if err != nil {
+				return nil, err
+			}
+			final = append(final, f...)
+		}
+	}
+	return final, nil
+}
+
+// Sweep runs a full background clean-up pass over every operator and
+// forwards any punctuations that became emittable. It returns the number
+// of tuples removed across the tree plus the root's outputs.
+func (t *Tree) Sweep() (int, []stream.Element, error) {
+	removed := 0
+	var final []stream.Element
+	for _, op := range t.ops {
+		n, outs := op.join.Sweep()
+		removed += n
+		if op.parent == nil {
+			final = append(final, outs...)
+			continue
+		}
+		for _, o := range outs {
+			f, err := t.feed(op.parent, op.inputIdx, o)
+			if err != nil {
+				return 0, nil, err
+			}
+			final = append(final, f...)
+		}
+	}
+	return removed, final, nil
+}
+
+// Operators returns the MJoin operators bottom-up (the root is last).
+func (t *Tree) Operators() []*MJoin {
+	out := make([]*MJoin, len(t.ops))
+	for i, op := range t.ops {
+		out[i] = op.join
+	}
+	return out
+}
+
+// Root returns the root operator.
+func (t *Tree) Root() *MJoin { return t.root.join }
+
+// TotalState sums the stored tuples across every operator.
+func (t *Tree) TotalState() int {
+	total := 0
+	for _, op := range t.ops {
+		total += op.join.Stats().TotalState()
+	}
+	return total
+}
+
+// TotalPunctStore sums the stored punctuations across every operator.
+func (t *Tree) TotalPunctStore() int {
+	total := 0
+	for _, op := range t.ops {
+		total += op.join.Stats().TotalPunctStore()
+	}
+	return total
+}
+
+// MaxState sums the per-operator high-water marks.
+func (t *Tree) MaxState() int {
+	total := 0
+	for _, op := range t.ops {
+		total += op.join.Stats().MaxStateSize
+	}
+	return total
+}
+
+// OutputSchema is the root operator's output schema.
+func (t *Tree) OutputSchema() *stream.Schema { return t.root.join.OutputSchema() }

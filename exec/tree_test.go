@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"punctsafe/plan"
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// fig5Query builds the cyclic 3-way query of Figures 5/7/8.
+func fig5Query(t *testing.T) *query.CJQ {
+	t.Helper()
+	q, err := query.NewBuilder().
+		AddStream(mustSchema("S1", "A", "B")).
+		AddStream(mustSchema("S2", "B", "C")).
+		AddStream(mustSchema("S3", "A", "C")).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Join("S3.A", "S1.A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func fig5Schemes() *stream.SchemeSet {
+	return stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true), // S1.B
+		stream.MustScheme("S2", false, true), // S2.C
+		stream.MustScheme("S3", true, false), // S3.A
+	)
+}
+
+// event is one raw-stream input.
+type event struct {
+	stream int
+	el     stream.Element
+}
+
+// closedWorkload generates rounds of tuples whose attribute values live in
+// a per-round window, closing every window value with punctuations on the
+// schemes' attributes at the end of each round. All values are eventually
+// punctuated, so every purgeable state must fully drain.
+func closedWorkload(rng *rand.Rand, rounds, perRound, window int) []event {
+	var evs []event
+	val := func(r int) int64 { return int64(r*window + rng.Intn(window)) }
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < perRound; k++ {
+			a, b, c := val(r), val(r), val(r)
+			evs = append(evs,
+				event{0, stream.TupleElement(tup(a, b))},
+				event{1, stream.TupleElement(tup(b, c))},
+				event{2, stream.TupleElement(tup(a, c))},
+			)
+		}
+		// Close every value of the round's window.
+		for w := 0; w < window; w++ {
+			v := int64(r*window + w)
+			evs = append(evs,
+				event{0, stream.PunctElement(punct(-1, v))}, // S1.B
+				event{1, stream.PunctElement(punct(-1, v))}, // S2.C
+				event{2, stream.PunctElement(punct(v, -1))}, // S3.A
+			)
+		}
+	}
+	return evs
+}
+
+// normalize re-orders a result tuple's columns into query-stream order so
+// plans with different leaf orders compare equal, and renders it as a key.
+func normalize(q *query.CJQ, leaves []int, t stream.Tuple) string {
+	parts := make([]string, q.N())
+	off := 0
+	for _, leaf := range leaves {
+		n := q.Stream(leaf).Arity()
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(t.Values[off+i].String())
+			b.WriteByte(',')
+		}
+		parts[leaf] = b.String()
+		off += n
+	}
+	return strings.Join(parts, "|")
+}
+
+// runPlan pushes the workload through a plan tree and returns the sorted
+// normalized results plus the tree for inspection.
+func runPlan(t *testing.T, q *query.CJQ, schemes *stream.SchemeSet, node *plan.Node, evs []event, cfg Config) ([]string, *Tree) {
+	t.Helper()
+	cfg.Query = q
+	cfg.Schemes = schemes
+	tree, err := NewTree(cfg, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := node.Leaves()
+	var results []string
+	for _, ev := range evs {
+		outs, err := tree.Push(ev.stream, ev.el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			if !o.IsPunct() {
+				results = append(results, normalize(q, leaves, o.Tuple()))
+			}
+		}
+	}
+	outs, err := tree.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if !o.IsPunct() {
+			results = append(results, normalize(q, leaves, o.Tuple()))
+		}
+	}
+	sort.Strings(results)
+	return results, tree
+}
+
+// TestPlanShapesAgreeOnResults: the same workload through the flat MJoin,
+// through every binary tree shape, and with purging disabled, must emit
+// identical result multisets — purging and plan shape never change the
+// answer, only the state.
+func TestPlanShapesAgreeOnResults(t *testing.T) {
+	q := fig5Query(t)
+	schemes := fig5Schemes()
+	rng := rand.New(rand.NewSource(1))
+	evs := closedWorkload(rng, 6, 4, 3)
+
+	flat := plan.Join(plan.Leaf(0), plan.Leaf(1), plan.Leaf(2))
+	baseline, _ := runPlan(t, q, schemes, flat, evs, Config{DisablePurge: true})
+	if len(baseline) == 0 {
+		t.Fatal("workload produced no results; test is vacuous")
+	}
+
+	shapes := []*plan.Node{
+		flat,
+		plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)),
+		plan.Join(plan.Join(plan.Leaf(1), plan.Leaf(2)), plan.Leaf(0)),
+		plan.Join(plan.Leaf(2), plan.Join(plan.Leaf(0), plan.Leaf(1))),
+	}
+	for _, shape := range shapes {
+		for _, batch := range []int{1, 16} {
+			got, _ := runPlan(t, q, schemes, shape, evs, Config{PurgeBatch: batch})
+			if len(got) != len(baseline) {
+				t.Fatalf("plan %s batch %d: %d results, want %d",
+					shape.Render(q), batch, len(got), len(baseline))
+			}
+			for i := range got {
+				if got[i] != baseline[i] {
+					t.Fatalf("plan %s batch %d: result %d = %s, want %s",
+						shape.Render(q), batch, i, got[i], baseline[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSafePlanDrains: on the closed workload the safe MJoin plan's state
+// must drain to zero and its high-water mark must stay near the per-round
+// volume, while the purge-disabled baseline retains everything.
+func TestSafePlanDrains(t *testing.T) {
+	q := fig5Query(t)
+	schemes := fig5Schemes()
+	rng := rand.New(rand.NewSource(2))
+	evs := closedWorkload(rng, 10, 5, 3)
+	flat := plan.Join(plan.Leaf(0), plan.Leaf(1), plan.Leaf(2))
+
+	_, purged := runPlan(t, q, schemes, flat, evs, Config{})
+	_, kept := runPlan(t, q, schemes, flat, evs, Config{DisablePurge: true})
+
+	if got := purged.TotalState(); got != 0 {
+		t.Fatalf("safe plan should drain to 0 stored tuples, has %d", got)
+	}
+	if kept.TotalState() != 10*5*3 {
+		t.Fatalf("baseline should retain all %d tuples, has %d", 10*5*3, kept.TotalState())
+	}
+	if purged.MaxState() >= kept.MaxState() {
+		t.Fatalf("purged high-water %d should be below baseline %d",
+			purged.MaxState(), kept.MaxState())
+	}
+}
+
+// TestFigure7RuntimeBehavior is the runtime counterpart of Figure 7: under
+// Example 3's schemes the binary tree's lower operator retains the S1
+// tuples forever (its input is not purgeable), while the flat MJoin plan
+// drains. Same query, same schemes, same workload — only the plan shape
+// differs.
+func TestFigure7RuntimeBehavior(t *testing.T) {
+	q := fig5Query(t)
+	schemes := fig5Schemes()
+	rng := rand.New(rand.NewSource(3))
+	rounds, perRound := 8, 4
+	evs := closedWorkload(rng, rounds, perRound, 2)
+
+	flat := plan.Join(plan.Leaf(0), plan.Leaf(1), plan.Leaf(2))
+	tree := plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2))
+
+	_, mj := runPlan(t, q, schemes, flat, evs, Config{})
+	_, bt := runPlan(t, q, schemes, tree, evs, Config{})
+
+	if mj.TotalState() != 0 {
+		t.Fatalf("MJoin plan should drain, has %d", mj.TotalState())
+	}
+	lower := bt.Operators()[0]
+	// The lower operator's S1 input is not purgeable: every S1 tuple stays.
+	if got, want := lower.Stats().StateSize[0], rounds*perRound; got != want {
+		t.Fatalf("lower op S1 state = %d, want %d (unpurgeable)", got, want)
+	}
+	if lower.Purgeable(0) {
+		t.Fatal("lower op S1 input must not be purgeable")
+	}
+}
+
+// TestTreePropagationPurgesUpper: in a fully punctuated chain query run
+// as a binary tree, the upper operator's intermediate input must also
+// drain — which requires the lower operator to emit output punctuations.
+func TestTreePropagationPurgesUpper(t *testing.T) {
+	q, err := query.NewBuilder().
+		AddStream(mustSchema("S1", "A", "B")).
+		AddStream(mustSchema("S2", "B", "C")).
+		AddStream(mustSchema("S3", "C", "D")).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Punctuate every join attribute everywhere.
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+	)
+	ok, _, err := plan.CheckPlan(q, schemes, plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tree plan should be safe under full punctuation")
+	}
+	tree, err := NewTree(Config{Query: q, Schemes: schemes},
+		plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(s int, e stream.Element) {
+		if _, err := tree.Push(s, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := int64(0); r < 20; r++ {
+		push(0, stream.TupleElement(tup(r*10, r)))
+		push(1, stream.TupleElement(tup(r, r)))
+		push(2, stream.TupleElement(tup(r, r*100)))
+		// Close the round's value on every scheme.
+		push(0, stream.PunctElement(punct(-1, r))) // S1.B
+		push(1, stream.PunctElement(punct(r, -1))) // S2.B
+		push(1, stream.PunctElement(punct(-1, r))) // S2.C
+		push(2, stream.PunctElement(punct(r, -1))) // S3.C
+	}
+	lower, upper := tree.Operators()[0], tree.Operators()[1]
+	if lower.Stats().TotalState() != 0 {
+		t.Fatalf("lower op should drain, state=%v", lower.Stats().StateSize)
+	}
+	if upper.Stats().TotalState() != 0 {
+		t.Fatalf("upper op should drain via propagated punctuations, state=%v", upper.Stats().StateSize)
+	}
+	if lower.Stats().OutPuncts == 0 {
+		t.Fatal("lower op must have propagated punctuations")
+	}
+}

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+func wmPunct(bound int64) stream.Punctuation {
+	return stream.MustPunctuation(stream.Leq(stream.Int(bound)), stream.Wildcard())
+}
+
+// TestWatermarkPurge: an ordered punctuation (epoch <= T) purges every
+// partner tuple with epoch at or below the bound in one shot.
+func TestWatermarkPurge(t *testing.T) {
+	q := workload.SensorQuery()
+	schemes := workload.SensorSchemes()
+	rep, err := safety.Check(q, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe {
+		t.Fatalf("watermark-punctuated sensor join must be safe:\n%s", rep.Explain(q))
+	}
+	m, err := NewMJoin(Config{Query: q, Schemes: schemes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading := func(epoch int64, v float64) stream.Tuple {
+		return stream.NewTuple(stream.Int(epoch), stream.Float(v))
+	}
+	for e := int64(0); e < 5; e++ {
+		pushT(t, m, 0, reading(e, 20))
+	}
+	if m.Stats().StateSize[0] != 5 {
+		t.Fatalf("state = %d", m.Stats().StateSize[0])
+	}
+	// Watermark from humid on epochs <= 2 purges temp epochs 0,1,2.
+	pushP(t, m, 1, wmPunct(2))
+	if m.Stats().StateSize[0] != 2 {
+		t.Fatalf("epochs <= 2 should purge, state = %d", m.Stats().StateSize[0])
+	}
+	// A stale (narrower) watermark changes nothing.
+	pushP(t, m, 1, wmPunct(1))
+	if m.Stats().StateSize[0] != 2 {
+		t.Fatalf("stale watermark must not purge more, state = %d", m.Stats().StateSize[0])
+	}
+	// Widening to 4 drains the rest.
+	pushP(t, m, 1, wmPunct(4))
+	if m.Stats().StateSize[0] != 0 {
+		t.Fatalf("state = %d, want 0", m.Stats().StateSize[0])
+	}
+	// The store holds ONE compacted entry, not three.
+	if m.Stats().PunctStoreSize[1] != 1 {
+		t.Fatalf("watermark store should compact to 1 entry, has %d", m.Stats().PunctStoreSize[1])
+	}
+	// New tuples at or below the bound are dropped at insertion (they can
+	// never join future partner data)... but note the promise is about
+	// the PARTNER stream: a temp reading with epoch<=4 cannot join any
+	// future humid tuple, so it emits against stored humid and drops.
+	pushT(t, m, 0, reading(3, 21))
+	if m.Stats().StateSize[0] != 0 {
+		t.Fatalf("late temp reading below the humid watermark must drop, state=%d", m.Stats().StateSize[0])
+	}
+}
+
+// TestWatermarkDropIsNotLossy: dropping a below-watermark tuple at
+// insertion still emits its joins against stored partner tuples first.
+func TestWatermarkDropIsNotLossy(t *testing.T) {
+	q := workload.SensorQuery()
+	m, err := NewMJoin(Config{Query: q, Schemes: workload.SensorSchemes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushT(t, m, 1, stream.NewTuple(stream.Int(7), stream.Float(50)))
+	pushP(t, m, 1, wmPunct(7)) // humid closed through epoch 7; stored humid tuple remains
+	out := pushT(t, m, 0, stream.NewTuple(stream.Int(7), stream.Float(20)))
+	if countTuples(out) != 1 {
+		t.Fatalf("late temp reading must still join stored humid data, got %d results", countTuples(out))
+	}
+	if m.Stats().StateSize[0] != 0 {
+		t.Fatal("and then drop instead of being stored")
+	}
+}
+
+// TestSensorWorkloadBoundedByDisorder: on the out-of-order sensor feed
+// with heartbeats the join state stays bounded by the disorder window and
+// drains completely; without heartbeats it retains everything. Results
+// are identical.
+func TestSensorWorkloadBoundedByDisorder(t *testing.T) {
+	q := workload.SensorQuery()
+	schemes := workload.SensorSchemes()
+	run := func(heartbeats bool) (int, *MJoin) {
+		inputs := workload.Sensor(workload.SensorConfig{
+			Epochs: 200, ReadingsPerEpoch: 2, Disorder: 3,
+			HeartbeatEvery: 2, Heartbeats: heartbeats, Seed: 5,
+		})
+		m, err := NewMJoin(Config{Query: q, Schemes: schemes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed, err := workload.NewFeed(q, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := 0
+		if err := feed.Each(func(i int, e stream.Element) error {
+			outs, err := m.Push(i, e)
+			results += countTuples(outs)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return results, m
+	}
+	withHB, m := run(true)
+	withoutHB, base := run(false)
+	if withHB != withoutHB {
+		t.Fatalf("results with heartbeats %d != without %d", withHB, withoutHB)
+	}
+	if m.Stats().TotalState() != 0 {
+		t.Fatalf("state should drain, has %d", m.Stats().TotalState())
+	}
+	// Bounded by the disorder window: each heartbeat closes everything
+	// older than Disorder epochs, so live state ~ readings within the
+	// window, far below the total.
+	if m.Stats().MaxStateSize >= base.Stats().MaxStateSize/4 {
+		t.Fatalf("watermarked max state %d should be far below baseline %d",
+			m.Stats().MaxStateSize, base.Stats().MaxStateSize)
+	}
+	// The compacted watermark store never exceeds one entry per input.
+	if m.Stats().MaxPunctStoreSize > 2 {
+		t.Fatalf("watermark stores should compact to <=1 entry each, max %d",
+			m.Stats().MaxPunctStoreSize)
+	}
+}
+
+// TestOrderedSchemeWithEqualityAttr: the §5.1 network example — a scheme
+// punctuating (src =, seq <=) — purges partner tuples per source once the
+// sequence bound passes them.
+func TestOrderedSchemeWithEqualityAttr(t *testing.T) {
+	conn := mustSchema("c", "src", "seq")
+	pkt := mustSchema("p", "src", "seq")
+	q, err := buildQ(conn, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := stream.NewSchemeSet(
+		stream.MustOrderedScheme("p", []bool{true, true}, []bool{false, true}),
+		stream.MustOrderedScheme("c", []bool{true, true}, []bool{false, true}),
+	)
+	m, err := NewMJoin(Config{Query: q, Schemes: schemes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushT(t, m, 0, tup(1, 100)) // src 1, seq 100
+	pushT(t, m, 0, tup(1, 200))
+	pushT(t, m, 0, tup(2, 150))
+	// pkt punctuation: src=1 closed through seq 150.
+	pushP(t, m, 1, stream.MustPunctuation(stream.Const(stream.Int(1)), stream.Leq(stream.Int(150))))
+	if m.Stats().StateSize[0] != 2 {
+		t.Fatalf("only (1,100) should purge, state=%d", m.Stats().StateSize[0])
+	}
+	// src=2 is untouched; widening src=1 to 250 purges (1,200).
+	pushP(t, m, 1, stream.MustPunctuation(stream.Const(stream.Int(1)), stream.Leq(stream.Int(250))))
+	if m.Stats().StateSize[0] != 1 {
+		t.Fatalf("state=%d, want 1 (only src=2 left)", m.Stats().StateSize[0])
+	}
+	if m.Stats().PunctStoreSize[1] != 1 {
+		t.Fatalf("per-source watermark should compact, store=%d", m.Stats().PunctStoreSize[1])
+	}
+}
+
+func buildQ(a, b *stream.Schema) (*query.CJQ, error) {
+	return query.NewBuilder().
+		AddStream(a).AddStream(b).
+		Join(a.Name()+".src", b.Name()+".src").
+		Join(a.Name()+".seq", b.Name()+".seq").
+		Build()
+}

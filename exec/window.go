@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"fmt"
+
+	"punctsafe/stream"
+)
+
+// Window configures the alternative state-bounding mechanism the paper
+// contrasts with punctuations (§2.2, §6): sliding-window semantics. A
+// tuple is retained only while it is inside the window; once it slides
+// out it is purged regardless of punctuations. Windows guarantee bounded
+// state unconditionally but change the query's answer — joins between
+// tuples farther apart than the window are silently lost — whereas
+// punctuation-based purging is exact. The WindowedMJoin exists to measure
+// exactly that trade-off (experiment E11).
+type Window struct {
+	// Rows is the per-input row-based window size: each input retains at
+	// most the last Rows tuples.
+	Rows int
+}
+
+// WindowedMJoin is a symmetric multi-way join whose state is bounded by
+// sliding windows instead of punctuations. It shares the probe machinery
+// shape with MJoin but its purging is positional: the oldest tuple of an
+// input is evicted when the window overflows.
+type WindowedMJoin struct {
+	m *MJoin
+	w Window
+	// fifo[i] holds the ids of input i's stored tuples in arrival order.
+	fifo [][]tupleID
+	// Evicted counts tuples dropped by window slide, per input.
+	Evicted []uint64
+}
+
+// NewWindowedMJoin builds the operator. The window must be positive.
+func NewWindowedMJoin(cfg Config, w Window) (*WindowedMJoin, error) {
+	if w.Rows <= 0 {
+		return nil, fmt.Errorf("exec: window size must be positive, got %d", w.Rows)
+	}
+	// Window purging replaces punctuation purging entirely.
+	cfg.DisablePurge = true
+	m, err := NewMJoin(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowedMJoin{
+		m:       m,
+		w:       w,
+		fifo:    make([][]tupleID, cfg.Query.N()),
+		Evicted: make([]uint64, cfg.Query.N()),
+	}, nil
+}
+
+// Push feeds one element. Tuples probe and enter the window (evicting the
+// oldest tuple if full); punctuations are consumed but ignored — the
+// window mechanism does not need them.
+func (wj *WindowedMJoin) Push(input int, e stream.Element) ([]stream.Element, error) {
+	if e.IsPunct() {
+		// Count it, nothing else: windows do not use punctuations.
+		if err := e.Punct().Validate(wj.m.q.Stream(input)); err != nil {
+			return nil, err
+		}
+		wj.m.clock++
+		wj.m.stats.PunctsIn[input]++
+		return nil, nil
+	}
+	t := e.Tuple()
+	if err := t.Validate(wj.m.q.Stream(input)); err != nil {
+		return nil, err
+	}
+	wj.m.clock++
+	wj.m.stats.TuplesIn[input]++
+	results := wj.m.probe(input, t)
+	wj.m.stats.Results += uint64(len(results))
+	id := wj.m.states[input].insert(t)
+	wj.fifo[input] = append(wj.fifo[input], id)
+	if len(wj.fifo[input]) > wj.w.Rows {
+		oldest := wj.fifo[input][0]
+		wj.fifo[input] = wj.fifo[input][1:]
+		wj.m.states[input].remove(oldest)
+		wj.Evicted[input]++
+	}
+	wj.m.stats.StateSize[input] = wj.m.states[input].size()
+	wj.m.stats.noteWatermarks()
+	out := make([]stream.Element, 0, len(results))
+	for _, r := range results {
+		out = append(out, stream.TupleElement(r))
+	}
+	return out, nil
+}
+
+// Stats exposes the underlying operator counters.
+func (wj *WindowedMJoin) Stats() *Stats { return wj.m.stats }
+
+// OutputSchema is the concatenated result schema.
+func (wj *WindowedMJoin) OutputSchema() *stream.Schema { return wj.m.OutputSchema() }

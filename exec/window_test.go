@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+func TestWindowedJoinEviction(t *testing.T) {
+	wj, err := NewWindowedMJoin(Config{Query: binaryQuery(t), Schemes: stream.NewSchemeSet()}, Window{Rows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(input int, e stream.Element) []stream.Element {
+		out, err := wj.Push(input, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	push(0, stream.TupleElement(tup(1, 10)))
+	push(0, stream.TupleElement(tup(2, 20)))
+	push(0, stream.TupleElement(tup(3, 30))) // evicts K=1
+	if wj.Stats().StateSize[0] != 2 || wj.Evicted[0] != 1 {
+		t.Fatalf("window bookkeeping: state=%d evicted=%d", wj.Stats().StateSize[0], wj.Evicted[0])
+	}
+	// K=1 was evicted: its join is silently lost.
+	if out := push(1, stream.TupleElement(tup(1, 100))); countTuples(out) != 0 {
+		t.Fatal("evicted tuple must not join (the window's lost-result failure mode)")
+	}
+	// K=3 is still inside the window.
+	if out := push(1, stream.TupleElement(tup(3, 300))); countTuples(out) != 1 {
+		t.Fatal("in-window tuple must join")
+	}
+	// Punctuations are ignored (consumed only).
+	push(1, stream.PunctElement(punct(3, -1)))
+	if wj.Stats().StateSize[0] != 2 {
+		t.Fatal("window join must not purge on punctuations")
+	}
+	if _, err := NewWindowedMJoin(Config{Query: binaryQuery(t)}, Window{}); err == nil {
+		t.Fatal("zero window must be rejected")
+	}
+}
+
+// TestWindowVsPunctuationTradeoff quantifies the §6 comparison on the
+// auction workload: a window large enough never loses results but holds
+// more state than punctuation purging; a small window holds less state
+// but loses joins.
+func TestWindowVsPunctuationTradeoff(t *testing.T) {
+	q := workload.AuctionQuery()
+	schemes := workload.AuctionSchemes()
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 400, MaxBidsPerItem: 6, OpenWindow: 5,
+		PunctuateItems: true, PunctuateClose: true, Seed: 11,
+	})
+	feedInto := func(push func(int, stream.Element) ([]stream.Element, error)) int {
+		feed, err := workload.NewFeed(q, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := 0
+		if err := feed.Each(func(i int, e stream.Element) error {
+			outs, err := push(i, e)
+			results += countTuples(outs)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	punctJoin, err := NewMJoin(Config{Query: q, Schemes: schemes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := feedInto(punctJoin.Push)
+
+	big, err := NewWindowedMJoin(Config{Query: q, Schemes: schemes}, Window{Rows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigResults := feedInto(big.Push)
+	if bigResults != exact {
+		t.Fatalf("unbounded window results %d != exact %d", bigResults, exact)
+	}
+	if big.Stats().MaxStateSize <= punctJoin.Stats().MaxStateSize {
+		t.Fatalf("punctuation purging should beat the huge window on state: punct=%d window=%d",
+			punctJoin.Stats().MaxStateSize, big.Stats().MaxStateSize)
+	}
+
+	small, err := NewWindowedMJoin(Config{Query: q, Schemes: schemes}, Window{Rows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallResults := feedInto(small.Push)
+	if smallResults >= exact {
+		t.Fatalf("tight window must lose results: window=%d exact=%d", smallResults, exact)
+	}
+	if small.Evicted[0]+small.Evicted[1] == 0 {
+		t.Fatal("tight window must evict")
+	}
+}

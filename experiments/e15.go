@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"punctsafe/exec"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// E15PunctDelay measures the purge-latency dimension of §5.2's cost
+// discussion: how the live join state scales with how promptly the
+// application punctuates. A round's punctuations are delayed by D rounds;
+// the state high-water mark should grow linearly in D (each live round
+// holds its tuples until its punctuations arrive) while the result set
+// stays identical.
+func E15PunctDelay(rounds int) *Table {
+	if rounds <= 0 {
+		rounds = 80
+	}
+	t := &Table{
+		ID:      "E15",
+		Title:   "Purge latency: punctuation delay vs live state (§5.2)",
+		Columns: []string{"delay (rounds)", "results", "max state", "end state"},
+	}
+	q, err := workload.SyntheticQuery(workload.Chain, 3)
+	if err != nil {
+		panic(err)
+	}
+	schemes := workload.AllJoinAttrSchemes(q)
+
+	var maxStates []int
+	baselineResults := -1
+	for _, delay := range []int{0, 2, 8, 16} {
+		inputs := workload.Closed(q, schemes, workload.ClosedConfig{
+			Rounds: rounds, TuplesPerRound: 6, Window: 3, PunctFraction: 1,
+			PunctDelay: delay, Seed: 16,
+		})
+		m, err := exec.NewMJoin(exec.Config{Query: q, Schemes: schemes})
+		if err != nil {
+			panic(err)
+		}
+		feed, _ := workload.NewFeed(q, inputs)
+		results := 0
+		if err := feed.Each(func(i int, e stream.Element) error {
+			outs, err := m.Push(i, e)
+			for _, o := range outs {
+				if !o.IsPunct() {
+					results++
+				}
+			}
+			return err
+		}); err != nil {
+			panic(err)
+		}
+		if baselineResults < 0 {
+			baselineResults = results
+		}
+		maxStates = append(maxStates, m.Stats().MaxStateSize)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(delay), fmt.Sprint(results),
+			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
+		})
+		if results != baselineResults || m.Stats().TotalState() != 0 {
+			t.Notes = "SHAPE VIOLATION: results diverged or state did not drain."
+			return t
+		}
+	}
+	monotone := true
+	for i := 1; i < len(maxStates); i++ {
+		if maxStates[i] < maxStates[i-1] {
+			monotone = false
+		}
+	}
+	if monotone && maxStates[len(maxStates)-1] > 4*maxStates[0] {
+		t.Notes = "shape holds: the state high-water mark grows with the punctuation delay (roughly one round-volume per delayed round) while results and final drain are unchanged."
+	} else {
+		t.Notes = "SHAPE VIOLATION: state not monotone in delay."
+	}
+	return t
+}

@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+
+	"punctsafe/exec"
+	"punctsafe/plan"
+	"punctsafe/query"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// E1Auction reproduces Figure 1 / Example 1: the auction join's state
+// growth with and without punctuations as the stream length grows. The
+// paper's claim: with punctuations the state is bounded by the open
+// auctions; without them it grows linearly and "the system will
+// eventually break down".
+func E1Auction(sizes []int) *Table {
+	if sizes == nil {
+		sizes = []int{500, 1000, 2000, 4000, 8000}
+	}
+	t := &Table{
+		ID:      "E1",
+		Title:   "Auction join state: punctuated vs unpunctuated (Fig. 1, Example 1)",
+		Columns: []string{"items", "elements", "results", "max state (punct)", "end state (punct)", "max state (none)", "end state (none)"},
+	}
+	bounded := true
+	for _, items := range sizes {
+		p := runAuction(items, true)
+		n := runAuction(items, false)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(items), fmt.Sprint(p.elements), fmt.Sprint(p.results),
+			fmt.Sprint(p.maxState), fmt.Sprint(p.endState),
+			fmt.Sprint(n.maxState), fmt.Sprint(n.endState),
+		})
+		if p.maxState > 64 || p.endState != 0 {
+			bounded = false
+		}
+		if p.results != n.results {
+			bounded = false
+		}
+	}
+	if bounded {
+		t.Notes = "shape holds: punctuated state bounded by the open-auction window and drains to 0; unpunctuated state grows linearly; identical results."
+	} else {
+		t.Notes = "SHAPE VIOLATION: punctuated state not bounded or results diverged."
+	}
+	return t
+}
+
+type auctionRun struct {
+	elements, results, maxState, endState int
+}
+
+func runAuction(items int, punct bool) auctionRun {
+	q := workload.AuctionQuery()
+	schemes := workload.AuctionSchemes()
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: items, MaxBidsPerItem: 8, OpenWindow: 6,
+		PunctuateItems: punct, PunctuateClose: punct, Seed: 1,
+	})
+	m, err := exec.NewMJoin(exec.Config{Query: q, Schemes: schemes})
+	if err != nil {
+		panic(err)
+	}
+	feed, err := workload.NewFeed(q, inputs)
+	if err != nil {
+		panic(err)
+	}
+	results := 0
+	if err := feed.Each(func(i int, e stream.Element) error {
+		outs, err := m.Push(i, e)
+		for _, o := range outs {
+			if !o.IsPunct() {
+				results++
+			}
+		}
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	return auctionRun{
+		elements: len(inputs),
+		results:  results,
+		maxState: m.Stats().MaxStateSize,
+		endState: m.Stats().TotalState(),
+	}
+}
+
+func fig3Chain() *query.CJQ {
+	ia := func(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+	return query.NewBuilder().
+		AddStream(stream.MustSchema("S1", ia("A"), ia("B"))).
+		AddStream(stream.MustSchema("S2", ia("B"), ia("C"))).
+		AddStream(stream.MustSchema("S3", ia("C"), ia("D"))).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		MustBuild()
+}
+
+func fig5Query() *query.CJQ {
+	ia := func(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+	return query.NewBuilder().
+		AddStream(stream.MustSchema("S1", ia("A"), ia("B"))).
+		AddStream(stream.MustSchema("S2", ia("B"), ia("C"))).
+		AddStream(stream.MustSchema("S3", ia("A"), ia("C"))).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Join("S3.A", "S1.A").
+		MustBuild()
+}
+
+func fig5Schemes() *stream.SchemeSet {
+	return stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+	)
+}
+
+func fig8Schemes() *stream.SchemeSet {
+	return stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, true),
+	)
+}
+
+// E2ChainedPurge reproduces the §3.2 motivating example (Figure 3): the
+// S1 tuple t=(a1,b1) purges only once the chain is covered — the (b1,*)
+// punctuation from S2 plus one (ci,*) punctuation from S3 for each value
+// in the joinable frontier T_t[Υ_S2]. The table walks the punctuations
+// in and reports t's state after each.
+func E2ChainedPurge() *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Chained purge strategy on the Fig. 3 MJoin (§3.2.1)",
+		Columns: []string{"event", "S1 state", "S2 state", "S3 state", "purged so far"},
+	}
+	q := fig3Chain()
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S3", true, false),
+	)
+	m, err := exec.NewMJoin(exec.Config{Query: q, Schemes: schemes})
+	if err != nil {
+		panic(err)
+	}
+	it := func(vals ...int64) stream.Tuple {
+		vs := make([]stream.Value, len(vals))
+		for i, v := range vals {
+			vs[i] = stream.Int(v)
+		}
+		return stream.NewTuple(vs...)
+	}
+	pv := func(first bool, v int64) stream.Punctuation {
+		if first {
+			return stream.MustPunctuation(stream.Const(stream.Int(v)), stream.Wildcard())
+		}
+		return stream.MustPunctuation(stream.Wildcard(), stream.Const(stream.Int(v)))
+	}
+	step := func(label string, input int, e stream.Element) {
+		if _, err := m.Push(input, e); err != nil {
+			panic(err)
+		}
+		purged := uint64(0)
+		for _, v := range m.Stats().TuplesPurged {
+			purged += v
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprint(m.Stats().StateSize[0]),
+			fmt.Sprint(m.Stats().StateSize[1]),
+			fmt.Sprint(m.Stats().StateSize[2]),
+			fmt.Sprint(purged),
+		})
+	}
+	step("t=(a1,b1) on S1", 0, stream.TupleElement(it(100, 1)))
+	step("(b1,c1) on S2", 1, stream.TupleElement(it(1, 7)))
+	step("(b1,c2) on S2", 1, stream.TupleElement(it(1, 8)))
+	step("punct (b1,*) from S2", 1, stream.PunctElement(pv(true, 1)))
+	step("punct (c1,*) from S3", 2, stream.PunctElement(pv(true, 7)))
+	step("punct (c2,*) from S3", 2, stream.PunctElement(pv(true, 8)))
+	last := t.Rows[len(t.Rows)-1]
+	if last[1] == "0" {
+		t.Notes = "shape holds: t survives the S2 punctuation and the first S3 punctuation; it purges exactly when the full frontier {c1,c2} is covered."
+	} else {
+		t.Notes = "SHAPE VIOLATION: t not purged after full chain coverage."
+	}
+	return t
+}
+
+// E3MJoinSafe reproduces Figure 5 / Corollary 1 at runtime: the cyclic
+// 3-way MJoin under Example 3's schemes keeps bounded state on a closed
+// workload and drains completely.
+func E3MJoinSafe(rounds int) *Table {
+	if rounds <= 0 {
+		rounds = 40
+	}
+	t := &Table{
+		ID:      "E3",
+		Title:   "Safe MJoin keeps bounded state (Fig. 5, Corollary 1)",
+		Columns: []string{"rounds", "elements", "results", "max state", "end state", "tuples purged"},
+	}
+	q := fig5Query()
+	schemes := fig5Schemes()
+	for _, r := range []int{rounds / 4, rounds / 2, rounds} {
+		inputs := workload.Closed(q, schemes, workload.ClosedConfig{
+			Rounds: r, TuplesPerRound: 6, Window: 3, PunctFraction: 1, Seed: 2,
+		})
+		m, err := exec.NewMJoin(exec.Config{Query: q, Schemes: schemes})
+		if err != nil {
+			panic(err)
+		}
+		feed, _ := workload.NewFeed(q, inputs)
+		results := 0
+		if err := feed.Each(func(i int, e stream.Element) error {
+			outs, err := m.Push(i, e)
+			for _, o := range outs {
+				if !o.IsPunct() {
+					results++
+				}
+			}
+			return err
+		}); err != nil {
+			panic(err)
+		}
+		purged := uint64(0)
+		for _, v := range m.Stats().TuplesPurged {
+			purged += v
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r), fmt.Sprint(len(inputs)), fmt.Sprint(results),
+			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
+			fmt.Sprint(purged),
+		})
+	}
+	t.Notes = "shape holds when max state stays flat across rounds (bounded by the round volume) and end state is 0."
+	return t
+}
+
+// E4UnsafeBinaryTree reproduces Figure 7 at runtime: same query, same
+// schemes, same workload — the MJoin plan drains while the binary tree's
+// lower operator retains every S1 tuple.
+func E4UnsafeBinaryTree(rounds int) *Table {
+	if rounds <= 0 {
+		rounds = 40
+	}
+	t := &Table{
+		ID:      "E4",
+		Title:   "Unsafe plan shape grows without bound (Fig. 7, Theorem 2)",
+		Columns: []string{"rounds", "plan", "max state", "end state", "lower-op S1 state"},
+	}
+	q := fig5Query()
+	schemes := fig5Schemes()
+	shapes := []struct {
+		name string
+		node *plan.Node
+	}{
+		{"MJoin(S1,S2,S3)", plan.Join(plan.Leaf(0), plan.Leaf(1), plan.Leaf(2))},
+		{"(S1 x S2) x S3", plan.Join(plan.Join(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2))},
+	}
+	shapeHolds := true
+	for _, r := range []int{rounds / 2, rounds} {
+		inputs := workload.Closed(q, schemes, workload.ClosedConfig{
+			Rounds: r, TuplesPerRound: 6, Window: 3, PunctFraction: 1, Seed: 3,
+		})
+		for _, sh := range shapes {
+			tree, err := exec.NewTree(exec.Config{Query: q, Schemes: schemes}, sh.node)
+			if err != nil {
+				panic(err)
+			}
+			feed, _ := workload.NewFeed(q, inputs)
+			if err := feed.Each(func(i int, e stream.Element) error {
+				_, err := tree.Push(i, e)
+				return err
+			}); err != nil {
+				panic(err)
+			}
+			lowerS1 := "-"
+			if len(tree.Operators()) > 1 {
+				lowerS1 = fmt.Sprint(tree.Operators()[0].Stats().StateSize[0])
+				if tree.Operators()[0].Stats().StateSize[0] != r*6 {
+					shapeHolds = false
+				}
+			} else if tree.TotalState() != 0 {
+				shapeHolds = false
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(r), sh.name,
+				fmt.Sprint(tree.MaxState()), fmt.Sprint(tree.TotalState()), lowerS1,
+			})
+		}
+	}
+	if shapeHolds {
+		t.Notes = "shape holds: the MJoin plan drains to 0; the binary tree's lower operator retains every S1 tuple (state = rounds x tuples/round), growing linearly."
+	} else {
+		t.Notes = "SHAPE VIOLATION: see rows."
+	}
+	return t
+}
+
+// E5MultiAttr reproduces Figures 8-10 at runtime: under the §4.2 scheme
+// set the plain PG is not strongly connected, yet the MJoin purges all
+// three states using the multi-attribute S3(+,+) punctuations.
+func E5MultiAttr(rounds int) *Table {
+	if rounds <= 0 {
+		rounds = 40
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "Multi-attribute schemes: GPG-safe query purges at runtime (Figs. 8-10)",
+		Columns: []string{"rounds", "elements", "results", "max state", "end state", "purged S1/S2/S3"},
+	}
+	q := fig5Query()
+	schemes := fig8Schemes()
+	for _, r := range []int{rounds / 2, rounds} {
+		inputs := workload.Closed(q, schemes, workload.ClosedConfig{
+			Rounds: r, TuplesPerRound: 6, Window: 3, PunctFraction: 1, Seed: 4,
+		})
+		m, err := exec.NewMJoin(exec.Config{Query: q, Schemes: schemes})
+		if err != nil {
+			panic(err)
+		}
+		feed, _ := workload.NewFeed(q, inputs)
+		results := 0
+		if err := feed.Each(func(i int, e stream.Element) error {
+			outs, err := m.Push(i, e)
+			for _, o := range outs {
+				if !o.IsPunct() {
+					results++
+				}
+			}
+			return err
+		}); err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r), fmt.Sprint(len(inputs)), fmt.Sprint(results),
+			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
+			fmt.Sprintf("%d/%d/%d", m.Stats().TuplesPurged[0], m.Stats().TuplesPurged[1], m.Stats().TuplesPurged[2]),
+		})
+	}
+	t.Notes = "shape holds when every state purges (all three purge counters positive) and end state is 0 — Corollary 1 alone would have rejected this query; Theorems 3/4 admit it."
+	return t
+}

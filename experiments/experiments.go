@@ -1,0 +1,98 @@
+// Package experiments implements the reproduction suite indexed in
+// DESIGN.md and EXPERIMENTS.md: one function per paper artifact (figures
+// 1-10 and the §4.3/§5 quantitative claims). Each function runs its
+// scenario and returns a Table; cmd/punctbench prints them, the top-level
+// benchmarks wrap their inner loops, and EXPERIMENTS.md records one run.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes states the shape the paper predicts and whether it held.
+	Notes string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Markdown formats the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// All runs every experiment at its default scale, in index order.
+func All() []*Table {
+	return []*Table{
+		E1Auction(nil),
+		E2ChainedPurge(),
+		E3MJoinSafe(0),
+		E4UnsafeBinaryTree(0),
+		E5MultiAttr(0),
+		E6TPGvsGPG(nil),
+		E7SchemeChoice(nil),
+		E8EagerLazy(nil),
+		E9PunctStore(0),
+		E10CheckerScaling(nil),
+		E11WindowVsPunct(0),
+		E12Adaptive(0),
+		E13Watermarks(0),
+		E14PlanChoice(0),
+		E15PunctDelay(0),
+	}
+}

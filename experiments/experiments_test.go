@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return &Table{
+		ID:      "EX",
+		Title:   "sample",
+		Columns: []string{"a", "long column"},
+		Rows: [][]string{
+			{"1", "x"},
+			{"22222", "y"},
+		},
+		Notes: "note text",
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"=== EX: sample ===", "long column", "22222", "note: note text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns are aligned: every data row starts at the same offset as
+	// the header's second column.
+	lines := strings.Split(out, "\n")
+	header := lines[1]
+	col2 := strings.Index(header, "long column")
+	if col2 <= 0 {
+		t.Fatalf("header: %q", header)
+	}
+	if lines[3][col2] != 'x' {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"### EX: sample", "| a | long column |", "|---|---|", "| 22222 | y |", "note text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmallScaleExperimentsHoldShape runs the cheap experiments at tiny
+// scale and asserts no shape violations (the full-scale counterpart lives
+// in the repository-root TestExperimentShapes).
+func TestSmallScaleExperimentsHoldShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	for _, tb := range []*Table{
+		E2ChainedPurge(),
+		E3MJoinSafe(4),
+		E5MultiAttr(4),
+		E13Watermarks(100),
+	} {
+		if strings.Contains(tb.Notes, "VIOLATION") {
+			t.Errorf("%s violated its shape:\n%s", tb.ID, tb.Render())
+		}
+	}
+}

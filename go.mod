@@ -1,0 +1,3 @@
+module punctsafe
+
+go 1.22

@@ -1,0 +1,67 @@
+package graph
+
+// SCCKosaraju computes strongly connected components with Kosaraju's
+// two-pass algorithm. It exists as an independently-implemented oracle
+// for the Tarjan implementation the safety checker depends on: the test
+// suite cross-checks the two on random graphs. Component ids are not
+// guaranteed to follow the same numbering as SCC, only the same
+// partition.
+func (g *Digraph) SCCKosaraju() (comp []int, count int) {
+	n := g.n
+	// Pass 1: finish-time order on the original graph (iterative DFS).
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	type frame struct {
+		v  int
+		ai int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		stack = append(stack[:0], frame{v: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ai < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ai]
+				f.ai++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{v: w})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Pass 2: DFS on the reverse graph in decreasing finish time.
+	rev := g.Reverse()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var dfs []int
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		dfs = append(dfs[:0], v)
+		for len(dfs) > 0 {
+			u := dfs[len(dfs)-1]
+			dfs = dfs[:len(dfs)-1]
+			for _, w := range rev.adj[u] {
+				if comp[w] == -1 {
+					comp[w] = count
+					dfs = append(dfs, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// samePartition reports whether two component labelings induce the same
+// partition of vertices.
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int]int)
+	bwd := make(map[int]int)
+	for i := range a {
+		if m, ok := fwd[a[i]]; ok && m != b[i] {
+			return false
+		}
+		if m, ok := bwd[b[i]]; ok && m != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+// TestTarjanVsKosaraju cross-checks the two independent SCC
+// implementations on random graphs — the Tarjan pass is the foundation of
+// the safety checker, so it gets an oracle.
+func TestTarjanVsKosaraju(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(20)
+		g := NewDigraph(n)
+		edges := rng.Intn(3 * n)
+		for e := 0; e < edges; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		ct, nt := g.SCC()
+		ck, nk := g.SCCKosaraju()
+		if nt != nk {
+			t.Fatalf("trial %d: Tarjan found %d components, Kosaraju %d", trial, nt, nk)
+		}
+		if !samePartition(ct, ck) {
+			t.Fatalf("trial %d: partitions differ\ntarjan:   %v\nkosaraju: %v", trial, ct, ck)
+		}
+	}
+}
+
+// TestKosarajuKnownGraph sanity-checks a hand-built graph.
+func TestKosarajuKnownGraph(t *testing.T) {
+	g := NewDigraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	comp, count := g.SCCKosaraju()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("comp = %v", comp)
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	// A layered graph with cycles: stress for both implementations.
+	rng := rand.New(rand.NewSource(9))
+	n := 10_000
+	g := NewDigraph(n)
+	for i := 0; i < 3*n; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	b.Run("tarjan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.SCC()
+		}
+	})
+	b.Run("kosaraju", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.SCCKosaraju()
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+// CostModel carries the statistics the §5.2 cost/benefit analysis needs:
+// per-stream tuple arrival rates, per-stream punctuation rates (how often
+// the application closes a value), and per-predicate join selectivities.
+// All rates are relative (tuples per logical tick); the model compares
+// plans, it does not predict wall-clock numbers.
+type CostModel struct {
+	// TupleRate[i] is stream i's tuple arrival rate.
+	TupleRate []float64
+	// PunctRate[i] is stream i's punctuation arrival rate. A zero rate
+	// means values are never closed: purgeable states then still grow and
+	// the model prices them like unpurgeable ones.
+	PunctRate []float64
+	// Selectivity maps each normalized predicate to its match
+	// probability; missing predicates default to DefaultSelectivity.
+	Selectivity map[query.Predicate]float64
+	// DefaultSelectivity is used for predicates without an entry.
+	DefaultSelectivity float64
+	// PunctOverhead is the processing cost charged per punctuation
+	// handled (§5.2: punctuations have processing costs, not only
+	// benefits).
+	PunctOverhead float64
+}
+
+// DefaultCostModel assumes unit tuple rates, punctuation rates that close
+// values promptly, and a mild default selectivity.
+func DefaultCostModel(q *query.CJQ) *CostModel {
+	m := &CostModel{
+		TupleRate:          make([]float64, q.N()),
+		PunctRate:          make([]float64, q.N()),
+		Selectivity:        make(map[query.Predicate]float64),
+		DefaultSelectivity: 0.01,
+		PunctOverhead:      0.5,
+	}
+	for i := range m.TupleRate {
+		m.TupleRate[i] = 1
+		m.PunctRate[i] = 0.5
+	}
+	return m
+}
+
+// selectivityOf returns the selectivity of a predicate.
+func (m *CostModel) selectivityOf(p query.Predicate) float64 {
+	if s, ok := m.Selectivity[p.Normalize()]; ok {
+		return s
+	}
+	return m.DefaultSelectivity
+}
+
+// Cost is the estimated steady-state cost of a plan.
+type Cost struct {
+	// State is the expected number of stored tuples across all operators
+	// (∞ when some operator input is unpurgeable or never punctuated).
+	State float64
+	// PunctState is the expected number of stored punctuations.
+	PunctState float64
+	// Work is the expected per-tick processing cost (probe work plus
+	// punctuation handling).
+	Work float64
+}
+
+// Total folds the components into one comparable scalar. Infinite state
+// dominates, so unsafe plans always lose.
+func (c Cost) Total() float64 {
+	return c.State + c.PunctState + c.Work
+}
+
+// String renders the cost.
+func (c Cost) String() string {
+	return fmt.Sprintf("state=%.1f puncts=%.1f work=%.1f", c.State, c.PunctState, c.Work)
+}
+
+// PlanCost estimates the steady-state cost of a plan tree. Model: a
+// purgeable input's state reaches tupleRate/punctRate tuples (each
+// punctuation closes, on average, one value's worth of tuples); an
+// unpurgeable or never-punctuated input grows without bound (priced ∞).
+// Intermediate inputs inherit the product of their subtree's rates and
+// selectivities. Probe work per arrival is proportional to the expected
+// matching tuples in every other state.
+func (m *CostModel) PlanCost(q *query.CJQ, schemes *stream.SchemeSet, root *Node) Cost {
+	var total Cost
+	for _, op := range root.Operators() {
+		oq, err := OperatorQuery(q, op)
+		if err != nil {
+			return Cost{State: math.Inf(1)}
+		}
+		oset := OperatorSchemes(q, schemes, op)
+		c := m.operatorCost(q, op, oq, oset)
+		total.State += c.State
+		total.PunctState += c.PunctState
+		total.Work += c.Work
+	}
+	return total
+}
+
+func (m *CostModel) operatorCost(q *query.CJQ, op *Node, oq *query.CJQ, oset *stream.SchemeSet) Cost {
+	n := oq.N()
+	inRate := make([]float64, n)
+	inPunct := make([]float64, n)
+	for ci, child := range op.Children {
+		inRate[ci], inPunct[ci] = m.subtreeRates(q, child)
+	}
+
+	// Purgeability per input decides finite vs infinite state.
+	var c Cost
+	gpg := safety.BuildGPG(oq, oset)
+	stateSize := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if !gpg.StreamPurgeable(i) || inPunct[i] <= 0 {
+			stateSize[i] = math.Inf(1)
+		} else {
+			stateSize[i] = inRate[i] / inPunct[i]
+		}
+		c.State += stateSize[i]
+		c.PunctState += inPunct[i] * 2 // punctuations retained while relevant
+		c.Work += inPunct[i] * m.PunctOverhead
+	}
+	// Probe work: each arriving tuple probes the other states; expected
+	// matches shrink by the predicate selectivities.
+	for i := 0; i < n; i++ {
+		probe := inRate[i]
+		matches := 1.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sel := m.childPairSelectivity(q, op.Children[i], op.Children[j])
+			sz := stateSize[j]
+			if math.IsInf(sz, 1) {
+				sz = 1e6 // finite stand-in so work stays comparable
+			}
+			matches *= math.Max(sel*sz, 1e-9)
+		}
+		c.Work += probe * matches
+	}
+	return c
+}
+
+// subtreeRates estimates the output tuple and punctuation rates of a
+// subtree: a leaf's configured rates, or for a join node the product of
+// child rates scaled by the crossing selectivities (tuples) and the
+// minimum child punctuation rate (punctuations propagate no faster than
+// their scarcest source).
+func (m *CostModel) subtreeRates(q *query.CJQ, n *Node) (tuples, puncts float64) {
+	if n.IsLeaf() {
+		return m.TupleRate[n.Stream], m.PunctRate[n.Stream]
+	}
+	tuples = 1
+	puncts = math.Inf(1)
+	for _, c := range n.Children {
+		tr, pr := m.subtreeRates(q, c)
+		tuples *= tr
+		if pr < puncts {
+			puncts = pr
+		}
+	}
+	for i := 0; i < len(n.Children); i++ {
+		for j := i + 1; j < len(n.Children); j++ {
+			tuples *= m.childPairSelectivity(q, n.Children[i], n.Children[j])
+		}
+	}
+	if math.IsInf(puncts, 1) {
+		puncts = 0
+	}
+	return tuples, puncts
+}
+
+// childPairSelectivity multiplies the selectivities of the original
+// predicates crossing two subtrees (1 when none cross).
+func (m *CostModel) childPairSelectivity(q *query.CJQ, a, b *Node) float64 {
+	inA := make(map[int]bool)
+	for _, l := range a.Leaves() {
+		inA[l] = true
+	}
+	inB := make(map[int]bool)
+	for _, l := range b.Leaves() {
+		inB[l] = true
+	}
+	sel := 1.0
+	for _, p := range q.Predicates() {
+		if (inA[p.Left] && inB[p.Right]) || (inB[p.Left] && inA[p.Right]) {
+			sel *= m.selectivityOf(p)
+		}
+	}
+	return sel
+}

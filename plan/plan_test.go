@@ -1,0 +1,291 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+func intAttrs(names ...string) []stream.Attribute {
+	out := make([]stream.Attribute, len(names))
+	for i, n := range names {
+		out[i] = stream.Attribute{Name: n, Kind: stream.KindInt}
+	}
+	return out
+}
+
+// figure5 builds the cyclic 3-way query of Figures 5/7/8 with Example 3's
+// scheme set.
+func figure5(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+	t.Helper()
+	q, err := query.NewBuilder().
+		AddStream(stream.MustSchema("S1", intAttrs("A", "B")...)).
+		AddStream(stream.MustSchema("S2", intAttrs("B", "C")...)).
+		AddStream(stream.MustSchema("S3", intAttrs("A", "C")...)).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Join("S3.A", "S1.A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+	)
+	return q, schemes
+}
+
+// TestFigure7PlanShapes is the paper's central plan-shape observation:
+// for the Figure 5 query, the single MJoin plan is safe while NO binary
+// tree plan is.
+func TestFigure7PlanShapes(t *testing.T) {
+	q, schemes := figure5(t)
+
+	mjoin := Join(Leaf(0), Leaf(1), Leaf(2))
+	safe, _, err := CheckPlan(q, schemes, mjoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Fatal("single MJoin plan must be safe")
+	}
+
+	// All three binary tree shapes (up to left-right symmetry of the
+	// lower join) must be unsafe.
+	trees := []*Node{
+		Join(Join(Leaf(0), Leaf(1)), Leaf(2)), // (S1 x S2) x S3 — Figure 7
+		Join(Join(Leaf(1), Leaf(2)), Leaf(0)),
+		Join(Join(Leaf(0), Leaf(2)), Leaf(1)),
+	}
+	for _, tree := range trees {
+		safe, reports, err := CheckPlan(q, schemes, tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Render(q), err)
+		}
+		if safe {
+			t.Errorf("binary tree %s must be unsafe (Figure 7)", tree.Render(q))
+		}
+		// The lower operator must be the unpurgeable one.
+		if reports[0].Purgeable {
+			t.Errorf("%s: lower binary join must not be purgeable", tree.Render(q))
+		}
+	}
+}
+
+// TestFigure7Enumeration: the safe-plan enumerator must return only the
+// flat MJoin for the Figure 5 query.
+func TestFigure7Enumeration(t *testing.T) {
+	q, schemes := figure5(t)
+	plans, err := EnumerateSafe(q, schemes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		var rendered []string
+		for _, p := range plans {
+			rendered = append(rendered, p.Render(q))
+		}
+		t.Fatalf("want exactly the MJoin plan, got %d: %v", len(plans), rendered)
+	}
+	if len(plans[0].Children) != 3 {
+		t.Fatalf("the only safe plan must be the 3-way MJoin, got %s", plans[0].Render(q))
+	}
+}
+
+// TestBinaryTreeSafeWhenFullyPunctuated: punctuating every join attribute
+// on every stream makes every plan shape safe, including binary trees.
+func TestBinaryTreeSafeWhenFullyPunctuated(t *testing.T) {
+	q, _ := figure5(t)
+	schemes := stream.NewSchemeSet()
+	for i := 0; i < q.N(); i++ {
+		for _, a := range q.JoinAttrs(i) {
+			mask := make([]bool, q.Stream(i).Arity())
+			mask[a] = true
+			schemes.Add(stream.MustScheme(q.Stream(i).Name(), mask...))
+		}
+	}
+	for _, tree := range []*Node{
+		Join(Join(Leaf(0), Leaf(1)), Leaf(2)),
+		Join(Leaf(0), Leaf(1), Leaf(2)),
+		Join(Leaf(2), Join(Leaf(0), Leaf(1))),
+	} {
+		safe, _, err := CheckPlan(q, schemes, tree)
+		if err != nil {
+			t.Fatalf("%s: %v", tree.Render(q), err)
+		}
+		if !safe {
+			t.Errorf("%s should be safe with full punctuation", tree.Render(q))
+		}
+	}
+	plans, err := EnumerateSafe(q, schemes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Errorf("expected several safe plans, got %d", len(plans))
+	}
+}
+
+// TestValidateRejectsMalformedPlans exercises the structural validation.
+func TestValidateRejectsMalformedPlans(t *testing.T) {
+	q, _ := figure5(t)
+	cases := []struct {
+		name string
+		node *Node
+	}{
+		{"missing stream", Join(Leaf(0), Leaf(1))},
+		{"duplicate stream", Join(Leaf(0), Leaf(0), Leaf(1), Leaf(2))},
+		{"out of range", Join(Leaf(0), Leaf(1), Leaf(5))},
+		{"single child", Join(Join(Leaf(0)), Leaf(1), Leaf(2))},
+	}
+	for _, c := range cases {
+		if err := c.node.Validate(q); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+	good := Join(Leaf(0), Leaf(1), Leaf(2))
+	if err := good.Validate(q); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestDerivedSchemes: schemes lift onto intermediate outputs at the right
+// column offsets.
+func TestDerivedSchemes(t *testing.T) {
+	q, schemes := figure5(t)
+	sub := Join(Leaf(0), Leaf(1)) // output columns: S1_A S1_B S2_B S2_C
+	lifted := DerivedSchemes(q, schemes, sub)
+	if len(lifted) != 2 {
+		t.Fatalf("want 2 lifted schemes, got %d", len(lifted))
+	}
+	// S1(_,+) lifts to (_,+,_,_); S2(_,+) lifts to (_,_,_,+).
+	wantMasks := map[string]bool{"_+__": true, "___+": true}
+	for _, s := range lifted {
+		mask := ""
+		for _, p := range s.Punctuatable {
+			if p {
+				mask += "+"
+			} else {
+				mask += "_"
+			}
+		}
+		if !wantMasks[mask] {
+			t.Errorf("unexpected lifted mask %q", mask)
+		}
+		delete(wantMasks, mask)
+	}
+}
+
+// TestChooseSafeUnsafeQuery: ChooseSafe must refuse an unsafe query with
+// an explanation rather than return a plan.
+func TestChooseSafeUnsafeQuery(t *testing.T) {
+	q, _ := figure5(t)
+	if _, err := ChooseSafe(q, stream.NewSchemeSet(), nil); err == nil {
+		t.Fatal("ChooseSafe must fail for an unsafe query")
+	}
+	_, schemes := figure5(t)
+	node, err := ChooseSafe(q, schemes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Validate(q); err != nil {
+		t.Fatalf("chosen plan invalid: %v", err)
+	}
+	safe, _, err := CheckPlan(q, schemes, node)
+	if err != nil || !safe {
+		t.Fatalf("chosen plan must be safe (err=%v)", err)
+	}
+}
+
+// TestTheorem2Property: on random instances, some safe plan exists
+// (enumerator finds one) iff the query-level check says safe. The
+// enumerator's plan space includes the flat MJoin, which Theorem 4
+// guarantees is safe whenever any plan is, so the equivalence is exact.
+func TestTheorem2Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(2006))
+	for trial := 0; trial < 300; trial++ {
+		q, schemes := randomInstance(rng)
+		rep, err := safety.Check(q, schemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, err := EnumerateSafe(q, schemes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Safe != (len(plans) > 0) {
+			t.Fatalf("trial %d: query safe=%v but enumerator found %d plans\nquery %s schemes %s",
+				trial, rep.Safe, len(plans), q, schemes)
+		}
+		// Every returned plan must pass the Definition 2 check.
+		for _, p := range plans {
+			ok, _, err := CheckPlan(q, schemes, p)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: enumerator returned unsafe plan %s", trial, p.Render(q))
+			}
+		}
+	}
+}
+
+// randomInstance mirrors the safety package's generator (kept local to
+// avoid exporting test helpers): random connected query + schemes.
+func randomInstance(rng *rand.Rand) (*query.CJQ, *stream.SchemeSet) {
+	n := 2 + rng.Intn(4) // 2..5 streams (plan enumeration is exponential)
+	schemas := make([]*stream.Schema, n)
+	for i := range schemas {
+		arity := 2 + rng.Intn(2)
+		attrs := make([]stream.Attribute, arity)
+		for j := range attrs {
+			attrs[j] = stream.Attribute{Name: string(rune('A' + j)), Kind: stream.KindInt}
+		}
+		schemas[i] = stream.MustSchema("S"+string(rune('0'+i)), attrs...)
+	}
+	var preds []query.Predicate
+	perm := rng.Perm(n)
+	for k := 1; k < n; k++ {
+		u, v := perm[rng.Intn(k)], perm[k]
+		preds = append(preds, query.Predicate{
+			Left: u, LeftAttr: rng.Intn(schemas[u].Arity()),
+			Right: v, RightAttr: rng.Intn(schemas[v].Arity()),
+		})
+	}
+	for k := rng.Intn(n); k > 0; k-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			preds = append(preds, query.Predicate{
+				Left: u, LeftAttr: rng.Intn(schemas[u].Arity()),
+				Right: v, RightAttr: rng.Intn(schemas[v].Arity()),
+			})
+		}
+	}
+	q, err := query.NewCJQ(schemas, preds)
+	if err != nil {
+		panic(err)
+	}
+	set := stream.NewSchemeSet()
+	for i := 0; i < n; i++ {
+		for s := rng.Intn(3); s > 0; s-- {
+			arity := schemas[i].Arity()
+			mask := make([]bool, arity)
+			ja := q.JoinAttrs(i)
+			if len(ja) > 0 && rng.Intn(4) != 0 {
+				mask[ja[rng.Intn(len(ja))]] = true
+			} else {
+				mask[rng.Intn(arity)] = true
+			}
+			if rng.Intn(3) == 0 {
+				mask[rng.Intn(arity)] = true
+			}
+			set.Add(stream.MustScheme(schemas[i].Name(), mask...))
+		}
+	}
+	return q, set
+}

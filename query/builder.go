@@ -1,0 +1,88 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"punctsafe/stream"
+)
+
+// Builder assembles a CJQ by name: add streams, then join predicates
+// written as "Stream.Attr = Stream.Attr". Errors are accumulated and
+// reported by Build, so call sites can chain fluently.
+type Builder struct {
+	schemas []*stream.Schema
+	preds   []Predicate
+	errs    []error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddStream registers a stream schema. Order of registration defines the
+// stream indices of the resulting query.
+func (b *Builder) AddStream(s *stream.Schema) *Builder {
+	if s == nil {
+		b.errs = append(b.errs, fmt.Errorf("query: AddStream(nil)"))
+		return b
+	}
+	b.schemas = append(b.schemas, s)
+	return b
+}
+
+// Join adds an equi-join predicate between two "Stream.Attr" references.
+func (b *Builder) Join(left, right string) *Builder {
+	ls, la, err := b.resolve(left)
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	rs, ra, err := b.resolve(right)
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	b.preds = append(b.preds, Predicate{Left: ls, LeftAttr: la, Right: rs, RightAttr: ra})
+	return b
+}
+
+// JoinOn adds a natural-join style predicate: both streams join on an
+// attribute of the same name.
+func (b *Builder) JoinOn(leftStream, rightStream, attr string) *Builder {
+	return b.Join(leftStream+"."+attr, rightStream+"."+attr)
+}
+
+func (b *Builder) resolve(ref string) (streamIdx, attrIdx int, err error) {
+	dot := strings.LastIndex(ref, ".")
+	if dot <= 0 || dot == len(ref)-1 {
+		return 0, 0, fmt.Errorf("query: attribute reference %q is not of the form Stream.Attr", ref)
+	}
+	sName, aName := ref[:dot], ref[dot+1:]
+	for i, s := range b.schemas {
+		if s.Name() != sName {
+			continue
+		}
+		if a := s.Index(aName); a >= 0 {
+			return i, a, nil
+		}
+		return 0, 0, fmt.Errorf("query: stream %q has no attribute %q", sName, aName)
+	}
+	return 0, 0, fmt.Errorf("query: unknown stream %q in reference %q", sName, ref)
+}
+
+// Build validates and returns the query.
+func (b *Builder) Build() (*CJQ, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return NewCJQ(b.schemas, b.preds)
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *CJQ {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

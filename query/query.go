@@ -1,0 +1,278 @@
+// Package query models continuous join queries (CJQs): a set of data
+// streams joined under conjunctive equi-join predicates, together with
+// the join graph of Definition 6. The safety package analyses these
+// queries against a punctuation scheme set; the plan and exec packages
+// execute them.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"punctsafe/stream"
+)
+
+// Predicate is one equi-join predicate between two streams, identified by
+// stream index into the query's stream list and attribute position within
+// each stream's schema: Streams[Left].Attr(LeftAttr) = Streams[Right].Attr(RightAttr).
+type Predicate struct {
+	Left      int
+	LeftAttr  int
+	Right     int
+	RightAttr int
+}
+
+// Normalize returns the predicate with the lower stream index on the left,
+// so structurally equal predicates compare equal.
+func (p Predicate) Normalize() Predicate {
+	if p.Left > p.Right {
+		return Predicate{Left: p.Right, LeftAttr: p.RightAttr, Right: p.Left, RightAttr: p.LeftAttr}
+	}
+	return p
+}
+
+// Touches reports whether the predicate involves the given stream index.
+func (p Predicate) Touches(s int) bool { return p.Left == s || p.Right == s }
+
+// Other returns the stream on the opposite side of s, and the attribute
+// positions (s's attribute first). It panics if the predicate does not
+// touch s.
+func (p Predicate) Other(s int) (other, sAttr, otherAttr int) {
+	switch s {
+	case p.Left:
+		return p.Right, p.LeftAttr, p.RightAttr
+	case p.Right:
+		return p.Left, p.RightAttr, p.LeftAttr
+	default:
+		panic(fmt.Sprintf("query: predicate %+v does not touch stream %d", p, s))
+	}
+}
+
+// CJQ is a continuous join query over n data streams with conjunctive
+// equi-join predicates. Build one with NewCJQ or with the Builder.
+type CJQ struct {
+	streams []*stream.Schema
+	byName  map[string]int
+	preds   []Predicate
+}
+
+// NewCJQ validates and constructs a CJQ. It requires at least two streams
+// with distinct names, every predicate to reference valid streams and
+// attributes with matching kinds, no self-join predicates on a single
+// stream instance, and a connected join graph (a disconnected query is a
+// cross product, which is never safe over unbounded streams and is
+// rejected outright).
+func NewCJQ(streams []*stream.Schema, preds []Predicate) (*CJQ, error) {
+	if len(streams) < 2 {
+		return nil, fmt.Errorf("query: a join query needs at least two streams, got %d", len(streams))
+	}
+	q := &CJQ{
+		streams: append([]*stream.Schema(nil), streams...),
+		byName:  make(map[string]int, len(streams)),
+	}
+	for i, s := range streams {
+		if s == nil {
+			return nil, fmt.Errorf("query: stream %d is nil", i)
+		}
+		if _, dup := q.byName[s.Name()]; dup {
+			return nil, fmt.Errorf("query: duplicate stream name %q (self-joins need aliased schemas)", s.Name())
+		}
+		q.byName[s.Name()] = i
+	}
+	seen := make(map[Predicate]bool, len(preds))
+	for _, p := range preds {
+		if err := q.checkPredicate(p); err != nil {
+			return nil, err
+		}
+		n := p.Normalize()
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		q.preds = append(q.preds, n)
+	}
+	if len(q.preds) == 0 {
+		return nil, fmt.Errorf("query: a join query needs at least one join predicate")
+	}
+	if !q.JoinGraph().Connected() {
+		return nil, fmt.Errorf("query: join graph is not connected (cross products over unbounded streams are never safe)")
+	}
+	return q, nil
+}
+
+func (q *CJQ) checkPredicate(p Predicate) error {
+	if p.Left < 0 || p.Left >= len(q.streams) || p.Right < 0 || p.Right >= len(q.streams) {
+		return fmt.Errorf("query: predicate %+v references stream out of range [0,%d)", p, len(q.streams))
+	}
+	if p.Left == p.Right {
+		return fmt.Errorf("query: predicate %+v joins stream %q with itself", p, q.streams[p.Left].Name())
+	}
+	ls, rs := q.streams[p.Left], q.streams[p.Right]
+	if p.LeftAttr < 0 || p.LeftAttr >= ls.Arity() {
+		return fmt.Errorf("query: predicate %+v attribute out of range for %s", p, ls)
+	}
+	if p.RightAttr < 0 || p.RightAttr >= rs.Arity() {
+		return fmt.Errorf("query: predicate %+v attribute out of range for %s", p, rs)
+	}
+	lk, rk := ls.Attr(p.LeftAttr).Kind, rs.Attr(p.RightAttr).Kind
+	if lk != rk {
+		return fmt.Errorf("query: predicate joins %s.%s (%s) with %s.%s (%s): kind mismatch",
+			ls.Name(), ls.Attr(p.LeftAttr).Name, lk, rs.Name(), rs.Attr(p.RightAttr).Name, rk)
+	}
+	return nil
+}
+
+// N returns the number of streams in the query.
+func (q *CJQ) N() int { return len(q.streams) }
+
+// Stream returns the schema of the i-th stream.
+func (q *CJQ) Stream(i int) *stream.Schema { return q.streams[i] }
+
+// Streams returns a copy of the stream list.
+func (q *CJQ) Streams() []*stream.Schema {
+	return append([]*stream.Schema(nil), q.streams...)
+}
+
+// StreamIndex returns the index of the named stream, or -1.
+func (q *CJQ) StreamIndex(name string) int {
+	if i, ok := q.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Predicates returns a copy of the normalized predicate list.
+func (q *CJQ) Predicates() []Predicate {
+	return append([]Predicate(nil), q.preds...)
+}
+
+// PredicatesTouching returns the predicates involving stream s.
+func (q *CJQ) PredicatesTouching(s int) []Predicate {
+	var out []Predicate
+	for _, p := range q.preds {
+		if p.Touches(s) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinAttrs returns the set of attribute positions of stream s that occur
+// in some join predicate, ascending.
+func (q *CJQ) JoinAttrs(s int) []int {
+	set := make(map[int]bool)
+	for _, p := range q.preds {
+		if p.Left == s {
+			set[p.LeftAttr] = true
+		}
+		if p.Right == s {
+			set[p.RightAttr] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// JoinPartners returns the stream indexes that attribute attr of stream s
+// joins with, ascending. Empty when attr is not a join attribute.
+func (q *CJQ) JoinPartners(s, attr int) []int {
+	set := make(map[int]bool)
+	for _, p := range q.preds {
+		if p.Left == s && p.LeftAttr == attr {
+			set[p.Right] = true
+		}
+		if p.Right == s && p.RightAttr == attr {
+			set[p.Left] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PartnerAttr returns the attribute position on partner's side of the
+// first join predicate linking s.attr with partner, or -1 when no such
+// predicate exists.
+func (q *CJQ) PartnerAttr(s, attr, partner int) int {
+	for _, p := range q.preds {
+		if p.Left == s && p.LeftAttr == attr && p.Right == partner {
+			return p.RightAttr
+		}
+		if p.Right == s && p.RightAttr == attr && p.Left == partner {
+			return p.LeftAttr
+		}
+	}
+	return -1
+}
+
+// Restrict builds the sub-query induced by the given stream subset: the
+// streams keep their relative order and only predicates internal to the
+// subset survive. It returns the sub-query and the mapping from new stream
+// index to original index. An error is returned if the induced join graph
+// is not connected (such a subset cannot form one join operator).
+func (q *CJQ) Restrict(subset []int) (*CJQ, []int, error) {
+	if len(subset) < 2 {
+		return nil, nil, fmt.Errorf("query: restriction needs at least two streams")
+	}
+	idx := append([]int(nil), subset...)
+	sort.Ints(idx)
+	old2new := make(map[int]int, len(idx))
+	schemas := make([]*stream.Schema, len(idx))
+	for newI, oldI := range idx {
+		if oldI < 0 || oldI >= len(q.streams) {
+			return nil, nil, fmt.Errorf("query: restriction stream %d out of range", oldI)
+		}
+		if _, dup := old2new[oldI]; dup {
+			return nil, nil, fmt.Errorf("query: restriction repeats stream %d", oldI)
+		}
+		old2new[oldI] = newI
+		schemas[newI] = q.streams[oldI]
+	}
+	var preds []Predicate
+	for _, p := range q.preds {
+		l, lok := old2new[p.Left]
+		r, rok := old2new[p.Right]
+		if lok && rok {
+			preds = append(preds, Predicate{Left: l, LeftAttr: p.LeftAttr, Right: r, RightAttr: p.RightAttr})
+		}
+	}
+	if len(preds) == 0 {
+		return nil, nil, fmt.Errorf("query: restriction to %v has no internal join predicate", subset)
+	}
+	sub, err := NewCJQ(schemas, preds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, idx, nil
+}
+
+// String renders the query as streams + predicates.
+func (q *CJQ) String() string {
+	var b strings.Builder
+	b.WriteString("CJQ[")
+	for i, s := range q.streams {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Name())
+	}
+	b.WriteString(" | ")
+	for i, p := range q.preds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		ls, rs := q.streams[p.Left], q.streams[p.Right]
+		fmt.Fprintf(&b, "%s.%s = %s.%s",
+			ls.Name(), ls.Attr(p.LeftAttr).Name, rs.Name(), rs.Attr(p.RightAttr).Name)
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package safety
+
+import (
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// corpusCase is one hand-built safety instance with its expected verdict
+// and (optionally) expected per-stream purgeability.
+type corpusCase struct {
+	name      string
+	build     func(t *testing.T) (*query.CJQ, *stream.SchemeSet)
+	safe      bool
+	purgeable []bool // nil = skip per-stream assertions
+	minRounds int    // minimum TPG rounds expected (0 = skip)
+}
+
+func ia(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+
+func mustQ(t *testing.T, schemas []*stream.Schema, preds []query.Predicate) *query.CJQ {
+	t.Helper()
+	q, err := query.NewCJQ(schemas, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestSafetyCorpus pins down tricky instances the randomized property
+// tests may sample only rarely: chained generalized edges that fire in
+// sequence, multi-round TPG condensations, schemes rendered unusable by
+// non-join attributes, and asymmetric purgeability.
+func TestSafetyCorpus(t *testing.T) {
+	cases := []corpusCase{
+		{
+			// Two-stream ping-pong: the minimal safe instance.
+			name: "binary both sides",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("k"))
+				b := stream.MustSchema("B", ia("k"))
+				q := mustQ(t, []*stream.Schema{a, b},
+					[]query.Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("A", true), stream.MustScheme("B", true))
+			},
+			safe:      true,
+			purgeable: []bool{true, true},
+		},
+		{
+			// One-sided scheme: B purgeable (A punctuates), A not.
+			name: "binary one side",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("k"))
+				b := stream.MustSchema("B", ia("k"))
+				q := mustQ(t, []*stream.Schema{a, b},
+					[]query.Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}})
+				return q, stream.NewSchemeSet(stream.MustScheme("A", true))
+			},
+			safe:      false,
+			purgeable: []bool{false, true},
+		},
+		{
+			// Generalized edges chained: {B,C}=>D fires only after a
+			// multi-attribute edge {A,B}=>C fired first — two GPG fixpoint
+			// iterations, and a multi-round TPG.
+			name: "hyperedge chain",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("x"), ia("y"))
+				b := stream.MustSchema("B", ia("x"), ia("z"))
+				c := stream.MustSchema("C", ia("y"), ia("z"), ia("w"))
+				d := stream.MustSchema("D", ia("z"), ia("w"))
+				q := mustQ(t, []*stream.Schema{a, b, c, d}, []query.Predicate{
+					{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}, // A.x = B.x
+					{Left: 0, LeftAttr: 1, Right: 2, RightAttr: 0}, // A.y = C.y
+					{Left: 1, LeftAttr: 1, Right: 2, RightAttr: 1}, // B.z = C.z
+					{Left: 1, LeftAttr: 1, Right: 3, RightAttr: 0}, // B.z = D.z
+					{Left: 2, LeftAttr: 2, Right: 3, RightAttr: 1}, // C.w = D.w
+				})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("A", true, false),       // A.x: edge B->A
+					stream.MustScheme("B", true, false),       // B.x: edge A->B
+					stream.MustScheme("C", true, true, false), // C(y,z): {A,B}=>C
+					stream.MustScheme("D", true, true),        // D(z,w): {B,C}=>D
+				)
+			},
+			// A and B reach everything (their plain cycle fires both
+			// generalized edges in sequence); C and D have no outgoing
+			// edges at all, so they reach only themselves.
+			safe:      false,
+			purgeable: []bool{true, true, false, false},
+		},
+		{
+			// Same as above plus a back-edge from D so the whole query is
+			// safe — exercises a 3-round TPG condensation.
+			name: "hyperedge chain closed",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("x"), ia("y"))
+				b := stream.MustSchema("B", ia("x"), ia("z"))
+				c := stream.MustSchema("C", ia("y"), ia("z"), ia("w"))
+				d := stream.MustSchema("D", ia("z"), ia("w"))
+				q := mustQ(t, []*stream.Schema{a, b, c, d}, []query.Predicate{
+					{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0},
+					{Left: 0, LeftAttr: 1, Right: 2, RightAttr: 0},
+					{Left: 1, LeftAttr: 1, Right: 2, RightAttr: 1},
+					{Left: 1, LeftAttr: 1, Right: 3, RightAttr: 0},
+					{Left: 2, LeftAttr: 2, Right: 3, RightAttr: 1},
+				})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("A", true, false),
+					stream.MustScheme("B", true, false),
+					stream.MustScheme("B", false, true), // B.z: D->B and C->B back-edges
+					stream.MustScheme("C", true, true, false),
+					stream.MustScheme("D", true, true),
+				)
+			},
+			safe:      true,
+			minRounds: 2,
+		},
+		{
+			// A scheme whose second punctuatable attribute is not a join
+			// attribute: unusable, so the otherwise-safe query is unsafe.
+			name: "unusable multi-attribute scheme",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("k"), ia("junk"))
+				b := stream.MustSchema("B", ia("k"))
+				q := mustQ(t, []*stream.Schema{a, b},
+					[]query.Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("A", true, true), // junk not a join attr
+					stream.MustScheme("B", true))
+			},
+			safe:      false,
+			purgeable: []bool{true, false},
+		},
+		{
+			// Two predicates between the same pair on different attrs;
+			// scheme on only one attr still suffices (§3.1 conjunctive).
+			name: "conjunctive binary single scheme each",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("x"), ia("y"))
+				b := stream.MustSchema("B", ia("x"), ia("y"))
+				q := mustQ(t, []*stream.Schema{a, b}, []query.Predicate{
+					{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0},
+					{Left: 0, LeftAttr: 1, Right: 1, RightAttr: 1},
+				})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("A", true, false),
+					stream.MustScheme("B", false, true))
+			},
+			safe: true,
+		},
+		{
+			// Star: hub punctuates its single join attribute shared by all
+			// spokes, spokes punctuate theirs — safe; removing the hub
+			// scheme strands every spoke.
+			name: "star hub scheme",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				hub := stream.MustSchema("H", ia("k"))
+				s1 := stream.MustSchema("P1", ia("k"))
+				s2 := stream.MustSchema("P2", ia("k"))
+				s3 := stream.MustSchema("P3", ia("k"))
+				q := mustQ(t, []*stream.Schema{hub, s1, s2, s3}, []query.Predicate{
+					{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0},
+					{Left: 0, LeftAttr: 0, Right: 2, RightAttr: 0},
+					{Left: 0, LeftAttr: 0, Right: 3, RightAttr: 0},
+				})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("H", true),
+					stream.MustScheme("P1", true),
+					stream.MustScheme("P2", true),
+					stream.MustScheme("P3", true))
+			},
+			safe: true,
+		},
+		{
+			name: "star without hub scheme",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				hub := stream.MustSchema("H", ia("k"))
+				s1 := stream.MustSchema("P1", ia("k"))
+				s2 := stream.MustSchema("P2", ia("k"))
+				q := mustQ(t, []*stream.Schema{hub, s1, s2}, []query.Predicate{
+					{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0},
+					{Left: 0, LeftAttr: 0, Right: 2, RightAttr: 0},
+				})
+				return q, stream.NewSchemeSet(
+					stream.MustScheme("P1", true),
+					stream.MustScheme("P2", true))
+			},
+			safe: false,
+			// The hub can be purged (spokes punctuate k), the spokes not.
+			purgeable: []bool{true, false, false},
+		},
+		{
+			// Watermark schemes behave like equality schemes for safety.
+			name: "ordered schemes safe",
+			build: func(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+				a := stream.MustSchema("A", ia("ts"))
+				b := stream.MustSchema("B", ia("ts"))
+				q := mustQ(t, []*stream.Schema{a, b},
+					[]query.Predicate{{Left: 0, LeftAttr: 0, Right: 1, RightAttr: 0}})
+				return q, stream.NewSchemeSet(
+					stream.MustOrderedScheme("A", []bool{true}, []bool{true}),
+					stream.MustOrderedScheme("B", []bool{true}, []bool{true}))
+			},
+			safe:      true,
+			purgeable: []bool{true, true},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q, schemes := c.build(t)
+			rep, err := Check(q, schemes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Safe != c.safe {
+				t.Fatalf("safe = %v, want %v\n%s\nTPG:\n%s", rep.Safe, c.safe, rep.Explain(q), rep.TPG)
+			}
+			// Theorem 5 must hold here too.
+			if got := BuildGPG(q, schemes).StronglyConnected(); got != c.safe {
+				t.Fatalf("GPG verdict %v disagrees with expected %v", got, c.safe)
+			}
+			if c.purgeable != nil {
+				for i, want := range c.purgeable {
+					if rep.StreamPurgeable[i] != want {
+						t.Errorf("stream %d purgeable = %v, want %v", i, rep.StreamPurgeable[i], want)
+					}
+				}
+			}
+			if c.minRounds > 0 && len(rep.TPG.Rounds) < c.minRounds {
+				t.Errorf("TPG rounds = %d, want >= %d:\n%s", len(rep.TPG.Rounds), c.minRounds, rep.TPG)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package safety
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the punctuation graph in Graphviz dot format, labeling each
+// edge with the predicate and scheme that created it.
+func (pg *PG) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph PG {\n  rankdir=LR;\n")
+	for i := 0; i < pg.q.N(); i++ {
+		fmt.Fprintf(&b, "  %q;\n", pg.q.Stream(i).Name())
+	}
+	for _, e := range pg.edges {
+		toAttr := pg.q.Stream(e.To).Attr(attrOnSide(e.Pred, e.To)).Name
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+			pg.q.Stream(e.From).Name(), pg.q.Stream(e.To).Name(),
+			fmt.Sprintf("%s.%s", pg.q.Stream(e.To).Name(), toAttr))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Dot renders the generalized punctuation graph: the plain edges plus one
+// diamond-shaped generalized node per multi-attribute scheme, with its
+// partner streams feeding it (Definition 8's drawing).
+func (g *GPG) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph GPG {\n  rankdir=LR;\n")
+	for i := 0; i < g.q.N(); i++ {
+		fmt.Fprintf(&b, "  %q;\n", g.q.Stream(i).Name())
+	}
+	for _, e := range g.pg.edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n",
+			g.q.Stream(e.From).Name(), g.q.Stream(e.To).Name())
+	}
+	for gi, ge := range g.gen {
+		node := fmt.Sprintf("G%d", gi)
+		fmt.Fprintf(&b, "  %q [shape=diamond,label=%q];\n", node, ge.Scheme.String())
+		for k, a := range ge.Attrs {
+			_ = k
+			for _, p := range a.Partners {
+				attrName := g.q.Stream(ge.Head).Attr(a.Attr).Name
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed,label=%q];\n",
+					g.q.Stream(p).Name(), node, attrName)
+			}
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=bold];\n", node, g.q.Stream(ge.Head).Name())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Dot renders the final round of the transformed punctuation graph:
+// virtual nodes (boxes listing their covered streams) and the derived
+// edges.
+func (t *TPG) Dot() string {
+	final := t.Rounds[len(t.Rounds)-1]
+	var b strings.Builder
+	b.WriteString("digraph TPG {\n  rankdir=LR;\n  node [shape=box];\n")
+	for i, cover := range final.Nodes {
+		var names []string
+		for _, s := range cover {
+			names = append(names, t.q.Stream(s).Name())
+		}
+		fmt.Fprintf(&b, "  N%d [label=%q];\n", i, strings.Join(names, ", "))
+	}
+	for _, e := range final.Edges {
+		fmt.Fprintf(&b, "  N%d -> N%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// attrOnSide returns the predicate's attribute position on the given
+// stream's side.
+func attrOnSide(p interface{ Other(int) (int, int, int) }, side int) int {
+	_, sideAttr, _ := p.Other(side)
+	return sideAttr
+}

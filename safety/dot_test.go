@@ -1,0 +1,46 @@
+package safety
+
+import (
+	"strings"
+	"testing"
+
+	"punctsafe/stream"
+)
+
+func TestDotOutputs(t *testing.T) {
+	q := figure5Query(t)
+
+	pg := BuildPG(q, figure5Schemes())
+	d := pg.Dot()
+	for _, want := range []string{"digraph PG", `"S2" -> "S1"`, `"S3" -> "S2"`, `"S1" -> "S3"`} {
+		if !strings.Contains(d, want) {
+			t.Errorf("PG dot missing %q:\n%s", want, d)
+		}
+	}
+
+	gpg := BuildGPG(q, figure8Schemes())
+	d = gpg.Dot()
+	for _, want := range []string{"digraph GPG", "shape=diamond", "S3(+, +)", `-> "S3" [style=bold]`} {
+		if !strings.Contains(d, want) {
+			t.Errorf("GPG dot missing %q:\n%s", want, d)
+		}
+	}
+
+	tpg := Transform(q, figure8Schemes())
+	d = tpg.Dot()
+	if !strings.Contains(d, "digraph TPG") || !strings.Contains(d, "S1, S2, S3") {
+		t.Errorf("TPG dot should show the single final virtual node:\n%s", d)
+	}
+
+	// An unsafe instance's TPG dot shows multiple surviving nodes.
+	partial := stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", false, true),
+		// S3 has no scheme: the cycle cannot close.
+	)
+	unsafeTPG := Transform(q, partial)
+	d = unsafeTPG.Dot()
+	if strings.Contains(d, "S1, S2, S3") {
+		t.Errorf("unsafe TPG must not condense fully:\n%s", d)
+	}
+}

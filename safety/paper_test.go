@@ -1,0 +1,453 @@
+package safety
+
+import (
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Schemas used by the paper's running examples. Figure 3/5/8 use
+// S1(A,B), S2(B,C), S3(A,C); the auction example uses item/bid.
+func s1() *stream.Schema {
+	return stream.MustSchema("S1",
+		stream.Attribute{Name: "A", Kind: stream.KindInt},
+		stream.Attribute{Name: "B", Kind: stream.KindInt})
+}
+func s2() *stream.Schema {
+	return stream.MustSchema("S2",
+		stream.Attribute{Name: "B", Kind: stream.KindInt},
+		stream.Attribute{Name: "C", Kind: stream.KindInt})
+}
+func s3() *stream.Schema {
+	return stream.MustSchema("S3",
+		stream.Attribute{Name: "A", Kind: stream.KindInt},
+		stream.Attribute{Name: "C", Kind: stream.KindInt})
+}
+
+// figure3Query is Example 2: acyclic chain S1.B=S2.B, S2.C=S3.C.
+func figure3Query(t *testing.T) *query.CJQ {
+	t.Helper()
+	q, err := query.NewBuilder().
+		AddStream(s1()).AddStream(s2()).AddStream(s3()).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Build()
+	if err != nil {
+		t.Fatalf("figure3Query: %v", err)
+	}
+	return q
+}
+
+// figure5Query adds the third predicate S3.A=S1.A, making the join graph
+// cyclic (Figure 5 and Figure 8 share this query).
+func figure5Query(t *testing.T) *query.CJQ {
+	t.Helper()
+	q, err := query.NewBuilder().
+		AddStream(s1()).AddStream(s2()).AddStream(s3()).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		Join("S3.A", "S1.A").
+		Build()
+	if err != nil {
+		t.Fatalf("figure5Query: %v", err)
+	}
+	return q
+}
+
+// figure5Schemes is Example 3's scheme set: (_,+) for S1, (_,+) for S2,
+// (+,_) for S3 — punctuations on S1.B, S2.C and S3.A.
+func figure5Schemes() *stream.SchemeSet {
+	return stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+	)
+}
+
+// figure8Schemes is §4.2's scheme set:
+// {S1(_,+), S2(+,_), S2(_,+), S3(+,+)}.
+func figure8Schemes() *stream.SchemeSet {
+	return stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, true),
+	)
+}
+
+// TestFigure5PG reproduces Example 3: the punctuation graph has exactly
+// the edges S2->S1 (via S1.B), S3->S2 (via S2.C) and S1->S3 (via S3.A),
+// and is strongly connected, so per Corollary 1 the 3-way MJoin is
+// purgeable.
+func TestFigure5PG(t *testing.T) {
+	q := figure5Query(t)
+	pg := BuildPG(q, figure5Schemes())
+
+	want := map[[2]int]bool{
+		{1, 0}: true, // S2 -> S1
+		{2, 1}: true, // S3 -> S2
+		{0, 2}: true, // S1 -> S3
+	}
+	got := make(map[[2]int]bool)
+	for _, e := range pg.Edges() {
+		got[[2]int{e.From, e.To}] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PG edges = %v, want %v", got, want)
+	}
+	for e := range want {
+		if !got[e] {
+			t.Errorf("missing PG edge %v", e)
+		}
+	}
+	if !pg.OperatorPurgeable() {
+		t.Errorf("Figure 5 operator should be purgeable (Corollary 1)")
+	}
+	for i := 0; i < 3; i++ {
+		if !pg.StreamPurgeable(i) {
+			t.Errorf("stream %d should be purgeable (Theorem 1)", i)
+		}
+	}
+}
+
+// TestFigure5Safety: Theorem 2 — the CJQ of Figure 5 is safe under
+// Example 3's schemes (its PG is strongly connected).
+func TestFigure5Safety(t *testing.T) {
+	q := figure5Query(t)
+	rep, err := Check(q, figure5Schemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe {
+		t.Fatalf("Figure 5 query should be safe; report:\n%s", rep.Explain(q))
+	}
+	for i, ok := range rep.StreamPurgeable {
+		if !ok {
+			t.Errorf("stream %d should be purgeable", i)
+		}
+		if rep.PurgePlans[i] == nil {
+			t.Errorf("stream %d should have a purge plan", i)
+		}
+	}
+}
+
+// TestFigure7BinaryTreeUnsafe reproduces Figure 7's point: for the very
+// same query and schemes, the sub-operator S1 x S2 (the lower binary join
+// of the tree plan) is not purgeable — there is no punctuation from S2 to
+// purge the tuples of S1.
+func TestFigure7BinaryTreeUnsafe(t *testing.T) {
+	q := figure5Query(t)
+	sub, mapping, err := q.Restrict([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != 2 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	pg := BuildPG(sub, figure5Schemes())
+	if pg.OperatorPurgeable() {
+		t.Fatalf("lower binary join S1 x S2 must NOT be purgeable (Figure 7)")
+	}
+	// Specifically: S2 -> S1 exists (S1.B punctuatable) but S1 -> S2 does
+	// not (S2.B is not punctuatable), so S1's state cannot be purged.
+	if !pg.StreamPurgeable(1) {
+		t.Errorf("S2's state in the binary join should be purgeable")
+	}
+	if pg.StreamPurgeable(0) {
+		t.Errorf("S1's state in the binary join must not be purgeable")
+	}
+}
+
+// TestFigure8PGNotStronglyConnected: under §4.2's schemes the plain PG is
+// not strongly connected (S3 only reaches inward; nothing reaches S3), so
+// Corollary 1 alone would wrongly flag the operator unsafe.
+func TestFigure8PG(t *testing.T) {
+	q := figure5Query(t)
+	pg := BuildPG(q, figure8Schemes())
+	want := map[[2]int]bool{
+		{1, 0}: true, // S2 -> S1 via S1(_,+)
+		{0, 1}: true, // S1 -> S2 via S2(+,_)
+		{2, 1}: true, // S3 -> S2 via S2(_,+)
+	}
+	got := make(map[[2]int]bool)
+	for _, e := range pg.Edges() {
+		got[[2]int{e.From, e.To}] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("PG edges = %v, want %v", got, want)
+	}
+	if pg.OperatorPurgeable() {
+		t.Fatalf("plain PG must not be strongly connected under Figure 8 schemes")
+	}
+	if pg.StreamPurgeable(0) || pg.StreamPurgeable(1) {
+		t.Errorf("S1/S2 must not be PG-purgeable (cannot reach S3 via plain edges)")
+	}
+	if !pg.StreamPurgeable(2) {
+		t.Errorf("S3 must be PG-purgeable (reaches S2 then S1)")
+	}
+}
+
+// TestFigure9GPG reproduces Example 4: the generalized punctuation graph
+// adds the generalized edge {S1,S2} -> S3 from scheme S3(+,+), making
+// every stream purgeable (Theorem 3) and the operator purgeable
+// (Corollary 2).
+func TestFigure9GPG(t *testing.T) {
+	q := figure5Query(t)
+	gpg := BuildGPG(q, figure8Schemes())
+
+	gens := gpg.GenEdges()
+	if len(gens) != 1 {
+		t.Fatalf("want exactly one generalized edge, got %d", len(gens))
+	}
+	ge := gens[0]
+	if ge.Head != 2 {
+		t.Errorf("generalized edge head = %d, want S3 (2)", ge.Head)
+	}
+	if len(ge.Attrs) != 2 {
+		t.Fatalf("generalized edge attrs = %v", ge.Attrs)
+	}
+	// Attribute A (position 0) joins S1; attribute C (position 1) joins S2.
+	if ge.Attrs[0].Attr != 0 || len(ge.Attrs[0].Partners) != 1 || ge.Attrs[0].Partners[0] != 0 {
+		t.Errorf("attr A partners = %+v, want [S1]", ge.Attrs[0])
+	}
+	if ge.Attrs[1].Attr != 1 || len(ge.Attrs[1].Partners) != 1 || ge.Attrs[1].Partners[0] != 1 {
+		t.Errorf("attr C partners = %+v, want [S2]", ge.Attrs[1])
+	}
+
+	for i := 0; i < 3; i++ {
+		if !gpg.StreamPurgeable(i) {
+			t.Errorf("stream %d should be GPG-purgeable (Theorem 3)", i)
+		}
+	}
+	if !gpg.StronglyConnected() {
+		t.Errorf("GPG should be strongly connected (Corollary 2)")
+	}
+}
+
+// TestFigure10TPG reproduces the Figure 10 transformation: round 1 merges
+// the {S1,S2} strongly connected component; round 2 gains the virtual
+// edges between {S1,S2} and S3 (scheme S3(+,+) has punctuatable
+// attributes joining only streams covered by the virtual node) and merges
+// everything; the result is a single virtual node, so per Theorem 5 the
+// query is safe.
+func TestFigure10TPG(t *testing.T) {
+	q := figure5Query(t)
+	tpg := Transform(q, figure8Schemes())
+	if !tpg.SingleNode() {
+		t.Fatalf("TPG must condense to a single node; trace:\n%s", tpg)
+	}
+	if len(tpg.Rounds) < 2 {
+		t.Fatalf("expected at least two transformation rounds, got %d:\n%s", len(tpg.Rounds), tpg)
+	}
+	r1 := tpg.Rounds[0]
+	if len(r1.Nodes) != 3 {
+		t.Fatalf("round 1 should start from 3 singleton nodes, got %v", r1.Nodes)
+	}
+	// Round 2 must contain a node covering exactly {S1,S2}.
+	r2 := tpg.Rounds[1]
+	found := false
+	for _, c := range r2.Nodes {
+		if len(c) == 2 && c[0] == 0 && c[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("round 2 should have virtual node {S1,S2}; got %v", r2.Nodes)
+	}
+	final := tpg.FinalNodes()
+	if len(final) != 1 || len(final[0]) != 3 {
+		t.Errorf("final partition = %v, want one node covering all three streams", final)
+	}
+}
+
+// TestFigure8Safety: Theorem 4 — the query is safe under the Figure 8
+// schemes even though its plain PG is not strongly connected.
+func TestFigure8Safety(t *testing.T) {
+	q := figure5Query(t)
+	rep, err := Check(q, figure8Schemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe {
+		t.Fatalf("Figure 8 query should be safe; report:\n%s", rep.Explain(q))
+	}
+	for i := range rep.StreamPurgeable {
+		if !rep.StreamPurgeable[i] {
+			t.Errorf("stream %d should be purgeable", i)
+		}
+	}
+}
+
+// TestAuctionExample reproduces Example 1/the introduction: item(sellerid,
+// itemid, name, initialprice) joined with bid(bidderid, itemid, increase)
+// on itemid.
+func TestAuctionExample(t *testing.T) {
+	item := stream.MustSchema("item",
+		stream.Attribute{Name: "sellerid", Kind: stream.KindInt},
+		stream.Attribute{Name: "itemid", Kind: stream.KindInt},
+		stream.Attribute{Name: "name", Kind: stream.KindString},
+		stream.Attribute{Name: "initialprice", Kind: stream.KindFloat})
+	bid := stream.MustSchema("bid",
+		stream.Attribute{Name: "bidderid", Kind: stream.KindInt},
+		stream.Attribute{Name: "itemid", Kind: stream.KindInt},
+		stream.Attribute{Name: "increase", Kind: stream.KindFloat})
+	q, err := query.NewBuilder().
+		AddStream(item).AddStream(bid).
+		JoinOn("item", "bid", "itemid").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("both schemes safe", func(t *testing.T) {
+		// Punctuations on item.itemid (each itemid unique -> item punctuates
+		// after the item tuple) and on bid.itemid (auction closed).
+		schemes := stream.NewSchemeSet(
+			stream.MustScheme("item", false, true, false, false),
+			stream.MustScheme("bid", false, true, false),
+		)
+		rep, err := Check(q, schemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Safe {
+			t.Fatalf("auction query should be safe:\n%s", rep.Explain(q))
+		}
+	})
+
+	t.Run("bidderid scheme only is unsafe", func(t *testing.T) {
+		// §1: "if the punctuation scheme shows that there are only
+		// punctuations on bidderid from bid stream, then the item stream
+		// in the above query can never be purged."
+		schemes := stream.NewSchemeSet(
+			stream.MustScheme("bid", true, false, false),
+		)
+		rep, err := Check(q, schemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Safe {
+			t.Fatalf("auction query must be unsafe with bidderid-only punctuation")
+		}
+		if rep.StreamPurgeable[0] {
+			t.Errorf("item state must not be purgeable")
+		}
+	})
+
+	t.Run("bid scheme only", func(t *testing.T) {
+		// Only "auction closed" punctuations on bid.itemid: item tuples can
+		// be purged, but bid tuples cannot (no punctuation from item), so
+		// the query is unsafe.
+		schemes := stream.NewSchemeSet(
+			stream.MustScheme("bid", false, true, false),
+		)
+		rep, err := Check(q, schemes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Safe {
+			t.Fatalf("query must be unsafe with bid-side punctuation only")
+		}
+		if !rep.StreamPurgeable[0] {
+			t.Errorf("item state should be purgeable (bid punctuates itemid)")
+		}
+		if rep.StreamPurgeable[1] {
+			t.Errorf("bid state must not be purgeable")
+		}
+	})
+}
+
+// TestFigure3ChainSchemes exercises the §3.2 motivating example: purging
+// S1's state on the acyclic chain needs punctuations on S2.B and S3.C.
+func TestFigure3ChainSchemes(t *testing.T) {
+	q := figure3Query(t)
+	// Punctuations on S2.B and S3.C: S1 can purge via the chain, but S2
+	// and S3 cannot be purged (no punctuations on S1.B or S2.C).
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S3", false, true),
+	)
+	gpg := BuildGPG(q, schemes)
+	if !gpg.StreamPurgeable(0) {
+		t.Errorf("S1 should be purgeable by chaining S2.B then S3.C punctuations")
+	}
+	if gpg.StreamPurgeable(1) {
+		t.Errorf("S2 must not be purgeable")
+	}
+	if gpg.StreamPurgeable(2) {
+		t.Errorf("S3 must not be purgeable")
+	}
+	rep, err := Check(q, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Safe {
+		t.Errorf("chain query must be unsafe overall")
+	}
+	// The purge plan witness for S1 must punctuate S2 before S3 (the
+	// chained purge strategy's order).
+	plan := gpg.PurgePlan(0)
+	if plan == nil {
+		t.Fatal("expected a purge plan for S1")
+	}
+	if len(plan.Steps) != 2 || plan.Steps[0].Stream != 1 || plan.Steps[1].Stream != 2 {
+		t.Errorf("purge plan steps = %+v, want S2 then S3", plan.Steps)
+	}
+}
+
+// TestUnusableScheme: a scheme punctuating a non-join attribute
+// contributes nothing (finitely many instantiations cannot cover the
+// attribute's infinite domain).
+func TestUnusableScheme(t *testing.T) {
+	q := figure3Query(t)
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S1", true, false), // S1.A is not a join attribute here
+	)
+	gpg := BuildGPG(q, schemes)
+	if len(gpg.PG().Edges()) != 0 || len(gpg.GenEdges()) != 0 {
+		t.Errorf("scheme on non-join attribute must not create edges")
+	}
+	if len(gpg.UsefulSchemes()) != 0 {
+		t.Errorf("scheme must be reported as not useful")
+	}
+	// Multi-attribute scheme with one non-join attribute is also unusable.
+	schemes2 := stream.NewSchemeSet(
+		stream.MustScheme("S1", true, true), // A not a join attr, B is
+	)
+	gpg2 := BuildGPG(q, schemes2)
+	if len(gpg2.GenEdges()) != 0 {
+		t.Errorf("partially-joinable multi-attribute scheme must be unusable")
+	}
+}
+
+// TestMultiAttrSchemeSameStream: a multi-attribute scheme whose
+// punctuatable attributes all join the same partner behaves like a plain
+// edge (the §3.1 conjunctive binary case).
+func TestMultiAttrSchemeSameStream(t *testing.T) {
+	a := stream.MustSchema("L",
+		stream.Attribute{Name: "X", Kind: stream.KindInt},
+		stream.Attribute{Name: "Y", Kind: stream.KindInt})
+	b := stream.MustSchema("R",
+		stream.Attribute{Name: "X", Kind: stream.KindInt},
+		stream.Attribute{Name: "Y", Kind: stream.KindInt})
+	q, err := query.NewBuilder().
+		AddStream(a).AddStream(b).
+		Join("L.X", "R.X").
+		Join("L.Y", "R.Y").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("L", true, true),
+		stream.MustScheme("R", true, true),
+	)
+	rep, err := Check(q, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe {
+		t.Fatalf("conjunctive binary join with both-side schemes should be safe:\n%s", rep.Explain(q))
+	}
+}

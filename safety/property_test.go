@@ -1,0 +1,244 @@
+package safety
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// randomInstance builds a random connected CJQ and scheme set. Streams
+// have 2-4 integer attributes; the join graph is a random spanning tree
+// plus a few extra edges; each stream gets 0-2 random schemes (some
+// multi-attribute, some over non-join attributes so unusable schemes are
+// exercised too).
+func randomInstance(rng *rand.Rand) (*query.CJQ, *stream.SchemeSet) {
+	n := 2 + rng.Intn(6) // 2..7 streams
+	schemas := make([]*stream.Schema, n)
+	for i := range schemas {
+		arity := 2 + rng.Intn(3)
+		attrs := make([]stream.Attribute, arity)
+		for j := range attrs {
+			attrs[j] = stream.Attribute{Name: fmt.Sprintf("a%d", j), Kind: stream.KindInt}
+		}
+		schemas[i] = stream.MustSchema(fmt.Sprintf("S%d", i), attrs...)
+	}
+
+	var preds []query.Predicate
+	// Spanning tree to guarantee connectivity.
+	perm := rng.Perm(n)
+	for k := 1; k < n; k++ {
+		u := perm[rng.Intn(k)]
+		v := perm[k]
+		preds = append(preds, randomPredicate(rng, schemas, u, v))
+	}
+	// Extra random edges.
+	extra := rng.Intn(n)
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		preds = append(preds, randomPredicate(rng, schemas, u, v))
+	}
+
+	q, err := query.NewCJQ(schemas, preds)
+	if err != nil {
+		panic(err) // spanning tree guarantees validity
+	}
+
+	set := stream.NewSchemeSet()
+	for i := 0; i < n; i++ {
+		for s := rng.Intn(3); s > 0; s-- {
+			arity := schemas[i].Arity()
+			mask := make([]bool, arity)
+			// Bias toward punctuating join attributes so safe instances occur.
+			ja := q.JoinAttrs(i)
+			if len(ja) > 0 && rng.Intn(4) != 0 {
+				mask[ja[rng.Intn(len(ja))]] = true
+			} else {
+				mask[rng.Intn(arity)] = true
+			}
+			if rng.Intn(3) == 0 { // sometimes multi-attribute
+				mask[rng.Intn(arity)] = true
+			}
+			set.Add(stream.MustScheme(schemas[i].Name(), mask...))
+		}
+	}
+	return q, set
+}
+
+func randomPredicate(rng *rand.Rand, schemas []*stream.Schema, u, v int) query.Predicate {
+	return query.Predicate{
+		Left:      u,
+		LeftAttr:  rng.Intn(schemas[u].Arity()),
+		Right:     v,
+		RightAttr: rng.Intn(schemas[v].Arity()),
+	}
+}
+
+// TestTheorem5Property: on random instances, the polynomial-time TPG
+// verdict must coincide with the naive GPG strong-connection fixpoint
+// (Theorem 5), and the hypergraph expansion must agree with the GPG's
+// AND-OR reachability.
+func TestTheorem5Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(20060912)) // VLDB'06 opening day
+	safeSeen, unsafeSeen := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		q, set := randomInstance(rng)
+		gpg := BuildGPG(q, set)
+		tpg := Transform(q, set)
+		naive := gpg.StronglyConnected()
+		fast := tpg.SingleNode()
+		if naive != fast {
+			t.Fatalf("trial %d: GPG strongly connected=%v but TPG single node=%v\nquery: %s\nschemes: %s\nTPG trace:\n%s",
+				trial, naive, fast, q, set, tpg)
+		}
+		if naive {
+			safeSeen++
+		} else {
+			unsafeSeen++
+		}
+	}
+	if safeSeen == 0 || unsafeSeen == 0 {
+		t.Fatalf("degenerate sample: safe=%d unsafe=%d — generator needs rebalancing", safeSeen, unsafeSeen)
+	}
+	t.Logf("checked 3000 random instances: %d safe, %d unsafe", safeSeen, unsafeSeen)
+}
+
+// TestHyperExpansionAgrees: GPG AND-OR reachability must agree with the
+// exhaustive hyperedge expansion for every source stream.
+func TestHyperExpansionAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		q, set := randomInstance(rng)
+		gpg := BuildGPG(q, set)
+		h := gpg.Hyper()
+		for i := 0; i < q.N(); i++ {
+			a := gpg.ReachableFrom(i)
+			b := h.ReachableFrom(i)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("trial %d: reach(%d)[%d] GPG=%v hyper=%v\nquery %s schemes %s",
+						trial, i, j, a[j], b[j], q, set)
+				}
+			}
+		}
+	}
+}
+
+// TestSchemeMonotonicity: adding punctuation schemes can only help —
+// a safe query stays safe, and per-stream purgeability never degrades.
+func TestSchemeMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 800; trial++ {
+		q, set := randomInstance(rng)
+		before := BuildGPG(q, set)
+		grown := set.Clone()
+		// Add one random scheme on a random stream.
+		i := rng.Intn(q.N())
+		arity := q.Stream(i).Arity()
+		mask := make([]bool, arity)
+		mask[rng.Intn(arity)] = true
+		grown.Add(stream.MustScheme(q.Stream(i).Name(), mask...))
+		after := BuildGPG(q, grown)
+		for s := 0; s < q.N(); s++ {
+			if before.StreamPurgeable(s) && !after.StreamPurgeable(s) {
+				t.Fatalf("trial %d: stream %d purgeability lost after adding a scheme", trial, s)
+			}
+		}
+		if Transform(q, set).SingleNode() && !Transform(q, grown).SingleNode() {
+			t.Fatalf("trial %d: safety lost after adding a scheme", trial)
+		}
+	}
+}
+
+// TestAllJoinAttrsPunctuatedIsSafe: when every stream punctuates every
+// one of its join attributes (each as its own simple scheme), every
+// predicate contributes edges in both directions, so the PG is strongly
+// connected whenever the join graph is connected — the query must be safe.
+func TestAllJoinAttrsPunctuatedIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		q, _ := randomInstance(rng)
+		set := stream.NewSchemeSet()
+		for i := 0; i < q.N(); i++ {
+			for _, a := range q.JoinAttrs(i) {
+				mask := make([]bool, q.Stream(i).Arity())
+				mask[a] = true
+				set.Add(stream.MustScheme(q.Stream(i).Name(), mask...))
+			}
+		}
+		rep, err := Check(q, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Safe {
+			t.Fatalf("trial %d: fully punctuated query must be safe\n%s", trial, rep.Explain(q))
+		}
+	}
+}
+
+// TestNoSchemesIsUnsafe: with an empty scheme set no join state can ever
+// be purged, so every query is unsafe.
+func TestNoSchemesIsUnsafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		q, _ := randomInstance(rng)
+		rep, err := Check(q, stream.NewSchemeSet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Safe {
+			t.Fatalf("trial %d: query with no schemes must be unsafe", trial)
+		}
+		for i, ok := range rep.StreamPurgeable {
+			if ok {
+				t.Fatalf("trial %d: stream %d cannot be purgeable with no schemes", trial, i)
+			}
+		}
+	}
+}
+
+// TestPurgePlanCoversAllStreams: every purge plan for a purgeable stream
+// must cover all other streams exactly once, with sources already covered
+// at the time of each step (the chained purge invariant).
+func TestPurgePlanCoversAllStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 800; trial++ {
+		q, set := randomInstance(rng)
+		gpg := BuildGPG(q, set)
+		for i := 0; i < q.N(); i++ {
+			if !gpg.StreamPurgeable(i) {
+				if gpg.PurgePlan(i) != nil {
+					t.Fatalf("trial %d: non-purgeable stream %d must have nil plan", trial, i)
+				}
+				continue
+			}
+			plan := gpg.PurgePlan(i)
+			if plan == nil {
+				t.Fatalf("trial %d: purgeable stream %d must have a plan", trial, i)
+			}
+			covered := map[int]bool{i: true}
+			for _, st := range plan.Steps {
+				if covered[st.Stream] {
+					t.Fatalf("trial %d: stream %d covered twice in plan for %d", trial, st.Stream, i)
+				}
+				for _, src := range st.Sources {
+					if !covered[src] {
+						t.Fatalf("trial %d: step for %d uses uncovered source %d", trial, st.Stream, src)
+					}
+				}
+				if len(st.Sources) != len(st.Attrs) {
+					t.Fatalf("trial %d: step sources/attrs mismatch: %+v", trial, st)
+				}
+				covered[st.Stream] = true
+			}
+			if len(covered) != q.N() {
+				t.Fatalf("trial %d: plan for %d covers %d of %d streams", trial, i, len(covered), q.N())
+			}
+		}
+	}
+}

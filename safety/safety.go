@@ -1,0 +1,151 @@
+// Package safety implements the paper's core contribution: compile-time
+// safety checking of continuous join queries (CJQs) under punctuation
+// semantics.
+//
+// Given a CJQ and a punctuation scheme set ℜ, the checker decides whether
+// the query admits an execution plan whose every join operator can keep
+// its join states finite using only punctuations that instantiate schemes
+// in ℜ. The machinery follows the paper exactly:
+//
+//   - PG, the punctuation graph (Definition 7), covers schemes with a
+//     single punctuatable attribute. Theorem 1 / Corollary 1: a stream's
+//     join state is purgeable iff the stream reaches every other node;
+//     an operator is purgeable iff the PG is strongly connected.
+//   - GPG, the generalized punctuation graph (Definitions 8-10), adds
+//     generalized (AND-)edges for schemes with several punctuatable
+//     attributes. Theorems 3/4 restate purgeability and query safety in
+//     terms of generalized reachability.
+//   - TPG, the transformed punctuation graph (Definition 11), is the
+//     practical polynomial-time algorithm: iterated strongly-connected-
+//     component condensation with virtual-edge promotion. Theorem 5: the
+//     GPG is strongly connected iff the TPG condenses to a single node.
+//
+// Check is the front door; it returns a Report with the verdict, the
+// per-stream purgeability, purge-plan witnesses for safe streams, and a
+// human-readable explanation for unsafe ones.
+package safety
+
+import (
+	"fmt"
+	"strings"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Report is the full result of safety-checking one CJQ against a
+// punctuation scheme set.
+type Report struct {
+	// Safe is the query-level verdict (Theorem 4 via Theorem 5): true iff
+	// the generalized punctuation graph is strongly connected, i.e. there
+	// exists at least one safe execution plan.
+	Safe bool
+	// StreamPurgeable[i] is the Theorem 3 verdict for stream i: whether
+	// the join state of stream i (in the all-streams MJoin) is purgeable.
+	StreamPurgeable []bool
+	// UsefulSchemes are the schemes in ℜ that contribute at least one
+	// edge to the generalized punctuation graph; the rest are irrelevant
+	// to this query and need not be processed at runtime (§1, reason 2).
+	UsefulSchemes []stream.Scheme
+	// PurgePlans[i] is a witness purge strategy for stream i (only for
+	// purgeable streams): the chained purge order rooted at i.
+	PurgePlans []*PurgePlan
+	// Unreachable[i] lists, for a non-purgeable stream i, the streams it
+	// cannot reach in the GPG — the R̄ set from Theorem 1's proof. New
+	// tuples on those streams can forever join with stored tuples of i.
+	Unreachable [][]int
+	// TPG is the transformed punctuation graph trace that produced the
+	// verdict (useful for explanation and for the cmd/punctcheck tool).
+	TPG *TPG
+}
+
+// Check runs the full safety analysis of q under schemes.
+func Check(q *query.CJQ, schemes *stream.SchemeSet) (*Report, error) {
+	if q == nil {
+		return nil, fmt.Errorf("safety: nil query")
+	}
+	if schemes == nil {
+		schemes = stream.NewSchemeSet()
+	}
+	if err := validateSchemes(q, schemes); err != nil {
+		return nil, err
+	}
+	gpg := BuildGPG(q, schemes)
+	tpg := Transform(q, schemes)
+
+	rep := &Report{
+		Safe:            tpg.SingleNode(),
+		StreamPurgeable: make([]bool, q.N()),
+		UsefulSchemes:   gpg.UsefulSchemes(),
+		PurgePlans:      make([]*PurgePlan, q.N()),
+		Unreachable:     make([][]int, q.N()),
+		TPG:             tpg,
+	}
+	for i := 0; i < q.N(); i++ {
+		reach := gpg.ReachableFrom(i)
+		all := true
+		for j, ok := range reach {
+			if !ok {
+				all = false
+				rep.Unreachable[i] = append(rep.Unreachable[i], j)
+			}
+		}
+		rep.StreamPurgeable[i] = all
+		if all {
+			rep.PurgePlans[i] = gpg.PurgePlan(i)
+		}
+	}
+	return rep, nil
+}
+
+// validateSchemes checks that every scheme naming a stream of the query
+// matches that stream's schema arity. Schemes for streams outside the
+// query are permitted (the register holds schemes for the whole system).
+func validateSchemes(q *query.CJQ, schemes *stream.SchemeSet) error {
+	for i := 0; i < q.N(); i++ {
+		sc := q.Stream(i)
+		for _, s := range schemes.ForStream(sc.Name()) {
+			if err := s.Validate(sc); err != nil {
+				return fmt.Errorf("safety: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Explain renders the report as human-readable text, naming streams.
+func (r *Report) Explain(q *query.CJQ) string {
+	var b strings.Builder
+	if r.Safe {
+		fmt.Fprintf(&b, "SAFE: %s admits a safe execution plan (GPG strongly connected; TPG condensed in %d round(s)).\n",
+			q, len(r.TPG.Rounds))
+	} else {
+		fmt.Fprintf(&b, "UNSAFE: %s has no safe execution plan under the given punctuation schemes.\n", q)
+	}
+	for i := 0; i < q.N(); i++ {
+		name := q.Stream(i).Name()
+		if r.StreamPurgeable[i] {
+			fmt.Fprintf(&b, "  %s: purgeable\n", name)
+			if p := r.PurgePlans[i]; p != nil {
+				for _, st := range p.Steps {
+					fmt.Fprintf(&b, "    %s\n", st.Describe(q))
+				}
+			}
+		} else {
+			var blocked []string
+			for _, j := range r.Unreachable[i] {
+				blocked = append(blocked, q.Stream(j).Name())
+			}
+			fmt.Fprintf(&b, "  %s: NOT purgeable — no punctuation chain covers new tuples on {%s}\n",
+				name, strings.Join(blocked, ", "))
+		}
+	}
+	if len(r.UsefulSchemes) > 0 {
+		var us []string
+		for _, s := range r.UsefulSchemes {
+			us = append(us, s.String())
+		}
+		fmt.Fprintf(&b, "  useful schemes: %s\n", strings.Join(us, ", "))
+	}
+	return b.String()
+}

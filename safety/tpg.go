@@ -1,0 +1,201 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"punctsafe/internal/graph"
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// TPG is the transformed punctuation graph of Definition 11: the practical
+// polynomial-time safety checking construct. The transformation repeatedly
+// (i) finds strongly connected components, (ii) merges each non-trivial
+// component into a virtual node, and (iii) rebuilds directed edges between
+// the (virtual) nodes — promoting the original edges and adding virtual
+// edges for punctuation schemes whose punctuatable attributes all join
+// into a single (virtual) node — until either a single virtual node
+// remains or no non-trivial component exists.
+//
+// Theorem 5: the query's GPG is strongly connected iff the transformation
+// terminates with a single node, so TPG.SingleNode() is the query safety
+// verdict (Theorem 4) computed in polynomial time: at most n-1 rounds,
+// each a linear-time SCC pass plus an edge rebuild linear in the total
+// partner-list size of the usable schemes.
+type TPG struct {
+	q *query.CJQ
+	// Rounds traces the transformation; Rounds[len-1] is the final state.
+	Rounds []TPGRound
+}
+
+// TPGRound is the state of the transformed graph at the start of one
+// transformation round: the node partition and the directed edges derived
+// for it (by promotion and virtual-edge construction).
+type TPGRound struct {
+	// Nodes[i] is the set of original stream indices covered by (virtual)
+	// node i, ascending. Singleton sets are raw stream nodes.
+	Nodes [][]int
+	// Edges are the directed edges between node indices in this round.
+	Edges [][2]int
+	// Merged reports whether this round found a non-trivial strongly
+	// connected component (and therefore a further round follows).
+	Merged bool
+}
+
+// usableScheme is one scheme admissible for purging: every punctuatable
+// attribute is a join attribute of its stream within the query.
+type usableScheme struct {
+	scheme stream.Scheme
+	// partners[k] lists the streams joined with the k-th punctuatable
+	// attribute.
+	partners [][]int
+}
+
+// Transform runs the Definition 11 procedure for q under the scheme set.
+func Transform(q *query.CJQ, schemes *stream.SchemeSet) *TPG {
+	t := &TPG{q: q}
+	n := q.N()
+
+	schemesByStream := make([][]usableScheme, n)
+	for i := 0; i < n; i++ {
+		for _, s := range schemes.ForStream(q.Stream(i).Name()) {
+			us := usableScheme{scheme: s}
+			ok := true
+			for _, a := range s.PunctuatableIndexes() {
+				partners := q.JoinPartners(i, a)
+				if len(partners) == 0 {
+					ok = false
+					break
+				}
+				us.partners = append(us.partners, partners)
+			}
+			if ok {
+				schemesByStream[i] = append(schemesByStream[i], us)
+			}
+		}
+	}
+
+	// partition: node id per stream.
+	nodeOf := make([]int, n)
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	nNodes := n
+
+	// Generation-stamped scratch arrays for the per-scheme tail-set
+	// intersection (avoids per-round allocations and map lookups).
+	stamp := make([]int, n)
+	cnt := make([]int, n)
+	hits := make([]int, 0, n)
+	gen := 0
+
+	for {
+		covers := make([][]int, nNodes)
+		for s, nd := range nodeOf {
+			covers[nd] = append(covers[nd], s)
+		}
+		// Stream indices are scanned in order, so covers come out sorted.
+
+		// Edge rebuild: for every usable scheme on stream s (node V), add
+		// U -> V for every other node U that alone supplies purge
+		// constants for all punctuatable attributes — i.e. U holds a join
+		// partner of every punctuatable attribute. This subsumes directed
+		// edge promotion (simple schemes, Definition 11(i)) and virtual
+		// directed edge construction (Definition 11(ii)).
+		g := graph.NewDigraph(nNodes)
+		var edges [][2]int
+		for s := 0; s < n; s++ {
+			v := nodeOf[s]
+			for _, us := range schemesByStream[s] {
+				gen++
+				hits = hits[:0]
+				for k, partners := range us.partners {
+					for _, p := range partners {
+						nd := nodeOf[p]
+						if k == 0 {
+							if stamp[nd] != gen {
+								stamp[nd] = gen
+								cnt[nd] = 1
+								hits = append(hits, nd)
+							}
+						} else if stamp[nd] == gen && cnt[nd] == k {
+							cnt[nd] = k + 1
+						}
+					}
+				}
+				m := len(us.partners)
+				for _, nd := range hits {
+					if nd != v && cnt[nd] == m && !g.HasEdge(nd, v) {
+						g.AddEdge(nd, v)
+						edges = append(edges, [2]int{nd, v})
+					}
+				}
+			}
+		}
+
+		round := TPGRound{Nodes: covers, Edges: edges}
+		comp, count := g.SCC()
+		if count == nNodes || nNodes <= 1 {
+			// No non-trivial strongly connected component: terminate.
+			t.Rounds = append(t.Rounds, round)
+			return t
+		}
+		round.Merged = true
+		t.Rounds = append(t.Rounds, round)
+
+		// Merge: streams move to their node's component id.
+		for s := range nodeOf {
+			nodeOf[s] = comp[nodeOf[s]]
+		}
+		nNodes = count
+	}
+}
+
+// SingleNode reports whether the transformation condensed the query to a
+// single virtual node — per Theorem 5, exactly when the GPG is strongly
+// connected, i.e. the query is safe (Theorem 4).
+func (t *TPG) SingleNode() bool {
+	final := t.Rounds[len(t.Rounds)-1]
+	return len(final.Nodes) == 1
+}
+
+// FinalNodes returns the node partition the transformation terminated
+// with: one entry per surviving (virtual) node, covering original stream
+// indices.
+func (t *TPG) FinalNodes() [][]int {
+	final := t.Rounds[len(t.Rounds)-1]
+	out := make([][]int, len(final.Nodes))
+	for i, c := range final.Nodes {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}
+
+// String renders the transformation trace with stream names.
+func (t *TPG) String() string {
+	var b strings.Builder
+	for r, round := range t.Rounds {
+		fmt.Fprintf(&b, "round %d:", r+1)
+		for i, c := range round.Nodes {
+			var names []string
+			for _, s := range c {
+				names = append(names, t.q.Stream(s).Name())
+			}
+			fmt.Fprintf(&b, " N%d{%s}", i, strings.Join(names, ","))
+		}
+		edges := append([][2]int(nil), round.Edges...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		for _, e := range edges {
+			fmt.Fprintf(&b, " N%d->N%d", e[0], e[1])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

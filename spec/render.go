@@ -1,0 +1,61 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Render serializes a query and scheme set back into the spec text
+// format, such that Parse(Render(q, schemes)) reproduces them. Schemes
+// for streams outside the query are omitted (they could not be validated
+// against a declared schema).
+func Render(q *query.CJQ, schemes *stream.SchemeSet) string {
+	var b strings.Builder
+	for i := 0; i < q.N(); i++ {
+		sc := q.Stream(i)
+		b.WriteString("stream ")
+		b.WriteString(sc.Name())
+		b.WriteByte('(')
+		for a := 0; a < sc.Arity(); a++ {
+			if a > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s:%s", sc.Attr(a).Name, sc.Attr(a).Kind)
+		}
+		b.WriteString(")\n")
+	}
+	for _, p := range q.Predicates() {
+		ls, rs := q.Stream(p.Left), q.Stream(p.Right)
+		fmt.Fprintf(&b, "join %s.%s = %s.%s\n",
+			ls.Name(), ls.Attr(p.LeftAttr).Name, rs.Name(), rs.Attr(p.RightAttr).Name)
+	}
+	if schemes != nil {
+		for i := 0; i < q.N(); i++ {
+			name := q.Stream(i).Name()
+			for _, s := range schemes.ForStream(name) {
+				b.WriteString("scheme ")
+				b.WriteString(name)
+				b.WriteByte('(')
+				oi := s.OrderedIndex()
+				for a, p := range s.Punctuatable {
+					if a > 0 {
+						b.WriteString(", ")
+					}
+					switch {
+					case a == oi:
+						b.WriteByte('<')
+					case p:
+						b.WriteByte('+')
+					default:
+						b.WriteByte('_')
+					}
+				}
+				b.WriteString(")\n")
+			}
+		}
+	}
+	return b.String()
+}

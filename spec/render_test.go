@@ -1,0 +1,107 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"punctsafe/safety"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+func TestRenderRoundTripFigure5(t *testing.T) {
+	sp, err := ParseString(fig5Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Render(sp.Query, sp.Schemes)
+	again, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, text)
+	}
+	if again.Query.String() != sp.Query.String() {
+		t.Fatalf("query round trip:\n%s\nvs\n%s", again.Query, sp.Query)
+	}
+	if again.Schemes.String() != sp.Schemes.String() {
+		t.Fatalf("schemes round trip: %s vs %s", again.Schemes, sp.Schemes)
+	}
+}
+
+// TestRenderRoundTripRandom: on random synthetic queries (including
+// ordered schemes), Parse(Render(x)) preserves the query structure, the
+// scheme set, and — the property that matters — the safety verdict.
+func TestRenderRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	topos := []workload.Topology{workload.Chain, workload.Cycle, workload.Star, workload.Clique}
+	for trial := 0; trial < 150; trial++ {
+		q, err := workload.SyntheticQuery(topos[rng.Intn(len(topos))], 2+rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes := stream.NewSchemeSet()
+		for i := 0; i < q.N(); i++ {
+			ja := q.JoinAttrs(i)
+			for _, a := range ja {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				mask := make([]bool, q.Stream(i).Arity())
+				mask[a] = true
+				if rng.Intn(4) == 0 {
+					ordered := make([]bool, len(mask))
+					ordered[a] = true
+					schemes.Add(stream.MustOrderedScheme(q.Stream(i).Name(), mask, ordered))
+				} else {
+					schemes.Add(stream.MustScheme(q.Stream(i).Name(), mask...))
+				}
+			}
+		}
+		text := Render(q, schemes)
+		sp, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		if got, want := sp.Query.String(), q.String(); got != want {
+			t.Fatalf("trial %d: query %s != %s", trial, got, want)
+		}
+		if got, want := sp.Schemes.String(), schemes.String(); got != want {
+			t.Fatalf("trial %d: schemes %s != %s", trial, got, want)
+		}
+		before := safety.Transform(q, schemes).SingleNode()
+		after := safety.Transform(sp.Query, sp.Schemes).SingleNode()
+		if before != after {
+			t.Fatalf("trial %d: verdict flipped through render/parse", trial)
+		}
+	}
+}
+
+func TestRenderMatchesQueryShape(t *testing.T) {
+	q := workload.AuctionQuery()
+	text := Render(q, workload.AuctionSchemes())
+	for _, want := range []string{
+		"stream item(sellerid:int, itemid:int, name:string, initialprice:float)",
+		"stream bid(bidderid:int, itemid:int, increase:float)",
+		"join item.itemid = bid.itemid",
+		"scheme item(_, +, _, _)",
+		"scheme bid(_, +, _)",
+	} {
+		if !contains(text, want) {
+			t.Errorf("rendered spec missing %q:\n%s", want, text)
+		}
+	}
+	// Ordered schemes render with '<'.
+	sq := workload.SensorQuery()
+	stext := Render(sq, workload.SensorSchemes())
+	if !contains(stext, "scheme temp(<, _)") {
+		t.Errorf("ordered scheme rendering:\n%s", stext)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+// Package spec parses the textual description format used by the command
+// line tools to declare streams, join predicates and punctuation schemes.
+//
+// The format is line based; '#' starts a comment. Three directives:
+//
+//	stream <name>(<attr>:<kind>, ...)     kind: int | float | string
+//	join   <stream>.<attr> = <stream>.<attr>
+//	scheme <name>(<mask>)                 mask: '+' punctuatable, '_' not
+//
+// Example (the paper's Figure 5):
+//
+//	stream S1(A:int, B:int)
+//	stream S2(B:int, C:int)
+//	stream S3(A:int, C:int)
+//	join S1.B = S2.B
+//	join S2.C = S3.C
+//	join S3.A = S1.A
+//	scheme S1(_, +)
+//	scheme S2(_, +)
+//	scheme S3(+, _)
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Spec is a parsed query description.
+type Spec struct {
+	Query   *query.CJQ
+	Schemes *stream.SchemeSet
+}
+
+// Parse reads a spec document.
+func Parse(r io.Reader) (*Spec, error) {
+	b := query.NewBuilder()
+	schemes := stream.NewSchemeSet()
+	schemas := make(map[string]*stream.Schema)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	sawJoin := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		directive, rest, ok := cutSpace(line)
+		if !ok {
+			return nil, fmt.Errorf("spec: line %d: missing arguments", lineNo)
+		}
+		switch directive {
+		case "stream":
+			s, err := parseStream(rest)
+			if err != nil {
+				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+			}
+			if _, dup := schemas[s.Name()]; dup {
+				return nil, fmt.Errorf("spec: line %d: stream %q declared twice", lineNo, s.Name())
+			}
+			schemas[s.Name()] = s
+			b.AddStream(s)
+		case "join":
+			left, right, err := parseJoin(rest)
+			if err != nil {
+				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+			}
+			b.Join(left, right)
+			sawJoin = true
+		case "scheme":
+			name, mask, err := parseSchemeRef(rest)
+			if err != nil {
+				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+			}
+			sch, ok := schemas[name]
+			if !ok {
+				return nil, fmt.Errorf("spec: line %d: scheme for undeclared stream %q", lineNo, name)
+			}
+			s, err := stream.ParseScheme(name, mask)
+			if err != nil {
+				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+			}
+			if err := s.Validate(sch); err != nil {
+				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+			}
+			schemes.Add(s)
+		default:
+			return nil, fmt.Errorf("spec: line %d: unknown directive %q", lineNo, directive)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawJoin {
+		return nil, fmt.Errorf("spec: no join predicates declared")
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return &Spec{Query: q, Schemes: schemes}, nil
+}
+
+// ParseString parses a spec document from a string.
+func ParseString(s string) (*Spec, error) { return Parse(strings.NewReader(s)) }
+
+func cutSpace(s string) (first, rest string, ok bool) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimSpace(s[i+1:]), true
+}
+
+// parseStream parses "Name(attr:kind, ...)".
+func parseStream(s string) (*stream.Schema, error) {
+	name, body, err := splitParens(s)
+	if err != nil {
+		return nil, err
+	}
+	var attrs []stream.Attribute
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty attribute in %q", s)
+		}
+		col := strings.SplitN(part, ":", 2)
+		if len(col) != 2 {
+			return nil, fmt.Errorf("attribute %q is not name:kind", part)
+		}
+		kind, err := parseKind(strings.TrimSpace(col[1]))
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, stream.Attribute{Name: strings.TrimSpace(col[0]), Kind: kind})
+	}
+	return stream.NewSchema(name, attrs...)
+}
+
+func parseKind(s string) (stream.Kind, error) {
+	switch s {
+	case "int":
+		return stream.KindInt, nil
+	case "float":
+		return stream.KindFloat, nil
+	case "string":
+		return stream.KindString, nil
+	default:
+		return stream.KindInvalid, fmt.Errorf("unknown kind %q", s)
+	}
+}
+
+// parseJoin parses "A.x = B.y".
+func parseJoin(s string) (left, right string, err error) {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("join %q is not of the form A.x = B.y", s)
+	}
+	left = strings.TrimSpace(parts[0])
+	right = strings.TrimSpace(parts[1])
+	if !strings.Contains(left, ".") || !strings.Contains(right, ".") {
+		return "", "", fmt.Errorf("join %q references must be Stream.Attr", s)
+	}
+	return left, right, nil
+}
+
+// parseSchemeRef parses "Name(mask)".
+func parseSchemeRef(s string) (name, mask string, err error) {
+	name, body, err := splitParens(s)
+	if err != nil {
+		return "", "", err
+	}
+	return name, body, nil
+}
+
+func splitParens(s string) (head, body string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("%q is not of the form Name(...)", s)
+	}
+	return strings.TrimSpace(s[:open]), s[open+1 : len(s)-1], nil
+}

@@ -1,0 +1,85 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"punctsafe/safety"
+)
+
+const fig5Spec = `
+# The paper's Figure 5.
+stream S1(A:int, B:int)
+stream S2(B:int, C:int)
+stream S3(A:int, C:int)
+join S1.B = S2.B
+join S2.C = S3.C
+join S3.A = S1.A
+scheme S1(_, +)
+scheme S2(_, +)
+scheme S3(+, _)
+`
+
+func TestParseFigure5(t *testing.T) {
+	sp, err := ParseString(fig5Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Query.N() != 3 || len(sp.Query.Predicates()) != 3 {
+		t.Fatalf("parsed query %s", sp.Query)
+	}
+	if sp.Schemes.Len() != 3 {
+		t.Fatalf("parsed %d schemes", sp.Schemes.Len())
+	}
+	rep, err := safety.Check(sp.Query, sp.Schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Safe {
+		t.Fatal("Figure 5 spec must check safe")
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	sp, err := ParseString(`
+stream item(sellerid:int, itemid:int, name:string, initialprice:float)
+stream bid(bidderid:int, itemid:int, increase:float)
+join item.itemid = bid.itemid
+scheme bid(_, +, _)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Query.Stream(0).Attr(2).Kind.String() != "string" {
+		t.Fatal("kind parsing broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":   "streem S(a:int)\n",
+		"bad attribute":       "stream S(a)\nstream T(a:int)\njoin S.a = T.a\n",
+		"bad kind":            "stream S(a:decimal)\nstream T(a:int)\njoin S.a = T.a\n",
+		"dup stream":          "stream S(a:int)\nstream S(a:int)\njoin S.a = S.a\n",
+		"bad join":            "stream S(a:int)\nstream T(a:int)\njoin S.a T.a\n",
+		"bare join ref":       "stream S(a:int)\nstream T(a:int)\njoin Sa = T.a\n",
+		"scheme before decl":  "scheme S(+)\n",
+		"scheme arity":        "stream S(a:int)\nstream T(a:int)\njoin S.a = T.a\nscheme S(+, _)\n",
+		"scheme bad mask":     "stream S(a:int)\nstream T(a:int)\njoin S.a = T.a\nscheme S(x)\n",
+		"no joins":            "stream S(a:int)\nstream T(a:int)\n",
+		"missing args":        "stream\n",
+		"unknown join stream": "stream S(a:int)\nstream T(a:int)\njoin S.a = U.a\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	doc := strings.ReplaceAll(fig5Spec, "join S2.C = S3.C", "join S2.C = S3.C   # chained")
+	if _, err := ParseString(doc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package stream
+
+import "fmt"
+
+// Element is one item of a punctuated data stream: either a tuple or a
+// punctuation, in arrival order on a single feed (§2.3 treats punctuations
+// as data interleaved with tuples).
+type Element struct {
+	punct bool
+	tuple Tuple
+	p     Punctuation
+}
+
+// TupleElement wraps a tuple as a stream element.
+func TupleElement(t Tuple) Element { return Element{tuple: t} }
+
+// PunctElement wraps a punctuation as a stream element.
+func PunctElement(p Punctuation) Element { return Element{punct: true, p: p} }
+
+// IsPunct reports whether the element is a punctuation.
+func (e Element) IsPunct() bool { return e.punct }
+
+// Tuple returns the tuple payload; it panics on a punctuation element.
+func (e Element) Tuple() Tuple {
+	if e.punct {
+		panic("stream: Tuple() on punctuation element")
+	}
+	return e.tuple
+}
+
+// Punct returns the punctuation payload; it panics on a tuple element.
+func (e Element) Punct() Punctuation {
+	if !e.punct {
+		panic("stream: Punct() on tuple element")
+	}
+	return e.p
+}
+
+// String renders the element.
+func (e Element) String() string {
+	if e.punct {
+		return fmt.Sprintf("punct%s", e.p)
+	}
+	return fmt.Sprintf("tuple%s", e.tuple)
+}

@@ -1,0 +1,176 @@
+// Package streamsql is a SQL-style front end for continuous join queries
+// — the paper's future-work item (iv) ("supporting the safety checking of
+// an arbitrary SQL-style streaming query") for the select-from-where
+// fragment the theory covers. A script declares streams and punctuation
+// schemes, then registers continuous queries:
+//
+//	CREATE STREAM item (sellerid INT, itemid INT, name STRING, initialprice FLOAT);
+//	CREATE STREAM bid (bidderid INT, itemid INT, increase FLOAT);
+//
+//	DECLARE SCHEME ON item (itemid);            -- punctuations on item.itemid
+//	DECLARE SCHEME ON bid (itemid);             -- "auction closed"
+//	DECLARE SCHEME ON pkt (src, seq ORDERED);   -- watermark-style scheme
+//
+//	SELECT item.itemid, bid.increase
+//	FROM item, bid
+//	WHERE item.itemid = bid.itemid AND bid.increase = 5;
+//
+// Equality predicates between two streams become join predicates;
+// predicates against literals become per-stream selection filters; the
+// select list becomes a projection over the join output. Compile checks
+// every query's safety against the declared schemes.
+package streamsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; . = * < _ +
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer produces tokens from a script. SQL comments (-- to end of line)
+// are skipped; keywords are recognized later, case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("streamsql: line %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.pos++
+			l.line++
+			l.col = 1
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+			l.col++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+scan:
+	startLine, startCol := l.line, l.col
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+			l.col++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
+	case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+		start := l.pos
+		l.pos++
+		l.col++
+		seenDot := false
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+			} else if d < '0' || d > '9' {
+				break
+			}
+			l.pos++
+			l.col++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
+	case c == '\'':
+		l.pos++
+		l.col++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(startLine, startCol, "unterminated string literal")
+			}
+			d := l.src[l.pos]
+			l.pos++
+			l.col++
+			if d == '\'' {
+				// '' escapes a quote.
+				if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+					b.WriteByte('\'')
+					l.pos++
+					l.col++
+					continue
+				}
+				return token{kind: tokString, text: b.String(), line: startLine, col: startCol}, nil
+			}
+			b.WriteByte(d)
+		}
+	case strings.ContainsRune("(),;.=*<_+", rune(c)):
+		l.pos++
+		l.col++
+		return token{kind: tokSymbol, text: string(c), line: startLine, col: startCol}, nil
+	default:
+		return token{}, l.errf(startLine, startCol, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole script.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

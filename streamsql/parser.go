@@ -1,0 +1,429 @@
+package streamsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"punctsafe/stream"
+)
+
+// Script is a parsed streamsql document.
+type Script struct {
+	// Streams are the declared stream schemas in declaration order.
+	Streams []*stream.Schema
+	// Schemes is the declared punctuation scheme set.
+	Schemes *stream.SchemeSet
+	// Queries are the SELECT statements in order.
+	Queries []*SelectStmt
+}
+
+// SelectStmt is one parsed continuous query.
+type SelectStmt struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Columns are the projected column references (empty when Star).
+	Columns []ColRef
+	// From are the stream names joined.
+	From []string
+	// Joins are the equality predicates between two stream columns.
+	Joins []JoinPred
+	// Filters are the equality predicates against literals.
+	Filters []FilterPred
+}
+
+// ColRef is a qualified column reference stream.column.
+type ColRef struct {
+	Stream string
+	Column string
+}
+
+func (c ColRef) String() string { return c.Stream + "." + c.Column }
+
+// JoinPred is Left = Right between two streams.
+type JoinPred struct {
+	Left  ColRef
+	Right ColRef
+}
+
+// FilterPred is Col = Value.
+type FilterPred struct {
+	Col   ColRef
+	Value stream.Value
+}
+
+// parser is a recursive-descent parser over the token list.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a streamsql script.
+func Parse(src string) (*Script, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	script := &Script{Schemes: stream.NewSchemeSet()}
+	declared := make(map[string]*stream.Schema)
+	for !p.atEOF() {
+		switch {
+		case p.peekKeyword("CREATE"):
+			sc, err := p.parseCreateStream()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := declared[sc.Name()]; dup {
+				return nil, fmt.Errorf("streamsql: stream %q declared twice", sc.Name())
+			}
+			declared[sc.Name()] = sc
+			script.Streams = append(script.Streams, sc)
+		case p.peekKeyword("DECLARE"):
+			s, err := p.parseDeclareScheme(declared)
+			if err != nil {
+				return nil, err
+			}
+			script.Schemes.Add(s)
+		case p.peekKeyword("SELECT"):
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			script.Queries = append(script.Queries, q)
+		default:
+			return nil, p.errHere("expected CREATE, DECLARE or SELECT, got %s", p.peek())
+		}
+	}
+	return script, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errHere(format string, args ...interface{}) error {
+	t := p.peek()
+	return fmt.Errorf("streamsql: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// (case-insensitive).
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peekKeyword(kw) {
+		return p.errHere("expected %s, got %s", kw, p.peek())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind != tokSymbol || t.text != sym {
+		return p.errHere("expected %q, got %s", sym, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errHere("expected identifier, got %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// parseCreateStream parses CREATE STREAM name (col TYPE, ...);
+func (p *parser) parseCreateStream() (*stream.Schema, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("STREAM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var attrs []stream.Attribute
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := kindOf(typ)
+		if err != nil {
+			return nil, p.errHere("%v", err)
+		}
+		attrs = append(attrs, stream.Attribute{Name: col, Kind: kind})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	return stream.NewSchema(name, attrs...)
+}
+
+func kindOf(typ string) (stream.Kind, error) {
+	switch strings.ToUpper(typ) {
+	case "INT", "INTEGER", "BIGINT":
+		return stream.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL":
+		return stream.KindFloat, nil
+	case "STRING", "VARCHAR", "TEXT":
+		return stream.KindString, nil
+	default:
+		return stream.KindInvalid, fmt.Errorf("unknown type %q", typ)
+	}
+}
+
+// parseDeclareScheme parses either the named form
+//
+//	DECLARE SCHEME ON stream (col [ORDERED], ...);
+//
+// or the positional mask form of the paper
+//
+//	DECLARE SCHEME stream (_, +, <);
+func (p *parser) parseDeclareScheme(declared map[string]*stream.Schema) (stream.Scheme, error) {
+	if err := p.expectKeyword("DECLARE"); err != nil {
+		return stream.Scheme{}, err
+	}
+	// Optional PUNCTUATION noise word.
+	if p.peekKeyword("PUNCTUATION") {
+		p.advance()
+	}
+	if err := p.expectKeyword("SCHEME"); err != nil {
+		return stream.Scheme{}, err
+	}
+	named := false
+	if p.peekKeyword("ON") {
+		p.advance()
+		named = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return stream.Scheme{}, err
+	}
+	sc, ok := declared[name]
+	if !ok {
+		return stream.Scheme{}, p.errHere("scheme on undeclared stream %q", name)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return stream.Scheme{}, err
+	}
+	punct := make([]bool, sc.Arity())
+	ordered := make([]bool, sc.Arity())
+	if named {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return stream.Scheme{}, err
+			}
+			i := sc.Index(col)
+			if i < 0 {
+				return stream.Scheme{}, p.errHere("stream %q has no column %q", name, col)
+			}
+			punct[i] = true
+			if p.peekKeyword("ORDERED") {
+				p.advance()
+				ordered[i] = true
+			}
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	} else {
+		for i := 0; ; i++ {
+			t := p.peek()
+			var mark string
+			switch {
+			case t.kind == tokIdent && t.text == "_":
+				mark = "_"
+			case t.kind == tokSymbol && (t.text == "+" || t.text == "<"):
+				mark = t.text
+			default:
+				return stream.Scheme{}, p.errHere("expected _, + or <, got %s", t)
+			}
+			p.advance()
+			if i >= sc.Arity() {
+				return stream.Scheme{}, p.errHere("scheme mask longer than %s", sc)
+			}
+			punct[i] = mark != "_"
+			ordered[i] = mark == "<"
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if i+1 != sc.Arity() {
+				return stream.Scheme{}, p.errHere("scheme mask has %d marks, stream %q has %d columns", i+1, name, sc.Arity())
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return stream.Scheme{}, err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return stream.Scheme{}, err
+	}
+	s, err := stream.NewOrderedScheme(name, punct, ordered)
+	if err != nil {
+		return stream.Scheme{}, fmt.Errorf("streamsql: %w", err)
+	}
+	if err := s.Validate(sc); err != nil {
+		return stream.Scheme{}, fmt.Errorf("streamsql: %w", err)
+	}
+	return s, nil
+}
+
+// parseSelect parses SELECT list FROM s1, s2 [WHERE p AND p ...];
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.acceptSymbol("*") {
+		stmt.Star = true
+	} else {
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, ref)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, name)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.peekKeyword("WHERE") {
+		p.advance()
+		for {
+			if err := p.parsePredicate(stmt); err != nil {
+				return nil, err
+			}
+			if p.peekKeyword("AND") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	s, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return ColRef{}, err
+	}
+	c, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Stream: s, Column: c}, nil
+}
+
+func (p *parser) parsePredicate(stmt *SelectStmt) error {
+	left, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		stmt.Joins = append(stmt.Joins, JoinPred{Left: left, Right: right})
+	case tokNumber:
+		p.advance()
+		v, err := numberValue(t.text)
+		if err != nil {
+			return p.errHere("%v", err)
+		}
+		stmt.Filters = append(stmt.Filters, FilterPred{Col: left, Value: v})
+	case tokString:
+		p.advance()
+		stmt.Filters = append(stmt.Filters, FilterPred{Col: left, Value: stream.Str(t.text)})
+	default:
+		return p.errHere("expected column reference or literal, got %s", t)
+	}
+	return nil
+}
+
+// numberValue parses an integer or float literal.
+func numberValue(text string) (stream.Value, error) {
+	if strings.ContainsRune(text, '.') {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return stream.Value{}, err
+		}
+		return stream.Float(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return stream.Value{}, err
+	}
+	return stream.Int(i), nil
+}

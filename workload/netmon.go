@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math/rand"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// NetMonConfig parameterizes the network-monitoring scenario sketched in
+// §5.1: a conn stream announces transmissions (source address, port) and
+// a pkt stream carries their packets; the continuous query correlates
+// packets with their connection by joining on BOTH src and port
+// (conjunctive predicates). The application emits an end-of-transmission
+// punctuation on (src, port) — a punctuation scheme with TWO punctuatable
+// attributes, the §4.2 case — and, because port/sequence spaces wrap
+// around, such punctuations only hold for a limited lifespan.
+type NetMonConfig struct {
+	// Flows is the number of transmissions generated.
+	Flows int
+	// MaxPktsPerFlow bounds the packets per transmission.
+	MaxPktsPerFlow int
+	// OpenWindow is the number of concurrently active transmissions.
+	OpenWindow int
+	// PunctuateFlowEnd emits the (src, port) end-of-transmission
+	// punctuation on the pkt stream when a flow completes.
+	PunctuateFlowEnd bool
+	// PunctuateConn emits a conn-stream punctuation on (src, port) right
+	// after the conn tuple (each transmission is announced exactly once).
+	PunctuateConn bool
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// NetMonSchemas returns the conn and pkt schemas.
+func NetMonSchemas() (conn, pkt *stream.Schema) {
+	conn = stream.MustSchema("conn",
+		stream.Attribute{Name: "src", Kind: stream.KindInt},
+		stream.Attribute{Name: "port", Kind: stream.KindInt},
+		stream.Attribute{Name: "proto", Kind: stream.KindString})
+	pkt = stream.MustSchema("pkt",
+		stream.Attribute{Name: "src", Kind: stream.KindInt},
+		stream.Attribute{Name: "port", Kind: stream.KindInt},
+		stream.Attribute{Name: "bytes", Kind: stream.KindInt})
+	return conn, pkt
+}
+
+// NetMonQuery joins conn and pkt on src AND port.
+func NetMonQuery() *query.CJQ {
+	conn, pkt := NetMonSchemas()
+	return query.NewBuilder().
+		AddStream(conn).AddStream(pkt).
+		JoinOn("conn", "pkt", "src").
+		JoinOn("conn", "pkt", "port").
+		MustBuild()
+}
+
+// NetMonSchemes returns the multi-attribute scheme set: both streams
+// punctuate (src, port) pairs.
+func NetMonSchemes() *stream.SchemeSet {
+	return stream.NewSchemeSet(
+		stream.MustScheme("conn", true, true, false),
+		stream.MustScheme("pkt", true, true, false),
+	)
+}
+
+// NetMon generates the interleaved conn/pkt feed.
+func NetMon(cfg NetMonConfig) []Input {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 100
+	}
+	if cfg.MaxPktsPerFlow <= 0 {
+		cfg.MaxPktsPerFlow = 10
+	}
+	if cfg.OpenWindow <= 0 {
+		cfg.OpenWindow = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type flow struct {
+		src, port int64
+		pending   int
+	}
+	var open []flow
+	var out []Input
+	started := 0
+
+	pairPunct := func(streamName string, src, port int64) Input {
+		return Input{Stream: streamName, Elem: stream.PunctElement(stream.MustPunctuation(
+			stream.Const(stream.Int(src)), stream.Const(stream.Int(port)), stream.Wildcard(),
+		))}
+	}
+
+	for started < cfg.Flows || len(open) > 0 {
+		for len(open) < cfg.OpenWindow && started < cfg.Flows {
+			f := flow{
+				src:     int64(10_000 + started),
+				port:    int64(1024 + rng.Intn(64512)),
+				pending: 1 + rng.Intn(cfg.MaxPktsPerFlow),
+			}
+			started++
+			open = append(open, f)
+			proto := "tcp"
+			if rng.Intn(4) == 0 {
+				proto = "udp"
+			}
+			out = append(out, Input{Stream: "conn", Elem: stream.TupleElement(stream.NewTuple(
+				stream.Int(f.src), stream.Int(f.port), stream.Str(proto),
+			))})
+			if cfg.PunctuateConn {
+				out = append(out, pairPunct("conn", f.src, f.port))
+			}
+		}
+		i := rng.Intn(len(open))
+		f := &open[i]
+		out = append(out, Input{Stream: "pkt", Elem: stream.TupleElement(stream.NewTuple(
+			stream.Int(f.src), stream.Int(f.port), stream.Int(64+rng.Int63n(1400)),
+		))})
+		f.pending--
+		if f.pending <= 0 {
+			if cfg.PunctuateFlowEnd {
+				out = append(out, pairPunct("pkt", f.src, f.port))
+			}
+			open = append(open[:i], open[i+1:]...)
+		}
+	}
+	return out
+}

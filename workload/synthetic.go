@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"punctsafe/query"
+	"punctsafe/safety"
+	"punctsafe/stream"
+)
+
+// Topology names a synthetic k-way join shape.
+type Topology string
+
+const (
+	// Chain joins S0-S1-...-Sk-1 linearly.
+	Chain Topology = "chain"
+	// Cycle closes the chain back to S0.
+	Cycle Topology = "cycle"
+	// Star joins S1..Sk-1 each to the hub S0.
+	Star Topology = "star"
+	// Clique joins every pair of streams.
+	Clique Topology = "clique"
+)
+
+// SyntheticQuery builds a k-way join query with the given topology. Each
+// stream Si has integer attributes; attribute names encode the linked
+// pair so predicates are easy to read (e.g. chain predicate i<->i+1 joins
+// Si.R with Si+1.L).
+func SyntheticQuery(topo Topology, k int) (*query.CJQ, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("workload: synthetic query needs k >= 2, got %d", k)
+	}
+	type pair struct{ a, b int }
+	var pairs []pair
+	switch topo {
+	case Chain:
+		for i := 0; i+1 < k; i++ {
+			pairs = append(pairs, pair{i, i + 1})
+		}
+	case Cycle:
+		for i := 0; i+1 < k; i++ {
+			pairs = append(pairs, pair{i, i + 1})
+		}
+		if k > 2 {
+			pairs = append(pairs, pair{k - 1, 0})
+		}
+	case Star:
+		for i := 1; i < k; i++ {
+			pairs = append(pairs, pair{0, i})
+		}
+	case Clique:
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown topology %q", topo)
+	}
+
+	// Attribute layout: stream i gets one attribute per incident pair
+	// (named jNM for the pair SN-SM) plus a payload attribute.
+	attrsOf := make([][]stream.Attribute, k)
+	attrPos := make(map[[2]int]int) // (stream, pairIdx) -> attr position... keyed below
+	pos := func(s, p int) int { return attrPos[[2]int{s, p}] }
+	for pi, pr := range pairs {
+		for _, s := range []int{pr.a, pr.b} {
+			attrPos[[2]int{s, pi}] = len(attrsOf[s])
+			attrsOf[s] = append(attrsOf[s], stream.Attribute{
+				Name: fmt.Sprintf("j%d_%d", pr.a, pr.b),
+				Kind: stream.KindInt,
+			})
+		}
+	}
+	schemas := make([]*stream.Schema, k)
+	for i := 0; i < k; i++ {
+		attrs := append(attrsOf[i], stream.Attribute{Name: "payload", Kind: stream.KindInt})
+		var err error
+		schemas[i], err = stream.NewSchema(fmt.Sprintf("S%d", i), attrs...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var preds []query.Predicate
+	for pi, pr := range pairs {
+		preds = append(preds, query.Predicate{
+			Left: pr.a, LeftAttr: pos(pr.a, pi),
+			Right: pr.b, RightAttr: pos(pr.b, pi),
+		})
+	}
+	return query.NewCJQ(schemas, preds)
+}
+
+// AllJoinAttrSchemes returns one simple scheme per (stream, join
+// attribute) of the query — the richest useful scheme set (§5.2 Plan
+// Parameter I, option (a)).
+func AllJoinAttrSchemes(q *query.CJQ) *stream.SchemeSet {
+	set := stream.NewSchemeSet()
+	for i := 0; i < q.N(); i++ {
+		for _, a := range q.JoinAttrs(i) {
+			mask := make([]bool, q.Stream(i).Arity())
+			mask[a] = true
+			set.Add(stream.MustScheme(q.Stream(i).Name(), mask...))
+		}
+	}
+	return set
+}
+
+// MinimalSchemes greedily drops schemes from the given set while the
+// query stays safe, returning a minimal subset that keeps the punctuation
+// graph strongly connected (§5.2 Plan Parameter I, option (b)). The
+// result depends on iteration order but is always a safe subset.
+func MinimalSchemes(q *query.CJQ, set *stream.SchemeSet) *stream.SchemeSet {
+	current := set.All()
+	for i := 0; i < len(current); i++ {
+		trial := make([]stream.Scheme, 0, len(current)-1)
+		trial = append(trial, current[:i]...)
+		trial = append(trial, current[i+1:]...)
+		if safety.Transform(q, stream.NewSchemeSet(trial...)).SingleNode() {
+			current = trial
+			i--
+		}
+	}
+	return stream.NewSchemeSet(current...)
+}
+
+// ClosedConfig parameterizes a closed-world synthetic workload: tuples
+// draw their join values from a sliding per-round window, and at the end
+// of each round a fraction of the window's values is punctuated on every
+// usable scheme, so purgeable state drains as rounds advance.
+type ClosedConfig struct {
+	// Rounds is the number of generation rounds.
+	Rounds int
+	// TuplesPerRound is the number of tuples emitted per stream per round.
+	TuplesPerRound int
+	// Window is the number of distinct join values live within a round.
+	Window int
+	// PunctFraction in [0,1] is the fraction of a round's values closed
+	// by punctuations at round end (1 = closed world, 0 = no punctuation).
+	PunctFraction float64
+	// ZipfS, when > 1, skews the per-round value choice with a Zipf(s)
+	// distribution (hot values drawn far more often); 0 keeps the uniform
+	// draw.
+	ZipfS float64
+	// PunctDelay postpones a round's punctuations by this many rounds
+	// (they are emitted after the tuples of round r+PunctDelay). Larger
+	// delays lengthen the purge latency and thus the live state (the
+	// "punctuation arrival rate" dimension of §5.2's cost discussion).
+	PunctDelay int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Closed generates the workload for a synthetic query under the given
+// scheme set. Join values are assigned per attribute-equivalence-class
+// (attributes linked by predicates share a value domain), so results
+// actually join; punctuations instantiate every scheme in the set over
+// the closed values.
+func Closed(q *query.CJQ, schemes *stream.SchemeSet, cfg ClosedConfig) []Input {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10
+	}
+	if cfg.TuplesPerRound <= 0 {
+		cfg.TuplesPerRound = 10
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	class := attrClasses(q)
+
+	gpg := safety.BuildGPG(q, schemes)
+	useful := gpg.UsefulSchemes()
+
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Window-1))
+	}
+
+	var out []Input
+	payload := int64(0)
+	for r := 0; r < cfg.Rounds; r++ {
+		base := int64(r * cfg.Window)
+		pick := func() int64 {
+			if zipf != nil {
+				return base + int64(zipf.Uint64())
+			}
+			return base + int64(rng.Intn(cfg.Window))
+		}
+		for k := 0; k < cfg.TuplesPerRound; k++ {
+			for i := 0; i < q.N(); i++ {
+				sc := q.Stream(i)
+				vals := make([]stream.Value, sc.Arity())
+				for a := 0; a < sc.Arity(); a++ {
+					if class[[2]int{i, a}] >= 0 {
+						vals[a] = stream.Int(pick())
+						continue
+					}
+					payload++
+					switch sc.Attr(a).Kind {
+					case stream.KindInt:
+						vals[a] = stream.Int(payload)
+					case stream.KindFloat:
+						vals[a] = stream.Float(float64(payload))
+					default:
+						vals[a] = stream.Str(fmt.Sprintf("p%d", payload))
+					}
+				}
+				out = append(out, Input{Stream: sc.Name(), Elem: stream.TupleElement(stream.NewTuple(vals...))})
+			}
+		}
+		// Close the delayed round: punctuate a fraction of its window's
+		// values on every useful scheme. Multi-attribute schemes get the
+		// full product of closed values.
+		closeRound := r - cfg.PunctDelay
+		if closeRound >= 0 {
+			out = append(out, closePunctuations(useful, closeRound, cfg)...)
+		}
+	}
+	// Flush the delayed tail so the workload stays closed.
+	for r := cfg.Rounds - cfg.PunctDelay; r < cfg.Rounds; r++ {
+		if r >= 0 {
+			out = append(out, closePunctuations(useful, r, cfg)...)
+		}
+	}
+	return out
+}
+
+// closePunctuations emits the punctuations closing one round's window.
+func closePunctuations(useful []stream.Scheme, round int, cfg ClosedConfig) []Input {
+	base := int64(round * cfg.Window)
+	closeCount := int(float64(cfg.Window)*cfg.PunctFraction + 0.5)
+	var out []Input
+	for _, s := range useful {
+		idx := s.PunctuatableIndexes()
+		var emit func(d int, consts []stream.Value)
+		emit = func(d int, consts []stream.Value) {
+			if d == len(idx) {
+				p, err := s.Instantiate(consts...)
+				if err != nil {
+					panic(err)
+				}
+				out = append(out, Input{Stream: s.Stream, Elem: stream.PunctElement(p)})
+				return
+			}
+			for w := 0; w < closeCount; w++ {
+				emit(d+1, append(consts, stream.Int(base+int64(w))))
+			}
+		}
+		emit(0, nil)
+	}
+	return out
+}
+
+// attrClasses assigns every (stream, attr) pair linked by some predicate
+// to an equivalence class id (>= 0); non-join attributes get -1.
+func attrClasses(q *query.CJQ) map[[2]int]int {
+	parent := make(map[[2]int][2]int)
+	var find func(x [2]int) [2]int
+	find = func(x [2]int) [2]int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b [2]int) {
+		parent[find(a)] = find(b)
+	}
+	for _, p := range q.Predicates() {
+		l := [2]int{p.Left, p.LeftAttr}
+		r := [2]int{p.Right, p.RightAttr}
+		if _, ok := parent[l]; !ok {
+			parent[l] = l
+		}
+		if _, ok := parent[r]; !ok {
+			parent[r] = r
+		}
+		union(l, r)
+	}
+	class := make(map[[2]int]int)
+	roots := make(map[[2]int]int)
+	for i := 0; i < q.N(); i++ {
+		for a := 0; a < q.Stream(i).Arity(); a++ {
+			key := [2]int{i, a}
+			if _, ok := parent[key]; !ok {
+				class[key] = -1
+				continue
+			}
+			root := find(key)
+			id, ok := roots[root]
+			if !ok {
+				id = len(roots)
+				roots[root] = id
+			}
+			class[key] = id
+		}
+	}
+	return class
+}

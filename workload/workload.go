@@ -1,0 +1,75 @@
+// Package workload generates punctuated stream workloads for the
+// experiments: the paper's online-auction scenario (Example 1), a
+// network-monitoring scenario with multi-attribute punctuation schemes
+// and lifespans (§4.2, §5.1), and synthetic k-way queries (chain, cycle,
+// star, clique) with closed-world workloads whose every value is
+// eventually punctuated. The paper reports no testbed of its own, so
+// these generators parameterize exactly the scenarios its examples
+// describe.
+package workload
+
+import (
+	"fmt"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Input is one element of a named raw stream, in global arrival order.
+type Input struct {
+	Stream string
+	Elem   stream.Element
+}
+
+// Feed routes a generated input list into any consumer keyed by stream
+// index (e.g. an exec.Tree). The mapping is resolved once against q.
+type Feed struct {
+	inputs []Input
+	index  map[string]int
+}
+
+// NewFeed resolves the inputs' stream names against the query.
+func NewFeed(q *query.CJQ, inputs []Input) (*Feed, error) {
+	f := &Feed{inputs: inputs, index: make(map[string]int)}
+	for i := 0; i < q.N(); i++ {
+		f.index[q.Stream(i).Name()] = i
+	}
+	for _, in := range inputs {
+		if _, ok := f.index[in.Stream]; !ok {
+			return nil, fmt.Errorf("workload: input references unknown stream %q", in.Stream)
+		}
+	}
+	return f, nil
+}
+
+// Len returns the number of inputs.
+func (f *Feed) Len() int { return len(f.inputs) }
+
+// Each invokes fn for every input with its resolved stream index.
+func (f *Feed) Each(fn func(streamIdx int, e stream.Element) error) error {
+	for _, in := range f.inputs {
+		if err := fn(f.index[in.Stream], in.Elem); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a generated workload.
+type Stats struct {
+	Tuples int
+	Puncts int
+}
+
+// Summarize counts tuples and punctuations in an input list.
+func Summarize(inputs []Input) Stats {
+	var s Stats
+	for _, in := range inputs {
+		if in.Elem.IsPunct() {
+			s.Puncts++
+		} else {
+			s.Tuples++
+		}
+	}
+	return s
+}
