@@ -1,0 +1,28 @@
+# Standard verify entry point: `make check` (or scripts/check.sh where
+# make is unavailable) runs everything CI expects to pass.
+
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent layers (sharded runtime, async input) must stay
+# race-clean; exec rides along because the shards drive it.
+race:
+	$(GO) test -race ./engine/... ./exec/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+fmt:
+	gofmt -l .

@@ -55,7 +55,7 @@ func BenchmarkE1AuctionPurging(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := drive(b, q, schemes, exec.Config{}, inputs)
-		if m.Stats().TotalState() != 0 {
+		if m.StatsSnapshot().TotalState() != 0 {
 			b.Fatal("state did not drain")
 		}
 	}
@@ -75,7 +75,7 @@ func BenchmarkE1AuctionBaseline(b *testing.B) {
 	var end int
 	for i := 0; i < b.N; i++ {
 		m := drive(b, q, schemes, exec.Config{}, inputs)
-		end = m.Stats().TotalState()
+		end = m.StatsSnapshot().TotalState()
 	}
 	b.ReportMetric(float64(end), "retained-tuples")
 }
@@ -119,8 +119,8 @@ func BenchmarkE2ChainedPurge(b *testing.B) {
 		m.Push(2, stream.PunctElement(punct(0, v)))
 	}
 	b.StopTimer()
-	if m.Stats().TotalState() != 0 {
-		b.Fatalf("chained purge left %d tuples", m.Stats().TotalState())
+	if m.StatsSnapshot().TotalState() != 0 {
+		b.Fatalf("chained purge left %d tuples", m.StatsSnapshot().TotalState())
 	}
 }
 
@@ -135,7 +135,7 @@ func BenchmarkE3MJoinSafe(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := drive(b, q, schemes, exec.Config{}, inputs)
-		if m.Stats().TotalState() != 0 {
+		if m.StatsSnapshot().TotalState() != 0 {
 			b.Fatal("state did not drain")
 		}
 	}
@@ -213,7 +213,7 @@ func BenchmarkE5MultiAttr(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := drive(b, q, schemes, exec.Config{}, inputs)
-		if m.Stats().TotalState() != 0 {
+		if m.StatsSnapshot().TotalState() != 0 {
 			b.Fatal("state did not drain")
 		}
 	}
@@ -275,7 +275,7 @@ func BenchmarkE7SchemeChoice(b *testing.B) {
 			var maxPunct int
 			for i := 0; i < b.N; i++ {
 				m := drive(b, q, mode.set, exec.Config{}, inputs)
-				maxPunct = m.Stats().MaxPunctStoreSize
+				maxPunct = m.StatsSnapshot().MaxPunctStoreSize
 			}
 			b.ReportMetric(float64(maxPunct), "max-punct-store")
 		})
@@ -296,7 +296,7 @@ func BenchmarkE8EagerLazy(b *testing.B) {
 			var maxState int
 			for i := 0; i < b.N; i++ {
 				m := drive(b, q, schemes, exec.Config{PurgeBatch: batch}, inputs)
-				maxState = m.Stats().MaxStateSize
+				maxState = m.StatsSnapshot().MaxStateSize
 			}
 			b.ReportMetric(float64(maxState), "max-state")
 		})
@@ -323,7 +323,7 @@ func BenchmarkE9PunctStore(b *testing.B) {
 			var maxPunct int
 			for i := 0; i < b.N; i++ {
 				m := drive(b, q, schemes, mode.cfg, inputs)
-				maxPunct = m.Stats().MaxPunctStoreSize
+				maxPunct = m.StatsSnapshot().MaxPunctStoreSize
 			}
 			b.ReportMetric(float64(maxPunct), "max-punct-store")
 		})
@@ -374,7 +374,7 @@ func BenchmarkE11WindowVsPunct(b *testing.B) {
 			}); err != nil {
 				b.Fatal(err)
 			}
-			maxState = wj.Stats().MaxStateSize
+			maxState = wj.StatsSnapshot().MaxStateSize
 		}
 		b.ReportMetric(float64(maxState), "max-state")
 	})
@@ -405,7 +405,7 @@ func BenchmarkE12Adaptive(b *testing.B) {
 				b.Fatal(err)
 			}
 			a.Flush()
-			maxState = a.Stats().MaxStateSize
+			maxState = a.StatsSnapshot().MaxStateSize
 		}
 		b.ReportMetric(float64(maxState), "max-state")
 	})
@@ -430,7 +430,7 @@ func BenchmarkE13Watermarks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := drive(b, q, schemes, exec.Config{}, inputs)
-		if m.Stats().TotalState() != 0 {
+		if m.StatsSnapshot().TotalState() != 0 {
 			b.Fatal("sensor state did not drain")
 		}
 	}

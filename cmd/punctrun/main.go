@@ -43,6 +43,7 @@ func main() {
 		specFile   = flag.String("spec", "", "run the query declared in this spec file on a generated closed workload")
 		sqlFile    = flag.String("sql", "", "run the first query of this streamsql script on a generated closed workload")
 		csvPath    = flag.String("csv", "", "write a state/punctuation/result timeline as CSV to this file")
+		parallel   = flag.Bool("parallel", false, "ingest through the sharded per-query runtime (-interval reads race-safe snapshots; -csv is unsupported)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,10 @@ func main() {
 	}
 	var timeline *exec.Timeline
 	if *csvPath != "" {
+		if *parallel {
+			fmt.Fprintln(os.Stderr, "punctrun: -csv requires the sequential path (drop -parallel)")
+			os.Exit(2)
+		}
 		every := *interval
 		if every <= 0 {
 			every = 100
@@ -85,22 +90,51 @@ func main() {
 		timeline = &exec.Timeline{Every: every}
 	}
 	start := time.Now()
-	for i, in := range inputs {
-		if err := d.Push(in.Stream, in.Elem); err != nil {
+	if *parallel {
+		rt := d.RunSharded(engine.RuntimeOptions{Buffer: 256})
+		for i, in := range inputs {
+			if err := rt.Send(in.Stream, in.Elem); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *interval > 0 && (i+1)%*interval == 0 {
+				snaps, err := rt.Stats(*scenario)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				state, puncts, res := 0, 0, uint64(0)
+				for _, st := range snaps {
+					state += st.TotalState()
+					puncts += st.TotalPunctStore()
+				}
+				res = snaps[len(snaps)-1].Results
+				fmt.Printf("%12d %12d %12d %12d\n", i+1, state, puncts, res)
+			}
+		}
+		rt.Close()
+		if err := rt.Wait(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if timeline != nil {
-			timeline.Observe(reg.Tree, results)
+	} else {
+		for i, in := range inputs {
+			if err := d.Push(in.Stream, in.Elem); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if timeline != nil {
+				timeline.Observe(reg.Tree, results)
+			}
+			if *interval > 0 && (i+1)%*interval == 0 {
+				fmt.Printf("%12d %12d %12d %12d\n",
+					i+1, reg.Tree.TotalState(), reg.Tree.TotalPunctStore(), results)
+			}
 		}
-		if *interval > 0 && (i+1)%*interval == 0 {
-			fmt.Printf("%12d %12d %12d %12d\n",
-				i+1, reg.Tree.TotalState(), reg.Tree.TotalPunctStore(), results)
+		if err := d.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-	}
-	if err := d.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 	elapsed := time.Since(start)
 
@@ -112,7 +146,7 @@ func main() {
 	fmt.Printf("max state:          %d tuples\n", reg.Tree.MaxState())
 	fmt.Printf("final punct store:  %d\n", reg.Tree.TotalPunctStore())
 	for i, op := range reg.Tree.Operators() {
-		fmt.Printf("operator %d:         %s\n", i, op.Stats())
+		fmt.Printf("operator %d:         %s\n", i, op.StatsSnapshot())
 	}
 	if timeline != nil {
 		f, err := os.Create(*csvPath)

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"punctsafe/stream"
 )
@@ -18,13 +19,15 @@ type TaggedElement struct {
 // send TaggedElements into a buffered channel from any number of
 // goroutines; a single consumer goroutine drains it into the DSMS,
 // preserving channel order. While the AsyncInput is running the DSMS must
-// not be used directly; call Close and Wait first.
+// not be used directly; call Close and Wait first. For per-query
+// parallelism use DSMS.RunSharded instead.
 type AsyncInput struct {
 	ch   chan TaggedElement
 	done chan struct{}
 	once sync.Once
+	mu   sync.Mutex
 	err  error
-	n    uint64
+	n    atomic.Uint64
 }
 
 // RunAsync starts the consumer goroutine with the given channel buffer
@@ -41,19 +44,41 @@ func (d *DSMS) RunAsync(buffer int) *AsyncInput {
 		defer close(a.done)
 		for te := range a.ch {
 			if err := d.Push(te.Stream, te.Elem); err != nil {
-				a.err = err
+				a.setErr(err)
 				// Drain the channel so producers never block forever.
 				for range a.ch {
 				}
 				return
 			}
-			a.n++
+			a.n.Add(1)
 		}
-		if err := d.Flush(); err != nil && a.err == nil {
-			a.err = err
+		if err := d.Flush(); err != nil {
+			a.setErr(err)
 		}
 	}()
 	return a
+}
+
+// setErr records the first processing error.
+func (a *AsyncInput) setErr(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+}
+
+// Err returns the first processing error without blocking; nil while the
+// consumer is healthy. Unlike Wait it can be polled while producers are
+// still sending, so a failure surfaces as soon as it happens instead of
+// after the queue has silently drained.
+func (a *AsyncInput) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return fmt.Errorf("engine: async input: %w", a.err)
+	}
+	return nil
 }
 
 // Send enqueues one element; it blocks while the buffer is full. Sending
@@ -76,14 +101,12 @@ func (a *AsyncInput) Close() {
 // and returns the first processing error, if any.
 func (a *AsyncInput) Wait() error {
 	<-a.done
-	if a.err != nil {
-		return fmt.Errorf("engine: async input: %w", a.err)
-	}
-	return nil
+	return a.Err()
 }
 
-// Processed returns the number of elements successfully pushed.
+// Processed returns the number of elements successfully pushed so far. It
+// does not block: during the run it is a live (race-free) reading, and
+// after Wait it is the final count.
 func (a *AsyncInput) Processed() uint64 {
-	<-a.done
-	return a.n
+	return a.n.Load()
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"punctsafe/stream"
 	"punctsafe/workload"
@@ -107,8 +108,9 @@ func TestAsyncFanIn(t *testing.T) {
 	}
 }
 
-// TestAsyncErrorPropagates: a malformed element surfaces from Wait and
-// does not wedge producers.
+// TestAsyncErrorPropagates: a malformed element surfaces from Err while
+// producers are still sending — not only from Wait after the queue has
+// silently drained — and does not wedge producers.
 func TestAsyncErrorPropagates(t *testing.T) {
 	d := New()
 	d.RegisterScheme(stream.MustScheme("item", false, true, false, false))
@@ -117,13 +119,26 @@ func TestAsyncErrorPropagates(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := d.RunAsync(1)
+	if err := a.Err(); err != nil {
+		t.Fatalf("healthy input reported %v", err)
+	}
 	// Wrong arity for the item stream.
 	a.Send("item", stream.TupleElement(stream.NewTuple(stream.Int(1))))
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Err() never surfaced the processing error mid-run")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	for i := 0; i < 100; i++ {
 		a.Send("item", stream.TupleElement(stream.NewTuple(stream.Int(1)))) // drained, not processed
 	}
 	a.Close()
 	if err := a.Wait(); err == nil {
 		t.Fatal("expected the malformed element's error")
+	}
+	if got := a.Processed(); got != 0 {
+		t.Fatalf("Processed = %d, want 0 (nothing succeeded)", got)
 	}
 }

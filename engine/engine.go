@@ -19,8 +19,10 @@ import (
 )
 
 // DSMS is a single-threaded data stream management system instance. All
-// methods must be called from one goroutine; wrap the Push entry point in
-// a channel loop for concurrent feeding.
+// methods must be called from one goroutine; RunAsync wraps the Push
+// entry point in a serial channel loop for concurrent feeding, and
+// RunSharded runs each registered query on its own goroutine behind a
+// stream router.
 type DSMS struct {
 	schemes *stream.SchemeSet
 	queries map[string]*Registered
@@ -175,23 +177,41 @@ func (d *DSMS) Get(name string) (*Registered, bool) {
 }
 
 // Push feeds one element of the named raw stream to every registered
-// query that consumes that stream (the input manager of Figure 2).
+// query that consumes that stream (the input manager of Figure 2). This
+// is the sequential path: queries execute in registration order on the
+// calling goroutine. RunSharded provides the concurrent alternative.
 func (d *DSMS) Push(streamName string, e stream.Element) error {
 	for _, name := range d.order {
 		r := d.queries[name]
 		input, ok := r.streamInput[streamName]
-		if !ok {
+		if !ok || !r.accepts(input, e) {
 			continue
 		}
-		if r.filter != nil && !e.IsPunct() && !r.filter(input, e.Tuple()) {
-			continue
-		}
-		outs, err := r.Tree.Push(input, e)
-		if err != nil {
+		if err := r.push(input, e); err != nil {
 			return fmt.Errorf("engine: query %q: %w", name, err)
 		}
-		r.deliver(outs)
 	}
+	return nil
+}
+
+// accepts reports whether a routed element passes the query's input
+// filter (SQL literal predicates); punctuations always pass. The filter
+// is immutable after registration, so accepts is safe to call from the
+// router goroutine while shards run.
+func (r *Registered) accepts(input int, e stream.Element) bool {
+	return r.filter == nil || e.IsPunct() || r.filter(input, e.Tuple())
+}
+
+// push feeds one routed element into the query's tree and delivers the
+// outputs. It is the single-query step shared by the sequential Push path
+// and the sharded runtime's workers; everything it touches (tree state,
+// stats, result buffer) belongs to exactly one goroutine at a time.
+func (r *Registered) push(input int, e stream.Element) error {
+	outs, err := r.Tree.Push(input, e)
+	if err != nil {
+		return err
+	}
+	r.deliver(outs)
 	return nil
 }
 
@@ -252,8 +272,8 @@ func (d *DSMS) Describe(name string) (string, error) {
 	fmt.Fprintf(&b, "plan: %s\n", r.Plan.Render(r.Query))
 	fmt.Fprintf(&b, "output: %s\n", r.Output)
 	b.WriteString(r.Report.Explain(r.Query))
-	for i, op := range r.Tree.Operators() {
-		fmt.Fprintf(&b, "operator %d: %s\n", i, op.Stats())
+	for i, st := range r.Tree.StatsSnapshot() {
+		fmt.Fprintf(&b, "operator %d: %s\n", i, st)
 	}
 	return b.String(), nil
 }

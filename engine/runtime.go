@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"punctsafe/exec"
+	"punctsafe/stream"
+)
+
+// The sharded runtime is the concurrent query processor of Figure 2:
+// every registered query becomes a shard — one goroutine owning that
+// query's exec.Tree and a bounded mailbox feeding it — and the input
+// manager becomes a router that fans each element out only to the shards
+// subscribed to its stream. exec.MJoin stays single-threaded; concurrency
+// lives entirely in this layer. Independent queries therefore process
+// independent streams in parallel while each query still sees its input
+// in router order.
+
+// RuntimeOptions tunes the sharded runtime.
+type RuntimeOptions struct {
+	// Buffer is the per-shard mailbox capacity (the backpressure knob):
+	// Send blocks once a subscribed shard's mailbox is full. <= 0 selects
+	// the default of 64.
+	Buffer int
+	// FailFast makes Send return the runtime's first error as soon as any
+	// shard has failed, so producers can stop feeding early. Without it
+	// Send keeps routing (failed shards drain their mailboxes without
+	// processing) and the error surfaces from Err and Wait.
+	FailFast bool
+}
+
+const defaultShardBuffer = 64
+
+// Runtime executes the registered queries of a DSMS concurrently, one
+// shard per query. Register every query and scheme first, then call
+// RunSharded; registering on the DSMS while the runtime runs is not
+// supported. Feed elements with Send (any number of producer
+// goroutines), then Close once all producers are done and Wait for the
+// drain. While the runtime runs the DSMS must not be used directly.
+type Runtime struct {
+	d        *DSMS
+	shards   []*shard
+	byName   map[string]*shard
+	route    map[string][]*shard
+	failFast bool
+
+	// closeMu serializes Close against in-flight Send/Stats calls so a
+	// mailbox is never closed mid-send. Producers share the read side;
+	// Close takes the write side once.
+	closeMu sync.RWMutex
+	closed  bool
+
+	errMu    sync.Mutex
+	firstErr error
+	failed   chan struct{} // closed when firstErr is set
+}
+
+// shard is one query's mailbox goroutine. Everything behind it — the
+// exec.Tree, its operator stats, the Registered result buffer — is
+// confined to the worker goroutine while the runtime runs, which keeps
+// the hot path free of locks.
+type shard struct {
+	reg    *Registered
+	mb     chan shardMsg
+	done   chan struct{}
+	rt     *Runtime
+	failed bool // worker-goroutine-local
+}
+
+// shardMsg is one mailbox entry: a routed stream element, or (when stats
+// is non-nil) a snapshot request answered by the worker itself.
+type shardMsg struct {
+	input int
+	elem  stream.Element
+	stats chan<- []*exec.Stats
+}
+
+// RunSharded starts the sharded runtime over the currently registered
+// queries.
+func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = defaultShardBuffer
+	}
+	rt := &Runtime{
+		d:        d,
+		byName:   make(map[string]*shard, len(d.order)),
+		route:    make(map[string][]*shard),
+		failed:   make(chan struct{}),
+		failFast: opts.FailFast,
+	}
+	for _, name := range d.order {
+		s := &shard{
+			reg:  d.queries[name],
+			mb:   make(chan shardMsg, buffer),
+			done: make(chan struct{}),
+			rt:   rt,
+		}
+		rt.shards = append(rt.shards, s)
+		rt.byName[name] = s
+		for streamName := range s.reg.streamInput {
+			rt.route[streamName] = append(rt.route[streamName], s)
+		}
+		go s.run()
+	}
+	return rt
+}
+
+// run is the shard worker: it drains the mailbox into the query's tree
+// and, on clean shutdown, flushes the tree's pending lazy purge rounds so
+// Wait leaves every shard fully purged. After the shard's first error it
+// keeps draining without processing so producers never block forever.
+func (s *shard) run() {
+	defer close(s.done)
+	for msg := range s.mb {
+		if msg.stats != nil {
+			msg.stats <- s.reg.Tree.StatsSnapshot()
+			continue
+		}
+		if s.failed {
+			continue
+		}
+		if err := s.reg.push(msg.input, msg.elem); err != nil {
+			s.failed = true
+			s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
+		}
+	}
+	if s.failed {
+		return
+	}
+	outs, err := s.reg.Tree.Flush()
+	if err != nil {
+		s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
+		return
+	}
+	s.reg.deliver(outs)
+}
+
+// fail records the runtime's first error and signals it.
+func (rt *Runtime) fail(err error) {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+		close(rt.failed)
+	}
+}
+
+// Err returns the first error any shard hit, without blocking; nil while
+// everything is healthy.
+func (rt *Runtime) Err() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.firstErr
+}
+
+// Send routes one element of the named raw stream to every subscribed
+// shard, applying each query's input filter on the router side. It blocks
+// while a subscribed shard's mailbox is full (backpressure) and is safe
+// to call from any number of producer goroutines. After Close it returns
+// an error instead of panicking; with FailFast it returns the runtime's
+// first error once any shard has failed.
+func (rt *Runtime) Send(streamName string, e stream.Element) error {
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
+	if rt.closed {
+		return fmt.Errorf("engine: runtime: Send after Close")
+	}
+	if rt.failFast {
+		select {
+		case <-rt.failed:
+			return rt.Err()
+		default:
+		}
+	}
+	for _, s := range rt.route[streamName] {
+		input := s.reg.streamInput[streamName]
+		if !s.reg.accepts(input, e) {
+			continue
+		}
+		s.mb <- shardMsg{input: input, elem: e}
+	}
+	return nil
+}
+
+// Close signals the end of input: every shard finishes its queued
+// elements, flushes pending lazy purges, and exits. Idempotent; call it
+// once all producers are done (a Send racing with Close errors rather
+// than panicking, because Close waits for in-flight Sends).
+func (rt *Runtime) Close() {
+	rt.closeMu.Lock()
+	defer rt.closeMu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, s := range rt.shards {
+		close(s.mb)
+	}
+}
+
+// Wait blocks until every shard has drained and flushed (after Close) and
+// returns the runtime's first error, if any. Once Wait returns the DSMS
+// and its Registered handles are quiescent and safe to read directly.
+func (rt *Runtime) Wait() error {
+	for _, s := range rt.shards {
+		<-s.done
+	}
+	return rt.Err()
+}
+
+// Stats returns a race-safe snapshot of the named query's operator stats
+// (bottom-up, as exec.Tree.Operators orders them). While the shard runs
+// the request travels through its mailbox and is answered by the worker
+// goroutine itself — a consistent point-in-time snapshot with no locks on
+// the hot path; after the shard has drained the tree is read directly.
+// Do not call concurrently with Close.
+func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
+	s, ok := rt.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no query %q", name)
+	}
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
+	if rt.closed {
+		// Mailbox closed: the worker is draining or done. Wait for it,
+		// then read directly — the <-done synchronizes with the worker's
+		// final writes.
+		<-s.done
+		return s.reg.Tree.StatsSnapshot(), nil
+	}
+	reply := make(chan []*exec.Stats, 1)
+	s.mb <- shardMsg{stats: reply}
+	return <-reply, nil
+}

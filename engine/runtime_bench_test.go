@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkIngest compares the sequential Push path against the sharded
+// runtime while the number of registered queries grows. Every query
+// subscribes to the same streams, so the sequential path does q times the
+// join work per element on one goroutine, while the sharded runtime
+// spreads it over q shard workers: on multi-core hardware the sharded
+// rows should hold roughly constant wall time per element as q rises
+// where the sequential rows degrade linearly.
+func BenchmarkIngest(b *testing.B) {
+	const items = 400
+	const bids = 4
+	var feed []TaggedElement
+	for i := 0; i < items; i++ {
+		feed = append(feed, auctionElems(int64(i), bids)...)
+	}
+
+	for _, nq := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sequential/queries=%d", nq), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, regs := newAuctionDSMS(b, nq)
+				b.StartTimer()
+				for _, te := range feed {
+					if err := d.Push(te.Stream, te.Elem); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := d.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				if len(regs[0].Results) != items*bids {
+					b.Fatalf("results = %d", len(regs[0].Results))
+				}
+			}
+			b.ReportMetric(float64(len(feed)), "elements/op")
+		})
+		b.Run(fmt.Sprintf("sharded/queries=%d", nq), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, regs := newAuctionDSMS(b, nq)
+				b.StartTimer()
+				rt := d.RunSharded(RuntimeOptions{Buffer: 256})
+				for _, te := range feed {
+					if err := rt.Send(te.Stream, te.Elem); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rt.Close()
+				if err := rt.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				if len(regs[0].Results) != items*bids {
+					b.Fatalf("results = %d", len(regs[0].Results))
+				}
+			}
+			b.ReportMetric(float64(len(feed)), "elements/op")
+		})
+	}
+}

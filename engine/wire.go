@@ -60,55 +60,102 @@ func (ww *WireWriter) Write(streamName string, e stream.Element) error {
 	return err
 }
 
+// WireReader decodes frames from a multiplexed element stream. It is the
+// shared front half of the ingestion paths: DSMS.IngestWire drains it
+// into the sequential Push, Runtime.IngestWire into the sharded router.
+type WireReader struct {
+	br     *bufio.Reader
+	codecs map[string]*stream.Codec
+}
+
+// NewWireReader builds a reader for the given stream schemas (the streams
+// the wire may carry).
+func NewWireReader(r io.Reader, schemas ...*stream.Schema) *WireReader {
+	wr := &WireReader{br: bufio.NewReader(r), codecs: make(map[string]*stream.Codec, len(schemas))}
+	for _, sc := range schemas {
+		wr.codecs[sc.Name()] = stream.NewCodec(sc)
+	}
+	return wr
+}
+
+// Read decodes the next frame. It returns io.EOF at a clean end of input.
+func (wr *WireReader) Read() (TaggedElement, error) {
+	nameLen, err := binary.ReadUvarint(wr.br)
+	if err == io.EOF {
+		return TaggedElement{}, io.EOF
+	}
+	if err != nil {
+		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return TaggedElement{}, fmt.Errorf("engine: wire: stream name length %d too large", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(wr.br, nameBuf); err != nil {
+		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+	}
+	payloadLen, err := binary.ReadUvarint(wr.br)
+	if err != nil {
+		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+	}
+	if payloadLen > 1<<24 {
+		return TaggedElement{}, fmt.Errorf("engine: wire: payload length %d too large", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(wr.br, payload); err != nil {
+		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+	}
+	name := string(nameBuf)
+	c, ok := wr.codecs[name]
+	if !ok {
+		return TaggedElement{}, fmt.Errorf("engine: wire: unknown stream %q", name)
+	}
+	e, rest, err := c.Decode(payload)
+	if err != nil {
+		return TaggedElement{}, fmt.Errorf("engine: wire: stream %q: %w", name, err)
+	}
+	if len(rest) != 0 {
+		return TaggedElement{}, fmt.Errorf("engine: wire: stream %q: %d trailing bytes", name, len(rest))
+	}
+	return TaggedElement{Stream: name, Elem: e}, nil
+}
+
 // IngestWire reads frames from r until EOF and pushes each element into
 // the DSMS. The schemas declare the streams the wire may carry. It
 // returns the number of elements ingested.
 func (d *DSMS) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
-	codecs := make(map[string]*stream.Codec, len(schemas))
-	for _, sc := range schemas {
-		codecs[sc.Name()] = stream.NewCodec(sc)
-	}
-	br := bufio.NewReader(r)
+	wr := NewWireReader(r, schemas...)
 	count := 0
 	for {
-		nameLen, err := binary.ReadUvarint(br)
+		te, err := wr.Read()
 		if err == io.EOF {
 			return count, nil
 		}
 		if err != nil {
-			return count, fmt.Errorf("engine: wire: %w", err)
+			return count, err
 		}
-		if nameLen > 1<<16 {
-			return count, fmt.Errorf("engine: wire: stream name length %d too large", nameLen)
+		if err := d.Push(te.Stream, te.Elem); err != nil {
+			return count, err
 		}
-		nameBuf := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, nameBuf); err != nil {
-			return count, fmt.Errorf("engine: wire: %w", err)
+		count++
+	}
+}
+
+// IngestWire reads frames from r until EOF and routes each element to the
+// runtime's shards. It returns the number of elements routed (delivery is
+// asynchronous; Close and Wait to drain).
+func (rt *Runtime) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
+	wr := NewWireReader(r, schemas...)
+	count := 0
+	for {
+		te, err := wr.Read()
+		if err == io.EOF {
+			return count, nil
 		}
-		payloadLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return count, fmt.Errorf("engine: wire: %w", err)
+			return count, err
 		}
-		if payloadLen > 1<<24 {
-			return count, fmt.Errorf("engine: wire: payload length %d too large", payloadLen)
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return count, fmt.Errorf("engine: wire: %w", err)
-		}
-		name := string(nameBuf)
-		c, ok := codecs[name]
-		if !ok {
-			return count, fmt.Errorf("engine: wire: unknown stream %q", name)
-		}
-		e, rest, err := c.Decode(payload)
-		if err != nil {
-			return count, fmt.Errorf("engine: wire: stream %q: %w", name, err)
-		}
-		if len(rest) != 0 {
-			return count, fmt.Errorf("engine: wire: stream %q: %d trailing bytes", name, len(rest))
-		}
-		if err := d.Push(name, e); err != nil {
+		if err := rt.Send(te.Stream, te.Elem); err != nil {
 			return count, err
 		}
 		count++

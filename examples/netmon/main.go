@@ -68,8 +68,8 @@ func main() {
 		}
 		root := reg.Tree.Root()
 		fmt.Printf("%-34s %12d %12d %12d\n",
-			mode.name, root.Stats().MaxStateSize, root.Stats().TotalState(),
-			root.Stats().MaxPunctStoreSize)
+			mode.name, root.StatsSnapshot().MaxStateSize, root.StatsSnapshot().TotalState(),
+			root.StatsSnapshot().MaxPunctStoreSize)
 	}
 	fmt.Println()
 	fmt.Println("Data state stays bounded in every mode; §5.1's punctuation purging")

@@ -66,8 +66,8 @@ func main() {
 			root := reg.Tree.Root()
 			fmt.Printf("%-12d %-12s %10d %12d %12d %12d\n",
 				disorder, hbLabel, results,
-				root.Stats().MaxStateSize, root.Stats().TotalState(),
-				root.Stats().MaxPunctStoreSize)
+				root.StatsSnapshot().MaxStateSize, root.StatsSnapshot().TotalState(),
+				root.StatsSnapshot().MaxPunctStoreSize)
 		}
 	}
 	fmt.Println()

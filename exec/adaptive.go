@@ -76,8 +76,12 @@ func (a *AdaptiveMJoin) Eager() bool { return a.eager }
 // Flush forces pending purge work.
 func (a *AdaptiveMJoin) Flush() []stream.Element { return a.m.Flush() }
 
-// Stats exposes the underlying operator counters.
+// Stats exposes the underlying operator counters (live; see MJoin.Stats
+// for the aliasing caveat).
 func (a *AdaptiveMJoin) Stats() *Stats { return a.m.Stats() }
+
+// StatsSnapshot returns a deep-copied, detached copy of the counters.
+func (a *AdaptiveMJoin) StatsSnapshot() *Stats { return a.m.StatsSnapshot() }
 
 // Inner returns the wrapped MJoin (for schema and purgeability queries).
 func (a *AdaptiveMJoin) Inner() *MJoin { return a.m }

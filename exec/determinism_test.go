@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// captureRun drives a feed through a fresh MJoin and records the full
+// emitted element sequence (result tuples and output punctuations, in
+// order) as strings.
+func captureRun(t *testing.T, cfg Config, feed func(m *MJoin, emit func([]stream.Element))) []string {
+	t.Helper()
+	m, err := NewMJoin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []string
+	emit := func(outs []stream.Element) {
+		for _, o := range outs {
+			seq = append(seq, o.String())
+		}
+	}
+	feed(m, emit)
+	emit(m.Flush())
+	return seq
+}
+
+// TestProbeExpansionDeterministic: when an arriving tuple probes a state
+// holding several matches, the results must come out in tupleID (arrival)
+// order — not Go map order — so two identical runs emit identical
+// sequences. Regression test for the map-iteration nondeterminism in
+// joinState.
+func TestProbeExpansionDeterministic(t *testing.T) {
+	ia := func(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+	q := query.NewBuilder().
+		AddStream(stream.MustSchema("R", ia("A"))).
+		AddStream(stream.MustSchema("S", ia("A"), ia("C"))).
+		Join("R.A", "S.A").
+		MustBuild()
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("R", true),
+		stream.MustScheme("S", true, false),
+	)
+	cfg := Config{Query: q, Schemes: schemes}
+
+	run := func() []string {
+		return captureRun(t, cfg, func(m *MJoin, emit func([]stream.Element)) {
+			// Store 8 S-tuples sharing the join key, then probe with one
+			// R-tuple: 8 results whose order exposes the state iteration.
+			for c := 0; c < 8; c++ {
+				outs, err := m.Push(1, stream.TupleElement(stream.NewTuple(stream.Int(1), stream.Int(int64(c)))))
+				if err != nil {
+					t.Fatal(err)
+				}
+				emit(outs)
+			}
+			outs, err := m.Push(0, stream.TupleElement(stream.NewTuple(stream.Int(1))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			emit(outs)
+		})
+	}
+
+	first := run()
+	if len(first) != 8 {
+		t.Fatalf("emitted %d elements, want 8 results", len(first))
+	}
+	// Arrival order: C ascending, because the S-tuples were inserted with
+	// ascending C.
+	for c := 0; c < 8; c++ {
+		want := stream.TupleElement(stream.NewTuple(stream.Int(1), stream.Int(1), stream.Int(int64(c)))).String()
+		if first[c] != want {
+			t.Fatalf("result %d = %s, want %s (tupleID order)", c, first[c], want)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		if again := run(); !sameSeq(first, again) {
+			t.Fatalf("run %d emitted a different sequence:\n%v\nvs\n%v", trial, again, first)
+		}
+	}
+}
+
+// TestWorkloadSequenceDeterministic: a full seeded workload (tuples,
+// punctuations, purge cascades, propagated output punctuations) emits an
+// identical element sequence on every run — the engine-level determinism
+// contract.
+func TestWorkloadSequenceDeterministic(t *testing.T) {
+	q := workload.AuctionQuery()
+	schemes := workload.AuctionSchemes()
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 150, MaxBidsPerItem: 6, OpenWindow: 5,
+		PunctuateItems: true, PunctuateClose: true, Seed: 17,
+	})
+	// Lazy purging batches punctuations, so purge rounds sweep candidate
+	// sets — the other code path the determinism fix covers.
+	for _, batch := range []int{1, 64} {
+		cfg := Config{Query: q, Schemes: schemes, PurgeBatch: batch}
+		run := func() []string {
+			return captureRun(t, cfg, func(m *MJoin, emit func([]stream.Element)) {
+				feed, err := workload.NewFeed(q, inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := feed.Each(func(i int, e stream.Element) error {
+					outs, err := m.Push(i, e)
+					emit(outs)
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		first := run()
+		for trial := 0; trial < 3; trial++ {
+			if again := run(); !sameSeq(first, again) {
+				t.Fatalf("batch=%d run %d emitted a different sequence", batch, trial)
+			}
+		}
+	}
+}
+
+func sameSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -144,8 +144,16 @@ func NewMJoin(cfg Config) (*MJoin, error) {
 // Purgeable reports whether input i's join state is purgeable (Theorem 3).
 func (m *MJoin) Purgeable(i int) bool { return m.plans[i] != nil }
 
-// Stats returns the operator's counters (live; do not modify).
+// Stats returns the operator's counters (live; do not modify). The
+// returned pointer aliases the operator's mutable state: reading it while
+// another goroutine drives the operator is a data race. Cross-goroutine
+// readers must use StatsSnapshot (or the engine Runtime's snapshot API).
 func (m *MJoin) Stats() *Stats { return m.stats }
+
+// StatsSnapshot returns a deep-copied, detached copy of the operator's
+// counters. Call it from the goroutine driving the operator, or after the
+// operator has quiesced.
+func (m *MJoin) StatsSnapshot() *Stats { return m.stats.Snapshot() }
 
 // OutputSchema is the schema of emitted result tuples: the concatenation
 // of the input schemas, with columns named <stream>_<attr>.
@@ -341,8 +349,9 @@ func (m *MJoin) probe(input int, t stream.Tuple) []stream.Tuple {
 			return
 		}
 		j := order[k]
-		candidates := m.candidateSet(j, isBound, bound)
-		for id := range candidates {
+		// Expand candidates in tupleID (arrival) order so the emitted
+		// result sequence is identical run to run.
+		for _, id := range sortedIDs(m.candidateSet(j, isBound, bound), nil) {
 			u := m.states[j].tuples[id]
 			if !m.matchesBound(j, u, isBound, bound) {
 				continue
@@ -406,7 +415,7 @@ func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []boo
 	if best < 0 {
 		panic("exec: probe order disconnected")
 	}
-	for id := range bestSet {
+	for _, id := range sortedIDs(bestSet, nil) {
 		u := m.states[best].tuples[id]
 		if !m.matchesBound(best, u, isBound, bound) {
 			continue

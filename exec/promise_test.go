@@ -63,8 +63,8 @@ func TestEnforcePromisesWatermark(t *testing.T) {
 // promises, so enforcement never fires on them.
 func TestEnforcePromisesAcceptsCleanWorkloads(t *testing.T) {
 	for _, tc := range []struct {
-		name    string
-		q       func() (*MJoin, []workload.Input)
+		name string
+		q    func() (*MJoin, []workload.Input)
 	}{
 		{"auction", func() (*MJoin, []workload.Input) {
 			q := workload.AuctionQuery()

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sort"
+
 	"punctsafe/stream"
 )
 
@@ -214,11 +216,19 @@ func (ps *punctStore) expire(now uint64) int {
 	return removed
 }
 
-// each visits every live entry until fn returns false.
+// each visits every live entry until fn returns false. Entries are
+// visited per scheme in sorted key order (not Go map order) so sweep-time
+// punctuation emission is deterministic across runs.
 func (ps *punctStore) each(now uint64, fn func(schemeIdx int, e *punctEntry) bool) {
 	for si, m := range ps.entries {
-		for _, e := range m {
-			if e.expired(now) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e, ok := m[k]
+			if !ok || e.expired(now) {
 				continue
 			}
 			if !fn(si, e) {

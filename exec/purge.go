@@ -113,7 +113,10 @@ func (m *MJoin) purgeFixpoint(cand []map[tupleID]struct{}) [][]stream.Tuple {
 			if m.plans[s] == nil {
 				continue
 			}
-			for id := range cand[s] {
+			// Sorted candidate order keeps the removal sequence — and
+			// therefore the order of re-emitted output punctuations —
+			// deterministic across runs.
+			for _, id := range sortedIDs(cand[s], nil) {
 				t, ok := m.states[s].tuples[id]
 				if !ok {
 					delete(cand[s], id)

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sort"
+
 	"punctsafe/stream"
 )
 
@@ -80,11 +82,32 @@ func (st *joinState) lookup(attr int, v stream.Value) map[tupleID]struct{} {
 	return idx[v.Key()]
 }
 
-// each calls fn for every stored tuple until fn returns false.
+// each calls fn for every stored tuple until fn returns false. Tuples are
+// visited in tupleID (arrival) order, never in Go map order, so every
+// downstream effect — probe expansion, purge cascades, punctuation
+// re-emission — is deterministic across runs. Iterating a sorted id
+// snapshot also makes it safe for fn to remove tuples mid-walk.
 func (st *joinState) each(fn func(tupleID, stream.Tuple) bool) {
-	for id, t := range st.tuples {
+	for _, id := range sortedIDs(st.tuples, nil) {
+		t, ok := st.tuples[id]
+		if !ok {
+			continue
+		}
 		if !fn(id, t) {
 			return
 		}
 	}
+}
+
+// sortedIDs collects the keys of a tupleID-keyed map in ascending id
+// (arrival) order. The engine's determinism contract (identical runs emit
+// identical sequences) rests on every map-keyed iteration in the hot path
+// going through here.
+func sortedIDs[V any](set map[tupleID]V, buf []tupleID) []tupleID {
+	ids := buf[:0]
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }

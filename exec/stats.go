@@ -80,6 +80,23 @@ func (s *Stats) noteWatermarks() {
 	}
 }
 
+// Snapshot returns a deep copy of the stats. The copy is detached from
+// the operator: it never changes after the call, so callers can hold it
+// across further pushes or hand it to other goroutines. Taking the
+// snapshot itself must happen on the goroutine driving the operator (or
+// after it has quiesced); the engine's sharded Runtime routes snapshot
+// requests through each shard's mailbox for exactly that reason.
+func (s *Stats) Snapshot() *Stats {
+	c := *s
+	c.TuplesIn = append([]uint64(nil), s.TuplesIn...)
+	c.PunctsIn = append([]uint64(nil), s.PunctsIn...)
+	c.TuplesPurged = append([]uint64(nil), s.TuplesPurged...)
+	c.PunctsPurged = append([]uint64(nil), s.PunctsPurged...)
+	c.StateSize = append([]int(nil), s.StateSize...)
+	c.PunctStoreSize = append([]int(nil), s.PunctStoreSize...)
+	return &c
+}
+
 // String summarizes the stats on one line.
 func (s *Stats) String() string {
 	return fmt.Sprintf("state=%d (max %d) puncts=%d (max %d) results=%d purged=%v",

@@ -180,6 +180,19 @@ func (t *Tree) Operators() []*MJoin {
 // Root returns the root operator.
 func (t *Tree) Root() *MJoin { return t.root.join }
 
+// StatsSnapshot returns deep-copied stats for every operator, bottom-up
+// (same order as Operators). Like MJoin.StatsSnapshot it must be taken on
+// the goroutine driving the tree or after quiescence; the engine Runtime
+// serializes cross-goroutine snapshot requests through each shard's
+// mailbox.
+func (t *Tree) StatsSnapshot() []*Stats {
+	out := make([]*Stats, len(t.ops))
+	for i, op := range t.ops {
+		out[i] = op.join.StatsSnapshot()
+	}
+	return out
+}
+
 // TotalState sums the stored tuples across every operator.
 func (t *Tree) TotalState() int {
 	total := 0

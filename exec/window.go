@@ -90,8 +90,12 @@ func (wj *WindowedMJoin) Push(input int, e stream.Element) ([]stream.Element, er
 	return out, nil
 }
 
-// Stats exposes the underlying operator counters.
+// Stats exposes the underlying operator counters (live; see MJoin.Stats
+// for the aliasing caveat).
 func (wj *WindowedMJoin) Stats() *Stats { return wj.m.stats }
+
+// StatsSnapshot returns a deep-copied, detached copy of the counters.
+func (wj *WindowedMJoin) StatsSnapshot() *Stats { return wj.m.StatsSnapshot() }
 
 // OutputSchema is the concatenated result schema.
 func (wj *WindowedMJoin) OutputSchema() *stream.Schema { return wj.m.OutputSchema() }

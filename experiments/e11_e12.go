@@ -59,10 +59,10 @@ func E11WindowVsPunct(items int) *Table {
 	exact := run(punctJoin.Push)
 	t.Rows = append(t.Rows, []string{
 		"punctuations", fmt.Sprint(exact), "0",
-		fmt.Sprint(punctJoin.Stats().MaxStateSize), fmt.Sprint(punctJoin.Stats().TotalState()),
+		fmt.Sprint(punctJoin.StatsSnapshot().MaxStateSize), fmt.Sprint(punctJoin.StatsSnapshot().TotalState()),
 	})
 
-	shapeOK := punctJoin.Stats().TotalState() == 0
+	shapeOK := punctJoin.StatsSnapshot().TotalState() == 0
 	lossSeen := false
 	for _, rows := range []int{2, 64, 1 << 20} {
 		wj, err := exec.NewWindowedMJoin(exec.Config{Query: q, Schemes: schemes}, exec.Window{Rows: rows})
@@ -76,10 +76,10 @@ func E11WindowVsPunct(items int) *Table {
 		}
 		t.Rows = append(t.Rows, []string{
 			label, fmt.Sprint(got), fmt.Sprint(exact - got),
-			fmt.Sprint(wj.Stats().MaxStateSize), fmt.Sprint(wj.Stats().TotalState()),
+			fmt.Sprint(wj.StatsSnapshot().MaxStateSize), fmt.Sprint(wj.StatsSnapshot().TotalState()),
 		})
 		if rows == 1<<20 {
-			if got != exact || wj.Stats().MaxStateSize <= punctJoin.Stats().MaxStateSize {
+			if got != exact || wj.StatsSnapshot().MaxStateSize <= punctJoin.StatsSnapshot().MaxStateSize {
 				shapeOK = false
 			}
 		}
@@ -154,10 +154,10 @@ func E12Adaptive(items int) *Table {
 			panic(err)
 		}
 		results, r := run(m.Push, m.Flush)
-		maxState[i], rate[i] = m.Stats().MaxStateSize, r
+		maxState[i], rate[i] = m.StatsSnapshot().MaxStateSize, r
 		t.Rows = append(t.Rows, []string{
 			mode.name, fmt.Sprint(results),
-			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
+			fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
 			fmt.Sprintf("%.0f", r), "-",
 		})
 	}
@@ -168,10 +168,10 @@ func E12Adaptive(items int) *Table {
 		panic(err)
 	}
 	results, r := run(a.Push, a.Flush)
-	maxState[2], rate[2] = a.Stats().MaxStateSize, r
+	maxState[2], rate[2] = a.StatsSnapshot().MaxStateSize, r
 	t.Rows = append(t.Rows, []string{
 		"adaptive hw=96", fmt.Sprint(results),
-		fmt.Sprint(a.Stats().MaxStateSize), fmt.Sprint(a.Stats().TotalState()),
+		fmt.Sprint(a.StatsSnapshot().MaxStateSize), fmt.Sprint(a.StatsSnapshot().TotalState()),
 		fmt.Sprintf("%.0f", r), fmt.Sprint(a.Switches),
 	})
 

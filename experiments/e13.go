@@ -56,14 +56,14 @@ func E13Watermarks(epochs int) *Table {
 			hbLabel := "yes"
 			if !hb {
 				hbLabel = "no"
-				baselineMax = m.Stats().MaxStateSize
+				baselineMax = m.StatsSnapshot().MaxStateSize
 			} else {
-				maxStates = append(maxStates, m.Stats().MaxStateSize)
+				maxStates = append(maxStates, m.StatsSnapshot().MaxStateSize)
 			}
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(disorder), hbLabel, fmt.Sprint(results),
-				fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
-				fmt.Sprint(m.Stats().MaxPunctStoreSize),
+				fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
+				fmt.Sprint(m.StatsSnapshot().MaxPunctStoreSize),
 			})
 		}
 	}

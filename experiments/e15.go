@@ -56,12 +56,12 @@ func E15PunctDelay(rounds int) *Table {
 		if baselineResults < 0 {
 			baselineResults = results
 		}
-		maxStates = append(maxStates, m.Stats().MaxStateSize)
+		maxStates = append(maxStates, m.StatsSnapshot().MaxStateSize)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(delay), fmt.Sprint(results),
-			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
+			fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
 		})
-		if results != baselineResults || m.Stats().TotalState() != 0 {
+		if results != baselineResults || m.StatsSnapshot().TotalState() != 0 {
 			t.Notes = "SHAPE VIOLATION: results diverged or state did not drain."
 			return t
 		}

@@ -82,8 +82,8 @@ func runAuction(items int, punct bool) auctionRun {
 	return auctionRun{
 		elements: len(inputs),
 		results:  results,
-		maxState: m.Stats().MaxStateSize,
-		endState: m.Stats().TotalState(),
+		maxState: m.StatsSnapshot().MaxStateSize,
+		endState: m.StatsSnapshot().TotalState(),
 	}
 }
 
@@ -165,14 +165,14 @@ func E2ChainedPurge() *Table {
 			panic(err)
 		}
 		purged := uint64(0)
-		for _, v := range m.Stats().TuplesPurged {
+		for _, v := range m.StatsSnapshot().TuplesPurged {
 			purged += v
 		}
 		t.Rows = append(t.Rows, []string{
 			label,
-			fmt.Sprint(m.Stats().StateSize[0]),
-			fmt.Sprint(m.Stats().StateSize[1]),
-			fmt.Sprint(m.Stats().StateSize[2]),
+			fmt.Sprint(m.StatsSnapshot().StateSize[0]),
+			fmt.Sprint(m.StatsSnapshot().StateSize[1]),
+			fmt.Sprint(m.StatsSnapshot().StateSize[2]),
 			fmt.Sprint(purged),
 		})
 	}
@@ -227,12 +227,12 @@ func E3MJoinSafe(rounds int) *Table {
 			panic(err)
 		}
 		purged := uint64(0)
-		for _, v := range m.Stats().TuplesPurged {
+		for _, v := range m.StatsSnapshot().TuplesPurged {
 			purged += v
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(r), fmt.Sprint(len(inputs)), fmt.Sprint(results),
-			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
+			fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
 			fmt.Sprint(purged),
 		})
 	}
@@ -280,8 +280,8 @@ func E4UnsafeBinaryTree(rounds int) *Table {
 			}
 			lowerS1 := "-"
 			if len(tree.Operators()) > 1 {
-				lowerS1 = fmt.Sprint(tree.Operators()[0].Stats().StateSize[0])
-				if tree.Operators()[0].Stats().StateSize[0] != r*6 {
+				lowerS1 = fmt.Sprint(tree.Operators()[0].StatsSnapshot().StateSize[0])
+				if tree.Operators()[0].StatsSnapshot().StateSize[0] != r*6 {
 					shapeHolds = false
 				}
 			} else if tree.TotalState() != 0 {
@@ -338,8 +338,8 @@ func E5MultiAttr(rounds int) *Table {
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(r), fmt.Sprint(len(inputs)), fmt.Sprint(results),
-			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
-			fmt.Sprintf("%d/%d/%d", m.Stats().TuplesPurged[0], m.Stats().TuplesPurged[1], m.Stats().TuplesPurged[2]),
+			fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
+			fmt.Sprintf("%d/%d/%d", m.StatsSnapshot().TuplesPurged[0], m.StatsSnapshot().TuplesPurged[1], m.StatsSnapshot().TuplesPurged[2]),
 		})
 	}
 	t.Notes = "shape holds when every state purges (all three purge counters positive) and end state is 0 — Corollary 1 alone would have rejected this query; Theorems 3/4 admit it."

@@ -135,7 +135,7 @@ func E7SchemeChoice(ks []int) *Table {
 			st := workload.Summarize(inputs)
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(k), mode.name, fmt.Sprint(mode.set.Len()), fmt.Sprint(st.Puncts),
-				fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().MaxPunctStoreSize),
+				fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().MaxPunctStoreSize),
 				fmt.Sprintf("%.0f", float64(len(inputs))/float64(elapsed.Milliseconds()+1)),
 			})
 		}
@@ -185,12 +185,12 @@ func E8EagerLazy(batches []int) *Table {
 		}
 		m.Flush()
 		elapsed := time.Since(start)
-		maxStates = append(maxStates, m.Stats().MaxStateSize)
+		maxStates = append(maxStates, m.StatsSnapshot().MaxStateSize)
 		resultCounts = append(resultCounts, results)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(batch), fmt.Sprint(results),
-			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
-			fmt.Sprint(m.Stats().PurgeChecks),
+			fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
+			fmt.Sprint(m.StatsSnapshot().PurgeChecks),
 			fmt.Sprintf("%.0f", float64(len(inputs))/float64(elapsed.Milliseconds()+1)),
 		})
 	}
@@ -251,8 +251,8 @@ func E9PunctStore(flows int) *Table {
 		}
 		t.Rows = append(t.Rows, []string{
 			mode.name,
-			fmt.Sprint(m.Stats().MaxStateSize), fmt.Sprint(m.Stats().TotalState()),
-			fmt.Sprint(m.Stats().MaxPunctStoreSize), fmt.Sprint(m.Stats().TotalPunctStore()),
+			fmt.Sprint(m.StatsSnapshot().MaxStateSize), fmt.Sprint(m.StatsSnapshot().TotalState()),
+			fmt.Sprint(m.StatsSnapshot().MaxPunctStoreSize), fmt.Sprint(m.StatsSnapshot().TotalPunctStore()),
 		})
 	}
 	t.Notes = "shape holds when data state is bounded in all modes while the punctuation store is bounded only under counter-punct purging (open-window sized) or lifespans (arrival-window sized)."

@@ -181,8 +181,8 @@ func TestClosedWorkloadDrains(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := m.Stats().TotalState(); got != 0 {
-			t.Errorf("%s: state should drain, has %d (stats %s)", topo, got, m.Stats())
+		if got := m.StatsSnapshot().TotalState(); got != 0 {
+			t.Errorf("%s: state should drain, has %d (stats %s)", topo, got, m.StatsSnapshot())
 		}
 		if results == 0 {
 			t.Errorf("%s: workload produced no results; generator broken", topo)
