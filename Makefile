@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet build test race fuzzseed bench fmt
 
-check: vet build test race
+check: vet build test race fuzzseed
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,12 @@ test:
 # race-clean; exec rides along because the shards drive it.
 race:
 	$(GO) test -race ./engine/... ./exec/...
+
+# Run the wire-format fuzz targets over their checked-in seed corpus
+# (truncated frames, oversized lengths, unknown streams). `go test -fuzz`
+# explores further; the seed set is the regression gate.
+fuzzseed:
+	$(GO) test -run Fuzz ./engine/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

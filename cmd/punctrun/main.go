@@ -22,6 +22,7 @@ import (
 
 	"punctsafe/engine"
 	"punctsafe/exec"
+	"punctsafe/internal/faultinject"
 	"punctsafe/query"
 	"punctsafe/spec"
 	"punctsafe/stream"
@@ -44,13 +45,40 @@ func main() {
 		sqlFile    = flag.String("sql", "", "run the first query of this streamsql script on a generated closed workload")
 		csvPath    = flag.String("csv", "", "write a state/punctuation/result timeline as CSV to this file")
 		parallel   = flag.Bool("parallel", false, "ingest through the sharded per-query runtime (-interval reads race-safe snapshots; -csv is unsupported)")
+		onError    = flag.String("on-error", "fail", "error policy for the sharded runtime: fail | drop | quarantine (needs -parallel)")
+		deadLetter = flag.Int("dead-letter", 0, "max offenders retained under -on-error quarantine (0 = default bound)")
+		enforce    = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
+		chaosLate  = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
 	)
 	flag.Parse()
+
+	policy, err := engine.ParseErrorPolicy(*onError)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if policy != engine.Fail && !*parallel {
+		fmt.Fprintln(os.Stderr, "punctrun: -on-error drop|quarantine needs the sharded runtime (add -parallel)")
+		os.Exit(2)
+	}
 
 	q, schemes, inputs, err := buildScenario(*scenario, *size, *k, !*noPunct, *zipf, *specFile, *sqlFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	injectedLate := 0
+	if *chaosLate > 0 {
+		feed := make([]faultinject.Item, len(inputs))
+		for i, in := range inputs {
+			feed[i] = faultinject.Item(in)
+		}
+		feed, rep := faultinject.InjectLate(feed, *chaosLate, 1)
+		injectedLate = rep.Late
+		inputs = make([]workload.Input, len(feed))
+		for i, it := range feed {
+			inputs[i] = workload.Input(it)
+		}
 	}
 
 	d := engine.New()
@@ -62,6 +90,7 @@ func main() {
 		PurgeBatch:        *batch,
 		PunctLifespan:     *lifespan,
 		PurgePunctuations: *purgePunct,
+		EnforcePromises:   *enforce,
 		OnResult:          func(stream.Tuple) { results++ },
 	})
 	if err != nil {
@@ -72,7 +101,11 @@ func main() {
 	fmt.Printf("schemes: %s\n", schemes)
 	fmt.Printf("plan:    %s\n", reg.Plan.Render(q))
 	st := workload.Summarize(inputs)
-	fmt.Printf("feed:    %d tuples, %d punctuations\n\n", st.Tuples, st.Puncts)
+	fmt.Printf("feed:    %d tuples, %d punctuations\n", st.Tuples, st.Puncts)
+	if injectedLate > 0 {
+		fmt.Printf("chaos:   %d late tuples injected (policy %s)\n", injectedLate, policy)
+	}
+	fmt.Println()
 
 	if *interval > 0 {
 		fmt.Printf("%12s %12s %12s %12s\n", "element", "state", "puncts", "results")
@@ -90,8 +123,13 @@ func main() {
 		timeline = &exec.Timeline{Every: every}
 	}
 	start := time.Now()
+	var deadLetters *engine.DeadLetterSnapshot
 	if *parallel {
-		rt := d.RunSharded(engine.RuntimeOptions{Buffer: 256})
+		rt := d.RunSharded(engine.RuntimeOptions{
+			Buffer:          256,
+			OnError:         policy,
+			DeadLetterLimit: *deadLetter,
+		})
 		for i, in := range inputs {
 			if err := rt.Send(in.Stream, in.Elem); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -117,6 +155,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		dl := rt.DeadLetters()
+		deadLetters = &dl
 	} else {
 		for i, in := range inputs {
 			if err := d.Push(in.Stream, in.Elem); err != nil {
@@ -147,6 +187,16 @@ func main() {
 	fmt.Printf("final punct store:  %d\n", reg.Tree.TotalPunctStore())
 	for i, op := range reg.Tree.Operators() {
 		fmt.Printf("operator %d:         %s\n", i, op.StatsSnapshot())
+	}
+	if deadLetters != nil && policy != engine.Fail {
+		fmt.Printf("dead letters:       %d absorbed (%d retained, %d evicted)\n",
+			deadLetters.Total, len(deadLetters.Entries), deadLetters.Evicted)
+		for name, n := range deadLetters.ByStream {
+			if name == "" {
+				name = "<wire>"
+			}
+			fmt.Printf("  stream %-10s %d\n", name, n)
+		}
 	}
 	if timeline != nil {
 		f, err := os.Create(*csvPath)

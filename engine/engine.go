@@ -53,12 +53,14 @@ type Options struct {
 	Plan *plan.Node
 	// CostModel overrides the default cost model for plan choice.
 	CostModel *plan.CostModel
-	// PurgeBatch, PunctLifespan, PurgePunctuations, StateLimit and
-	// EnforcePromises mirror exec.Config.
+	// PurgeBatch, PunctLifespan, PurgePunctuations, StateLimit,
+	// SoftStateLimit, OnPressure and EnforcePromises mirror exec.Config.
 	PurgeBatch        int
 	PunctLifespan     uint64
 	PurgePunctuations bool
 	StateLimit        int
+	SoftStateLimit    int
+	OnPressure        func(exec.PressureEvent)
 	EnforcePromises   bool
 	// OnResult, when set, is invoked for every result tuple instead of
 	// buffering it in Results.
@@ -128,6 +130,8 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 		PunctLifespan:     opts.PunctLifespan,
 		PurgePunctuations: opts.PurgePunctuations,
 		StateLimit:        opts.StateLimit,
+		SoftStateLimit:    opts.SoftStateLimit,
+		OnPressure:        opts.OnPressure,
 		EnforcePromises:   opts.EnforcePromises,
 	}, p)
 	if err != nil {

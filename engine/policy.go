@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"punctsafe/exec"
+)
+
+// The paper's safety guarantee holds while the punctuation contract is
+// honored; the error policy decides what happens when it is not. Element-
+// level contract violations — a late tuple behind its covering
+// punctuation (exec.ErrPromiseViolated), a malformed or undecodable
+// element (exec.ErrMalformedElement, corrupt wire frames), a panicking
+// router-side filter — damage one element, not the operator state, so a
+// runtime may drop or quarantine the offender and keep the shard running.
+// Everything else (state-limit trips, operator panics, internal invariant
+// breaks) still fails the shard: only that query stops; sibling shards
+// keep processing.
+
+// ErrorPolicy selects how the sharded runtime treats recoverable
+// element-level errors.
+type ErrorPolicy int
+
+const (
+	// Fail stops the offending shard on the first error of any kind and
+	// surfaces it through Err and Wait (the strict default).
+	Fail ErrorPolicy = iota
+	// Drop discards offending elements, counts them in the dead-letter
+	// snapshot, and keeps the shard running.
+	Drop
+	// Quarantine is Drop plus retention: offenders are kept (up to the
+	// configured bound) in the dead-letter queue for inspection or replay.
+	Quarantine
+)
+
+// String renders the policy as its flag spelling.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case Fail:
+		return "fail"
+	case Drop:
+		return "drop"
+	case Quarantine:
+		return "quarantine"
+	default:
+		return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+	}
+}
+
+// ParseErrorPolicy parses the flag spelling of a policy.
+func ParseErrorPolicy(s string) (ErrorPolicy, error) {
+	switch s {
+	case "fail":
+		return Fail, nil
+	case "drop":
+		return Drop, nil
+	case "quarantine":
+		return Quarantine, nil
+	default:
+		return Fail, fmt.Errorf("engine: unknown error policy %q (want fail, drop or quarantine)", s)
+	}
+}
+
+// recoverableError reports whether err is an element-level error the Drop
+// and Quarantine policies may absorb. Operator panics are never
+// recoverable: a panic mid-push can leave join state inconsistent, so the
+// shard must stop.
+func recoverableError(err error) bool {
+	return errors.Is(err, exec.ErrPromiseViolated) ||
+		errors.Is(err, exec.ErrMalformedElement) ||
+		errors.Is(err, errFilterPanic)
+}
+
+// errFilterPanic marks a router-side input filter that panicked while
+// classifying an element. The element is treated as undecidable — an
+// element-level fault — rather than poisoning the producer goroutine.
+var errFilterPanic = errors.New("engine: input filter panicked")
+
+// PanicError wraps a recovered operator panic as a shard error. The shard
+// that panicked fails (its state can no longer be trusted); the process
+// and every other shard keep running.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: operator panicked: %v", e.Value)
+}
+
+// newPanicError captures the current stack for a recovered value.
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RetryReader turns a flaky byte source into a resilient io.Reader: when
+// a Read fails with a transient error, it reconnects through Open at the
+// byte offset already delivered and retries with exponential backoff,
+// bounded by MaxRetries consecutive failures. io.EOF always passes
+// through (a finished source is not a fault). Wrap the source handed to
+// IngestWire in one of these to survive transient transport failures
+// without losing or duplicating frames.
+//
+// Not safe for concurrent use; like any io.Reader it serves one consumer.
+type RetryReader struct {
+	// Open (re)opens the source positioned at the given byte offset. It
+	// is called lazily on first Read and after every transient failure.
+	Open func(offset int64) (io.Reader, error)
+	// MaxRetries bounds consecutive failed reconnect attempts before the
+	// error is surfaced (<= 0 selects the default of 4). Any successful
+	// read resets the count.
+	MaxRetries int
+	// Backoff is the delay before the first retry, doubling per
+	// consecutive failure (<= 0 selects the default of 10ms).
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+	// Retries counts transient failures absorbed over the reader's life.
+	Retries int
+
+	cur    io.Reader
+	offset int64
+}
+
+// Read implements io.Reader with reconnect-and-resume semantics.
+func (rr *RetryReader) Read(p []byte) (int, error) {
+	sleep := rr.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	maxRetries := rr.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 4
+	}
+	backoff := rr.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	failures := 0
+	for {
+		if rr.cur == nil {
+			r, err := rr.Open(rr.offset)
+			if err != nil {
+				rr.Retries++
+				failures++
+				if failures > maxRetries {
+					return 0, fmt.Errorf("engine: retry reader: giving up after %d attempts: %w", failures, err)
+				}
+				sleep(backoff)
+				backoff *= 2
+				continue
+			}
+			rr.cur = r
+		}
+		n, err := rr.cur.Read(p)
+		rr.offset += int64(n)
+		if err == nil || err == io.EOF {
+			return n, err
+		}
+		// Transient failure: drop the connection and retry. Bytes already
+		// read are delivered first; the reconnect happens on the next call.
+		rr.cur = nil
+		rr.Retries++
+		if n > 0 {
+			return n, nil
+		}
+		failures++
+		if failures > maxRetries {
+			return 0, fmt.Errorf("engine: retry reader: giving up after %d attempts: %w", failures, err)
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}

@@ -28,6 +28,16 @@ type RuntimeOptions struct {
 	// Send keeps routing (failed shards drain their mailboxes without
 	// processing) and the error surfaces from Err and Wait.
 	FailFast bool
+	// OnError selects how shards treat recoverable element-level errors
+	// (late tuples, malformed elements, panicking filters): Fail stops the
+	// shard (the default), Drop discards and counts the offender,
+	// Quarantine additionally retains it in the dead-letter queue.
+	// Operator panics and state-limit trips always fail their shard.
+	OnError ErrorPolicy
+	// DeadLetterLimit bounds how many offenders Quarantine retains (<= 0
+	// selects the default of 128); the newest offenders win. Counts are
+	// never bounded.
+	DeadLetterLimit int
 }
 
 const defaultShardBuffer = 64
@@ -44,6 +54,8 @@ type Runtime struct {
 	byName   map[string]*shard
 	route    map[string][]*shard
 	failFast bool
+	policy   ErrorPolicy
+	dlq      *deadLetterQueue
 
 	// closeMu serializes Close against in-flight Send/Stats calls so a
 	// mailbox is never closed mid-send. Producers share the read side;
@@ -71,9 +83,10 @@ type shard struct {
 // shardMsg is one mailbox entry: a routed stream element, or (when stats
 // is non-nil) a snapshot request answered by the worker itself.
 type shardMsg struct {
-	input int
-	elem  stream.Element
-	stats chan<- []*exec.Stats
+	input  int
+	stream string
+	elem   stream.Element
+	stats  chan<- []*exec.Stats
 }
 
 // RunSharded starts the sharded runtime over the currently registered
@@ -89,6 +102,8 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 		route:    make(map[string][]*shard),
 		failed:   make(chan struct{}),
 		failFast: opts.FailFast,
+		policy:   opts.OnError,
+		dlq:      newDeadLetterQueue(opts.OnError == Quarantine, opts.DeadLetterLimit),
 	}
 	for _, name := range d.order {
 		s := &shard{
@@ -111,6 +126,11 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 // and, on clean shutdown, flushes the tree's pending lazy purge rounds so
 // Wait leaves every shard fully purged. After the shard's first error it
 // keeps draining without processing so producers never block forever.
+//
+// Faults are contained per element and per shard: recoverable element
+// errors go to the dead-letter queue under Drop/Quarantine, and operator
+// panics are recovered into shard-local errors, so one poisoned query
+// never takes down its siblings or the process.
 func (s *shard) run() {
 	defer close(s.done)
 	for msg := range s.mb {
@@ -121,7 +141,16 @@ func (s *shard) run() {
 		if s.failed {
 			continue
 		}
-		if err := s.reg.push(msg.input, msg.elem); err != nil {
+		if err := s.pushContained(msg.input, msg.elem); err != nil {
+			if s.rt.policy != Fail && recoverableError(err) {
+				s.rt.dlq.add(DeadLetter{
+					Stream: msg.stream,
+					Query:  s.reg.Name,
+					Elem:   msg.elem,
+					Err:    err,
+				})
+				continue
+			}
 			s.failed = true
 			s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
 		}
@@ -129,12 +158,37 @@ func (s *shard) run() {
 	if s.failed {
 		return
 	}
+	if err := s.flushContained(); err != nil {
+		s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
+	}
+}
+
+// pushContained feeds one element into the shard's tree, converting an
+// operator panic into a returned *PanicError. The panicking shard's state
+// can no longer be trusted, so the caller fails it — but only it.
+func (s *shard) pushContained(input int, e stream.Element) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
+	return s.reg.push(input, e)
+}
+
+// flushContained runs the end-of-input flush with the same panic
+// containment as pushContained.
+func (s *shard) flushContained() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError(r)
+		}
+	}()
 	outs, err := s.reg.Tree.Flush()
 	if err != nil {
-		s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
-		return
+		return err
 	}
 	s.reg.deliver(outs)
+	return nil
 }
 
 // fail records the runtime's first error and signals it.
@@ -176,13 +230,45 @@ func (rt *Runtime) Send(streamName string, e stream.Element) error {
 	}
 	for _, s := range rt.route[streamName] {
 		input := s.reg.streamInput[streamName]
-		if !s.reg.accepts(input, e) {
+		ok, err := safeAccepts(s.reg, input, e)
+		if err != nil {
+			// A panicking input filter leaves the element unclassifiable
+			// for this query: dead-letter it under Drop/Quarantine, or
+			// fail the runtime under Fail — the router goroutine survives
+			// either way.
+			err = fmt.Errorf("engine: query %q: %w", s.reg.Name, err)
+			if rt.policy != Fail {
+				rt.dlq.add(DeadLetter{Stream: streamName, Query: s.reg.Name, Elem: e, Err: err})
+				continue
+			}
+			rt.fail(err)
+			return err
+		}
+		if !ok {
 			continue
 		}
-		s.mb <- shardMsg{input: input, elem: e}
+		s.mb <- shardMsg{input: input, stream: streamName, elem: e}
 	}
 	return nil
 }
+
+// safeAccepts evaluates the query's input filter with panic containment:
+// a filter that panics yields errFilterPanic instead of unwinding the
+// producer goroutine.
+func safeAccepts(r *Registered, input int, e stream.Element) (ok bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: %v", errFilterPanic, v)
+		}
+	}()
+	return r.accepts(input, e), nil
+}
+
+// DeadLetters returns a detached snapshot of the runtime's dead-letter
+// queue: totals and per-stream/per-query counts under Drop and
+// Quarantine, plus the retained offenders under Quarantine. Safe to call
+// from any goroutine at any time.
+func (rt *Runtime) DeadLetters() DeadLetterSnapshot { return rt.dlq.snapshot() }
 
 // Close signals the end of input: every shard finishes its queued
 // elements, flushes pending lazy purges, and exits. Idempotent; call it
@@ -215,7 +301,9 @@ func (rt *Runtime) Wait() error {
 // the request travels through its mailbox and is answered by the worker
 // goroutine itself — a consistent point-in-time snapshot with no locks on
 // the hot path; after the shard has drained the tree is read directly.
-// Do not call concurrently with Close.
+// Safe to call from any goroutine, concurrently with Send and Close: the
+// runtime's close lock serializes the mailbox hand-off, and a request
+// already queued when Close lands is still answered during the drain.
 func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
 	s, ok := rt.byName[name]
 	if !ok {

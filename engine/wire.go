@@ -1,8 +1,8 @@
 package engine
 
 import (
-	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -16,6 +16,13 @@ import (
 //
 // where payload is the stream.Codec encoding of one element against the
 // stream's schema.
+
+// Wire limits: a frame whose declared lengths exceed these is corrupt by
+// definition (no legitimate stream name or element comes close).
+const (
+	maxWireNameLen    = 1 << 16
+	maxWirePayloadLen = 1 << 24
+)
 
 // WireWriter encodes tagged elements for transmission.
 type WireWriter struct {
@@ -60,69 +67,306 @@ func (ww *WireWriter) Write(streamName string, e stream.Element) error {
 	return err
 }
 
+// WireFault describes one corrupt region of the wire a lenient reader
+// skipped: either a whole frame whose boundary was parseable (Frame holds
+// its raw bytes), or a run of unframeable bytes the reader scanned past
+// to resynchronize (Frame is nil).
+type WireFault struct {
+	// Stream names the frame's stream when the header decoded ("" when
+	// the damage hid even that).
+	Stream string
+	// Offset is the byte offset of the skipped region in the wire.
+	Offset int64
+	// Skipped is the region's length in bytes.
+	Skipped int
+	// Frame holds the corrupt frame's raw bytes when its boundary was
+	// known; nil for resync scans.
+	Frame []byte
+	// Err is the decode error that condemned the region.
+	Err error
+}
+
+// wireStream pairs a stream's canonical name with its codec so frame
+// parsing can intern names without allocating per frame.
+type wireStream struct {
+	name  string
+	codec *stream.Codec
+}
+
+// wireCorruption classifies a parse failure as data damage (as opposed to
+// an underlying reader error). frameLen > 0 means the frame's boundary is
+// known and the lenient reader can skip it as a unit; frameLen == 0 means
+// the framing itself is broken and the reader must scan to resync.
+type wireCorruption struct {
+	err      error
+	frameLen int
+	stream   string
+}
+
+func (c *wireCorruption) Error() string { return c.err.Error() }
+func (c *wireCorruption) Unwrap() error { return c.err }
+
 // WireReader decodes frames from a multiplexed element stream. It is the
 // shared front half of the ingestion paths: DSMS.IngestWire drains it
 // into the sequential Push, Runtime.IngestWire into the sharded router.
+//
+// The reader parses out of a single reusable window buffer: stream names
+// are interned and payloads are decoded in place, so steady-state reading
+// does not allocate per frame beyond what the decoded element itself
+// needs.
 type WireReader struct {
-	br     *bufio.Reader
-	codecs map[string]*stream.Codec
+	r       io.Reader
+	streams map[string]wireStream
+
+	lenient bool
+	onFault func(WireFault)
+
+	buf   []byte
+	pos   int   // start of unconsumed bytes in buf
+	fill  int   // end of valid bytes in buf
+	base  int64 // wire offset of buf[0]
+	rdErr error // sticky terminal error from r (including io.EOF)
+	empty int   // consecutive zero-byte, nil-error reads from r
 }
 
-// NewWireReader builds a reader for the given stream schemas (the streams
-// the wire may carry).
+const wireReadChunk = 32 * 1024
+
+// NewWireReader builds a strict reader for the given stream schemas (the
+// streams the wire may carry): the first corrupt frame fails the read, as
+// Read documents.
 func NewWireReader(r io.Reader, schemas ...*stream.Schema) *WireReader {
-	wr := &WireReader{br: bufio.NewReader(r), codecs: make(map[string]*stream.Codec, len(schemas))}
+	wr := &WireReader{r: r, streams: make(map[string]wireStream, len(schemas))}
 	for _, sc := range schemas {
-		wr.codecs[sc.Name()] = stream.NewCodec(sc)
+		wr.streams[sc.Name()] = wireStream{name: sc.Name(), codec: stream.NewCodec(sc)}
 	}
 	return wr
 }
 
+// Lenient switches the reader into skip-and-resync mode: corrupt frames
+// and unframeable byte runs are skipped (reported to onFault, which may
+// be nil) and Read keeps going until the next good frame or a clean EOF.
+// A truncated final frame is reported as one fault. Returns the reader.
+func (wr *WireReader) Lenient(onFault func(WireFault)) *WireReader {
+	wr.lenient = true
+	wr.onFault = onFault
+	return wr
+}
+
 // Read decodes the next frame. It returns io.EOF at a clean end of input.
+// In strict mode (the default) any corrupt frame fails the read; in
+// Lenient mode corrupt regions are skipped and reported instead.
 func (wr *WireReader) Read() (TaggedElement, error) {
-	nameLen, err := binary.ReadUvarint(wr.br)
-	if err == io.EOF {
-		return TaggedElement{}, io.EOF
+	var scanStart int64
+	var scanErr error
+	scanned := 0
+	flushScan := func() {
+		if scanned > 0 {
+			wr.fault(WireFault{Offset: scanStart, Skipped: scanned, Err: scanErr})
+			scanned = 0
+		}
 	}
+	for {
+		wr.compact()
+		te, frameLen, err := wr.parseFrame()
+		if err == nil {
+			flushScan()
+			wr.pos += frameLen
+			return te, nil
+		}
+		if err == io.EOF {
+			flushScan()
+			return TaggedElement{}, io.EOF
+		}
+		var c *wireCorruption
+		if !errors.As(err, &c) {
+			// Underlying reader failure: not data damage, always fatal at
+			// this layer (RetryReader absorbs transient ones underneath).
+			return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+		}
+		if !wr.lenient {
+			return TaggedElement{}, fmt.Errorf("engine: wire: %w", c.err)
+		}
+		if c.frameLen > 0 {
+			// The frame's boundary is known: skip it whole.
+			flushScan()
+			frame := append([]byte(nil), wr.buf[wr.pos:wr.pos+c.frameLen]...)
+			wr.fault(WireFault{
+				Stream:  c.stream,
+				Offset:  wr.base + int64(wr.pos),
+				Skipped: c.frameLen,
+				Frame:   frame,
+				Err:     fmt.Errorf("engine: wire: %w", c.err),
+			})
+			wr.pos += c.frameLen
+			continue
+		}
+		// Framing broken (bad varint, absurd length, truncation): scan
+		// forward one byte at a time until a frame parses again. The whole
+		// skipped run is reported as one fault.
+		if scanned == 0 {
+			scanStart = wr.base + int64(wr.pos)
+			scanErr = fmt.Errorf("engine: wire: %w", c.err)
+		}
+		wr.pos++
+		scanned++
+	}
+}
+
+func (wr *WireReader) fault(f WireFault) {
+	if wr.onFault != nil {
+		wr.onFault(f)
+	}
+}
+
+// compact discards consumed bytes so the window can be refilled in place.
+func (wr *WireReader) compact() {
+	if wr.pos == 0 {
+		return
+	}
+	copy(wr.buf, wr.buf[wr.pos:wr.fill])
+	wr.base += int64(wr.pos)
+	wr.fill -= wr.pos
+	wr.pos = 0
+}
+
+// fillMore reads more bytes from r into the window without moving the
+// unconsumed region (parse indexes stay valid), growing the buffer when
+// full. It returns the sticky terminal error once the source is drained.
+func (wr *WireReader) fillMore() error {
+	if wr.rdErr != nil {
+		return wr.rdErr
+	}
+	if wr.fill == len(wr.buf) {
+		grow := len(wr.buf) * 2
+		if grow < wireReadChunk {
+			grow = wireReadChunk
+		}
+		nb := make([]byte, grow)
+		copy(nb, wr.buf[:wr.fill])
+		wr.buf = nb
+	}
+	n, err := wr.r.Read(wr.buf[wr.fill:])
+	wr.fill += n
 	if err != nil {
-		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+		wr.rdErr = err
+		if n == 0 {
+			return err
+		}
+		return nil
 	}
-	if nameLen > 1<<16 {
-		return TaggedElement{}, fmt.Errorf("engine: wire: stream name length %d too large", nameLen)
+	if n == 0 {
+		wr.empty++
+		if wr.empty >= 100 {
+			wr.rdErr = io.ErrNoProgress
+			return io.ErrNoProgress
+		}
+		return nil
 	}
-	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(wr.br, nameBuf); err != nil {
-		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+	wr.empty = 0
+	return nil
+}
+
+// need ensures the window holds bytes up to absolute index end. An EOF
+// while a frame is partially read means a truncated frame — data damage,
+// not a clean end.
+func (wr *WireReader) need(end int) error {
+	for wr.fill < end {
+		if err := wr.fillMore(); err != nil {
+			if err == io.EOF {
+				return &wireCorruption{err: io.ErrUnexpectedEOF}
+			}
+			return err
+		}
 	}
-	payloadLen, err := binary.ReadUvarint(wr.br)
+	return nil
+}
+
+// uvarint decodes a uvarint at absolute window index p.
+func (wr *WireReader) uvarint(p int) (uint64, int, error) {
+	for {
+		v, n := binary.Uvarint(wr.buf[p:wr.fill])
+		if n > 0 {
+			return v, n, nil
+		}
+		if n < 0 {
+			return 0, 0, &wireCorruption{err: fmt.Errorf("varint overflow")}
+		}
+		if err := wr.need(wr.fill + 1); err != nil {
+			return 0, 0, err
+		}
+	}
+}
+
+// parseFrame parses one frame at wr.pos without consuming it, returning
+// the element and the frame's byte length. io.EOF means a clean end of
+// input exactly at a frame boundary; *wireCorruption means damaged data;
+// anything else is an underlying reader error.
+func (wr *WireReader) parseFrame() (TaggedElement, int, error) {
+	var zero TaggedElement
+	start := wr.pos
+	for wr.fill == start {
+		if err := wr.fillMore(); err != nil {
+			return zero, 0, err
+		}
+	}
+	nameLen64, n, err := wr.uvarint(start)
 	if err != nil {
-		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+		return zero, 0, err
 	}
-	if payloadLen > 1<<24 {
-		return TaggedElement{}, fmt.Errorf("engine: wire: payload length %d too large", payloadLen)
+	p := start + n
+	if nameLen64 > maxWireNameLen {
+		return zero, 0, &wireCorruption{err: fmt.Errorf("stream name length %d too large", nameLen64)}
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(wr.br, payload); err != nil {
-		return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+	nameLen := int(nameLen64)
+	if err := wr.need(p + nameLen); err != nil {
+		return zero, 0, err
 	}
-	name := string(nameBuf)
-	c, ok := wr.codecs[name]
+	nameBytes := wr.buf[p : p+nameLen]
+	p += nameLen
+	payloadLen64, n, err := wr.uvarint(p)
+	if err != nil {
+		return zero, 0, err
+	}
+	p += n
+	if payloadLen64 > maxWirePayloadLen {
+		return zero, 0, &wireCorruption{err: fmt.Errorf("payload length %d too large", payloadLen64)}
+	}
+	payloadLen := int(payloadLen64)
+	if err := wr.need(p + payloadLen); err != nil {
+		return zero, 0, err
+	}
+	payload := wr.buf[p : p+payloadLen]
+	frameLen := p + payloadLen - start
+	ws, ok := wr.streams[string(nameBytes)] // alloc-free map probe
 	if !ok {
-		return TaggedElement{}, fmt.Errorf("engine: wire: unknown stream %q", name)
+		return zero, 0, &wireCorruption{
+			err:      fmt.Errorf("unknown stream %q", nameBytes),
+			frameLen: frameLen,
+			stream:   string(nameBytes),
+		}
 	}
-	e, rest, err := c.Decode(payload)
+	e, rest, err := ws.codec.Decode(payload)
 	if err != nil {
-		return TaggedElement{}, fmt.Errorf("engine: wire: stream %q: %w", name, err)
+		return zero, 0, &wireCorruption{
+			err:      fmt.Errorf("stream %q: %w", ws.name, err),
+			frameLen: frameLen,
+			stream:   ws.name,
+		}
 	}
 	if len(rest) != 0 {
-		return TaggedElement{}, fmt.Errorf("engine: wire: stream %q: %d trailing bytes", name, len(rest))
+		return zero, 0, &wireCorruption{
+			err:      fmt.Errorf("stream %q: %d trailing bytes", ws.name, len(rest)),
+			frameLen: frameLen,
+			stream:   ws.name,
+		}
 	}
-	return TaggedElement{Stream: name, Elem: e}, nil
+	return TaggedElement{Stream: ws.name, Elem: e}, frameLen, nil
 }
 
 // IngestWire reads frames from r until EOF and pushes each element into
 // the DSMS. The schemas declare the streams the wire may carry. It
-// returns the number of elements ingested.
+// returns the number of elements ingested. The sequential path is always
+// strict; the sharded Runtime's IngestWire applies its error policy.
 func (d *DSMS) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
 	wr := NewWireReader(r, schemas...)
 	count := 0
@@ -143,9 +387,17 @@ func (d *DSMS) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
 
 // IngestWire reads frames from r until EOF and routes each element to the
 // runtime's shards. It returns the number of elements routed (delivery is
-// asynchronous; Close and Wait to drain).
+// asynchronous; Close and Wait to drain). Under the Drop and Quarantine
+// policies the reader runs in skip-and-resync mode: corrupt frames are
+// counted (and, under Quarantine, retained raw) in the dead-letter queue
+// instead of aborting the ingest.
 func (rt *Runtime) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
 	wr := NewWireReader(r, schemas...)
+	if rt.policy != Fail {
+		wr.Lenient(func(f WireFault) {
+			rt.dlq.add(DeadLetter{Stream: f.Stream, Frame: f.Frame, Err: f.Err})
+		})
+	}
 	count := 0
 	for {
 		te, err := wr.Read()

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"punctsafe/workload"
+)
+
+// buildAuctionWire encodes a generated auction feed and returns the wire
+// bytes with the element count.
+func buildAuctionWire(tb testing.TB, items int) ([]byte, int) {
+	tb.Helper()
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: items, MaxBidsPerItem: 5, OpenWindow: 4,
+		PunctuateItems: true, PunctuateClose: true, Seed: 23,
+	})
+	item, bid := workload.AuctionSchemas()
+	var buf bytes.Buffer
+	ww := NewWireWriter(&buf, item, bid)
+	for _, in := range inputs {
+		if err := ww.Write(in.Stream, in.Elem); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes(), len(inputs)
+}
+
+// TestWireReaderReadAllocs pins the per-frame allocation budget: the
+// reader's window buffer and interned stream names mean a Read allocates
+// only what the decoded element itself needs (tuple storage, copied
+// strings, punctuation patterns).
+func TestWireReaderReadAllocs(t *testing.T) {
+	wire, n := buildAuctionWire(t, 400)
+	item, bid := workload.AuctionSchemas()
+	wr := NewWireReader(bytes.NewReader(wire), item, bid)
+	// Warm up past buffer growth.
+	for i := 0; i < 32; i++ {
+		if _, err := wr.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sink TaggedElement
+	avg := testing.AllocsPerRun(n-64, func() {
+		te, err := wr.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = te
+	})
+	_ = sink
+	// Element decoding itself allocates (tuple value slice, boxed values,
+	// copied strings); the framing layer must add nothing per frame.
+	if avg > 8 {
+		t.Fatalf("WireReader.Read averages %.1f allocs/frame, want <= 8", avg)
+	}
+}
+
+// BenchmarkWireReaderRead measures steady-state frame decoding over an
+// in-memory wire (run with -benchmem for the allocation delta).
+func BenchmarkWireReaderRead(b *testing.B) {
+	wire, _ := buildAuctionWire(b, 400)
+	item, bid := workload.AuctionSchemas()
+	rd := bytes.NewReader(wire)
+	wr := NewWireReader(rd, item, bid)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := wr.Read()
+		if err == io.EOF {
+			rd.Reset(wire)
+			wr = NewWireReader(rd, item, bid)
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

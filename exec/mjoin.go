@@ -49,6 +49,15 @@ type Config struct {
 	// unsafe (or insufficiently punctuated) query from exhausting memory,
 	// the failure mode the paper's compile-time check exists to prevent.
 	StateLimit int
+	// SoftStateLimit, when nonzero, is a pressure watermark (set it below
+	// StateLimit): crossing it forces an eager purge round — pending lazy
+	// punctuations are flushed and a full clean-up sweep runs — and fires
+	// OnPressure, so the query degrades gracefully before the hard limit
+	// trips. One event fires per excursion above the watermark.
+	SoftStateLimit int
+	// OnPressure, when set, observes SoftStateLimit crossings. It runs on
+	// the goroutine driving the operator and must not call back into it.
+	OnPressure func(PressureEvent)
 	// EnforcePromises makes Push fail when an input tuple matches a live
 	// punctuation previously received on ITS OWN input — a violation of
 	// the punctuation contract ("no future tuple will satisfy this
@@ -67,6 +76,20 @@ var ErrPromiseViolated = fmt.Errorf("exec: punctuation promise violated")
 // exceeded.
 var ErrStateLimit = fmt.Errorf("exec: join state limit exceeded")
 
+// ErrMalformedElement is returned (wrapped) when an input element fails
+// schema validation — wrong arity, wrong value kinds, or a punctuation
+// whose patterns do not fit the stream. It marks element-level damage:
+// rejecting the offender leaves the operator state untouched, so callers
+// may drop or quarantine the element and continue.
+var ErrMalformedElement = fmt.Errorf("exec: malformed element")
+
+// ErrProbeDisconnected is returned when result expansion cannot reach an
+// unbound input through any predicate to a bound one. It cannot occur for
+// the connected queries the planner admits; it surfaces (instead of
+// panicking) if an invariant is broken, so one poisoned operator fails
+// its own query rather than the process.
+var ErrProbeDisconnected = fmt.Errorf("exec: probe order disconnected")
+
 // MJoin is a symmetric, non-blocking multi-way join operator with
 // punctuation-driven state purging. It is single-threaded by design; the
 // engine package provides the concurrent shell around operators.
@@ -82,6 +105,9 @@ type MJoin struct {
 	colBase []int // output column offset per input
 	// pending holds punctuations awaiting a lazy purge round.
 	pending []pendingPunct
+	// pressured latches while stored state sits above SoftStateLimit so a
+	// sustained excursion triggers one forced purge, not one per element.
+	pressured bool
 	// probeOrders[i] is the BFS stream order used to expand results for a
 	// tuple arriving on input i.
 	probeOrders [][]int
@@ -241,13 +267,16 @@ func (m *MJoin) Push(input int, e stream.Element) ([]stream.Element, error) {
 		morePuncts := m.flushPending()
 		out = append(out, morePuncts...)
 	}
+	if m.cfg.SoftStateLimit > 0 {
+		out = append(out, m.relievePressure()...)
+	}
 	m.stats.noteWatermarks()
 	return out, nil
 }
 
 func (m *MJoin) pushTuple(input int, t stream.Tuple) ([]stream.Tuple, error) {
 	if err := t.Validate(m.q.Stream(input)); err != nil {
-		return nil, fmt.Errorf("exec: input %d: %w", input, err)
+		return nil, fmt.Errorf("%w: input %d: %v", ErrMalformedElement, input, err)
 	}
 	if m.cfg.EnforcePromises {
 		if p, violated := m.violatedPromise(input, t); violated {
@@ -256,7 +285,10 @@ func (m *MJoin) pushTuple(input int, t stream.Tuple) ([]stream.Tuple, error) {
 		}
 	}
 	m.stats.TuplesIn[input]++
-	results := m.probe(input, t)
+	results, err := m.probe(input, t)
+	if err != nil {
+		return nil, err
+	}
 	m.stats.Results += uint64(len(results))
 	// Drop-at-insertion (eager mode): a tuple already covered by stored
 	// punctuations can never join future inputs — after emitting its
@@ -281,7 +313,7 @@ func (m *MJoin) pushTuple(input int, t stream.Tuple) ([]stream.Tuple, error) {
 
 func (m *MJoin) pushPunct(input int, p stream.Punctuation) ([]stream.Element, error) {
 	if err := p.Validate(m.q.Stream(input)); err != nil {
-		return nil, fmt.Errorf("exec: input %d: %w", input, err)
+		return nil, fmt.Errorf("%w: input %d: %v", ErrMalformedElement, input, err)
 	}
 	m.stats.PunctsIn[input]++
 	entry := m.puncts[input].add(p, m.clock, m.cfg.PunctLifespan)
@@ -329,7 +361,7 @@ func (m *MJoin) Flush() []stream.Element {
 // the precomputed BFS order (or, with DynamicProbeOrder, the greedy
 // smallest-candidate-set order) and verifying every predicate against the
 // bound prefix.
-func (m *MJoin) probe(input int, t stream.Tuple) []stream.Tuple {
+func (m *MJoin) probe(input int, t stream.Tuple) ([]stream.Tuple, error) {
 	bound := make([]stream.Tuple, m.q.N())
 	isBound := make([]bool, m.q.N())
 	bound[input] = t
@@ -337,55 +369,66 @@ func (m *MJoin) probe(input int, t stream.Tuple) []stream.Tuple {
 	var results []stream.Tuple
 
 	if m.cfg.DynamicProbeOrder {
-		m.probeDynamic(1, bound, isBound, &results)
-		return results
+		if err := m.probeDynamic(1, bound, isBound, &results); err != nil {
+			return nil, err
+		}
+		return results, nil
 	}
 
 	order := m.probeOrders[input]
-	var rec func(k int)
-	rec = func(k int) {
+	var rec func(k int) error
+	rec = func(k int) error {
 		if k == len(order) {
 			results = append(results, m.concat(bound))
-			return
+			return nil
 		}
 		j := order[k]
+		set, err := m.candidateSet(j, isBound, bound)
+		if err != nil {
+			return err
+		}
 		// Expand candidates in tupleID (arrival) order so the emitted
 		// result sequence is identical run to run.
-		for _, id := range sortedIDs(m.candidateSet(j, isBound, bound), nil) {
+		for _, id := range sortedIDs(set, nil) {
 			u := m.states[j].tuples[id]
 			if !m.matchesBound(j, u, isBound, bound) {
 				continue
 			}
 			bound[j] = u
 			isBound[j] = true
-			rec(k + 1)
+			if err := rec(k + 1); err != nil {
+				return err
+			}
 			isBound[j] = false
 		}
+		return nil
 	}
-	rec(0)
-	return results
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // candidateSet probes stream j's index through the first predicate to a
 // bound stream.
-func (m *MJoin) candidateSet(j int, isBound []bool, bound []stream.Tuple) map[tupleID]struct{} {
+func (m *MJoin) candidateSet(j int, isBound []bool, bound []stream.Tuple) (map[tupleID]struct{}, error) {
 	for _, p := range m.q.PredicatesTouching(j) {
 		other, jAttr, otherAttr := p.Other(j)
 		if isBound[other] {
-			return m.states[j].lookup(jAttr, bound[other].Values[otherAttr])
+			return m.states[j].lookup(jAttr, bound[other].Values[otherAttr]), nil
 		}
 	}
 	// Unreachable for connected queries expanded in a connectivity order.
-	panic("exec: probe order disconnected")
+	return nil, fmt.Errorf("%w: stream %d unreachable from bound set (query %s)", ErrProbeDisconnected, j, m.q)
 }
 
 // probeDynamic expands the join by always choosing, among the unbound
 // streams adjacent to the bound set, the one with the fewest index
 // candidates — pruning dead branches as early as possible.
-func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []bool, results *[]stream.Tuple) {
+func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []bool, results *[]stream.Tuple) error {
 	if boundCount == m.q.N() {
 		*results = append(*results, m.concat(bound))
-		return
+		return nil
 	}
 	best := -1
 	var bestSet map[tupleID]struct{}
@@ -404,16 +447,19 @@ func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []boo
 		if !adjacent {
 			continue
 		}
-		set := m.candidateSet(j, isBound, bound)
+		set, err := m.candidateSet(j, isBound, bound)
+		if err != nil {
+			return err
+		}
 		if best < 0 || len(set) < len(bestSet) {
 			best, bestSet = j, set
 		}
 		if len(bestSet) == 0 {
-			return // some adjacent stream has no match: dead branch
+			return nil // some adjacent stream has no match: dead branch
 		}
 	}
 	if best < 0 {
-		panic("exec: probe order disconnected")
+		return fmt.Errorf("%w: no unbound stream adjacent to bound set (query %s)", ErrProbeDisconnected, m.q)
 	}
 	for _, id := range sortedIDs(bestSet, nil) {
 		u := m.states[best].tuples[id]
@@ -422,9 +468,12 @@ func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []boo
 		}
 		bound[best] = u
 		isBound[best] = true
-		m.probeDynamic(boundCount+1, bound, isBound, results)
+		if err := m.probeDynamic(boundCount+1, bound, isBound, results); err != nil {
+			return err
+		}
 		isBound[best] = false
 	}
+	return nil
 }
 
 // matchesBound verifies every predicate between stream j's tuple u and the

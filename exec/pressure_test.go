@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// lazyAuctionFeed drives the punctuated auction workload through a fully
+// lazy operator (the batch threshold is never crossed), so stored state
+// grows until something forces a purge round.
+func lazyAuctionFeed(t *testing.T, cfg Config) (*MJoin, error) {
+	t.Helper()
+	cfg.Query = workload.AuctionQuery()
+	cfg.Schemes = workload.AuctionSchemes()
+	cfg.PurgeBatch = 1 << 20
+	m, err := NewMJoin(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 500, MaxBidsPerItem: 5, OpenWindow: 4,
+		PunctuateItems: true, PunctuateClose: true, Seed: 2,
+	})
+	feed, _ := workload.NewFeed(cfg.Query, inputs)
+	return m, feed.Each(func(i int, e stream.Element) error {
+		_, err := m.Push(i, e)
+		return err
+	})
+}
+
+// TestSoftStateLimitRelievesPressure: with purging fully lazy, the hard
+// StateLimit alone kills the punctuated feed; adding a soft watermark
+// below it forces eager purge rounds that keep the query alive, and each
+// crossing is reported exactly once.
+func TestSoftStateLimitRelievesPressure(t *testing.T) {
+	// Baseline: the lazy operator hoards state past the hard limit.
+	if _, err := lazyAuctionFeed(t, Config{StateLimit: 100}); !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("lazy feed without a soft watermark must trip ErrStateLimit, got %v", err)
+	}
+
+	// Soft watermark: forced rounds purge the punctuated state in time.
+	var events []PressureEvent
+	m, err := lazyAuctionFeed(t, Config{
+		StateLimit:     100,
+		SoftStateLimit: 60,
+		OnPressure:     func(e PressureEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatalf("soft watermark must keep the feed under the hard limit: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no pressure events fired")
+	}
+	if got := m.Stats().PressureEvents; got != uint64(len(events)) {
+		t.Fatalf("PressureEvents stat = %d, callbacks = %d", got, len(events))
+	}
+	for _, e := range events {
+		if e.State < 60 {
+			t.Fatalf("event fired below the watermark: %+v", e)
+		}
+		if e.Relieved >= e.State {
+			t.Fatalf("forced purge round removed nothing: %+v", e)
+		}
+		if e.SoftLimit != 60 || e.HardLimit != 100 {
+			t.Fatalf("event limits wrong: %+v", e)
+		}
+	}
+}
+
+// TestSoftStateLimitHysteresis: a sustained excursion above the watermark
+// fires one event, not one per element — the flag re-arms only after
+// state falls back below the soft limit.
+func TestSoftStateLimitHysteresis(t *testing.T) {
+	q := workload.AuctionQuery()
+	m, err := NewMJoin(Config{
+		Query:          q,
+		Schemes:        stream.NewSchemeSet(), // no schemes: nothing is purgeable
+		SoftStateLimit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := m.Push(0, stream.TupleElement(stream.NewTuple(
+			stream.Int(int64(i)), stream.Int(int64(i)), stream.Str("x"), stream.Float(1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().PressureEvents; got != 1 {
+		t.Fatalf("sustained pressure fired %d events, want 1", got)
+	}
+}

@@ -40,6 +40,9 @@ type Stats struct {
 	// PurgeChecks counts tuple purgeability evaluations (work done by the
 	// purge machinery).
 	PurgeChecks uint64
+	// PressureEvents counts SoftStateLimit crossings (forced eager-purge
+	// rounds the pressure watermark triggered).
+	PressureEvents uint64
 }
 
 func newStats(n int) *Stats {

@@ -71,7 +71,10 @@ func (wj *WindowedMJoin) Push(input int, e stream.Element) ([]stream.Element, er
 	}
 	wj.m.clock++
 	wj.m.stats.TuplesIn[input]++
-	results := wj.m.probe(input, t)
+	results, err := wj.m.probe(input, t)
+	if err != nil {
+		return nil, err
+	}
 	wj.m.stats.Results += uint64(len(results))
 	id := wj.m.states[input].insert(t)
 	wj.fifo[input] = append(wj.fifo[input], id)
