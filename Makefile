@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzzseed bench fmt
+.PHONY: check vet build test race fuzzseed bench benchfull fmt
 
 check: vet build test race fuzzseed
 
@@ -29,6 +29,11 @@ fuzzseed:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# Full hot-path benchmark pass (-benchmem, 2s per benchmark) and refresh
+# of the recorded trajectory in BENCH_hotpath.json.
+benchfull:
+	BENCHTIME=2s scripts/bench.sh
 
 fmt:
 	gofmt -l .

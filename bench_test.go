@@ -496,6 +496,56 @@ func BenchmarkJoinProbe(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeSteadyState measures the probe machinery at fixed state
+// size: a windowed join (insert + evict per push, zero net growth) probed
+// with pre-built elements, so the loop isolates per-element probe cost —
+// "hit" emits one result per push, "miss" emits none. The miss case is
+// the floor: everything it allocates is probe overhead, not results.
+func BenchmarkProbeSteadyState(b *testing.B) {
+	ia := func(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+	build := func(b *testing.B) *exec.WindowedMJoin {
+		q := query.NewBuilder().
+			AddStream(stream.MustSchema("R", ia("K"), ia("V"))).
+			AddStream(stream.MustSchema("S", ia("K"), ia("W"))).
+			JoinOn("R", "S", "K").
+			MustBuild()
+		wj, err := exec.NewWindowedMJoin(exec.Config{Query: q, Schemes: stream.NewSchemeSet()}, exec.Window{Rows: 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := int64(0); i < 1000; i++ {
+			if _, err := wj.Push(0, stream.TupleElement(stream.NewTuple(stream.Int(i), stream.Int(i)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return wj
+	}
+	elems := func(base int64) []stream.Element {
+		out := make([]stream.Element, 1000)
+		for i := range out {
+			k := base + int64(i)
+			out[i] = stream.TupleElement(stream.NewTuple(stream.Int(k), stream.Int(k)))
+		}
+		return out
+	}
+	for _, mode := range []struct {
+		name string
+		base int64 // key offset: 0 hits the stored R keys, 1<<20 misses all
+	}{{"hit", 0}, {"miss", 1 << 20}} {
+		b.Run(mode.name, func(b *testing.B) {
+			wj := build(b)
+			es := elems(mode.base)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wj.Push(1, es[i%len(es)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPurgeCheck isolates one purgeability evaluation via Sweep on a
 // mid-sized chain state.
 func BenchmarkPurgeCheck(b *testing.B) {

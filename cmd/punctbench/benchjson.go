@@ -1,0 +1,155 @@
+package main
+
+// The -bench-json mode turns raw `go test -bench -benchmem` output into
+// the machine-readable trajectory file BENCH_hotpath.json: one record
+// per benchmark with the recorded pre-optimization baseline next to the
+// current measurement and the derived speedup/allocation ratios, so a
+// perf regression is a diff instead of an archaeology session.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchMetrics is one parsed benchmark result line.
+type benchMetrics struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchRecord pairs the baseline and current measurements of one
+// benchmark. Baseline is nil for benchmarks that did not exist before
+// the optimization (e.g. the batched ingestion rows).
+type benchRecord struct {
+	Name     string        `json:"name"`
+	Baseline *benchMetrics `json:"baseline,omitempty"`
+	Current  *benchMetrics `json:"current"`
+	// SpeedupNs = baseline ns/op divided by current ns/op (>1 is faster).
+	SpeedupNs float64 `json:"speedup_ns,omitempty"`
+	// AllocRatio = baseline allocs/op divided by current allocs/op
+	// (>1 is leaner). Omitted when the current run allocates nothing.
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+type benchReport struct {
+	Note       string        `json:"note"`
+	Env        []string      `json:"env,omitempty"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8   12345   678 ns/op   9 B/op ...`.
+// The GOMAXPROCS suffix is stripped so baselines recorded on different
+// core counts still line up by name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench reads go-test benchmark output and returns results in
+// appearance order plus the goos/goarch/cpu header lines.
+func parseBench(r io.Reader) (names []string, metrics map[string]*benchMetrics, env []string, err error) {
+	metrics = make(map[string]*benchMetrics)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:") {
+			env = append(env, strings.TrimSpace(line))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		bm := &benchMetrics{}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, perr := strconv.ParseFloat(fields[i], 64)
+			if perr != nil {
+				return nil, nil, nil, fmt.Errorf("bad metric %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				bm.NsPerOp = v
+			case "B/op":
+				bm.BPerOp = v
+			case "allocs/op":
+				bm.AllocsPerOp = v
+			default:
+				if bm.Extra == nil {
+					bm.Extra = make(map[string]float64)
+				}
+				bm.Extra[unit] = v
+			}
+		}
+		if _, dup := metrics[name]; !dup {
+			names = append(names, name)
+		}
+		metrics[name] = bm
+	}
+	return names, metrics, env, sc.Err()
+}
+
+func parseBenchFile(path string) ([]string, map[string]*benchMetrics, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// round2 keeps the derived ratios readable in the checked-in JSON.
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+// emitBenchJSON writes the baseline-vs-current trajectory to stdout.
+func emitBenchJSON(currentPath, baselinePath string) error {
+	names, current, env, err := parseBenchFile(currentPath)
+	if err != nil {
+		return fmt.Errorf("parsing current results %s: %w", currentPath, err)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmark lines in %s", currentPath)
+	}
+	var baseline map[string]*benchMetrics
+	if baselinePath != "" {
+		if _, baseline, _, err = parseBenchFile(baselinePath); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+	}
+	seenEnv := make(map[string]bool)
+	var uniqEnv []string
+	for _, e := range env {
+		if !seenEnv[e] {
+			seenEnv[e] = true
+			uniqEnv = append(uniqEnv, e)
+		}
+	}
+	rep := benchReport{
+		Note: "Hot-path benchmark trajectory: baseline is the recorded pre-optimization tree " +
+			"(scripts/bench_baseline.txt), current is the latest `make benchfull` run. " +
+			"speedup_ns and alloc_ratio are baseline divided by current; >1 means faster/leaner.",
+		Env: uniqEnv,
+	}
+	for _, name := range names {
+		rec := benchRecord{Name: name, Current: current[name]}
+		if base, ok := baseline[name]; ok {
+			rec.Baseline = base
+			if rec.Current.NsPerOp > 0 {
+				rec.SpeedupNs = round2(base.NsPerOp / rec.Current.NsPerOp)
+			}
+			if rec.Current.AllocsPerOp > 0 {
+				rec.AllocRatio = round2(base.AllocsPerOp / rec.Current.AllocsPerOp)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

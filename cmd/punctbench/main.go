@@ -7,6 +7,13 @@
 //	punctbench            # run all experiments
 //	punctbench -e E4,E8   # run a subset
 //	punctbench -md        # emit markdown tables (for EXPERIMENTS.md)
+//
+// It is also the JSON formatter behind scripts/bench.sh:
+//
+//	punctbench -bench-json current.txt -baseline scripts/bench_baseline.txt
+//
+// parses raw `go test -bench -benchmem` output and prints the
+// baseline-vs-current trajectory consumed as BENCH_hotpath.json.
 package main
 
 import (
@@ -21,7 +28,17 @@ import (
 func main() {
 	only := flag.String("e", "", "comma-separated experiment ids (default: all)")
 	md := flag.Bool("md", false, "emit markdown tables")
+	benchJSON := flag.String("bench-json", "", "parse a `go test -bench` output file and emit trajectory JSON")
+	baseline := flag.String("baseline", "", "recorded baseline bench output to pair with -bench-json")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := emitBenchJSON(*benchJSON, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

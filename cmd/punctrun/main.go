@@ -11,13 +11,16 @@
 // Flags tune the workload size, the purge strategy (eager/lazy batch),
 // punctuation lifespans, §5.1 punctuation purging, Zipf skew, CSV
 // timeline export, and whether punctuations are generated at all (the
-// unsafe baseline).
+// unsafe baseline). -cpuprofile and -memprofile capture pprof profiles
+// of the ingest loop and the post-run heap for go tool pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"punctsafe/engine"
@@ -49,6 +52,8 @@ func main() {
 		deadLetter = flag.Int("dead-letter", 0, "max offenders retained under -on-error quarantine (0 = default bound)")
 		enforce    = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
 		chaosLate  = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -122,6 +127,18 @@ func main() {
 		}
 		timeline = &exec.Timeline{Every: every}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	start := time.Now()
 	var deadLetters *engine.DeadLetterSnapshot
 	if *parallel {
@@ -177,6 +194,22 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live join/punctuation state, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Println()
 	fmt.Printf("results:            %d\n", results)

@@ -1,0 +1,267 @@
+package engine_test
+
+// Batching equivalence property suite: the batched ingestion paths
+// (exec.Tree.PushBatch, Runtime.SendBatch with batched shard drain) must
+// be observationally identical to the one-at-a-time Push/Send paths —
+// element-for-element identical result tuples, punctuations, errors and
+// dead-letter accounting — across every error policy and every seeded
+// internal/faultinject workload. Batching is a performance lever, never
+// a semantic one.
+
+import (
+	"testing"
+
+	"punctsafe/engine"
+	"punctsafe/internal/faultinject"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// batchWorkloads enumerates the seeded chaos variants every equivalence
+// pair runs over: a clean feed, a feed with injected promise violations
+// and malformed elements, and a feed with benign perturbations.
+func batchWorkloads(t *testing.T) map[string][]faultinject.Item {
+	t.Helper()
+	chaos := chaosBaseFeed()
+	chaos, late := faultinject.InjectLate(chaos, 6, 1)
+	chaos, mal := faultinject.InjectMalformed(chaos, "bid", 4, 2)
+	if late.Total()+mal.Total() == 0 {
+		t.Fatal("chaos workload injected nothing")
+	}
+	benign := chaosBaseFeed()
+	benign, dup := faultinject.DuplicatePuncts(benign, 10, 3)
+	benign, swap := faultinject.SwapAdjacentTuples(benign, 10, 4)
+	if dup.DupPuncts+swap.Swapped == 0 {
+		t.Fatal("benign workload injected nothing")
+	}
+	return map[string][]faultinject.Item{
+		"clean":  chaosBaseFeed(),
+		"chaos":  chaos,
+		"benign": benign,
+	}
+}
+
+// runOutcome is everything observable from one runtime pass: delivered
+// tuples and punctuations in delivery order, the terminal error, and the
+// dead-letter snapshot.
+type runOutcome struct {
+	results []string
+	puncts  []string
+	err     error
+	dl      engine.DeadLetterSnapshot
+}
+
+// runRuntime drives a single-query sharded runtime over the feed, either
+// one element per Send or one SendBatch per contiguous same-stream run
+// (the grouping Runtime.IngestWire produces from decoded frames).
+func runRuntime(t *testing.T, policy engine.ErrorPolicy, feed []faultinject.Item, batched bool) runOutcome {
+	t.Helper()
+	d := engine.New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	var out runOutcome
+	reg, err := d.Register("q0", workload.AuctionQuery(), engine.Options{
+		EnforcePromises: true,
+		OnPunct: func(p stream.Punctuation) {
+			out.puncts = append(out.puncts, p.String())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	if batched {
+		for start := 0; start < len(feed); {
+			end := start + 1
+			for end < len(feed) && feed[end].Stream == feed[start].Stream {
+				end++
+			}
+			elems := make([]stream.Element, 0, end-start)
+			for _, it := range feed[start:end] {
+				elems = append(elems, it.Elem)
+			}
+			if err := rt.SendBatch(feed[start].Stream, elems); err != nil {
+				t.Fatalf("SendBatch: %v", err)
+			}
+			start = end
+		}
+	} else {
+		for _, it := range feed {
+			if err := rt.Send(it.Stream, it.Elem); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+	}
+	rt.Close()
+	out.err = rt.Wait()
+	for _, r := range reg.Results {
+		out.results = append(out.results, r.String())
+	}
+	out.dl = rt.DeadLetters()
+	return out
+}
+
+// requireSameOutcome asserts element-for-element equality of two passes.
+func requireSameOutcome(t *testing.T, want, got runOutcome) {
+	t.Helper()
+	if len(got.results) != len(want.results) {
+		t.Fatalf("batched pass delivered %d results, element-wise pass %d", len(got.results), len(want.results))
+	}
+	for i := range want.results {
+		if got.results[i] != want.results[i] {
+			t.Fatalf("result %d diverges:\n  batched:      %s\n  element-wise: %s", i, got.results[i], want.results[i])
+		}
+	}
+	if len(got.puncts) != len(want.puncts) {
+		t.Fatalf("batched pass propagated %d punctuations, element-wise pass %d", len(got.puncts), len(want.puncts))
+	}
+	for i := range want.puncts {
+		if got.puncts[i] != want.puncts[i] {
+			t.Fatalf("punctuation %d diverges:\n  batched:      %s\n  element-wise: %s", i, got.puncts[i], want.puncts[i])
+		}
+	}
+	switch {
+	case (want.err == nil) != (got.err == nil):
+		t.Fatalf("error divergence: batched %v, element-wise %v", got.err, want.err)
+	case want.err != nil && want.err.Error() != got.err.Error():
+		t.Fatalf("different failures:\n  batched:      %v\n  element-wise: %v", got.err, want.err)
+	}
+	if got.dl.Total != want.dl.Total {
+		t.Fatalf("dead-letter totals diverge: batched %d, element-wise %d", got.dl.Total, want.dl.Total)
+	}
+	if len(got.dl.Entries) != len(want.dl.Entries) {
+		t.Fatalf("retained entries diverge: batched %d, element-wise %d", len(got.dl.Entries), len(want.dl.Entries))
+	}
+	for i := range want.dl.Entries {
+		w, g := want.dl.Entries[i], got.dl.Entries[i]
+		if g.Stream != w.Stream || g.Query != w.Query || g.Err.Error() != w.Err.Error() {
+			t.Fatalf("dead letter %d diverges:\n  batched:      stream=%q query=%q err=%v\n  element-wise: stream=%q query=%q err=%v",
+				i, g.Stream, g.Query, g.Err, w.Stream, w.Query, w.Err)
+		}
+	}
+	for s, n := range want.dl.ByStream {
+		if got.dl.ByStream[s] != n {
+			t.Fatalf("ByStream[%q] diverges: batched %d, element-wise %d", s, got.dl.ByStream[s], n)
+		}
+	}
+	for q, n := range want.dl.ByQuery {
+		if got.dl.ByQuery[q] != n {
+			t.Fatalf("ByQuery[%q] diverges: batched %d, element-wise %d", q, got.dl.ByQuery[q], n)
+		}
+	}
+}
+
+// TestSendBatchEquivalence: for every (policy × workload) pair the
+// batched runtime pass must be observationally identical to the
+// element-wise pass.
+func TestSendBatchEquivalence(t *testing.T) {
+	policies := map[string]engine.ErrorPolicy{
+		"fail":       engine.Fail,
+		"drop":       engine.Drop,
+		"quarantine": engine.Quarantine,
+	}
+	for wname, feed := range batchWorkloads(t) {
+		for pname, policy := range policies {
+			t.Run(wname+"/"+pname, func(t *testing.T) {
+				want := runRuntime(t, policy, feed, false)
+				got := runRuntime(t, policy, feed, true)
+				if wname == "clean" && len(want.results) == 0 {
+					t.Fatal("clean workload produced no results; the equivalence check is vacuous")
+				}
+				requireSameOutcome(t, want, got)
+			})
+		}
+	}
+}
+
+// treeOutcome is everything observable from driving an exec.Tree
+// directly: emitted elements in order and every error encountered.
+type treeOutcome struct {
+	outs []string
+	errs []string
+}
+
+// runTree drives a query tree over the feed either one Tree.Push per
+// element or via Tree.PushBatch over contiguous same-input runs,
+// skipping each offender and resuming — the same per-element error
+// semantics the shard workers implement.
+func runTree(t *testing.T, feed []faultinject.Item, batched bool) treeOutcome {
+	t.Helper()
+	d, regs := newFaultDSMS(t, "q0")
+	_ = d
+	reg := regs[0]
+	inputOf := make(map[string]int)
+	for i := 0; i < reg.Query.N(); i++ {
+		inputOf[reg.Query.Stream(i).Name()] = i
+	}
+	var out treeOutcome
+	record := func(es []stream.Element) {
+		for _, e := range es {
+			out.outs = append(out.outs, e.String())
+		}
+	}
+	if batched {
+		for start := 0; start < len(feed); {
+			end := start + 1
+			for end < len(feed) && feed[end].Stream == feed[start].Stream {
+				end++
+			}
+			run := make([]stream.Element, 0, end-start)
+			for _, it := range feed[start:end] {
+				run = append(run, it.Elem)
+			}
+			input := inputOf[feed[start].Stream]
+			for len(run) > 0 {
+				os, n, err := reg.Tree.PushBatch(input, run)
+				record(os)
+				if err == nil {
+					break
+				}
+				out.errs = append(out.errs, err.Error())
+				run = run[n+1:]
+			}
+			start = end
+		}
+	} else {
+		for _, it := range feed {
+			os, err := reg.Tree.Push(inputOf[it.Stream], it.Elem)
+			record(os)
+			if err != nil {
+				out.errs = append(out.errs, err.Error())
+			}
+		}
+	}
+	return out
+}
+
+// TestTreePushBatchEquivalence: at the exec layer, PushBatch with
+// skip-and-resume must emit the identical element sequence and identical
+// error sequence as per-element Push over every workload.
+func TestTreePushBatchEquivalence(t *testing.T) {
+	for wname, feed := range batchWorkloads(t) {
+		t.Run(wname, func(t *testing.T) {
+			want := runTree(t, feed, false)
+			got := runTree(t, feed, true)
+			if len(got.outs) != len(want.outs) {
+				t.Fatalf("batched tree emitted %d elements, element-wise %d", len(got.outs), len(want.outs))
+			}
+			for i := range want.outs {
+				if got.outs[i] != want.outs[i] {
+					t.Fatalf("element %d diverges:\n  batched:      %s\n  element-wise: %s", i, got.outs[i], want.outs[i])
+				}
+			}
+			if len(got.errs) != len(want.errs) {
+				t.Fatalf("batched tree saw %d errors, element-wise %d", len(got.errs), len(want.errs))
+			}
+			for i := range want.errs {
+				if got.errs[i] != want.errs[i] {
+					t.Fatalf("error %d diverges:\n  batched:      %s\n  element-wise: %s", i, got.errs[i], want.errs[i])
+				}
+			}
+			if wname == "chaos" && len(want.errs) == 0 {
+				t.Fatal("chaos workload surfaced no tree errors; the equivalence check is vacuous")
+			}
+		})
+	}
+}

@@ -219,6 +219,17 @@ func (r *Registered) push(input int, e stream.Element) error {
 	return nil
 }
 
+// pushBatch feeds a run of routed elements into the query's tree via
+// exec's batched path and delivers the outputs, exactly as if push were
+// called per element. On error it returns the offender's index, with the
+// preceding elements' outputs already delivered, so the caller can
+// classify the offender and resume with the rest of the run.
+func (r *Registered) pushBatch(input int, elems []stream.Element) (int, error) {
+	outs, n, err := r.Tree.PushBatch(input, elems)
+	r.deliver(outs)
+	return n, err
+}
+
 // Sweep runs the §5.1 background clean-up over every registered query
 // and returns the total number of tuples removed.
 func (d *DSMS) Sweep() (int, error) {

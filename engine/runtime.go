@@ -78,16 +78,28 @@ type shard struct {
 	done   chan struct{}
 	rt     *Runtime
 	failed bool // worker-goroutine-local
+	// batch accumulates the current contiguous same-input run of mailbox
+	// elements; the worker pushes it through exec's batched path in one
+	// call, amortizing per-element overhead. Worker-goroutine-local.
+	batch       []stream.Element
+	batchInput  int
+	batchStream string
 }
 
-// shardMsg is one mailbox entry: a routed stream element, or (when stats
-// is non-nil) a snapshot request answered by the worker itself.
+// shardMsg is one mailbox entry: a routed stream element (or, from
+// SendBatch, a run of elements of one stream), or (when stats is non-nil)
+// a snapshot request answered by the worker itself.
 type shardMsg struct {
 	input  int
 	stream string
 	elem   stream.Element
+	elems  []stream.Element // batch payload; owned by the shard once sent
 	stats  chan<- []*exec.Stats
 }
+
+// maxShardBatch caps how many elements a worker accumulates before
+// pushing, bounding both the batch buffer and output-delivery latency.
+const maxShardBatch = 256
 
 // RunSharded starts the sharded runtime over the currently registered
 // queries.
@@ -133,28 +145,93 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 // never takes down its siblings or the process.
 func (s *shard) run() {
 	defer close(s.done)
-	for msg := range s.mb {
-		if msg.stats != nil {
-			msg.stats <- s.reg.Tree.StatsSnapshot()
-			continue
+	for {
+		msg, ok := <-s.mb
+		if !ok {
+			break
 		}
-		if s.failed {
-			continue
-		}
-		if err := s.pushContained(msg.input, msg.elem); err != nil {
-			if s.rt.policy != Fail && recoverableError(err) {
-				s.rt.dlq.add(DeadLetter{
-					Stream: msg.stream,
-					Query:  s.reg.Name,
-					Elem:   msg.elem,
-					Err:    err,
-				})
-				continue
+		s.handle(msg)
+		// Greedy drain: while producers have more queued, keep
+		// accumulating the contiguous same-input run without blocking;
+		// the run is pushed in one batched call the moment the mailbox
+		// goes empty (so an idle stream never waits on a partial batch).
+	drain:
+		for {
+			select {
+			case next, ok := <-s.mb:
+				if !ok {
+					s.flushBatch()
+					s.finish()
+					return
+				}
+				s.handle(next)
+			default:
+				break drain
 			}
-			s.failed = true
-			s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
 		}
+		s.flushBatch()
 	}
+	s.flushBatch()
+	s.finish()
+}
+
+// handle processes one mailbox message: stats requests are answered after
+// flushing the pending run (so the snapshot reflects every element queued
+// before the request); elements extend the current run, which is flushed
+// whenever the input switches or the batch cap is reached.
+func (s *shard) handle(msg shardMsg) {
+	if msg.stats != nil {
+		s.flushBatch()
+		msg.stats <- s.reg.Tree.StatsSnapshot()
+		return
+	}
+	if s.failed {
+		return // drain without processing
+	}
+	if len(s.batch) > 0 && msg.input != s.batchInput {
+		s.flushBatch()
+	}
+	s.batchInput, s.batchStream = msg.input, msg.stream
+	if msg.elems != nil {
+		s.batch = append(s.batch, msg.elems...)
+	} else {
+		s.batch = append(s.batch, msg.elem)
+	}
+	if len(s.batch) >= maxShardBatch {
+		s.flushBatch()
+	}
+}
+
+// flushBatch pushes the accumulated run through the tree's batched path,
+// applying the element-level error policy per offender: recoverable
+// offenders are dead-lettered and the rest of the run resumes after them,
+// so batching never changes which elements a policy keeps or drops.
+func (s *shard) flushBatch() {
+	elems := s.batch
+	for len(elems) > 0 && !s.failed {
+		n, err := s.pushBatchContained(s.batchInput, elems)
+		if err == nil {
+			break
+		}
+		if s.rt.policy != Fail && recoverableError(err) {
+			s.rt.dlq.add(DeadLetter{
+				Stream: s.batchStream,
+				Query:  s.reg.Name,
+				Elem:   elems[n],
+				Err:    err,
+			})
+			elems = elems[n+1:]
+			continue
+		}
+		s.failed = true
+		s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
+	}
+	clearElements(s.batch)
+	s.batch = s.batch[:0]
+}
+
+// finish runs the end-of-input flush once the mailbox has fully drained.
+func (s *shard) finish() {
 	if s.failed {
 		return
 	}
@@ -163,16 +240,24 @@ func (s *shard) run() {
 	}
 }
 
-// pushContained feeds one element into the shard's tree, converting an
-// operator panic into a returned *PanicError. The panicking shard's state
-// can no longer be trusted, so the caller fails it — but only it.
-func (s *shard) pushContained(input int, e stream.Element) (err error) {
+func clearElements(elems []stream.Element) {
+	for i := range elems {
+		elems[i] = stream.Element{}
+	}
+}
+
+// pushBatchContained feeds a run of elements into the shard's tree,
+// converting an operator panic into a returned *PanicError (one recover
+// frame per batch instead of per element). A panic always fails the whole
+// shard, so the unknown progress index is irrelevant; element-level
+// errors report the offender's index for resumption.
+func (s *shard) pushBatchContained(input int, elems []stream.Element) (n int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError(r)
 		}
 	}()
-	return s.reg.push(input, e)
+	return s.reg.pushBatch(input, elems)
 }
 
 // flushContained runs the end-of-input flush with the same panic
@@ -228,6 +313,11 @@ func (rt *Runtime) Send(streamName string, e stream.Element) error {
 		default:
 		}
 	}
+	return rt.sendLocked(streamName, e)
+}
+
+// sendLocked is Send's routing body; the caller holds closeMu.RLock.
+func (rt *Runtime) sendLocked(streamName string, e stream.Element) error {
 	for _, s := range rt.route[streamName] {
 		input := s.reg.streamInput[streamName]
 		ok, err := safeAccepts(s.reg, input, e)
@@ -248,6 +338,63 @@ func (rt *Runtime) Send(streamName string, e stream.Element) error {
 			continue
 		}
 		s.mb <- shardMsg{input: input, stream: streamName, elem: e}
+	}
+	return nil
+}
+
+// SendBatch routes a run of elements of one named stream, equivalent to
+// calling Send per element but with one mailbox hand-off per subscribed
+// shard: the run is filtered per query on the router side and the
+// accepted elements travel as one message, so per-element routing, lock,
+// and channel overhead is amortized across the batch. The caller keeps
+// ownership of elems (each shard receives its own copy). Filter errors
+// follow Send's policy handling per element; under Fail the offender
+// fails the runtime and the batch is not delivered to the failing
+// query's shard.
+func (rt *Runtime) SendBatch(streamName string, elems []stream.Element) error {
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
+	if rt.closed {
+		return fmt.Errorf("engine: runtime: SendBatch after Close")
+	}
+	if rt.failFast {
+		select {
+		case <-rt.failed:
+			return rt.Err()
+		default:
+		}
+	}
+	if len(elems) == 1 {
+		// A one-element run gains nothing from the batch copy.
+		return rt.sendLocked(streamName, elems[0])
+	}
+	for _, s := range rt.route[streamName] {
+		input := s.reg.streamInput[streamName]
+		accepted := make([]stream.Element, 0, len(elems))
+		var ferr error
+		for _, e := range elems {
+			ok, err := safeAccepts(s.reg, input, e)
+			if err != nil {
+				err = fmt.Errorf("engine: query %q: %w", s.reg.Name, err)
+				if rt.policy != Fail {
+					rt.dlq.add(DeadLetter{Stream: streamName, Query: s.reg.Name, Elem: e, Err: err})
+					continue
+				}
+				ferr = err
+				break
+			}
+			if ok {
+				accepted = append(accepted, e)
+			}
+		}
+		if ferr != nil {
+			rt.fail(ferr)
+			return ferr
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		s.mb <- shardMsg{input: input, stream: streamName, elems: accepted}
 	}
 	return nil
 }

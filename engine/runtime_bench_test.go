@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"testing"
+
+	"punctsafe/stream"
 )
 
 // BenchmarkIngest compares the sequential Push path against the sharded
@@ -18,6 +20,26 @@ func BenchmarkIngest(b *testing.B) {
 	var feed []TaggedElement
 	for i := 0; i < items; i++ {
 		feed = append(feed, auctionElems(int64(i), bids)...)
+	}
+
+	// Pre-group the feed into contiguous same-stream runs for the batched
+	// variant (what Runtime.IngestWire does with decoded frames).
+	type runBatch struct {
+		stream string
+		elems  []stream.Element
+	}
+	var runs []runBatch
+	for start := 0; start < len(feed); {
+		end := start + 1
+		for end < len(feed) && feed[end].Stream == feed[start].Stream {
+			end++
+		}
+		rb := runBatch{stream: feed[start].Stream}
+		for _, te := range feed[start:end] {
+			rb.elems = append(rb.elems, te.Elem)
+		}
+		runs = append(runs, rb)
+		start = end
 	}
 
 	for _, nq := range []int{1, 2, 4, 8} {
@@ -48,6 +70,27 @@ func BenchmarkIngest(b *testing.B) {
 				rt := d.RunSharded(RuntimeOptions{Buffer: 256})
 				for _, te := range feed {
 					if err := rt.Send(te.Stream, te.Elem); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rt.Close()
+				if err := rt.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				if len(regs[0].Results) != items*bids {
+					b.Fatalf("results = %d", len(regs[0].Results))
+				}
+			}
+			b.ReportMetric(float64(len(feed)), "elements/op")
+		})
+		b.Run(fmt.Sprintf("sharded-batch/queries=%d", nq), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d, regs := newAuctionDSMS(b, nq)
+				b.StartTimer()
+				rt := d.RunSharded(RuntimeOptions{Buffer: 256})
+				for _, rb := range runs {
+					if err := rt.SendBatch(rb.stream, rb.elems); err != nil {
 						b.Fatal(err)
 					}
 				}

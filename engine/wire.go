@@ -391,6 +391,10 @@ func (d *DSMS) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
 // policies the reader runs in skip-and-resync mode: corrupt frames are
 // counted (and, under Quarantine, retained raw) in the dead-letter queue
 // instead of aborting the ingest.
+// Frames are decoded and routed in batches: contiguous same-stream runs
+// (up to ingestBatch frames) travel through SendBatch as one mailbox
+// hand-off per subscribed shard, preserving per-shard element order while
+// amortizing routing and channel overhead.
 func (rt *Runtime) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, error) {
 	wr := NewWireReader(r, schemas...)
 	if rt.policy != Fail {
@@ -398,18 +402,41 @@ func (rt *Runtime) IngestWire(r io.Reader, schemas ...*stream.Schema) (int, erro
 			rt.dlq.add(DeadLetter{Stream: f.Stream, Frame: f.Frame, Err: f.Err})
 		})
 	}
+	const ingestBatch = 128
+	batch := make([]stream.Element, 0, ingestBatch)
+	batchStream := ""
 	count := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := rt.SendBatch(batchStream, batch); err != nil {
+			return err
+		}
+		count += len(batch)
+		batch = batch[:0]
+		return nil
+	}
 	for {
 		te, err := wr.Read()
 		if err == io.EOF {
+			if ferr := flush(); ferr != nil {
+				return count, ferr
+			}
 			return count, nil
 		}
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return count, ferr
+			}
 			return count, err
 		}
-		if err := rt.Send(te.Stream, te.Elem); err != nil {
-			return count, err
+		if te.Stream != batchStream || len(batch) >= ingestBatch {
+			if ferr := flush(); ferr != nil {
+				return count, ferr
+			}
+			batchStream = te.Stream
 		}
-		count++
+		batch = append(batch, te.Elem)
 	}
 }

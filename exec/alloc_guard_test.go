@@ -1,0 +1,149 @@
+package exec_test
+
+// Allocation guards for the hot path. These pin the steady-state probe
+// and chained-purge allocation floors established by the ordered-state
+// rewrite: a probe that matches nothing must not allocate at all, a
+// probe that emits one result allocates only the result itself, and a
+// full chained-purge cycle stays within a small constant budget. A
+// regression that reintroduces per-probe garbage (map iteration scratch,
+// closure captures, key re-encoding) fails here long before it shows up
+// in a benchmark trend.
+
+import (
+	"testing"
+
+	"punctsafe/exec"
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+func intAttr(n string) stream.Attribute { return stream.Attribute{Name: n, Kind: stream.KindInt} }
+
+// steadyWindowJoin builds a two-stream windowed join with 1000 R tuples
+// (keys 0..999) resident, so every S push probes a fixed-size state and
+// evicts what it inserts — zero net growth.
+func steadyWindowJoin(tb testing.TB) *exec.WindowedMJoin {
+	tb.Helper()
+	q := query.NewBuilder().
+		AddStream(stream.MustSchema("R", intAttr("K"), intAttr("V"))).
+		AddStream(stream.MustSchema("S", intAttr("K"), intAttr("W"))).
+		JoinOn("R", "S", "K").
+		MustBuild()
+	wj, err := exec.NewWindowedMJoin(exec.Config{Query: q, Schemes: stream.NewSchemeSet()}, exec.Window{Rows: 1000})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if _, err := wj.Push(0, stream.TupleElement(stream.NewTuple(stream.Int(i), stream.Int(i)))); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return wj
+}
+
+// TestSteadyStateProbeAllocs: a miss probe (no partner under the key)
+// must average ~0 allocs/element — the candidate lookup, window evict
+// and state insert all run on reused operator scratch. A hit probe may
+// allocate only the emitted result (concatenated value slice + output
+// element); everything else is scratch.
+func TestSteadyStateProbeAllocs(t *testing.T) {
+	mk := func(base int64) []stream.Element {
+		out := make([]stream.Element, 1000)
+		for i := range out {
+			k := base + int64(i)
+			out[i] = stream.TupleElement(stream.NewTuple(stream.Int(k), stream.Int(k)))
+		}
+		return out
+	}
+	t.Run("miss", func(t *testing.T) {
+		wj := steadyWindowJoin(t)
+		es := mk(1 << 20)
+		// Warm up state-column growth on the S side.
+		for i := 0; i < 2000; i++ {
+			if _, err := wj.Push(1, es[i%len(es)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		avg := testing.AllocsPerRun(4000, func() {
+			if _, err := wj.Push(1, es[i%len(es)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if avg > 0.5 {
+			t.Fatalf("steady-state miss probe averages %.2f allocs/element, want ~0 (<= 0.5)", avg)
+		}
+	})
+	t.Run("hit", func(t *testing.T) {
+		wj := steadyWindowJoin(t)
+		es := mk(0)
+		for i := 0; i < 2000; i++ {
+			if _, err := wj.Push(1, es[i%len(es)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		avg := testing.AllocsPerRun(4000, func() {
+			if _, err := wj.Push(1, es[i%len(es)]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+		if avg > 3 {
+			t.Fatalf("steady-state hit probe averages %.2f allocs/element, want <= 3 (the result tuple only)", avg)
+		}
+	})
+}
+
+// TestChainedPurgeAllocs pins the budget of one full chained-purge cycle
+// on the Figure 3 three-stream chain: insert a joined chain of tuples,
+// then punctuate it away through the §4.2 chained rounds. Before the
+// ordered-state rewrite a cycle cost ~470 allocs; the reused purge
+// scratch brings it to ~50 and this guard holds the line there.
+func TestChainedPurgeAllocs(t *testing.T) {
+	q := query.NewBuilder().
+		AddStream(stream.MustSchema("S1", intAttr("A"), intAttr("B"))).
+		AddStream(stream.MustSchema("S2", intAttr("B"), intAttr("C"))).
+		AddStream(stream.MustSchema("S3", intAttr("C"), intAttr("D"))).
+		Join("S1.B", "S2.B").
+		Join("S2.C", "S3.C").
+		MustBuild()
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S1", false, true),
+		stream.MustScheme("S2", true, false),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+	)
+	m, err := exec.NewMJoin(exec.Config{Query: q, Schemes: schemes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := func(a, c int64) stream.Tuple { return stream.NewTuple(stream.Int(a), stream.Int(c)) }
+	punct := func(pos int, v int64) stream.Punctuation {
+		pats := []stream.Pattern{stream.Wildcard(), stream.Wildcard()}
+		pats[pos] = stream.Const(stream.Int(v))
+		return stream.MustPunctuation(pats...)
+	}
+	v := int64(0)
+	cycle := func() {
+		m.Push(0, stream.TupleElement(tup(v, v)))
+		m.Push(1, stream.TupleElement(tup(v, v)))
+		m.Push(2, stream.TupleElement(tup(v, v)))
+		m.Push(1, stream.PunctElement(punct(0, v)))
+		m.Push(0, stream.PunctElement(punct(1, v)))
+		m.Push(1, stream.PunctElement(punct(1, v)))
+		m.Push(2, stream.PunctElement(punct(0, v)))
+		v++
+	}
+	for i := 0; i < 256; i++ {
+		cycle()
+	}
+	avg := testing.AllocsPerRun(2000, cycle)
+	if m.StatsSnapshot().TotalState() != 0 {
+		t.Fatalf("chained purge left %d tuples", m.StatsSnapshot().TotalState())
+	}
+	if avg > 64 {
+		t.Fatalf("chained-purge cycle averages %.1f allocs, want <= 64", avg)
+	}
+}

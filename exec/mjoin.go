@@ -114,6 +114,32 @@ type MJoin struct {
 	// stepScheme[i][k] caches the punct-store scheme index used by step k
 	// of input i's purge plan.
 	stepScheme [][]int
+	// predsTouching[i] caches q.PredicatesTouching(i): the accessor
+	// allocates a fresh slice per call, which the probe and purge hot
+	// paths must not pay per element.
+	predsTouching [][]query.Predicate
+	// partners[i] caches the streams sharing a predicate with input i.
+	partners [][]int
+	// pr and pg hold the operator's reusable probe and purge scratch;
+	// steady-state probing and purging allocate nothing beyond the result
+	// tuples themselves.
+	pr probeScratch
+	pg purgeScratch
+}
+
+// probeScratch is the per-operator reusable state of result expansion.
+// MJoin is single-threaded, so one set of buffers serves every Push.
+type probeScratch struct {
+	bound   []stream.Tuple
+	isBound []bool
+	results []stream.Tuple
+	// candA/candB are per-depth double buffers for multi-predicate bucket
+	// intersections (two, so an intersection never reads the buffer it is
+	// writing).
+	candA [][]tupleID
+	candB [][]tupleID
+	// consts is the promise-check scratch.
+	consts []stream.Value
 }
 
 type pendingPunct struct {
@@ -162,9 +188,43 @@ func NewMJoin(cfg Config) (*MJoin, error) {
 		}
 		m.stepScheme[i] = idx
 	}
+	m.predsTouching = make([][]query.Predicate, q.N())
+	m.partners = make([][]int, q.N())
+	for i := 0; i < q.N(); i++ {
+		m.predsTouching[i] = q.PredicatesTouching(i)
+		m.partners[i] = partnerStreamsOf(m.predsTouching[i], i)
+	}
+	m.pr = probeScratch{
+		bound:   make([]stream.Tuple, q.N()),
+		isBound: make([]bool, q.N()),
+		candA:   make([][]tupleID, q.N()),
+		candB:   make([][]tupleID, q.N()),
+	}
+	m.initPurgeScratch()
 	m.buildOutputSchema()
 	m.buildProbeOrders()
 	return m, nil
+}
+
+// partnerStreamsOf returns the distinct streams the predicate list links
+// input to, in first-predicate order (matching the historical
+// partnerStreams helper).
+func partnerStreamsOf(preds []query.Predicate, input int) []int {
+	var out []int
+	for _, p := range preds {
+		other, _, _ := p.Other(input)
+		dup := false
+		for _, o := range out {
+			if o == other {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, other)
+		}
+	}
+	return out
 }
 
 // Purgeable reports whether input i's join state is purgeable (Theorem 3).
@@ -235,25 +295,45 @@ func (m *MJoin) buildProbeOrders() {
 // Push feeds one element into the given input and returns the emitted
 // output elements (result tuples first, then any output punctuations).
 func (m *MJoin) Push(input int, e stream.Element) ([]stream.Element, error) {
-	if input < 0 || input >= m.q.N() {
-		return nil, fmt.Errorf("exec: input %d out of range [0,%d)", input, m.q.N())
+	return m.pushInto(nil, input, e)
+}
+
+// PushBatch feeds a run of elements into one input, exactly as if Push
+// were called per element with the outputs concatenated. It returns the
+// concatenated outputs, the number of elements fully processed, and the
+// first error. On error the outputs of the preceding elements are kept
+// (the offender is elems[n]); callers with element-level error policies
+// can record the offender and resume with elems[n+1:]. Batching exists to
+// amortize per-call overhead — notably the output buffer, which grows
+// once per batch instead of once per element.
+func (m *MJoin) PushBatch(input int, elems []stream.Element) (out []stream.Element, n int, err error) {
+	for i := range elems {
+		out, err = m.pushInto(out, input, elems[i])
+		if err != nil {
+			return out, i, err
+		}
 	}
+	return out, len(elems), nil
+}
+
+// pushInto is the shared Push/PushBatch body: it appends the element's
+// outputs to out and returns the extended slice. On error, out is
+// returned truncated to its length at entry (an element that fails emits
+// nothing).
+func (m *MJoin) pushInto(out []stream.Element, input int, e stream.Element) ([]stream.Element, error) {
+	if input < 0 || input >= m.q.N() {
+		return out, fmt.Errorf("exec: input %d out of range [0,%d)", input, m.q.N())
+	}
+	mark := len(out)
 	m.clock++
-	var out []stream.Element
+	var err error
 	if e.IsPunct() {
-		outs, err := m.pushPunct(input, e.Punct())
-		if err != nil {
-			return nil, err
-		}
-		out = outs
+		out, err = m.pushPunct(out, input, e.Punct())
 	} else {
-		results, err := m.pushTuple(input, e.Tuple())
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range results {
-			out = append(out, stream.TupleElement(r))
-		}
+		out, err = m.pushTuple(out, input, e.Tuple())
+	}
+	if err != nil {
+		return out[:mark], err
 	}
 	if m.cfg.PunctLifespan > 0 && m.clock%256 == 0 {
 		for i, ps := range m.puncts {
@@ -264,30 +344,29 @@ func (m *MJoin) Push(input int, e stream.Element) ([]stream.Element, error) {
 	}
 	// Lazy purge round when the batch threshold is crossed.
 	if len(m.pending) > 0 && m.cfg.PurgeBatch > 1 && m.clock%uint64(m.cfg.PurgeBatch) == 0 {
-		morePuncts := m.flushPending()
-		out = append(out, morePuncts...)
+		out = m.flushPendingInto(out)
 	}
 	if m.cfg.SoftStateLimit > 0 {
-		out = append(out, m.relievePressure()...)
+		out = m.relievePressure(out)
 	}
 	m.stats.noteWatermarks()
 	return out, nil
 }
 
-func (m *MJoin) pushTuple(input int, t stream.Tuple) ([]stream.Tuple, error) {
+func (m *MJoin) pushTuple(out []stream.Element, input int, t stream.Tuple) ([]stream.Element, error) {
 	if err := t.Validate(m.q.Stream(input)); err != nil {
-		return nil, fmt.Errorf("%w: input %d: %v", ErrMalformedElement, input, err)
+		return out, fmt.Errorf("%w: input %d: %v", ErrMalformedElement, input, err)
 	}
 	if m.cfg.EnforcePromises {
 		if p, violated := m.violatedPromise(input, t); violated {
-			return nil, fmt.Errorf("%w: stream %s tuple %s matches its own punctuation %s",
+			return out, fmt.Errorf("%w: stream %s tuple %s matches its own punctuation %s",
 				ErrPromiseViolated, m.q.Stream(input).Name(), t, p)
 		}
 	}
 	m.stats.TuplesIn[input]++
 	results, err := m.probe(input, t)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	m.stats.Results += uint64(len(results))
 	// Drop-at-insertion (eager mode): a tuple already covered by stored
@@ -295,25 +374,31 @@ func (m *MJoin) pushTuple(input int, t stream.Tuple) ([]stream.Tuple, error) {
 	// results against the stored states, it need not be stored at all.
 	// Lazy mode defers this to the next batched purge round, which finds
 	// the tuple through its state lookups.
+	stored := true
 	if !m.cfg.DisablePurge && m.cfg.PurgeBatch <= 1 && m.plans[input] != nil {
 		m.stats.PurgeChecks++
 		if m.purgeableTuple(input, t) {
 			m.stats.TuplesPurged[input]++
-			return results, nil
+			stored = false
 		}
 	}
-	if m.cfg.StateLimit > 0 && m.stats.TotalState() >= m.cfg.StateLimit {
-		return nil, fmt.Errorf("%w: %d tuples stored, limit %d (query %s)",
-			ErrStateLimit, m.stats.TotalState(), m.cfg.StateLimit, m.q)
+	if stored {
+		if m.cfg.StateLimit > 0 && m.stats.TotalState() >= m.cfg.StateLimit {
+			return out, fmt.Errorf("%w: %d tuples stored, limit %d (query %s)",
+				ErrStateLimit, m.stats.TotalState(), m.cfg.StateLimit, m.q)
+		}
+		m.states[input].insert(t)
+		m.stats.StateSize[input] = m.states[input].size()
 	}
-	m.states[input].insert(t)
-	m.stats.StateSize[input] = m.states[input].size()
-	return results, nil
+	for _, r := range results {
+		out = append(out, stream.TupleElement(r))
+	}
+	return out, nil
 }
 
-func (m *MJoin) pushPunct(input int, p stream.Punctuation) ([]stream.Element, error) {
+func (m *MJoin) pushPunct(out []stream.Element, input int, p stream.Punctuation) ([]stream.Element, error) {
 	if err := p.Validate(m.q.Stream(input)); err != nil {
-		return nil, fmt.Errorf("%w: input %d: %v", ErrMalformedElement, input, err)
+		return out, fmt.Errorf("%w: input %d: %v", ErrMalformedElement, input, err)
 	}
 	m.stats.PunctsIn[input]++
 	entry := m.puncts[input].add(p, m.clock, m.cfg.PunctLifespan)
@@ -322,11 +407,11 @@ func (m *MJoin) pushPunct(input int, p stream.Punctuation) ([]stream.Element, er
 		// Irrelevant (no registered scheme) or duplicate punctuation:
 		// nothing further to do — this is the "identify the useful
 		// punctuations" filtering of §1.
-		return nil, nil
+		return out, nil
 	}
-	var out []stream.Element
 	if m.cfg.PurgeBatch <= 1 {
-		out = m.purgeRound([]pendingPunct{{input: input, p: p}})
+		m.pg.one = append(m.pg.one[:0], pendingPunct{input: input, p: p})
+		out = m.purgeRound(out, m.pg.one)
 	} else {
 		m.pending = append(m.pending, pendingPunct{input: input, p: p})
 	}
@@ -339,12 +424,12 @@ func (m *MJoin) pushPunct(input int, p stream.Punctuation) ([]stream.Element, er
 	return out, nil
 }
 
-// flushPending runs one purge round over the accumulated punctuations
-// (the lazy strategy of §5.2).
-func (m *MJoin) flushPending() []stream.Element {
+// flushPendingInto runs one purge round over the accumulated punctuations
+// (the lazy strategy of §5.2), appending any emitted punctuations to out.
+func (m *MJoin) flushPendingInto(out []stream.Element) []stream.Element {
 	batch := m.pending
 	m.pending = nil
-	return m.purgeRound(batch)
+	return m.purgeRound(out, batch)
 }
 
 // Flush forces a purge round over any pending punctuations (used at the
@@ -353,138 +438,181 @@ func (m *MJoin) Flush() []stream.Element {
 	if len(m.pending) == 0 {
 		return nil
 	}
-	return m.flushPending()
+	return m.flushPendingInto(nil)
 }
 
 // probe computes all join results involving the arriving tuple t on input
 // `input` and the stored tuples of every other input, by expanding along
 // the precomputed BFS order (or, with DynamicProbeOrder, the greedy
-// smallest-candidate-set order) and verifying every predicate against the
-// bound prefix.
+// smallest-candidate-set order). The returned slice is the operator's
+// scratch result buffer: valid until the next probe, copied out by the
+// caller element-wise.
 func (m *MJoin) probe(input int, t stream.Tuple) ([]stream.Tuple, error) {
-	bound := make([]stream.Tuple, m.q.N())
-	isBound := make([]bool, m.q.N())
-	bound[input] = t
-	isBound[input] = true
-	var results []stream.Tuple
+	pr := &m.pr
+	pr.results = pr.results[:0]
+	for i := range pr.isBound {
+		pr.isBound[i] = false
+	}
+	pr.bound[input] = t
+	pr.isBound[input] = true
 
 	if m.cfg.DynamicProbeOrder {
-		if err := m.probeDynamic(1, bound, isBound, &results); err != nil {
+		if err := m.probeDynamic(1); err != nil {
 			return nil, err
 		}
-		return results, nil
+		return pr.results, nil
 	}
-
-	order := m.probeOrders[input]
-	var rec func(k int) error
-	rec = func(k int) error {
-		if k == len(order) {
-			results = append(results, m.concat(bound))
-			return nil
-		}
-		j := order[k]
-		set, err := m.candidateSet(j, isBound, bound)
-		if err != nil {
-			return err
-		}
-		// Expand candidates in tupleID (arrival) order so the emitted
-		// result sequence is identical run to run.
-		for _, id := range sortedIDs(set, nil) {
-			u := m.states[j].tuples[id]
-			if !m.matchesBound(j, u, isBound, bound) {
-				continue
-			}
-			bound[j] = u
-			isBound[j] = true
-			if err := rec(k + 1); err != nil {
-				return err
-			}
-			isBound[j] = false
-		}
-		return nil
-	}
-	if err := rec(0); err != nil {
+	if err := m.expand(m.probeOrders[input], 0); err != nil {
 		return nil, err
 	}
-	return results, nil
+	return pr.results, nil
 }
 
-// candidateSet probes stream j's index through the first predicate to a
-// bound stream.
-func (m *MJoin) candidateSet(j int, isBound []bool, bound []stream.Tuple) (map[tupleID]struct{}, error) {
-	for _, p := range m.q.PredicatesTouching(j) {
+// expand is the static-order expansion step: bind stream order[k] to each
+// exact candidate, recurse, unbind. Candidates come from intersecting the
+// index buckets of every predicate into the bound prefix, so no
+// per-candidate predicate re-verification is needed (buckets are keyed by
+// exact value, and all join predicates are equalities). Buckets are
+// sorted by construction, so candidates are visited in tupleID (arrival)
+// order and the emitted result sequence is identical run to run.
+func (m *MJoin) expand(order []int, k int) error {
+	pr := &m.pr
+	if k == len(order) {
+		pr.results = append(pr.results, m.concat(pr.bound))
+		return nil
+	}
+	j := order[k]
+	cand, err := m.candidateIDs(j, k)
+	if err != nil {
+		return err
+	}
+	st := m.states[j]
+	for _, id := range cand {
+		u, ok := st.get(id)
+		if !ok {
+			continue
+		}
+		pr.bound[j] = u
+		pr.isBound[j] = true
+		if err := m.expand(order, k+1); err != nil {
+			return err
+		}
+		pr.isBound[j] = false
+	}
+	return nil
+}
+
+// candidateIDs returns the sorted ids of stream j's stored tuples that
+// satisfy every predicate between j and the bound prefix: the
+// intersection of the per-predicate index buckets (galloping, into the
+// depth's scratch buffer). A single-predicate candidate set is the bucket
+// itself, borrowed read-only from the state.
+func (m *MJoin) candidateIDs(j, depth int) ([]tupleID, error) {
+	pr := &m.pr
+	var cand []tupleID
+	first := true
+	flip := false
+	for _, p := range m.predsTouching[j] {
 		other, jAttr, otherAttr := p.Other(j)
-		if isBound[other] {
-			return m.states[j].lookup(jAttr, bound[other].Values[otherAttr]), nil
+		if !pr.isBound[other] {
+			continue
+		}
+		bucket := m.states[j].lookup(jAttr, pr.bound[other].Values[otherAttr])
+		if first {
+			cand, first = bucket, false
+		} else {
+			// Alternate the two depth buffers so the intersection never
+			// writes the slice it reads.
+			if flip {
+				pr.candB[depth] = intersectSorted(pr.candB[depth], cand, bucket)
+				cand = pr.candB[depth]
+			} else {
+				pr.candA[depth] = intersectSorted(pr.candA[depth], cand, bucket)
+				cand = pr.candA[depth]
+			}
+			flip = !flip
+		}
+		if len(cand) == 0 {
+			return nil, nil
 		}
 	}
-	// Unreachable for connected queries expanded in a connectivity order.
-	return nil, fmt.Errorf("%w: stream %d unreachable from bound set (query %s)", ErrProbeDisconnected, j, m.q)
+	if first {
+		// Unreachable for connected queries expanded in a connectivity order.
+		return nil, fmt.Errorf("%w: stream %d unreachable from bound set (query %s)", ErrProbeDisconnected, j, m.q)
+	}
+	return cand, nil
 }
 
 // probeDynamic expands the join by always choosing, among the unbound
-// streams adjacent to the bound set, the one with the fewest index
-// candidates — pruning dead branches as early as possible.
-func (m *MJoin) probeDynamic(boundCount int, bound []stream.Tuple, isBound []bool, results *[]stream.Tuple) error {
+// streams adjacent to the bound set, the one with the fewest candidates
+// on its first bound predicate — pruning dead branches as early as
+// possible. Remaining predicates are verified per candidate.
+func (m *MJoin) probeDynamic(boundCount int) error {
+	pr := &m.pr
 	if boundCount == m.q.N() {
-		*results = append(*results, m.concat(bound))
+		pr.results = append(pr.results, m.concat(pr.bound))
 		return nil
 	}
 	best := -1
-	var bestSet map[tupleID]struct{}
+	var bestBucket []tupleID
 	for j := 0; j < m.q.N(); j++ {
-		if isBound[j] {
+		if pr.isBound[j] {
 			continue
 		}
 		adjacent := false
-		for _, p := range m.q.PredicatesTouching(j) {
-			other, _, _ := p.Other(j)
-			if isBound[other] {
+		var bucket []tupleID
+		for _, p := range m.predsTouching[j] {
+			other, jAttr, otherAttr := p.Other(j)
+			if !pr.isBound[other] {
+				continue
+			}
+			if !adjacent {
 				adjacent = true
-				break
+				bucket = m.states[j].lookup(jAttr, pr.bound[other].Values[otherAttr])
 			}
 		}
 		if !adjacent {
 			continue
 		}
-		set, err := m.candidateSet(j, isBound, bound)
-		if err != nil {
-			return err
+		if best < 0 || len(bucket) < len(bestBucket) {
+			best, bestBucket = j, bucket
 		}
-		if best < 0 || len(set) < len(bestSet) {
-			best, bestSet = j, set
-		}
-		if len(bestSet) == 0 {
+		if len(bestBucket) == 0 {
 			return nil // some adjacent stream has no match: dead branch
 		}
 	}
 	if best < 0 {
 		return fmt.Errorf("%w: no unbound stream adjacent to bound set (query %s)", ErrProbeDisconnected, m.q)
 	}
-	for _, id := range sortedIDs(bestSet, nil) {
-		u := m.states[best].tuples[id]
-		if !m.matchesBound(best, u, isBound, bound) {
+	st := m.states[best]
+	for _, id := range bestBucket {
+		u, ok := st.get(id)
+		if !ok {
 			continue
 		}
-		bound[best] = u
-		isBound[best] = true
-		if err := m.probeDynamic(boundCount+1, bound, isBound, results); err != nil {
+		if !m.matchesBound(best, u) {
+			continue
+		}
+		pr.bound[best] = u
+		pr.isBound[best] = true
+		if err := m.probeDynamic(boundCount + 1); err != nil {
 			return err
 		}
-		isBound[best] = false
+		pr.isBound[best] = false
 	}
 	return nil
 }
 
-// matchesBound verifies every predicate between stream j's tuple u and the
-// bound prefix.
-func (m *MJoin) matchesBound(j int, u stream.Tuple, isBound []bool, bound []stream.Tuple) bool {
-	for _, p := range m.q.PredicatesTouching(j) {
+// matchesBound verifies every predicate between stream j's tuple u and
+// the bound prefix.
+func (m *MJoin) matchesBound(j int, u stream.Tuple) bool {
+	pr := &m.pr
+	for _, p := range m.predsTouching[j] {
 		other, jAttr, otherAttr := p.Other(j)
-		if !isBound[other] {
+		if !pr.isBound[other] {
 			continue
 		}
-		if !u.Values[jAttr].Equal(bound[other].Values[otherAttr]) {
+		if !u.Values[jAttr].Equal(pr.bound[other].Values[otherAttr]) {
 			return false
 		}
 	}

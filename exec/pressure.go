@@ -27,20 +27,19 @@ type PressureEvent struct {
 // processed. One event fires per excursion above the watermark: the flag
 // re-arms only once state falls back below SoftStateLimit, so a feed that
 // stays pressured does not pay a full sweep per element.
-func (m *MJoin) relievePressure() []stream.Element {
+func (m *MJoin) relievePressure(out []stream.Element) []stream.Element {
 	total := m.stats.TotalState()
 	if total < m.cfg.SoftStateLimit {
 		m.pressured = false
-		return nil
+		return out
 	}
 	if m.pressured {
-		return nil
+		return out
 	}
 	m.pressured = true
 	m.stats.PressureEvents++
-	var out []stream.Element
 	if len(m.pending) > 0 {
-		out = append(out, m.flushPending()...)
+		out = m.flushPendingInto(out)
 	}
 	if m.stats.TotalState() >= m.cfg.SoftStateLimit {
 		_, souts := m.Sweep()

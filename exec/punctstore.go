@@ -43,6 +43,13 @@ type punctStore struct {
 	// the equality constants.
 	entries []map[string]*punctEntry
 	size    int
+	// keyBuf is the reusable composite-key buffer: probes go through
+	// m[string(keyBuf)], which the compiler compiles without a string
+	// allocation, so the coverage checks inside purge chains cost no
+	// allocations.
+	keyBuf []byte
+	// keysBuf is each()'s reusable sort buffer.
+	keysBuf []string
 }
 
 func newPunctStore(schemes []stream.Scheme) *punctStore {
@@ -64,20 +71,24 @@ func newPunctStore(schemes []stream.Scheme) *punctStore {
 	return ps
 }
 
-// eqKey drops the ordered slot (if any) from the constant list and
-// encodes the rest as the entry key.
-func (ps *punctStore) eqKey(schemeIdx int, consts []stream.Value) string {
+// appendEqKey drops the ordered slot (if any) from the constant list and
+// appends the key encoding of the rest to dst.
+func (ps *punctStore) appendEqKey(dst []byte, schemeIdx int, consts []stream.Value) []byte {
 	slot := ps.ordSlot[schemeIdx]
-	if slot < 0 {
-		return keyOf(consts)
-	}
-	eq := make([]stream.Value, 0, len(consts)-1)
 	for i, v := range consts {
-		if i != slot {
-			eq = append(eq, v)
+		if i == slot {
+			continue
 		}
+		dst = stream.AppendKey(dst, v)
 	}
-	return keyOf(eq)
+	return dst
+}
+
+// eqKeyBuf encodes the equality key into the store's reusable buffer.
+// The result is valid until the next eqKeyBuf call.
+func (ps *punctStore) eqKeyBuf(schemeIdx int, consts []stream.Value) []byte {
+	ps.keyBuf = ps.appendEqKey(ps.keyBuf[:0], schemeIdx, consts)
+	return ps.keyBuf
 }
 
 // schemeIndex returns the index of the scheme the punctuation
@@ -105,7 +116,7 @@ func (ps *punctStore) indexOfScheme(s stream.Scheme) int {
 // lookup returns the live entry for the scheme with the given constants'
 // equality part, or nil.
 func (ps *punctStore) lookup(schemeIdx int, consts []stream.Value, now uint64) *punctEntry {
-	e, ok := ps.entries[schemeIdx][ps.eqKey(schemeIdx, consts)]
+	e, ok := ps.entries[schemeIdx][string(ps.eqKeyBuf(schemeIdx, consts))]
 	if !ok || e.expired(now) {
 		return nil
 	}
@@ -121,9 +132,8 @@ func (ps *punctStore) add(p stream.Punctuation, now, lifespan uint64) *punctEntr
 		return nil
 	}
 	consts := constsOf(p)
-	key := ps.eqKey(si, consts)
 	slot := ps.ordSlot[si]
-	if old, ok := ps.entries[si][key]; ok && !old.expired(now) {
+	if old, ok := ps.entries[si][string(ps.eqKeyBuf(si, consts))]; ok && !old.expired(now) {
 		if slot < 0 {
 			return nil // exact duplicate
 		}
@@ -147,7 +157,7 @@ func (ps *punctStore) add(p stream.Punctuation, now, lifespan uint64) *punctEntr
 	if lifespan > 0 {
 		e.expires = now + lifespan
 	}
-	ps.entries[si][key] = e
+	ps.entries[si][string(ps.eqKeyBuf(si, consts))] = e
 	ps.size++
 	return e
 }
@@ -192,11 +202,11 @@ func (ps *punctStore) coveredSimple(attr int, v stream.Value, now uint64) bool {
 // remove deletes the stored entry matching the constants' equality part;
 // it reports whether an entry was removed.
 func (ps *punctStore) remove(schemeIdx int, consts []stream.Value) bool {
-	key := ps.eqKey(schemeIdx, consts)
-	if _, ok := ps.entries[schemeIdx][key]; !ok {
+	key := ps.eqKeyBuf(schemeIdx, consts)
+	if _, ok := ps.entries[schemeIdx][string(key)]; !ok {
 		return false
 	}
-	delete(ps.entries[schemeIdx], key)
+	delete(ps.entries[schemeIdx], string(key))
 	ps.size--
 	return true
 }
@@ -221,10 +231,11 @@ func (ps *punctStore) expire(now uint64) int {
 // punctuation emission is deterministic across runs.
 func (ps *punctStore) each(now uint64, fn func(schemeIdx int, e *punctEntry) bool) {
 	for si, m := range ps.entries {
-		keys := make([]string, 0, len(m))
+		keys := ps.keysBuf[:0]
 		for k := range m {
 			keys = append(keys, k)
 		}
+		ps.keysBuf = keys
 		sort.Strings(keys)
 		for _, k := range keys {
 			e, ok := m[k]
@@ -249,6 +260,3 @@ func constsOf(p stream.Punctuation) []stream.Value {
 	}
 	return out
 }
-
-// keyOf encodes a value list as an injective map key.
-func keyOf(consts []stream.Value) string { return stream.KeyOf(consts...) }

@@ -1,7 +1,8 @@
 package exec
 
 import (
-	"fmt"
+	"encoding/binary"
+	"slices"
 
 	"punctsafe/stream"
 )
@@ -12,43 +13,86 @@ import (
 // surfaces how often that happens.
 const productCap = 4096
 
+// sid identifies a stored tuple across states (stream + id), the node
+// type of the purge round's join-connected closure walk.
+type sid struct {
+	s  int
+	id tupleID
+}
+
+// purgeScratch is the operator's reusable purge-path state. Like the
+// probe scratch, it exists so steady-state purge rounds allocate nothing:
+// candidate sets are per-input sorted id slices filtered in place,
+// frontiers and value sets reuse per-input buffers, and composite map
+// keys are built in a shared byte buffer.
+type purgeScratch struct {
+	one     []pendingPunct // single-punctuation batch for eager rounds
+	cand    [][]tupleID    // per-input purge candidates (sorted before fixpoint)
+	seen    map[sid]struct{}
+	queue   []sid
+	removed [][]stream.Tuple // per-input removed-tuple buffers
+	// purgeableTuple scratch.
+	frontiers [][]stream.Tuple
+	covered   []bool
+	valueSets [][]stream.Value
+	consts    []stream.Value
+	valSeen   map[stream.ValueKey]struct{} // big-set dedup fallback
+	// frontier() constraint scratch.
+	consAttrs []int
+	consKeys  [][]stream.ValueKey
+	// purgePunctStores scratch.
+	keyBuf   []byte
+	seenKeys map[string]bool
+	victims  []punctVictim
+}
+
+func (m *MJoin) initPurgeScratch() {
+	n := m.q.N()
+	m.pg = purgeScratch{
+		cand:      make([][]tupleID, n),
+		removed:   make([][]stream.Tuple, n),
+		frontiers: make([][]stream.Tuple, n),
+		covered:   make([]bool, n),
+		seen:      make(map[sid]struct{}),
+		valSeen:   make(map[stream.ValueKey]struct{}),
+		seenKeys:  make(map[string]bool),
+	}
+}
+
+// pgPush adds a candidate to the purge round's closure (deduplicated).
+func (m *MJoin) pgPush(s int, id tupleID) {
+	k := sid{s, id}
+	if _, ok := m.pg.seen[k]; ok {
+		return
+	}
+	m.pg.seen[k] = struct{}{}
+	m.pg.cand[s] = append(m.pg.cand[s], id)
+	m.pg.queue = append(m.pg.queue, k)
+}
+
 // purgeRound runs the chained purge strategy for a batch of freshly
 // arrived punctuations: it collects the join-connected neighborhood of
 // the punctuated values, repeatedly purges every tuple in it whose purge
 // plan is fully covered by stored punctuations, and finally re-evaluates
-// punctuation propagation and §5.1 punctuation purging. It returns any
-// output punctuations that became emittable.
-func (m *MJoin) purgeRound(batch []pendingPunct) []stream.Element {
+// punctuation propagation and §5.1 punctuation purging. Output
+// punctuations that became emittable are appended to out.
+func (m *MJoin) purgeRound(out []stream.Element, batch []pendingPunct) []stream.Element {
 	if m.cfg.DisablePurge {
-		return nil
+		return out
 	}
-	n := m.q.N()
-	cand := make([]map[tupleID]struct{}, n)
-	for i := range cand {
-		cand[i] = make(map[tupleID]struct{})
+	pg := &m.pg
+	for i := range pg.cand {
+		pg.cand[i] = pg.cand[i][:0]
 	}
+	clear(pg.seen)
+	pg.queue = pg.queue[:0]
 
 	// Anchor tuples: stored tuples in partner states carrying a value a
 	// new punctuation constrains.
-	type sid struct {
-		s  int
-		id tupleID
-	}
-	var queue []sid
-	seen := make(map[sid]struct{})
-	push := func(s int, id tupleID) {
-		k := sid{s, id}
-		if _, ok := seen[k]; ok {
-			return
-		}
-		seen[k] = struct{}{}
-		cand[s][id] = struct{}{}
-		queue = append(queue, k)
-	}
 	for _, pp := range batch {
 		for _, a := range pp.p.ConstIndexes() {
 			pat := pp.p.Patterns[a]
-			for _, p := range m.q.PredicatesTouching(pp.input) {
+			for _, p := range m.predsTouching[pp.input] {
 				other, myAttr, otherAttr := p.Other(pp.input)
 				if myAttr != a {
 					continue
@@ -59,40 +103,44 @@ func (m *MJoin) purgeRound(batch []pendingPunct) []stream.Element {
 					// periodic and few, so this stays cheap).
 					m.states[other].each(func(id tupleID, u stream.Tuple) bool {
 						if pat.MatchesValue(u.Values[otherAttr]) {
-							push(other, id)
+							m.pgPush(other, id)
 						}
 						return true
 					})
 					continue
 				}
-				for id := range m.states[other].lookup(otherAttr, pat.Value()) {
-					push(other, id)
+				for _, id := range m.states[other].lookup(otherAttr, pat.Value()) {
+					m.pgPush(other, id)
 				}
 			}
 		}
 	}
 	// Closure: everything join-reachable from an anchor may have had its
 	// purge requirements (or frontiers) touched.
-	for len(queue) > 0 {
-		k := queue[0]
-		queue = queue[1:]
-		u, ok := m.states[k.s].tuples[k.id]
+	for head := 0; head < len(pg.queue); head++ {
+		k := pg.queue[head]
+		u, ok := m.states[k.s].get(k.id)
 		if !ok {
 			continue
 		}
-		for _, p := range m.q.PredicatesTouching(k.s) {
+		for _, p := range m.predsTouching[k.s] {
 			other, myAttr, otherAttr := p.Other(k.s)
-			for id := range m.states[other].lookup(otherAttr, u.Values[myAttr]) {
-				push(other, id)
+			for _, id := range m.states[other].lookup(otherAttr, u.Values[myAttr]) {
+				m.pgPush(other, id)
 			}
 		}
 	}
+	// Sorted candidate order keeps the removal sequence — and therefore
+	// the order of re-emitted output punctuations — deterministic across
+	// runs (BFS discovery order is implementation-defined).
+	for i := range pg.cand {
+		slices.Sort(pg.cand[i])
+	}
 
-	removed := m.purgeFixpoint(cand)
+	removed := m.purgeFixpoint(pg.cand)
 
-	var out []stream.Element
 	if !m.cfg.DisableOutputPuncts {
-		out = append(out, m.emitForRemoved(removed)...)
+		out = m.emitForRemoved(out, removed)
 	}
 	if m.cfg.PurgePunctuations {
 		m.purgePunctStores(batch, removed)
@@ -102,39 +150,45 @@ func (m *MJoin) purgeRound(batch []pendingPunct) []stream.Element {
 
 // purgeFixpoint repeatedly attempts to purge every candidate until a pass
 // makes no progress (removals shrink frontiers, which can unlock further
-// removals — the cascade of the chained purge strategy). It returns the
-// removed tuples per input so punctuation re-emission and §5.1 store
-// purging can be targeted instead of rescanning whole stores.
-func (m *MJoin) purgeFixpoint(cand []map[tupleID]struct{}) [][]stream.Tuple {
-	removed := make([][]stream.Tuple, m.q.N())
+// removals — the cascade of the chained purge strategy). Candidate lists
+// must be sorted ascending; they are filtered in place (which preserves
+// the order). It returns the removed tuples per input — scratch buffers
+// valid until the next fixpoint — so punctuation re-emission and §5.1
+// store purging can be targeted instead of rescanning whole stores.
+func (m *MJoin) purgeFixpoint(cand [][]tupleID) [][]stream.Tuple {
+	removed := m.pg.removed
+	for s := range removed {
+		clearTuples(removed[s])
+		removed[s] = removed[s][:0]
+	}
 	for changed := true; changed; {
 		changed = false
 		for s := range cand {
 			if m.plans[s] == nil {
 				continue
 			}
-			// Sorted candidate order keeps the removal sequence — and
-			// therefore the order of re-emitted output punctuations —
-			// deterministic across runs.
-			for _, id := range sortedIDs(cand[s], nil) {
-				t, ok := m.states[s].tuples[id]
+			w := 0
+			for _, id := range cand[s] {
+				t, ok := m.states[s].get(id)
 				if !ok {
-					delete(cand[s], id)
-					continue
+					continue // gone: drop from the candidate list
 				}
 				m.stats.PurgeChecks++
 				if !m.purgeableTuple(s, t) {
+					cand[s][w] = id
+					w++
 					continue
 				}
 				m.states[s].remove(id)
-				delete(cand[s], id)
 				m.stats.TuplesPurged[s]++
 				m.stats.StateSize[s] = m.states[s].size()
 				removed[s] = append(removed[s], t)
 				changed = true
 			}
+			cand[s] = cand[s][:w]
 		}
 	}
+	m.pg.removed = removed
 	return removed
 }
 
@@ -145,23 +199,22 @@ func (m *MJoin) Sweep() (int, []stream.Element) {
 	if m.cfg.DisablePurge {
 		return 0, nil
 	}
-	n := m.q.N()
-	cand := make([]map[tupleID]struct{}, n)
-	for i := range cand {
-		cand[i] = make(map[tupleID]struct{}, m.states[i].size())
+	pg := &m.pg
+	for i := range pg.cand {
+		pg.cand[i] = pg.cand[i][:0]
 		m.states[i].each(func(id tupleID, _ stream.Tuple) bool {
-			cand[i][id] = struct{}{}
+			pg.cand[i] = append(pg.cand[i], id) // each() walks in id order: already sorted
 			return true
 		})
 	}
-	removed := m.purgeFixpoint(cand)
+	removed := m.purgeFixpoint(pg.cand)
 	total := 0
 	for _, r := range removed {
 		total += len(r)
 	}
 	var out []stream.Element
 	if !m.cfg.DisableOutputPuncts {
-		out = m.emitPendingPuncts()
+		out = m.emitPendingPuncts(nil)
 	}
 	if m.cfg.PurgePunctuations {
 		m.sweepPunctStores()
@@ -176,36 +229,39 @@ func (m *MJoin) Sweep() (int, []stream.Element) {
 // then advance the joinable frontier into the step's stream. True means
 // t cannot join any future input combination and may be dropped.
 func (m *MJoin) purgeableTuple(root int, t stream.Tuple) bool {
+	pg := &m.pg
 	plan := m.plans[root]
-	n := m.q.N()
-	frontiers := make([][]stream.Tuple, n)
-	covered := make([]bool, n)
-	frontiers[root] = []stream.Tuple{t}
-	covered[root] = true
+	for i := range pg.covered {
+		pg.covered[i] = false
+	}
+	pg.frontiers[root] = append(pg.frontiers[root][:0], t)
+	pg.covered[root] = true
 
 	for k, st := range plan.Steps {
 		j := st.Stream
-		valueSets := make([][]stream.Value, len(st.Attrs))
+		for len(pg.valueSets) < len(st.Attrs) {
+			pg.valueSets = append(pg.valueSets, nil)
+		}
 		vacuous := false
 		total := 1
 		for a := range st.Attrs {
-			vs := distinctValues(frontiers[st.Sources[a]], st.SourceAttrs[a])
+			vs := distinctValuesInto(pg.valueSets[a][:0], pg.frontiers[st.Sources[a]], st.SourceAttrs[a], pg.valSeen)
+			pg.valueSets[a] = vs
 			if len(vs) == 0 {
 				vacuous = true
 				break
 			}
-			valueSets[a] = vs
 			total *= len(vs)
 			if total > productCap {
 				m.stats.PurgeChecks++ // count the aborted attempt's extra work
 				return false
 			}
 		}
-		if !vacuous && !m.coveredProduct(j, m.stepScheme[root][k], valueSets) {
+		if !vacuous && !m.coveredProduct(j, m.stepScheme[root][k], pg.valueSets[:len(st.Attrs)]) {
 			return false
 		}
-		frontiers[j] = m.frontier(j, covered, frontiers)
-		covered[j] = true
+		pg.frontiers[j] = m.frontier(pg.frontiers[j][:0], j, pg.covered, pg.frontiers)
+		pg.covered[j] = true
 	}
 	return true
 }
@@ -214,104 +270,167 @@ func (m *MJoin) purgeableTuple(root int, t stream.Tuple) bool {
 // value sets has a live stored punctuation on input j instantiating
 // scheme schemeIdx.
 func (m *MJoin) coveredProduct(j, schemeIdx int, valueSets [][]stream.Value) bool {
-	consts := make([]stream.Value, len(valueSets))
-	var rec func(k int) bool
-	rec = func(k int) bool {
-		if k == len(valueSets) {
-			return m.puncts[j].covered(schemeIdx, consts, m.clock)
-		}
-		for _, v := range valueSets[k] {
-			consts[k] = v
-			if !rec(k + 1) {
-				return false
-			}
-		}
-		return true
+	if cap(m.pg.consts) < len(valueSets) {
+		m.pg.consts = make([]stream.Value, len(valueSets))
 	}
-	return rec(0)
+	return m.coveredProductRec(j, schemeIdx, valueSets, m.pg.consts[:len(valueSets)], 0)
+}
+
+func (m *MJoin) coveredProductRec(j, schemeIdx int, valueSets [][]stream.Value, consts []stream.Value, k int) bool {
+	if k == len(valueSets) {
+		return m.puncts[j].covered(schemeIdx, consts, m.clock)
+	}
+	for _, v := range valueSets[k] {
+		consts[k] = v
+		if !m.coveredProductRec(j, schemeIdx, valueSets, consts, k+1) {
+			return false
+		}
+	}
+	return true
 }
 
 // frontier computes the joinable tuples of stream j with respect to the
-// already-covered frontiers: stored tuples of j that match, for every
-// predicate linking j to a covered stream, at least one value present in
-// that stream's frontier. This is the semijoin T_t[Υ_j] of §3.2.1
-// (computed per covered neighbor, a superset of the exact joint-joinable
-// set, hence conservative).
-func (m *MJoin) frontier(j int, covered []bool, frontiers [][]stream.Tuple) []stream.Tuple {
-	type constraint struct {
-		jAttr int
-		set   map[stream.ValueKey]struct{}
-	}
-	var cons []constraint
-	for _, p := range m.q.PredicatesTouching(j) {
+// already-covered frontiers, appending them to dst: stored tuples of j
+// that match, for every predicate linking j to a covered stream, at least
+// one value present in that stream's frontier. This is the semijoin
+// T_t[Υ_j] of §3.2.1 (computed per covered neighbor, a superset of the
+// exact joint-joinable set, hence conservative).
+func (m *MJoin) frontier(dst []stream.Tuple, j int, covered []bool, frontiers [][]stream.Tuple) []stream.Tuple {
+	pg := &m.pg
+	pg.consAttrs = pg.consAttrs[:0]
+	nc := 0
+	for _, p := range m.predsTouching[j] {
 		other, jAttr, otherAttr := p.Other(j)
 		if !covered[other] {
 			continue
 		}
-		set := make(map[stream.ValueKey]struct{}, len(frontiers[other]))
-		for _, u := range frontiers[other] {
-			set[u.Values[otherAttr].Key()] = struct{}{}
+		if nc == len(pg.consKeys) {
+			pg.consKeys = append(pg.consKeys, nil)
 		}
-		cons = append(cons, constraint{jAttr: jAttr, set: set})
+		pg.consKeys[nc] = dedupKeysInto(pg.consKeys[nc][:0], frontiers[other], otherAttr, pg.valSeen)
+		pg.consAttrs = append(pg.consAttrs, jAttr)
+		nc++
 	}
-	if len(cons) == 0 {
+	if nc == 0 {
 		// Cannot happen for purge plans (each step's stream is adjacent
 		// to its sources), but guard against programming errors: with no
 		// constraint every stored tuple is joinable.
-		out := make([]stream.Tuple, 0, m.states[j].size())
 		m.states[j].each(func(_ tupleID, u stream.Tuple) bool {
-			out = append(out, u)
+			dst = append(dst, u)
 			return true
 		})
-		return out
+		return dst
 	}
 	// Probe the index with the smallest constraint set; verify the rest.
+	// Distinct values of one attribute index disjoint buckets and the key
+	// sets are deduplicated, so no id is visited twice.
 	best := 0
-	for i := 1; i < len(cons); i++ {
-		if len(cons[i].set) < len(cons[best].set) {
+	for i := 1; i < nc; i++ {
+		if len(pg.consKeys[i]) < len(pg.consKeys[best]) {
 			best = i
 		}
 	}
-	var out []stream.Tuple
-	seenIDs := make(map[tupleID]struct{})
-	for vk := range cons[best].set {
-		for id := range m.states[j].lookup(cons[best].jAttr, vk.Value()) {
-			if _, dup := seenIDs[id]; dup {
+	st := m.states[j]
+	for _, vk := range pg.consKeys[best] {
+		for _, id := range st.lookup(pg.consAttrs[best], vk.Value()) {
+			u, live := st.get(id)
+			if !live {
 				continue
 			}
-			seenIDs[id] = struct{}{}
-			u := m.states[j].tuples[id]
 			ok := true
-			for ci, c := range cons {
+			for ci := 0; ci < nc; ci++ {
 				if ci == best {
 					continue
 				}
-				if _, match := c.set[u.Values[c.jAttr].Key()]; !match {
+				k := u.Values[pg.consAttrs[ci]].Key()
+				if !containsKey(pg.consKeys[ci], k) {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				out = append(out, u)
+				dst = append(dst, u)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
-// distinctValues projects the frontier onto one attribute, deduplicated.
-func distinctValues(frontier []stream.Tuple, attr int) []stream.Value {
-	seen := make(map[stream.ValueKey]struct{}, len(frontier))
-	var out []stream.Value
+func containsKey(keys []stream.ValueKey, k stream.ValueKey) bool {
+	for _, w := range keys {
+		if w == k {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctValuesInto projects the frontier onto one attribute,
+// deduplicated, into dst. Small sets dedup by linear scan (no
+// allocation); large ones fall back to the shared scratch map.
+func distinctValuesInto(dst []stream.Value, frontier []stream.Tuple, attr int, seen map[stream.ValueKey]struct{}) []stream.Value {
+	const linearMax = 24
+	useMap := false
 	for _, u := range frontier {
-		k := u.Values[attr].Key()
-		if _, ok := seen[k]; ok {
+		v := u.Values[attr]
+		if !useMap {
+			dup := false
+			for _, w := range dst {
+				if w.Equal(v) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			dst = append(dst, v)
+			if len(dst) > linearMax {
+				useMap = true
+				clear(seen)
+				for _, w := range dst {
+					seen[w.Key()] = struct{}{}
+				}
+			}
+			continue
+		}
+		k := v.Key()
+		if _, dup := seen[k]; dup {
 			continue
 		}
 		seen[k] = struct{}{}
-		out = append(out, u.Values[attr])
+		dst = append(dst, v)
 	}
-	return out
+	return dst
+}
+
+// dedupKeysInto is distinctValuesInto over ValueKeys.
+func dedupKeysInto(dst []stream.ValueKey, frontier []stream.Tuple, attr int, seen map[stream.ValueKey]struct{}) []stream.ValueKey {
+	const linearMax = 24
+	useMap := false
+	for _, u := range frontier {
+		k := u.Values[attr].Key()
+		if !useMap {
+			if containsKey(dst, k) {
+				continue
+			}
+			dst = append(dst, k)
+			if len(dst) > linearMax {
+				useMap = true
+				clear(seen)
+				for _, w := range dst {
+					seen[w] = struct{}{}
+				}
+			}
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		dst = append(dst, k)
+	}
+	return dst
 }
 
 // tryEmitPunct propagates a stored punctuation to the operator output
@@ -339,18 +458,21 @@ func (m *MJoin) tryEmitPunct(input int, e *punctEntry) (stream.Element, bool) {
 }
 
 // emitForRemoved re-tests exactly the stored punctuations a purge round
-// could have unblocked: for each removed tuple, the punctuations (on the
-// same input) whose constants equal the tuple's values at each scheme's
-// punctuatable positions. A removal can only drop the last matching tuple
-// of such a punctuation, so nothing else needs rechecking.
-func (m *MJoin) emitForRemoved(removed [][]stream.Tuple) []stream.Element {
-	var out []stream.Element
+// could have unblocked, appending emissions to out: for each removed
+// tuple, the punctuations (on the same input) whose constants equal the
+// tuple's values at each scheme's punctuatable positions. A removal can
+// only drop the last matching tuple of such a punctuation, so nothing
+// else needs rechecking.
+func (m *MJoin) emitForRemoved(out []stream.Element, removed [][]stream.Tuple) []stream.Element {
 	for input, tuples := range removed {
 		ps := m.puncts[input]
 		for _, u := range tuples {
 			for si, scheme := range ps.schemes {
 				idx := scheme.PunctuatableIndexes()
-				consts := make([]stream.Value, len(idx))
+				if cap(m.pg.consts) < len(idx) {
+					m.pg.consts = make([]stream.Value, len(idx))
+				}
+				consts := m.pg.consts[:len(idx)]
 				for k, a := range idx {
 					consts[k] = u.Values[a]
 				}
@@ -369,8 +491,7 @@ func (m *MJoin) emitForRemoved(removed [][]stream.Tuple) []stream.Element {
 
 // emitPendingPuncts re-tests every stored, not-yet-emitted punctuation (a
 // full pass, used by the background clean-up Sweep).
-func (m *MJoin) emitPendingPuncts() []stream.Element {
-	var out []stream.Element
+func (m *MJoin) emitPendingPuncts(out []stream.Element) []stream.Element {
 	for input := range m.puncts {
 		m.puncts[input].each(m.clock, func(_ int, e *punctEntry) bool {
 			if el, ok := m.tryEmitPunct(input, e); ok {
@@ -393,9 +514,8 @@ func (m *MJoin) hasMatchingTuple(input int, p stream.Punctuation) bool {
 		if st.index[a] == nil || p.Patterns[a].IsLeq() {
 			continue
 		}
-		ids := st.lookup(a, p.Patterns[a].Value())
-		for id := range ids {
-			if p.Matches(st.tuples[id]) {
+		for _, id := range st.lookup(a, p.Patterns[a].Value()) {
+			if u, ok := st.get(id); ok && p.Matches(u) {
 				return true
 			}
 		}
@@ -430,7 +550,10 @@ func (m *MJoin) violatedPromise(input int, t stream.Tuple) (stream.Punctuation, 
 	ps := m.puncts[input]
 	for si, scheme := range ps.schemes {
 		idx := scheme.PunctuatableIndexes()
-		consts := make([]stream.Value, len(idx))
+		if cap(m.pg.consts) < len(idx) {
+			m.pg.consts = make([]stream.Value, len(idx))
+		}
+		consts := m.pg.consts[:len(idx)]
 		for k, a := range idx {
 			consts[k] = t.Values[a]
 		}
@@ -452,16 +575,21 @@ func (m *MJoin) violatedPromise(input int, t stream.Tuple) (stream.Punctuation, 
 // blockers lie beyond this neighbourhood is caught by the Sweep's full
 // pass instead.
 func (m *MJoin) purgePunctStores(batch []pendingPunct, removed [][]stream.Tuple) {
-	seen := make(map[string]bool)
-	var victims []punctVictim
+	pg := &m.pg
+	clear(pg.seenKeys)
+	pg.victims = pg.victims[:0]
 	consider := func(input, schemeIdx int, e *punctEntry) {
-		key := fmt.Sprintf("%d/%d/%s", input, schemeIdx, keyOf(e.consts))
-		if seen[key] {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[:8], uint64(input))
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(schemeIdx))
+		pg.keyBuf = append(pg.keyBuf[:0], hdr[:]...)
+		pg.keyBuf = stream.AppendKey(pg.keyBuf, e.consts...)
+		if pg.seenKeys[string(pg.keyBuf)] {
 			return
 		}
-		seen[key] = true
+		pg.seenKeys[string(pg.keyBuf)] = true
 		if m.punctPurgeable(input, schemeIdx, e) {
-			victims = append(victims, punctVictim{input: input, schemeIdx: schemeIdx, consts: e.consts})
+			pg.victims = append(pg.victims, punctVictim{input: input, schemeIdx: schemeIdx, consts: e.consts})
 		}
 	}
 
@@ -480,7 +608,7 @@ func (m *MJoin) purgePunctStores(batch []pendingPunct, removed [][]stream.Tuple)
 	// partner stream may have lost its last blocker.
 	for input, tuples := range removed {
 		for _, u := range tuples {
-			for _, p := range m.q.PredicatesTouching(input) {
+			for _, p := range m.predsTouching[input] {
 				other, myAttr, otherAttr := p.Other(input)
 				ps := m.puncts[other]
 				for si, scheme := range ps.schemes {
@@ -524,23 +652,24 @@ func (m *MJoin) purgePunctStores(batch []pendingPunct, removed [][]stream.Tuple)
 	// Collect all victims before removing any: two punctuations may
 	// certify each other (both sides closed on the same values), and
 	// removing one first would strand the other.
-	m.removeVictims(victims)
+	m.removeVictims(pg.victims)
 }
 
 // sweepPunctStores is the full §5.1 pass used by Sweep: every stored
 // punctuation is re-evaluated.
 func (m *MJoin) sweepPunctStores() {
-	var victims []punctVictim
+	pg := &m.pg
+	pg.victims = pg.victims[:0]
 	for j := range m.puncts {
 		ps := m.puncts[j]
 		ps.each(m.clock, func(si int, e *punctEntry) bool {
 			if m.punctPurgeable(j, si, e) {
-				victims = append(victims, punctVictim{input: j, schemeIdx: si, consts: e.consts})
+				pg.victims = append(pg.victims, punctVictim{input: j, schemeIdx: si, consts: e.consts})
 			}
 			return true
 		})
 	}
-	m.removeVictims(victims)
+	m.removeVictims(pg.victims)
 }
 
 func (m *MJoin) removeVictims(victims []punctVictim) {
@@ -557,13 +686,13 @@ func (m *MJoin) removeVictims(victims []punctVictim) {
 // partner punctuation whose constants equal the mapped values.
 func (m *MJoin) eachMappedEntry(input int, p stream.Punctuation, fn func(input, schemeIdx int, e *punctEntry)) {
 	consts := p.ConstIndexes()
-	for _, other := range m.partnerStreams(input) {
+	for _, other := range m.partners[input] {
 		// mapped[attr of other] = value implied by p.
 		mapped := make(map[int]stream.Value)
 		conflict := false
 		for _, a := range consts {
 			v := p.Patterns[a].Value()
-			for _, pr := range m.q.PredicatesTouching(input) {
+			for _, pr := range m.predsTouching[input] {
 				o, myAttr, otherAttr := pr.Other(input)
 				if o != other || myAttr != a {
 					continue
@@ -600,20 +729,6 @@ func (m *MJoin) eachMappedEntry(input int, p stream.Punctuation, fn func(input, 
 	}
 }
 
-// partnerStreams returns the streams sharing a predicate with input.
-func (m *MJoin) partnerStreams(input int) []int {
-	set := make(map[int]bool)
-	var out []int
-	for _, p := range m.q.PredicatesTouching(input) {
-		other, _, _ := p.Other(input)
-		if !set[other] {
-			set[other] = true
-			out = append(out, other)
-		}
-	}
-	return out
-}
-
 // punctPurgeable decides whether a stored punctuation e on input j can be
 // dropped: for every join partner reachable through e's constrained
 // attributes, the partner must hold a live counter-punctuation implied by
@@ -630,12 +745,12 @@ func (m *MJoin) punctPurgeable(j, schemeIdx int, e *punctEntry) bool {
 	scheme := m.puncts[j].schemes[schemeIdx]
 	idx := scheme.PunctuatableIndexes()
 	partnersTouched := false
-	for _, other := range m.partnerStreams(j) {
+	for _, other := range m.partners[j] {
 		// Map e's constraint onto the partner.
 		mapped := make(map[int]stream.Value)
 		for k, a := range idx {
 			v := e.consts[k]
-			for _, pr := range m.q.PredicatesTouching(j) {
+			for _, pr := range m.predsTouching[j] {
 				o, myAttr, otherAttr := pr.Other(j)
 				if o == other && myAttr == a {
 					if prev, ok := mapped[otherAttr]; ok && !prev.Equal(v) {
@@ -705,12 +820,16 @@ func (m *MJoin) counterCovered(s int, mapped map[int]stream.Value) bool {
 // (attr, value) pair of the constraint.
 func (m *MJoin) hasTupleMatching(s int, mapped map[int]stream.Value) bool {
 	// Probe the first indexed attribute; verify the rest.
+	st := m.states[s]
 	for a, v := range mapped {
-		if m.states[s].index[a] == nil {
+		if st.index[a] == nil {
 			continue
 		}
-		for id := range m.states[s].lookup(a, v) {
-			u := m.states[s].tuples[id]
+		for _, id := range st.lookup(a, v) {
+			u, live := st.get(id)
+			if !live {
+				continue
+			}
 			all := true
 			for a2, v2 := range mapped {
 				if !u.Values[a2].Equal(v2) {
@@ -725,7 +844,7 @@ func (m *MJoin) hasTupleMatching(s int, mapped map[int]stream.Value) bool {
 		return false
 	}
 	found := false
-	m.states[s].each(func(_ tupleID, u stream.Tuple) bool {
+	st.each(func(_ tupleID, u stream.Tuple) bool {
 		for a, v := range mapped {
 			if !u.Values[a].Equal(v) {
 				return true

@@ -13,21 +13,37 @@ type tupleID uint64
 // (the Υ_S of §2.2): tuples plus a hash index per join attribute, so both
 // probing (for result emission) and purging (for punctuation matching)
 // are value lookups rather than scans.
+//
+// Layout: tupleIDs are assigned monotonically, so the id/tuple columns
+// are append-only sorted slices and every deterministic-iteration
+// requirement (probe expansion, purge cascades, sweeps all walk in
+// arrival order) is a linear walk instead of a collect-and-sort over map
+// keys. Removal tombstones the row; compaction rewrites the columns once
+// tombstones dominate. The per-attribute hash index stores sorted
+// []tupleID buckets — appends keep them sorted for free, and candidate
+// iteration and intersection need no per-probe allocation.
 type joinState struct {
-	tuples map[tupleID]stream.Tuple
-	// index[attr][valueKey] = set of tuple ids whose attribute attr holds
-	// the value. Only join attributes are indexed.
-	index  map[int]map[stream.ValueKey]map[tupleID]struct{}
-	nextID tupleID
+	ids  []tupleID      // sorted ascending (monotonic assignment)
+	tups []stream.Tuple // parallel to ids
+	dead []bool         // parallel tombstones
+	// index[attr][valueKey] = sorted ids of live tuples whose attribute
+	// attr holds the value. Only join attributes are indexed.
+	index   map[int]map[stream.ValueKey][]tupleID
+	nDead   int
+	nextID  tupleID
+	walkers int // >0 while each() iterates; defers compaction
 }
+
+// compactMinDead bounds how small a state bothers compacting; below it
+// tombstones cost less than the rewrite.
+const compactMinDead = 64
 
 func newJoinState(joinAttrs []int) *joinState {
 	st := &joinState{
-		tuples: make(map[tupleID]stream.Tuple),
-		index:  make(map[int]map[stream.ValueKey]map[tupleID]struct{}, len(joinAttrs)),
+		index: make(map[int]map[stream.ValueKey][]tupleID, len(joinAttrs)),
 	}
 	for _, a := range joinAttrs {
-		st.index[a] = make(map[stream.ValueKey]map[tupleID]struct{})
+		st.index[a] = make(map[stream.ValueKey][]tupleID)
 	}
 	return st
 }
@@ -36,45 +52,112 @@ func newJoinState(joinAttrs []int) *joinState {
 func (st *joinState) insert(t stream.Tuple) tupleID {
 	id := st.nextID
 	st.nextID++
-	st.tuples[id] = t
+	st.ids = append(st.ids, id)
+	st.tups = append(st.tups, t)
+	st.dead = append(st.dead, false)
 	for a, idx := range st.index {
 		k := t.Values[a].Key()
-		set := idx[k]
-		if set == nil {
-			set = make(map[tupleID]struct{})
-			idx[k] = set
-		}
-		set[id] = struct{}{}
+		idx[k] = append(idx[k], id) // id is the largest yet: stays sorted
 	}
 	return id
 }
 
+// pos returns the row of id in the sorted id column, or -1.
+func (st *joinState) pos(id tupleID) int {
+	lo, hi := 0, len(st.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.ids) && st.ids[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// get returns the stored tuple for id, if live.
+func (st *joinState) get(id tupleID) (stream.Tuple, bool) {
+	p := st.pos(id)
+	if p < 0 || st.dead[p] {
+		return stream.Tuple{}, false
+	}
+	return st.tups[p], true
+}
+
 // remove deletes a stored tuple and unindexes it. It reports whether the
-// id was present.
+// id was present (and live).
 func (st *joinState) remove(id tupleID) bool {
-	t, ok := st.tuples[id]
-	if !ok {
+	p := st.pos(id)
+	if p < 0 || st.dead[p] {
 		return false
 	}
-	delete(st.tuples, id)
+	t := st.tups[p]
+	st.dead[p] = true
+	st.tups[p] = stream.Tuple{} // release the value storage now
+	st.nDead++
 	for a, idx := range st.index {
 		k := t.Values[a].Key()
-		if set := idx[k]; set != nil {
-			delete(set, id)
-			if len(set) == 0 {
+		if bucket := idx[k]; bucket != nil {
+			if b := deleteSorted(bucket, id); len(b) == 0 {
 				delete(idx, k)
+			} else {
+				idx[k] = b
 			}
 		}
+	}
+	if st.walkers == 0 && st.nDead >= compactMinDead && st.nDead*2 >= len(st.ids) {
+		st.compact()
 	}
 	return true
 }
 
-// size returns the number of stored tuples.
-func (st *joinState) size() int { return len(st.tuples) }
+// compact rewrites the columns without tombstoned rows. Index buckets
+// hold only live ids, so they are untouched.
+func (st *joinState) compact() {
+	w := 0
+	for r := range st.ids {
+		if st.dead[r] {
+			continue
+		}
+		st.ids[w] = st.ids[r]
+		st.tups[w] = st.tups[r]
+		st.dead[w] = false
+		w++
+	}
+	clearTuples(st.tups[w:])
+	st.ids = st.ids[:w]
+	st.tups = st.tups[:w]
+	st.dead = st.dead[:w]
+	st.nDead = 0
+}
 
-// lookup returns the ids of stored tuples whose attribute attr equals v.
-// The returned set is owned by the state; callers must not modify it.
-func (st *joinState) lookup(attr int, v stream.Value) map[tupleID]struct{} {
+func clearTuples(ts []stream.Tuple) {
+	for i := range ts {
+		ts[i] = stream.Tuple{}
+	}
+}
+
+// deleteSorted removes id from a sorted bucket by binary search.
+func deleteSorted(b []tupleID, id tupleID) []tupleID {
+	i := sort.Search(len(b), func(i int) bool { return b[i] >= id })
+	if i == len(b) || b[i] != id {
+		return b
+	}
+	copy(b[i:], b[i+1:])
+	return b[:len(b)-1]
+}
+
+// size returns the number of stored (live) tuples.
+func (st *joinState) size() int { return len(st.ids) - st.nDead }
+
+// lookup returns the sorted ids of stored tuples whose attribute attr
+// equals v. The returned bucket is owned by the state; callers must not
+// modify or retain it across inserts and removes.
+func (st *joinState) lookup(attr int, v stream.Value) []tupleID {
 	idx := st.index[attr]
 	if idx == nil {
 		return nil
@@ -83,31 +166,59 @@ func (st *joinState) lookup(attr int, v stream.Value) map[tupleID]struct{} {
 }
 
 // each calls fn for every stored tuple until fn returns false. Tuples are
-// visited in tupleID (arrival) order, never in Go map order, so every
-// downstream effect — probe expansion, purge cascades, punctuation
-// re-emission — is deterministic across runs. Iterating a sorted id
-// snapshot also makes it safe for fn to remove tuples mid-walk.
+// visited in tupleID (arrival) order — a linear walk over the ordered
+// columns — so every downstream effect (probe expansion, purge cascades,
+// punctuation re-emission) is deterministic across runs. Rows removed by
+// fn mid-walk are tombstoned in place (compaction is deferred while the
+// walk runs), so removal during iteration is safe.
 func (st *joinState) each(fn func(tupleID, stream.Tuple) bool) {
-	for _, id := range sortedIDs(st.tuples, nil) {
-		t, ok := st.tuples[id]
-		if !ok {
+	st.walkers++
+	defer func() { st.walkers-- }()
+	for r := 0; r < len(st.ids); r++ {
+		if st.dead[r] {
 			continue
 		}
-		if !fn(id, t) {
+		if !fn(st.ids[r], st.tups[r]) {
 			return
 		}
 	}
 }
 
-// sortedIDs collects the keys of a tupleID-keyed map in ascending id
-// (arrival) order. The engine's determinism contract (identical runs emit
-// identical sequences) rests on every map-keyed iteration in the hot path
-// going through here.
-func sortedIDs[V any](set map[tupleID]V, buf []tupleID) []tupleID {
-	ids := buf[:0]
-	for id := range set {
-		ids = append(ids, id)
+// intersectSorted writes the intersection of two ascending id slices into
+// dst (galloping through the longer side) and returns it. dst may be
+// a[:0] only if the caller no longer needs a; typically it is a reusable
+// scratch buffer.
+func intersectSorted(dst, a, b []tupleID) []tupleID {
+	if len(a) > len(b) {
+		a, b = b, a
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	dst = dst[:0]
+	lo := 0
+	for _, id := range a {
+		// Gallop: exponential probe then binary search within b[lo:].
+		step := 1
+		for lo+step < len(b) && b[lo+step] < id {
+			step <<= 1
+		}
+		hi := lo + step
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(b) {
+			break
+		}
+		if b[lo] == id {
+			dst = append(dst, id)
+			lo++
+		}
+	}
+	return dst
 }

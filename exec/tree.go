@@ -101,6 +101,33 @@ func (t *Tree) Push(streamIdx int, e stream.Element) ([]stream.Element, error) {
 	return t.feed(route.op, route.input, e)
 }
 
+// PushBatch feeds a run of raw elements from one stream, exactly as if
+// Push were called per element with the outputs concatenated. It returns
+// the concatenated outputs, the number of elements fully processed, and
+// the first error; on error the offender is elems[n] and the preceding
+// elements' outputs are kept, so element-level error policies can record
+// it and resume with elems[n+1:].
+func (t *Tree) PushBatch(streamIdx int, elems []stream.Element) ([]stream.Element, int, error) {
+	if streamIdx < 0 || streamIdx >= t.q.N() {
+		return nil, 0, fmt.Errorf("exec: stream %d out of range", streamIdx)
+	}
+	route := t.leafRoute[streamIdx]
+	if route.op.parent == nil {
+		// Single-operator plan (the common case): batch straight into the
+		// root so the output buffer grows once per batch.
+		return route.op.join.PushBatch(route.input, elems)
+	}
+	var out []stream.Element
+	for i := range elems {
+		f, err := t.feed(route.op, route.input, elems[i])
+		if err != nil {
+			return out, i, err
+		}
+		out = append(out, f...)
+	}
+	return out, len(elems), nil
+}
+
 // feed pushes an element into an operator input and recursively forwards
 // the operator's outputs to its parent until the root emits.
 func (t *Tree) feed(op *treeOp, input int, e stream.Element) ([]stream.Element, error) {

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Hot-path benchmark trajectory: runs the join/purge/ingestion benchmarks
+# with -benchmem, pairs them with the recorded pre-optimization baseline
+# (scripts/bench_baseline.txt), and writes BENCH_hotpath.json at the repo
+# root. Run from the repository root, or via `make benchfull`.
+#
+#   BENCHTIME=2s scripts/bench.sh        # the checked-in configuration
+#   BENCHTIME=100ms scripts/bench.sh     # a quick smoke pass
+set -eu
+
+BENCHTIME=${BENCHTIME:-2s}
+OUT=${OUT:-BENCH_hotpath.json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# Root-package hot-path benchmarks: chained purge cycle, join probe,
+# purge check, and the steady-state probe floor.
+go test . -run xxx \
+  -bench 'BenchmarkE2ChainedPurge|BenchmarkJoinProbe|BenchmarkPurgeCheck|BenchmarkProbeSteadyState' \
+  -benchtime "$BENCHTIME" -benchmem | tee "$raw"
+
+# Engine ingestion benchmarks: sequential vs sharded vs batched-sharded
+# feeds, and steady-state wire frame decoding.
+go test ./engine -run xxx \
+  -bench 'BenchmarkIngest|BenchmarkWireReaderRead' \
+  -benchtime "$BENCHTIME" -benchmem | tee -a "$raw"
+
+go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt > "$OUT"
+echo "wrote $OUT"

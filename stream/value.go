@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 	"strconv"
-	"strings"
 )
 
 // Kind enumerates the attribute types supported by the engine.
@@ -161,17 +160,24 @@ func LessEq(v, bound Value) (le, ok bool) {
 // kind byte, fixed-width numeric payload, then length-prefixed string
 // payload per value.
 func KeyOf(values ...Value) string {
-	var b strings.Builder
+	return string(AppendKey(nil, values...))
+}
+
+// AppendKey appends the KeyOf encoding of the value list to dst and
+// returns the extended slice. Callers that reuse dst and look the key up
+// via m[string(dst)] get composite-key map probes with no per-probe
+// allocation (the compiler elides the string conversion in that pattern).
+func AppendKey(dst []byte, values ...Value) []byte {
 	var buf [8]byte
 	for _, v := range values {
-		b.WriteByte(byte(v.kind))
+		dst = append(dst, byte(v.kind))
 		binary.LittleEndian.PutUint64(buf[:], v.num)
-		b.Write(buf[:])
+		dst = append(dst, buf[:]...)
 		binary.LittleEndian.PutUint64(buf[:], uint64(len(v.str)))
-		b.Write(buf[:])
-		b.WriteString(v.str)
+		dst = append(dst, buf[:]...)
+		dst = append(dst, v.str...)
 	}
-	return b.String()
+	return dst
 }
 
 func floatBits(f float64) uint64 {
