@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzzseed bench benchfull fmt
+.PHONY: check vet build test race fuzzseed bench benchfull fmt fmtcheck
 
-check: vet build test race fuzzseed
+check: fmtcheck vet build test race fuzzseed
 
 vet:
 	$(GO) vet ./...
@@ -37,3 +37,7 @@ benchfull:
 
 fmt:
 	gofmt -l .
+
+# Failing formatting gate: `make check` aborts if any file needs gofmt.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

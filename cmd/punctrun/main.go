@@ -51,6 +51,9 @@ func main() {
 		onError    = flag.String("on-error", "fail", "error policy for the sharded runtime: fail | drop | quarantine (needs -parallel)")
 		deadLetter = flag.Int("dead-letter", 0, "max offenders retained under -on-error quarantine (0 = default bound)")
 		enforce    = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
+		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file; written atomically every -checkpoint-every elements and at end of feed (needs -parallel)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint every N elements (0 = only at end of feed; needs -checkpoint)")
+		restore    = flag.Bool("restore", false, "restore runtime state from -checkpoint and resume the feed at the recorded offset")
 		chaosLate  = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
@@ -64,6 +67,14 @@ func main() {
 	}
 	if policy != engine.Fail && !*parallel {
 		fmt.Fprintln(os.Stderr, "punctrun: -on-error drop|quarantine needs the sharded runtime (add -parallel)")
+		os.Exit(2)
+	}
+	if (*ckptPath != "" || *restore) && !*parallel {
+		fmt.Fprintln(os.Stderr, "punctrun: -checkpoint/-restore need the sharded runtime (add -parallel)")
+		os.Exit(2)
+	}
+	if (*restore || *ckptEvery > 0) && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "punctrun: -restore and -checkpoint-every need -checkpoint <path>")
 		os.Exit(2)
 	}
 
@@ -142,15 +153,47 @@ func main() {
 	start := time.Now()
 	var deadLetters *engine.DeadLetterSnapshot
 	if *parallel {
-		rt := d.RunSharded(engine.RuntimeOptions{
+		rtOpts := engine.RuntimeOptions{
 			Buffer:          256,
 			OnError:         policy,
 			DeadLetterLimit: *deadLetter,
-		})
-		for i, in := range inputs {
-			if err := rt.Send(in.Stream, in.Elem); err != nil {
+		}
+		var rt *engine.Runtime
+		first := 0
+		if *restore {
+			f, err := os.Open(*ckptPath)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+			rt, err = d.RestoreRuntime(f, rtOpts)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			first = int(rt.ResumeOffset("feed"))
+			if first > len(inputs) {
+				fmt.Fprintf(os.Stderr, "punctrun: checkpoint offset %d is past the %d-element feed\n", first, len(inputs))
+				os.Exit(1)
+			}
+			fmt.Printf("restore: resuming at element %d of %d (from %s)\n", first, len(inputs), *ckptPath)
+		} else {
+			rt = d.RunSharded(rtOpts)
+		}
+		checkpoints := 0
+		for i := first; i < len(inputs); i++ {
+			in := inputs[i]
+			if err := rt.SendAt("feed", in.Stream, in.Elem, int64(i)+1); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if *ckptPath != "" && *ckptEvery > 0 && (i+1)%*ckptEvery == 0 {
+				if err := rt.CheckpointFile(*ckptPath); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				checkpoints++
 			}
 			if *interval > 0 && (i+1)%*interval == 0 {
 				snaps, err := rt.Stats(*scenario)
@@ -166,6 +209,15 @@ func main() {
 				res = snaps[len(snaps)-1].Results
 				fmt.Printf("%12d %12d %12d %12d\n", i+1, state, puncts, res)
 			}
+		}
+		if *ckptPath != "" {
+			// Final snapshot so a later -restore resumes past the whole feed.
+			if err := rt.CheckpointFile(*ckptPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			checkpoints++
+			fmt.Printf("checkpoints:        %d written -> %s\n", checkpoints, *ckptPath)
 		}
 		rt.Close()
 		if err := rt.Wait(); err != nil {

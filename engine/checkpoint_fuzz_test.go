@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"punctsafe/internal/faultinject"
+)
+
+// FuzzRestoreRuntime throws arbitrary bytes at the restore path. The
+// invariants are the corruption-hardening contract: RestoreRuntime never
+// panics, every rejection is the typed ErrCorruptCheckpoint, and a
+// rejected restore leaves the register usable (an accepted one yields a
+// runtime that shuts down cleanly). The seed corpus covers a valid
+// snapshot, torn and bit-rotted variants of it, and framing edge cases.
+func FuzzRestoreRuntime(f *testing.F) {
+	blob := makeCheckpoint(f)
+	f.Add(blob)                           // fully valid snapshot
+	f.Add(blob[:len(blob)-5])             // torn tail (checksum gone)
+	f.Add(blob[:len(blob)/2])             // torn mid-body
+	f.Add(blob[:len(checkpointMagic)])    // bare magic, nothing else
+	f.Add([]byte{})                       // empty file
+	f.Add([]byte(checkpointMagic))        // magic only
+	f.Add([]byte("PSCKPT99garbage"))      // future version
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // varint overflow soup
+	for _, g := range faultinject.CorruptCopies(blob, 8, 7) {
+		f.Add(g)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, _ := newAuctionDSMS(t, 2)
+		rt, err := d.RestoreRuntime(bytes.NewReader(data), RuntimeOptions{})
+		if err != nil {
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("untyped restore error: %v", err)
+			}
+			return
+		}
+		rt.Close()
+		if werr := rt.Wait(); werr != nil {
+			t.Fatalf("restored runtime failed to shut down: %v", werr)
+		}
+	})
+}

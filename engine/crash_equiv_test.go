@@ -1,0 +1,273 @@
+package engine_test
+
+// The crash-recovery equivalence suite — the tentpole acceptance test:
+// checkpoint → crash → restore → resume must be observationally
+// indistinguishable from an uninterrupted run. "Indistinguishable" is
+// checked exactly: the result sequence per query (the pre-crash prefix
+// captured at the barrier plus everything the restored runtime emits),
+// the full operator stats, and the dead-letter queue (counts and entry
+// multiset) — across the Fail, Drop, and Quarantine policies, seeded
+// chaos workloads, multiple purge configurations, and multiple crash
+// points per run.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"punctsafe/engine"
+	"punctsafe/internal/faultinject"
+	"punctsafe/workload"
+)
+
+// newEquivDSMS registers the auction schemes and one promise-enforcing
+// auction query per name, all with the same exec options.
+func newEquivDSMS(t testing.TB, opts engine.Options, names ...string) (*engine.DSMS, []*engine.Registered) {
+	t.Helper()
+	opts.EnforcePromises = true
+	d := engine.New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	regs := make([]*engine.Registered, len(names))
+	for i, name := range names {
+		reg, err := d.Register(name, workload.AuctionQuery(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[i] = reg
+	}
+	return d, regs
+}
+
+// runObservation is everything a downstream observer can see of a run.
+type runObservation struct {
+	results map[string][]string // per query, in emission order
+	stats   map[string]any      // per query, full operator stats
+	dlTotal uint64
+	dlEvict uint64
+	dlByStr map[string]uint64
+	dlByQry map[string]uint64
+	dlItems []string // retained entries, order-independent
+}
+
+func orderedResults(reg *engine.Registered) []string {
+	out := make([]string, len(reg.Results))
+	for i, r := range reg.Results {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// dlKey renders a dead letter without its Seq (entry arrival order across
+// concurrently failing shards is scheduling-dependent even without a
+// crash) and with its error as text (restored errors carry text only).
+func dlKey(e engine.DeadLetter) string {
+	errText := ""
+	if e.Err != nil {
+		errText = e.Err.Error()
+	}
+	return fmt.Sprintf("s=%s|q=%s|e=%s|f=%x|err=%s", e.Stream, e.Query, e.Elem, e.Frame, errText)
+}
+
+// observe gathers the observation from a finished runtime, folding in
+// per-query result prefixes captured before a crash.
+func observe(t *testing.T, rt *engine.Runtime, regs []*engine.Registered, prefix map[string][]string) runObservation {
+	t.Helper()
+	obs := runObservation{
+		results: make(map[string][]string, len(regs)),
+		stats:   make(map[string]any, len(regs)),
+	}
+	for _, reg := range regs {
+		obs.results[reg.Name] = append(append([]string(nil), prefix[reg.Name]...), orderedResults(reg)...)
+		st, err := rt.Stats(reg.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs.stats[reg.Name] = st
+	}
+	dl := rt.DeadLetters()
+	obs.dlTotal, obs.dlEvict = dl.Total, dl.Evicted
+	obs.dlByStr, obs.dlByQry = dl.ByStream, dl.ByQuery
+	for _, e := range dl.Entries {
+		obs.dlItems = append(obs.dlItems, dlKey(e))
+	}
+	sort.Strings(obs.dlItems)
+	return obs
+}
+
+// referenceRun feeds the whole workload uninterrupted.
+func referenceRun(t *testing.T, policy engine.ErrorPolicy, opts engine.Options, feed []faultinject.Item, queries ...string) runObservation {
+	t.Helper()
+	d, regs := newEquivDSMS(t, opts, queries...)
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	for i, it := range feed {
+		if err := rt.SendAt("feed", it.Stream, it.Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return observe(t, rt, regs, nil)
+}
+
+// crashRun feeds the workload through a crash at element boundary k: it
+// checkpoints after k elements, keeps feeding a while, kills the runtime
+// mid-flight, restores the snapshot into a fresh register, and resumes
+// from the recorded offset.
+func crashRun(t *testing.T, policy engine.ErrorPolicy, opts engine.Options, feed []faultinject.Item, k int, queries ...string) runObservation {
+	t.Helper()
+	d, regs := newEquivDSMS(t, opts, queries...)
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	for i := 0; i < k; i++ {
+		if err := rt.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := rt.Checkpoint(&snap); err != nil {
+		t.Fatalf("checkpoint at %d: %v", k, err)
+	}
+	prefix := make(map[string][]string, len(regs))
+	for _, reg := range regs {
+		prefix[reg.Name] = append([]string(nil), orderedResults(reg)...)
+	}
+	// Keep feeding past the checkpoint, then crash mid-flight: everything
+	// after the snapshot must leave no trace that survives the restore.
+	extra := k + 25
+	if extra > len(feed) {
+		extra = len(feed)
+	}
+	for i := k; i < extra; i++ {
+		if err := rt.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Kill()
+	rt.Close()
+	if err := rt.Wait(); !errors.Is(err, engine.ErrKilled) {
+		t.Fatalf("killed runtime Wait = %v, want ErrKilled", err)
+	}
+
+	d2, regs2 := newEquivDSMS(t, opts, queries...)
+	rt2, err := d2.RestoreRuntime(bytes.NewReader(snap.Bytes()), engine.RuntimeOptions{OnError: policy})
+	if err != nil {
+		t.Fatalf("restore of checkpoint at %d: %v", k, err)
+	}
+	resume := rt2.ResumeOffset("feed")
+	if resume != int64(k) {
+		t.Fatalf("ResumeOffset = %d, want %d", resume, k)
+	}
+	for i := int(resume); i < len(feed); i++ {
+		if err := rt2.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt2.Close()
+	if err := rt2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return observe(t, rt2, regs2, prefix)
+}
+
+func compareObservations(t *testing.T, label string, got, want runObservation) {
+	t.Helper()
+	for name, w := range want.results {
+		g := got.results[name]
+		if len(g) != len(w) {
+			t.Fatalf("%s: query %s emitted %d results across the crash, want %d", label, name, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s: query %s result %d differs: %s vs %s", label, name, i, g[i], w[i])
+			}
+		}
+	}
+	for name := range want.stats {
+		if !reflect.DeepEqual(got.stats[name], want.stats[name]) {
+			t.Fatalf("%s: query %s stats diverge:\n%v\nvs\n%v", label, name, got.stats[name], want.stats[name])
+		}
+	}
+	if got.dlTotal != want.dlTotal || got.dlEvict != want.dlEvict {
+		t.Fatalf("%s: dead-letter total/evicted = %d/%d, want %d/%d",
+			label, got.dlTotal, got.dlEvict, want.dlTotal, want.dlEvict)
+	}
+	if !reflect.DeepEqual(got.dlByStr, want.dlByStr) || !reflect.DeepEqual(got.dlByQry, want.dlByQry) {
+		t.Fatalf("%s: dead-letter breakdown diverges:\n%v %v\nvs\n%v %v",
+			label, got.dlByStr, got.dlByQry, want.dlByStr, want.dlByQry)
+	}
+	if !reflect.DeepEqual(got.dlItems, want.dlItems) {
+		t.Fatalf("%s: dead-letter entries diverge:\n%v\nvs\n%v", label, got.dlItems, want.dlItems)
+	}
+}
+
+// equivChaosFeed layers seeded late tuples and malformed elements over
+// the base auction workload (offenders for Drop/Quarantine to absorb).
+func equivChaosFeed() []faultinject.Item {
+	feed := chaosBaseFeed()
+	feed, _ = faultinject.InjectLate(feed, 6, 21)
+	feed, _ = faultinject.InjectMalformed(feed, "bid", 4, 22)
+	return feed
+}
+
+// TestCrashRecoveryEquivalence runs the core matrix: every error policy,
+// several seeded crash points each, single query. Fail gets the clean
+// feed (any offender would fail the reference run too); Drop and
+// Quarantine get the chaos feed so dead-letter state crosses the crash.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy engine.ErrorPolicy
+		feed   []faultinject.Item
+	}{
+		{"Fail/clean", engine.Fail, chaosBaseFeed()},
+		{"Drop/chaos", engine.Drop, equivChaosFeed()},
+		{"Quarantine/chaos", engine.Quarantine, equivChaosFeed()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := referenceRun(t, tc.policy, engine.Options{}, tc.feed, "q0")
+			for _, k := range faultinject.CrashPoints(len(tc.feed), 3, 42) {
+				got := crashRun(t, tc.policy, engine.Options{}, tc.feed, k, "q0")
+				compareObservations(t, fmt.Sprintf("crash at %d", k), got, want)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryEquivalenceAcrossConfigs crosses the crash with the
+// purge configurations whose state is hardest to snapshot faithfully:
+// lazy purge batches mid-round, punctuation lifespans mid-countdown, and
+// punctuation-store purging.
+func TestCrashRecoveryEquivalenceAcrossConfigs(t *testing.T) {
+	feed := equivChaosFeed()
+	configs := []engine.Options{
+		{PurgeBatch: 5},
+		{PunctLifespan: 128},
+		{PurgeBatch: 3, PurgePunctuations: true},
+	}
+	for ci, opts := range configs {
+		want := referenceRun(t, engine.Quarantine, opts, feed, "q0")
+		for _, k := range faultinject.CrashPoints(len(feed), 2, int64(100+ci)) {
+			got := crashRun(t, engine.Quarantine, opts, feed, k, "q0")
+			compareObservations(t, fmt.Sprintf("config %d crash at %d", ci, k), got, want)
+		}
+	}
+}
+
+// TestCrashRecoveryEquivalenceMultiQuery: one snapshot captures all
+// shards consistently — every query's stream recovers exactly.
+func TestCrashRecoveryEquivalenceMultiQuery(t *testing.T) {
+	feed := equivChaosFeed()
+	queries := []string{"qa", "qb", "qc"}
+	want := referenceRun(t, engine.Quarantine, engine.Options{PurgeBatch: 4}, feed, queries...)
+	for _, k := range faultinject.CrashPoints(len(feed), 2, 7) {
+		got := crashRun(t, engine.Quarantine, engine.Options{PurgeBatch: 4}, feed, k, queries...)
+		compareObservations(t, fmt.Sprintf("crash at %d", k), got, want)
+	}
+}

@@ -98,6 +98,41 @@ func (q *deadLetterQueue) add(d DeadLetter) {
 	q.n++
 }
 
+// install replaces the queue's state with a restored snapshot. The
+// queue's own keep/limit configuration governs retention: entries beyond
+// the bound are dropped oldest-first (counted as evicted), and a
+// non-retaining (Drop) queue keeps only the counters, exactly as if the
+// offenders had arrived live.
+func (q *deadLetterQueue) install(s DeadLetterSnapshot) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq = s.Total
+	q.evicted = s.Evicted
+	q.byStream = make(map[string]uint64, len(s.ByStream))
+	for k, v := range s.ByStream {
+		q.byStream[k] = v
+	}
+	q.byQuery = make(map[string]uint64, len(s.ByQuery))
+	for k, v := range s.ByQuery {
+		q.byQuery[k] = v
+	}
+	q.ring = nil
+	q.head = 0
+	q.n = 0
+	if !q.keep {
+		return
+	}
+	entries := s.Entries
+	if len(entries) > q.limit {
+		q.evicted += uint64(len(entries) - q.limit)
+		entries = entries[len(entries)-q.limit:]
+	}
+	if len(entries) > 0 {
+		q.ring = make([]DeadLetter, q.limit)
+		q.n = copy(q.ring, entries)
+	}
+}
+
 // snapshot returns a detached copy of the queue's state.
 func (q *deadLetterQueue) snapshot() DeadLetterSnapshot {
 	q.mu.Lock()

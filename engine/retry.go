@@ -1,18 +1,20 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 )
 
 // RetryReader turns a flaky byte source into a resilient io.Reader: when
 // a Read fails with a transient error, it reconnects through Open at the
-// byte offset already delivered and retries with exponential backoff,
-// bounded by MaxRetries consecutive failures. io.EOF always passes
-// through (a finished source is not a fault). Wrap the source handed to
-// IngestWire in one of these to survive transient transport failures
-// without losing or duplicating frames.
+// byte offset already delivered and retries with jittered exponential
+// backoff, bounded by MaxRetries consecutive failures and capped at
+// MaxBackoff. io.EOF always passes through (a finished source is not a
+// fault). Wrap the source handed to IngestWire in one of these to survive
+// transient transport failures without losing or duplicating frames.
 //
 // Not safe for concurrent use; like any io.Reader it serves one consumer.
 type RetryReader struct {
@@ -24,22 +26,53 @@ type RetryReader struct {
 	// read resets the count.
 	MaxRetries int
 	// Backoff is the delay before the first retry, doubling per
-	// consecutive failure (<= 0 selects the default of 10ms).
+	// consecutive failure (<= 0 selects the default of 10ms). Each delay
+	// is jittered ±50% so a fleet of readers reconnecting to one endpoint
+	// does not stampede in lockstep.
 	Backoff time.Duration
-	// Sleep replaces time.Sleep in tests.
+	// MaxBackoff caps the doubling delay (<= 0 selects the default of
+	// 1s). The cap applies before jitter.
+	MaxBackoff time.Duration
+	// Context, when non-nil, cancels the reconnect loop: a Read blocked
+	// in backoff (or about to retry) returns the context's error instead
+	// of sleeping a stuck transport forever.
+	Context context.Context
+	// StartOffset positions the first Open (a restored ingest resumes
+	// mid-stream). Zero starts at the beginning.
+	StartOffset int64
+	// Sleep replaces the backoff sleep in tests. When set, it is called
+	// with the jittered delay and context cancellation is checked after
+	// it returns rather than during it.
 	Sleep func(time.Duration)
+	// Rand replaces the jitter source in tests: a function returning a
+	// value in [0, 1). Defaults to math/rand's global source.
+	Rand func() float64
 	// Retries counts transient failures absorbed over the reader's life.
 	Retries int
 
-	cur    io.Reader
-	offset int64
+	cur     io.Reader
+	offset  int64
+	started bool
+}
+
+const (
+	defaultRetryBackoff    = 10 * time.Millisecond
+	defaultRetryMaxBackoff = time.Second
+)
+
+// Offset returns the byte offset delivered so far (StartOffset included).
+func (rr *RetryReader) Offset() int64 {
+	if !rr.started {
+		return rr.StartOffset
+	}
+	return rr.offset
 }
 
 // Read implements io.Reader with reconnect-and-resume semantics.
 func (rr *RetryReader) Read(p []byte) (int, error) {
-	sleep := rr.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+	if !rr.started {
+		rr.offset = rr.StartOffset
+		rr.started = true
 	}
 	maxRetries := rr.MaxRetries
 	if maxRetries <= 0 {
@@ -47,10 +80,17 @@ func (rr *RetryReader) Read(p []byte) (int, error) {
 	}
 	backoff := rr.Backoff
 	if backoff <= 0 {
-		backoff = 10 * time.Millisecond
+		backoff = defaultRetryBackoff
+	}
+	maxBackoff := rr.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = defaultRetryMaxBackoff
 	}
 	failures := 0
 	for {
+		if err := rr.ctxErr(); err != nil {
+			return 0, err
+		}
 		if rr.cur == nil {
 			r, err := rr.Open(rr.offset)
 			if err != nil {
@@ -59,8 +99,9 @@ func (rr *RetryReader) Read(p []byte) (int, error) {
 				if failures > maxRetries {
 					return 0, fmt.Errorf("engine: retry reader: giving up after %d attempts: %w", failures, err)
 				}
-				sleep(backoff)
-				backoff *= 2
+				if serr := rr.sleepBackoff(&backoff, maxBackoff); serr != nil {
+					return 0, serr
+				}
 				continue
 			}
 			rr.cur = r
@@ -81,7 +122,57 @@ func (rr *RetryReader) Read(p []byte) (int, error) {
 		if failures > maxRetries {
 			return 0, fmt.Errorf("engine: retry reader: giving up after %d attempts: %w", failures, err)
 		}
-		sleep(backoff)
-		backoff *= 2
+		if serr := rr.sleepBackoff(&backoff, maxBackoff); serr != nil {
+			return 0, serr
+		}
 	}
+}
+
+// ctxErr surfaces a canceled Context as the reader's error.
+func (rr *RetryReader) ctxErr() error {
+	if rr.Context == nil {
+		return nil
+	}
+	if err := rr.Context.Err(); err != nil {
+		return fmt.Errorf("engine: retry reader: %w", err)
+	}
+	return nil
+}
+
+// sleepBackoff sleeps the current capped-and-jittered delay, doubles the
+// base for next time, and honors Context cancellation mid-sleep.
+func (rr *RetryReader) sleepBackoff(backoff *time.Duration, maxBackoff time.Duration) error {
+	d := *backoff
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	d = rr.jitter(d)
+	if *backoff < maxBackoff {
+		*backoff *= 2
+	}
+	if rr.Sleep != nil {
+		rr.Sleep(d)
+		return rr.ctxErr()
+	}
+	if rr.Context == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-rr.Context.Done():
+		return fmt.Errorf("engine: retry reader: %w", rr.Context.Err())
+	}
+}
+
+// jitter spreads a delay uniformly over [d/2, 3d/2).
+func (rr *RetryReader) jitter(d time.Duration) time.Duration {
+	random := rr.Rand
+	if random == nil {
+		random = rand.Float64
+	}
+	return d/2 + time.Duration(random()*float64(d))
 }

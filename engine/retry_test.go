@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"punctsafe/internal/faultinject"
+)
+
+// TestRetryReaderBackoffCapAndJitter pins the backoff schedule: the base
+// delay doubles per consecutive failure, stops doubling at MaxBackoff,
+// and every slept delay is the capped base jittered into [d/2, 3d/2).
+func TestRetryReaderBackoffCapAndJitter(t *testing.T) {
+	var slept []time.Duration
+	rr := &RetryReader{
+		Open:       func(int64) (io.Reader, error) { return nil, errors.New("down") },
+		MaxRetries: 6,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 400 * time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+		Rand:       func() float64 { return 0.5 },
+	}
+	if _, err := rr.Read(make([]byte, 8)); err == nil {
+		t.Fatal("dead transport must surface an error")
+	}
+	// Rand = 0.5 makes the jittered delay exactly the capped base.
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %d times, want %d: %v", len(slept), len(want), slept)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (schedule %v)", i, slept[i], want[i], slept)
+		}
+	}
+
+	// Edge jitter values stay inside the documented band.
+	for _, r := range []float64{0, 0.25, 0.999} {
+		slept = slept[:0]
+		rr := &RetryReader{
+			Open:       func(int64) (io.Reader, error) { return nil, errors.New("down") },
+			MaxRetries: 4,
+			Backoff:    80 * time.Millisecond,
+			MaxBackoff: 320 * time.Millisecond,
+			Sleep:      func(d time.Duration) { slept = append(slept, d) },
+			Rand:       func() float64 { return r },
+		}
+		rr.Read(make([]byte, 8))
+		base := 80 * time.Millisecond
+		for i, d := range slept {
+			lo, hi := base/2, base+base/2
+			if d < lo || d > hi {
+				t.Fatalf("rand %v sleep %d = %v outside [%v, %v]", r, i, d, lo, hi)
+			}
+			if base < 320*time.Millisecond {
+				base *= 2
+			}
+		}
+	}
+}
+
+// TestRetryReaderContextCancel: a canceled Context stops the reconnect
+// loop — both when cancellation lands mid-backoff and when Read is
+// entered after the fact.
+func TestRetryReaderContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	rr := &RetryReader{
+		Open: func(int64) (io.Reader, error) {
+			attempts++
+			return nil, errors.New("down")
+		},
+		MaxRetries: 100,
+		Context:    ctx,
+		Sleep: func(time.Duration) {
+			if attempts == 2 {
+				cancel()
+			}
+		},
+	}
+	_, err := rr.Read(make([]byte, 8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("transport probed %d times after cancel, want 2", attempts)
+	}
+
+	// Already-canceled context: Read refuses before touching the transport.
+	attempts = 0
+	if _, err := rr.Read(make([]byte, 8)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if attempts != 0 {
+		t.Fatalf("canceled reader still opened the transport %d times", attempts)
+	}
+}
+
+// TestRetryReaderStartOffset: a reader given a resume offset opens the
+// source there, counts delivered bytes from it, and reconnects at
+// absolute offsets after transient drops.
+func TestRetryReaderStartOffset(t *testing.T) {
+	data := []byte("0123456789abcdefghij")
+	var opened []int64
+	rr := &RetryReader{
+		Open: func(off int64) (io.Reader, error) {
+			opened = append(opened, off)
+			// A fresh connection that drops after 6 bytes.
+			return faultinject.NewFlakyReader(data[off:], 6), nil
+		},
+		StartOffset: 5,
+		Sleep:       func(time.Duration) {},
+	}
+	if got := rr.Offset(); got != 5 {
+		t.Fatalf("Offset before first read = %d, want 5", got)
+	}
+	var all bytes.Buffer
+	if _, err := io.Copy(&all, rr); err != nil {
+		t.Fatal(err)
+	}
+	if want := string(data[5:]); all.String() != want {
+		t.Fatalf("read %q, want %q", all.String(), want)
+	}
+	if got := rr.Offset(); got != int64(len(data)) {
+		t.Fatalf("final Offset = %d, want %d", got, len(data))
+	}
+	if len(opened) < 2 {
+		t.Fatalf("expected reconnects, got opens at %v", opened)
+	}
+	if opened[0] != 5 {
+		t.Fatalf("first open at %d, want StartOffset 5", opened[0])
+	}
+	for i := 1; i < len(opened); i++ {
+		if opened[i] <= opened[i-1] {
+			t.Fatalf("reconnect offsets not advancing: %v", opened)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
@@ -59,9 +60,22 @@ type Runtime struct {
 
 	// closeMu serializes Close against in-flight Send/Stats calls so a
 	// mailbox is never closed mid-send. Producers share the read side;
-	// Close takes the write side once.
+	// Close takes the write side once. Checkpoint also takes the write
+	// side: the quiescence barrier must not race new sends, and an offset
+	// committed under the read side is therefore atomic with the send it
+	// describes.
 	closeMu sync.RWMutex
 	closed  bool
+
+	// srcMu guards sources, the per-ingest-source committed resume
+	// offsets (see SendAt and Checkpoint).
+	srcMu   sync.Mutex
+	sources map[string]int64
+
+	// kill, once closed, makes every worker stop processing and drain
+	// its mailbox without effect — the crash model of the recovery tests.
+	kill     chan struct{}
+	killOnce sync.Once
 
 	errMu    sync.Mutex
 	firstErr error
@@ -77,6 +91,7 @@ type shard struct {
 	mb     chan shardMsg
 	done   chan struct{}
 	rt     *Runtime
+	idx    int  // position in rt.shards (checkpoint reply routing)
 	failed bool // worker-goroutine-local
 	// batch accumulates the current contiguous same-input run of mailbox
 	// elements; the worker pushes it through exec's batched path in one
@@ -87,14 +102,24 @@ type shard struct {
 }
 
 // shardMsg is one mailbox entry: a routed stream element (or, from
-// SendBatch, a run of elements of one stream), or (when stats is non-nil)
-// a snapshot request answered by the worker itself.
+// SendBatch, a run of elements of one stream), or a control request
+// answered by the worker itself — a stats snapshot (stats non-nil) or a
+// checkpoint barrier (ckpt non-nil).
 type shardMsg struct {
 	input  int
 	stream string
 	elem   stream.Element
 	elems  []stream.Element // batch payload; owned by the shard once sent
 	stats  chan<- []*exec.Stats
+	ckpt   chan<- shardCkpt
+}
+
+// shardCkpt is a worker's answer to a checkpoint barrier: its tree's
+// serialized state, taken after the in-flight batch was flushed.
+type shardCkpt struct {
+	idx   int
+	state []byte
+	err   error
 }
 
 // maxShardBatch caps how many elements a worker accumulates before
@@ -113,6 +138,8 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 		byName:   make(map[string]*shard, len(d.order)),
 		route:    make(map[string][]*shard),
 		failed:   make(chan struct{}),
+		kill:     make(chan struct{}),
+		sources:  make(map[string]int64),
 		failFast: opts.FailFast,
 		policy:   opts.OnError,
 		dlq:      newDeadLetterQueue(opts.OnError == Quarantine, opts.DeadLetterLimit),
@@ -123,6 +150,7 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 			mb:   make(chan shardMsg, buffer),
 			done: make(chan struct{}),
 			rt:   rt,
+			idx:  len(rt.shards),
 		}
 		rt.shards = append(rt.shards, s)
 		rt.byName[name] = s
@@ -146,7 +174,14 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 func (s *shard) run() {
 	defer close(s.done)
 	for {
-		msg, ok := <-s.mb
+		var msg shardMsg
+		var ok bool
+		select {
+		case msg, ok = <-s.mb:
+		case <-s.rt.kill:
+			s.discard()
+			return
+		}
 		if !ok {
 			break
 		}
@@ -165,6 +200,9 @@ func (s *shard) run() {
 					return
 				}
 				s.handle(next)
+			case <-s.rt.kill:
+				s.discard()
+				return
 			default:
 				break drain
 			}
@@ -175,6 +213,26 @@ func (s *shard) run() {
 	s.finish()
 }
 
+// discard is the post-Kill worker loop: the crash model stops all
+// processing dead (no batch flush, no lazy-purge finish), but the
+// mailbox keeps draining without effect so producers blocked on a full
+// mailbox and control-message waiters all unwind. It returns when the
+// mailbox closes.
+func (s *shard) discard() {
+	for {
+		msg, ok := <-s.mb
+		if !ok {
+			return
+		}
+		if msg.stats != nil {
+			msg.stats <- nil
+		}
+		if msg.ckpt != nil {
+			msg.ckpt <- shardCkpt{idx: s.idx, err: ErrKilled}
+		}
+	}
+}
+
 // handle processes one mailbox message: stats requests are answered after
 // flushing the pending run (so the snapshot reflects every element queued
 // before the request); elements extend the current run, which is flushed
@@ -183,6 +241,17 @@ func (s *shard) handle(msg shardMsg) {
 	if msg.stats != nil {
 		s.flushBatch()
 		msg.stats <- s.reg.Tree.StatsSnapshot()
+		return
+	}
+	if msg.ckpt != nil {
+		// Checkpoint barrier: everything queued before it has been handled
+		// (mailbox FIFO); flushing the in-flight run makes the tree state a
+		// consistent cut, which the worker itself serializes (the tree is
+		// goroutine-confined). Pending lazy purges are NOT forced: they are
+		// part of the state and travel in the snapshot, so the restored run
+		// purges on the same schedule as an uninterrupted one.
+		s.flushBatch()
+		msg.ckpt <- s.checkpointReply()
 		return
 	}
 	if s.failed {
@@ -228,6 +297,18 @@ func (s *shard) flushBatch() {
 	}
 	clearElements(s.batch)
 	s.batch = s.batch[:0]
+}
+
+// checkpointReply serializes the shard's tree for a checkpoint barrier.
+func (s *shard) checkpointReply() shardCkpt {
+	if s.failed {
+		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q has failed; state not checkpointable", s.reg.Name)}
+	}
+	var buf bytes.Buffer
+	if err := s.reg.Tree.WriteState(&buf); err != nil {
+		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q: serializing state: %w", s.reg.Name, err)}
+	}
+	return shardCkpt{idx: s.idx, state: buf.Bytes()}
 }
 
 // finish runs the end-of-input flush once the mailbox has fully drained.
@@ -303,8 +384,17 @@ func (rt *Runtime) Err() error {
 func (rt *Runtime) Send(streamName string, e stream.Element) error {
 	rt.closeMu.RLock()
 	defer rt.closeMu.RUnlock()
+	if err := rt.sendGuard("Send"); err != nil {
+		return err
+	}
+	return rt.sendLocked(streamName, e)
+}
+
+// sendGuard applies the closed/fail-fast preflight checks shared by every
+// producer entry point; the caller holds closeMu.RLock.
+func (rt *Runtime) sendGuard(op string) error {
 	if rt.closed {
-		return fmt.Errorf("engine: runtime: Send after Close")
+		return fmt.Errorf("engine: runtime: %s after Close", op)
 	}
 	if rt.failFast {
 		select {
@@ -313,7 +403,7 @@ func (rt *Runtime) Send(streamName string, e stream.Element) error {
 		default:
 		}
 	}
-	return rt.sendLocked(streamName, e)
+	return nil
 }
 
 // sendLocked is Send's routing body; the caller holds closeMu.RLock.
@@ -354,16 +444,15 @@ func (rt *Runtime) sendLocked(streamName string, e stream.Element) error {
 func (rt *Runtime) SendBatch(streamName string, elems []stream.Element) error {
 	rt.closeMu.RLock()
 	defer rt.closeMu.RUnlock()
-	if rt.closed {
-		return fmt.Errorf("engine: runtime: SendBatch after Close")
+	if err := rt.sendGuard("SendBatch"); err != nil {
+		return err
 	}
-	if rt.failFast {
-		select {
-		case <-rt.failed:
-			return rt.Err()
-		default:
-		}
-	}
+	return rt.sendBatchLocked(streamName, elems)
+}
+
+// sendBatchLocked is SendBatch's routing body; the caller holds
+// closeMu.RLock and has passed sendGuard.
+func (rt *Runtime) sendBatchLocked(streamName string, elems []stream.Element) error {
 	if len(elems) == 1 {
 		// A one-element run gains nothing from the batch copy.
 		return rt.sendLocked(streamName, elems[0])

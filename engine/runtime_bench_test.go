@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
 	"punctsafe/stream"
@@ -104,5 +106,64 @@ func BenchmarkIngest(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(feed)), "elements/op")
 		})
+	}
+}
+
+// BenchmarkCheckpoint measures the durability tax: serializing a live
+// sharded runtime with open join state through the mailbox barrier
+// (checkpoint), and rebuilding a runtime from that snapshot (restore).
+// The open items never receive their closing punctuations, so every
+// snapshot carries openItems*(bids+1) live rows per query plus the
+// punctuation stores.
+func BenchmarkCheckpoint(b *testing.B) {
+	const openItems = 512
+	const bids = 4
+	d, _ := newAuctionDSMS(b, 2)
+	rt := d.RunSharded(RuntimeOptions{Buffer: 256})
+	off := int64(0)
+	for i := 0; i < openItems; i++ {
+		for _, te := range auctionElems(int64(i), bids)[:bids+1] { // tuples only
+			off++
+			if err := rt.SendAt("bench", te.Stream, te.Elem, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var blob bytes.Buffer
+	if err := rt.Checkpoint(&blob); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run(fmt.Sprintf("checkpoint/rows=%d", openItems*(bids+1)), func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(blob.Len()))
+		for i := 0; i < b.N; i++ {
+			if err := rt.Checkpoint(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("restore/rows=%d", openItems*(bids+1)), func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(blob.Len()))
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d2, _ := newAuctionDSMS(b, 2)
+			b.StartTimer()
+			rt2, err := d2.RestoreRuntime(bytes.NewReader(blob.Bytes()), RuntimeOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			rt2.Close()
+			if err := rt2.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -212,6 +212,14 @@ func (wr *WireReader) Read() (TaggedElement, error) {
 	}
 }
 
+// Offset returns the absolute wire offset of the next unconsumed byte:
+// after a successful Read, the end of the frame just returned. Resumable
+// ingestion (IngestWireFrom) commits this as the source's resume
+// position.
+func (wr *WireReader) Offset() int64 {
+	return wr.base + int64(wr.pos)
+}
+
 func (wr *WireReader) fault(f WireFault) {
 	if wr.onFault != nil {
 		wr.onFault(f)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"punctsafe/stream"
 )
@@ -232,6 +233,56 @@ func unknownFrame() []byte {
 	out = append(out, name...)
 	out = binary.AppendUvarint(out, 1)
 	out = append(out, 0x00)
+	return out
+}
+
+// CrashPoints picks count distinct element boundaries in a feed of n
+// elements, seeded and sorted ascending — the indices at which a crash
+// harness checkpoints and then kills the runtime. Boundaries are drawn
+// from [1, n) so every crash has something before it and something after
+// it (crashing on an empty prefix or after the last element degenerates
+// to the plain round-trip test).
+func CrashPoints(n, count int, seed int64) []int {
+	if n <= 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	picked := make(map[int]bool, count)
+	for len(picked) < count && len(picked) < n-1 {
+		picked[1+rng.Intn(n-1)] = true
+	}
+	out := make([]int, 0, len(picked))
+	for k := range picked {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CorruptCopies returns count damaged variants of a snapshot blob,
+// seeded: truncations at random points (torn writes), single-byte
+// garbles, and random-garbage tails. A restore path must reject every
+// one with its typed corruption error and never panic.
+func CorruptCopies(blob []byte, count int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		switch rng.Intn(3) {
+		case 0: // torn write: a strict prefix
+			out = append(out, append([]byte(nil), blob[:rng.Intn(len(blob))]...))
+		case 1: // bit rot: one byte flipped
+			g := append([]byte(nil), blob...)
+			g[rng.Intn(len(g))] ^= byte(1 + rng.Intn(255))
+			out = append(out, g)
+		default: // overwrite tail with garbage
+			g := append([]byte(nil), blob...)
+			start := rng.Intn(len(g))
+			for j := start; j < len(g); j++ {
+				g[j] = byte(rng.Intn(256))
+			}
+			out = append(out, g)
+		}
+	}
 	return out
 }
 

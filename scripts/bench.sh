@@ -20,9 +20,10 @@ go test . -run xxx \
   -benchtime "$BENCHTIME" -benchmem | tee "$raw"
 
 # Engine ingestion benchmarks: sequential vs sharded vs batched-sharded
-# feeds, and steady-state wire frame decoding.
+# feeds, steady-state wire frame decoding, and the checkpoint/restore
+# durability tax over a live runtime.
 go test ./engine -run xxx \
-  -bench 'BenchmarkIngest|BenchmarkWireReaderRead' \
+  -bench 'BenchmarkIngest|BenchmarkWireReaderRead|BenchmarkCheckpoint' \
   -benchtime "$BENCHTIME" -benchmem | tee -a "$raw"
 
 go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt > "$OUT"

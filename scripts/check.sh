@@ -3,11 +3,25 @@
 # and race-test the concurrent packages. Run from the repository root.
 set -eux
 
+# gofmt is a failing gate: any unformatted file lists here and aborts.
+unformatted=$(gofmt -l .)
+[ -z "$unformatted" ] || { echo "gofmt needed: $unformatted" >&2; exit 1; }
+
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./engine/... ./exec/...
 go test -run Fuzz ./engine/...
+
+# Checkpoint round-trip smoke: run a sharded workload writing periodic
+# snapshots, then restore from the final snapshot and resume (a no-op
+# resume at end-of-feed still exercises open -> parse -> install -> run).
+ckpt=$(mktemp -u)
+go run ./cmd/punctrun -scenario auction -n 300 -parallel \
+  -checkpoint "$ckpt" -checkpoint-every 500 > /dev/null
+go run ./cmd/punctrun -scenario auction -n 300 -parallel \
+  -checkpoint "$ckpt" -restore | grep '^restore: resuming' > /dev/null
+rm -f "$ckpt"
 
 # Allocation floors for the hot path (testing.AllocsPerRun guards): the
 # steady-state probe must stay ~alloc-free and a chained-purge cycle
