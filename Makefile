@@ -16,10 +16,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent layers (sharded runtime, async input) must stay
-# race-clean; exec rides along because the shards drive it.
+# The whole module must stay race-clean: the partitioned worker pools
+# drive exec replicas concurrently, and everything else rides along.
 race:
-	$(GO) test -race ./engine/... ./exec/...
+	$(GO) test -race ./...
 
 # Run the wire-format fuzz targets over their checked-in seed corpus
 # (truncated frames, oversized lengths, unknown streams). `go test -fuzz`

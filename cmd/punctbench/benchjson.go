@@ -43,6 +43,24 @@ type benchReport struct {
 	Note       string        `json:"note"`
 	Env        []string      `json:"env,omitempty"`
 	Benchmarks []benchRecord `json:"benchmarks"`
+	// Trajectory accumulates one slim entry per recorded run (git SHA +
+	// timestamp + ns/allocs per benchmark), appended by each bench.sh
+	// invocation instead of overwriting history.
+	Trajectory []trajectoryEntry `json:"trajectory,omitempty"`
+}
+
+// trajectoryEntry is one historical run in a report's trajectory.
+type trajectoryEntry struct {
+	Sha        string            `json:"sha,omitempty"`
+	Time       string            `json:"time,omitempty"`
+	Benchmarks []trajectoryPoint `json:"benchmarks"`
+}
+
+// trajectoryPoint is one benchmark's headline numbers within a run.
+type trajectoryPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   12345   678 ns/op   9 B/op ...`.
@@ -107,8 +125,32 @@ func parseBenchFile(path string) ([]string, map[string]*benchMetrics, []string, 
 // round2 keeps the derived ratios readable in the checked-in JSON.
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
 
-// emitBenchJSON writes the baseline-vs-current trajectory to stdout.
-func emitBenchJSON(currentPath, baselinePath string) error {
+// loadTrajectory reads the trajectory array out of a previously written
+// report. A missing file or a pre-trajectory report (the old format had
+// no such key) yields an empty history rather than an error, so the first
+// appending run upgrades the file in place.
+func loadTrajectory(prevPath string) ([]trajectoryEntry, error) {
+	if prevPath == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(prevPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var prev benchReport
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parsing previous report %s: %w", prevPath, err)
+	}
+	return prev.Trajectory, nil
+}
+
+// emitBenchJSON writes the baseline-vs-current trajectory to stdout. When
+// prevPath is set, the previous report's run history is carried forward
+// and this run (stamped sha/timeStr) is appended to it.
+func emitBenchJSON(currentPath, baselinePath, prevPath, sha, timeStr string) error {
 	names, current, env, err := parseBenchFile(currentPath)
 	if err != nil {
 		return fmt.Errorf("parsing current results %s: %w", currentPath, err)
@@ -133,7 +175,8 @@ func emitBenchJSON(currentPath, baselinePath string) error {
 	rep := benchReport{
 		Note: "Hot-path benchmark trajectory: baseline is the recorded pre-optimization tree " +
 			"(scripts/bench_baseline.txt), current is the latest `make benchfull` run. " +
-			"speedup_ns and alloc_ratio are baseline divided by current; >1 means faster/leaner.",
+			"speedup_ns and alloc_ratio are baseline divided by current; >1 means faster/leaner. " +
+			"trajectory appends one entry per recorded run.",
 		Env: uniqEnv,
 	}
 	for _, name := range names {
@@ -148,6 +191,21 @@ func emitBenchJSON(currentPath, baselinePath string) error {
 			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+	if prevPath != "" {
+		history, err := loadTrajectory(prevPath)
+		if err != nil {
+			return err
+		}
+		entry := trajectoryEntry{Sha: sha, Time: timeStr}
+		for _, name := range names {
+			entry.Benchmarks = append(entry.Benchmarks, trajectoryPoint{
+				Name:        name,
+				NsPerOp:     current[name].NsPerOp,
+				AllocsPerOp: current[name].AllocsPerOp,
+			})
+		}
+		rep.Trajectory = append(history, entry)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -10,10 +10,17 @@
 //
 // It is also the JSON formatter behind scripts/bench.sh:
 //
-//	punctbench -bench-json current.txt -baseline scripts/bench_baseline.txt
+//	punctbench -bench-json current.txt -baseline scripts/bench_baseline.txt \
+//	    -prev BENCH_hotpath.json -sha abc1234 -time 2026-01-01T00:00:00Z
 //
 // parses raw `go test -bench -benchmem` output and prints the
-// baseline-vs-current trajectory consumed as BENCH_hotpath.json.
+// baseline-vs-current trajectory consumed as BENCH_hotpath.json, carrying
+// the previous report's run history forward and appending this run to it.
+//
+//	punctbench -partition-json partition.txt -sha abc1234 -time ...
+//
+// parses BenchmarkPartitionedIngest output and prints the partitioned
+// MJoin scaling report consumed as BENCH_partition.json.
 package main
 
 import (
@@ -30,10 +37,21 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	benchJSON := flag.String("bench-json", "", "parse a `go test -bench` output file and emit trajectory JSON")
 	baseline := flag.String("baseline", "", "recorded baseline bench output to pair with -bench-json")
+	prev := flag.String("prev", "", "previous BENCH_hotpath.json whose trajectory this run appends to")
+	sha := flag.String("sha", "", "git commit SHA to stamp on this run's trajectory entry")
+	timeStr := flag.String("time", "", "UTC timestamp to stamp on this run's trajectory entry")
+	partitionJSON := flag.String("partition-json", "", "parse BenchmarkPartitionedIngest output and emit scaling JSON")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := emitBenchJSON(*benchJSON, *baseline); err != nil {
+		if err := emitBenchJSON(*benchJSON, *baseline, *prev, *sha, *timeStr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *partitionJSON != "" {
+		if err := emitPartitionJSON(*partitionJSON, *sha, *timeStr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

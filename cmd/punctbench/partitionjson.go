@@ -1,0 +1,111 @@
+package main
+
+// The -partition-json mode turns raw BenchmarkPartitionedIngest output
+// into BENCH_partition.json: per-row throughput plus the derived scaling
+// ratios of the partitioned MJoin. The acceptance numbers read off the
+// critical-path rows (deterministic span measurement: router pass + one
+// replica, i.e. the parallel wall time on a host with >= P cores); the
+// engine rows record the live worker-pool runtime on this host alongside.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// partitionRow is one benchmark row's measurements.
+type partitionRow struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	ElementsPerOp float64 `json:"elements_per_op,omitempty"`
+	// ElementsPerSec is the derived ingest throughput.
+	ElementsPerSec float64 `json:"elements_per_sec,omitempty"`
+}
+
+// partitionScaling holds the throughput ratios of one row group.
+type partitionScaling struct {
+	// P1VsPlain compares the one-replica partition machinery against the
+	// unpartitioned tree (1.0 = identical; the acceptance bar is >= 0.95,
+	// i.e. within 5%).
+	P1VsPlain float64 `json:"p1_vs_plain,omitempty"`
+	// PNVsP1 maps "p4" to the p4-over-p1 throughput ratio, etc.
+	PNVsP1 map[string]float64 `json:"pN_vs_p1,omitempty"`
+}
+
+type partitionReport struct {
+	Note         string            `json:"note"`
+	Env          []string          `json:"env,omitempty"`
+	Sha          string            `json:"sha,omitempty"`
+	Time         string            `json:"time,omitempty"`
+	Rows         []partitionRow    `json:"rows"`
+	CriticalPath *partitionScaling `json:"critical_path,omitempty"`
+	EngineWall   *partitionScaling `json:"engine_wall,omitempty"`
+}
+
+// scalingFor derives the ratio set of one row group ("critical-path" or
+// "engine") from the parsed metrics; nil when the group's p1 row is absent.
+func scalingFor(metrics map[string]*benchMetrics, group string) *partitionScaling {
+	row := func(suffix string) *benchMetrics {
+		return metrics["PartitionedIngest/"+group+"/"+suffix]
+	}
+	p1 := row("p1")
+	if p1 == nil || p1.NsPerOp <= 0 {
+		return nil
+	}
+	sc := &partitionScaling{}
+	if plain := row("plain"); plain != nil && plain.NsPerOp > 0 {
+		// Throughput ratio: plain time over p1 time.
+		sc.P1VsPlain = round2(plain.NsPerOp / p1.NsPerOp)
+	}
+	for _, p := range []string{"p2", "p4", "p8"} {
+		if r := row(p); r != nil && r.NsPerOp > 0 {
+			if sc.PNVsP1 == nil {
+				sc.PNVsP1 = make(map[string]float64)
+			}
+			sc.PNVsP1[p] = round2(p1.NsPerOp / r.NsPerOp)
+		}
+	}
+	return sc
+}
+
+// emitPartitionJSON writes the partitioned-ingest scaling report to stdout.
+func emitPartitionJSON(currentPath, sha, timeStr string) error {
+	names, metrics, env, err := parseBenchFile(currentPath)
+	if err != nil {
+		return fmt.Errorf("parsing partition results %s: %w", currentPath, err)
+	}
+	rep := partitionReport{
+		Note: "Partitioned MJoin ingest scaling (BenchmarkPartitionedIngest). critical-path rows " +
+			"time the serial router pass plus one hash-symmetric replica — the parallel wall time " +
+			"on a host with >= P cores, measured deterministically regardless of this host's core " +
+			"count; engine rows are live worker-pool wall time on this host. Ratios are throughput " +
+			"(inverse time): pN_vs_p1 > 1 is faster than one partition, p1_vs_plain ~ 1 means the " +
+			"machinery costs nothing at P=1.",
+		Env:  env,
+		Sha:  sha,
+		Time: timeStr,
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "PartitionedIngest/") {
+			continue
+		}
+		m := metrics[name]
+		row := partitionRow{Name: name, NsPerOp: m.NsPerOp}
+		if m.Extra != nil {
+			row.ElementsPerOp = m.Extra["elements/op"]
+		}
+		if row.ElementsPerOp > 0 && m.NsPerOp > 0 {
+			row.ElementsPerSec = round2(row.ElementsPerOp / (m.NsPerOp / 1e9))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("no PartitionedIngest rows in %s", currentPath)
+	}
+	rep.CriticalPath = scalingFor(metrics, "critical-path")
+	rep.EngineWall = scalingFor(metrics, "engine")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

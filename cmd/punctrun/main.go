@@ -54,6 +54,7 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file; written atomically every -checkpoint-every elements and at end of feed (needs -parallel)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint every N elements (0 = only at end of feed; needs -checkpoint)")
 		restore    = flag.Bool("restore", false, "restore runtime state from -checkpoint and resume the feed at the recorded offset")
+		partitions = flag.Int("partitions", 1, "hash-partitioned join replicas per query (1 = single tree; needs a co-partitionable query for >1)")
 		chaosLate  = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
@@ -76,6 +77,16 @@ func main() {
 	if (*restore || *ckptEvery > 0) && *ckptPath == "" {
 		fmt.Fprintln(os.Stderr, "punctrun: -restore and -checkpoint-every need -checkpoint <path>")
 		os.Exit(2)
+	}
+	if *partitions < 1 {
+		fmt.Fprintf(os.Stderr, "punctrun: -partitions %d: need at least 1\n", *partitions)
+		os.Exit(2)
+	}
+	// -partitions 1 is the standard single-tree path (engine Partitions: 0);
+	// only >1 engages the hash-partitioned replicas.
+	enginePartitions := 0
+	if *partitions > 1 {
+		enginePartitions = *partitions
 	}
 
 	q, schemes, inputs, err := buildScenario(*scenario, *size, *k, !*noPunct, *zipf, *specFile, *sqlFile)
@@ -107,15 +118,23 @@ func main() {
 		PunctLifespan:     *lifespan,
 		PurgePunctuations: *purgePunct,
 		EnforcePromises:   *enforce,
+		Partitions:        enginePartitions,
 		OnResult:          func(stream.Tuple) { results++ },
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *partitions > 1 && reg.Partitions() == 0 {
+		fmt.Fprintf(os.Stderr, "punctrun: warning: -partitions %d unavailable, running single-tree: %s\n",
+			*partitions, reg.PartitionReason)
+	}
 	fmt.Printf("query:   %s\n", q)
 	fmt.Printf("schemes: %s\n", schemes)
 	fmt.Printf("plan:    %s\n", reg.Plan.Render(q))
+	if p := reg.Partitions(); p > 0 {
+		fmt.Printf("parts:   %d hash-partitioned replicas\n", p)
+	}
 	st := workload.Summarize(inputs)
 	fmt.Printf("feed:    %d tuples, %d punctuations\n", st.Tuples, st.Puncts)
 	if injectedLate > 0 {
@@ -233,11 +252,11 @@ func main() {
 				os.Exit(1)
 			}
 			if timeline != nil {
-				timeline.Observe(reg.Tree, results)
+				timeline.ObserveTotals(reg.TotalState(), reg.TotalPunctStore(), results)
 			}
 			if *interval > 0 && (i+1)%*interval == 0 {
 				fmt.Printf("%12d %12d %12d %12d\n",
-					i+1, reg.Tree.TotalState(), reg.Tree.TotalPunctStore(), results)
+					i+1, reg.TotalState(), reg.TotalPunctStore(), results)
 			}
 		}
 		if err := d.Flush(); err != nil {
@@ -267,11 +286,11 @@ func main() {
 	fmt.Printf("results:            %d\n", results)
 	fmt.Printf("elapsed:            %v (%.0f elements/s)\n",
 		elapsed.Round(time.Millisecond), float64(len(inputs))/elapsed.Seconds())
-	fmt.Printf("final state:        %d tuples\n", reg.Tree.TotalState())
-	fmt.Printf("max state:          %d tuples\n", reg.Tree.MaxState())
-	fmt.Printf("final punct store:  %d\n", reg.Tree.TotalPunctStore())
-	for i, op := range reg.Tree.Operators() {
-		fmt.Printf("operator %d:         %s\n", i, op.StatsSnapshot())
+	fmt.Printf("final state:        %d tuples\n", reg.TotalState())
+	fmt.Printf("max state:          %d tuples\n", reg.MaxState())
+	fmt.Printf("final punct store:  %d\n", reg.TotalPunctStore())
+	for i, st := range reg.StatsSnapshot() {
+		fmt.Printf("operator %d:         %s\n", i, st)
 	}
 	if deadLetters != nil && policy != engine.Fail {
 		fmt.Printf("dead letters:       %d absorbed (%d retained, %d evicted)\n",

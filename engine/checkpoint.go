@@ -149,7 +149,7 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 		}
 		for i, s := range rt.shards {
 			var buf bytes.Buffer
-			if err := s.reg.Tree.WriteState(&buf); err != nil {
+			if err := s.reg.writeState(&buf); err != nil {
 				return fmt.Errorf("engine: checkpoint: query %q: %w", s.reg.Name, err)
 			}
 			states[i] = buf.Bytes()
@@ -273,9 +273,14 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 		return nil, fmt.Errorf("%w: checkpoint holds %d queries, register has %d",
 			ErrCorruptCheckpoint, len(snap.shards), len(d.order))
 	}
+	// A staged state is either a Tree snapshot or a PartitionedTree
+	// snapshot, matching the executor the query registered with — a
+	// checkpoint taken at one partition count only restores into the same
+	// count (the formats differ, so a mismatch parses as corrupt).
 	type stagedState struct {
 		reg   *Registered
 		state *exec.TreeState
+		part  *exec.PartitionedTreeState
 	}
 	staged := make([]stagedState, 0, len(snap.shards))
 	seen := make(map[string]bool, len(snap.shards))
@@ -288,15 +293,27 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 			return nil, fmt.Errorf("%w: duplicate query %q", ErrCorruptCheckpoint, sh.name)
 		}
 		seen[sh.name] = true
-		ts, err := reg.Tree.DecodeState(bytes.NewReader(sh.state))
+		st := stagedState{reg: reg}
+		var err error
+		if reg.Part != nil {
+			st.part, err = reg.Part.DecodeState(bytes.NewReader(sh.state))
+		} else {
+			st.state, err = reg.Tree.DecodeState(bytes.NewReader(sh.state))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: query %q: %v", ErrCorruptCheckpoint, sh.name, err)
 		}
-		staged = append(staged, stagedState{reg: reg, state: ts})
+		staged = append(staged, st)
 	}
 	// Commit point: everything parsed and validated; install cannot fail.
 	for _, st := range staged {
-		if err := st.reg.Tree.InstallState(st.state); err != nil {
+		var err error
+		if st.part != nil {
+			err = st.reg.Part.InstallState(st.part)
+		} else {
+			err = st.reg.Tree.InstallState(st.state)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
 		}
 	}

@@ -260,6 +260,21 @@ func TestCrashRecoveryEquivalenceAcrossConfigs(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryEquivalencePartitioned: the crash matrix with
+// partitioned execution enabled — the PSCKPT01 snapshot's per-partition
+// section (replica states plus the output-punctuation alignment gate)
+// must restore a partitioned shard to observational equivalence, and a
+// partitioned restore must also match the partitioned reference exactly.
+func TestCrashRecoveryEquivalencePartitioned(t *testing.T) {
+	feed := equivChaosFeed()
+	opts := engine.Options{Partitions: 3}
+	want := referenceRun(t, engine.Quarantine, opts, feed, "q0")
+	for _, k := range faultinject.CrashPoints(len(feed), 3, 55) {
+		got := crashRun(t, engine.Quarantine, opts, feed, k, "q0")
+		compareObservations(t, fmt.Sprintf("partitioned crash at %d", k), got, want)
+	}
+}
+
 // TestCrashRecoveryEquivalenceMultiQuery: one snapshot captures all
 // shards consistently — every query's stream recovers exactly.
 func TestCrashRecoveryEquivalenceMultiQuery(t *testing.T) {

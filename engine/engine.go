@@ -7,7 +7,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -69,6 +71,16 @@ type Options struct {
 	// operator propagates (e.g. to drive a downstream blocking operator
 	// such as a group-by).
 	OnPunct func(stream.Punctuation)
+	// Partitions, when >= 1, asks for intra-query parallel execution: the
+	// plan runs as that many hash-partitioned replicas (tuples routed by
+	// the query's co-partitioning attribute, punctuations broadcast), and
+	// RunSharded gives the query's shard a worker pool. 0 (the default)
+	// keeps the single-tree path. Partitions=1 runs the partition
+	// machinery with one replica — useful for measuring its overhead. A
+	// query with no attribute equated across all its streams cannot be
+	// partitioned; it falls back to the single-tree path with the reason
+	// recorded in Registered.PartitionReason.
+	Partitions int
 }
 
 // Registered is one admitted continuous join query.
@@ -77,7 +89,15 @@ type Registered struct {
 	Query  *query.CJQ
 	Report *safety.Report
 	Plan   *plan.Node
-	Tree   *exec.Tree
+	// Exactly one of Tree and Part is non-nil: Tree is the single-threaded
+	// operator tree, Part the hash-partitioned replica set used when
+	// Options.Partitions >= 1 and the query is co-partitionable.
+	Tree *exec.Tree
+	Part *exec.PartitionedTree
+	// PartitionReason explains why a Partitions request fell back to the
+	// single-tree path ("" when partitioning was not requested or is
+	// active).
+	PartitionReason string
 	// Results buffers emitted result tuples when no OnResult callback is
 	// installed.
 	Results []stream.Tuple
@@ -123,7 +143,7 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 			return nil, fmt.Errorf("engine: forced plan %s for query %q is unsafe (Definition 2)", p.Render(q), name)
 		}
 	}
-	tree, err := exec.NewTree(exec.Config{
+	cfg := exec.Config{
 		Query:             q,
 		Schemes:           d.schemes,
 		PurgeBatch:        opts.PurgeBatch,
@@ -133,21 +153,40 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 		SoftStateLimit:    opts.SoftStateLimit,
 		OnPressure:        opts.OnPressure,
 		EnforcePromises:   opts.EnforcePromises,
-	}, p)
-	if err != nil {
-		return nil, err
 	}
 	r := &Registered{
 		Name:        name,
 		Query:       q,
 		Report:      rep,
 		Plan:        p,
-		Tree:        tree,
 		onResult:    opts.OnResult,
 		onPunct:     opts.OnPunct,
 		streamInput: make(map[string]int, q.N()),
 	}
-	r.Output = tree.OutputSchema()
+	if opts.Partitions < 0 {
+		return nil, fmt.Errorf("engine: query %q: negative partition count %d", name, opts.Partitions)
+	}
+	if opts.Partitions >= 1 {
+		part, err := exec.NewPartitionedTree(cfg, p, opts.Partitions)
+		switch {
+		case err == nil:
+			r.Part = part
+		case errors.Is(err, plan.ErrNotCoPartitionable):
+			// Fall back to the single-tree path — loudly, not silently: the
+			// reason lands on the handle for callers (punctrun warns on it).
+			r.PartitionReason = err.Error()
+		default:
+			return nil, err
+		}
+	}
+	if r.Part == nil {
+		tree, err := exec.NewTree(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		r.Tree = tree
+	}
+	r.Output = r.OutputSchema()
 	for i := 0; i < q.N(); i++ {
 		r.streamInput[q.Stream(i).Name()] = i
 	}
@@ -206,12 +245,18 @@ func (r *Registered) accepts(input int, e stream.Element) bool {
 	return r.filter == nil || e.IsPunct() || r.filter(input, e.Tuple())
 }
 
-// push feeds one routed element into the query's tree and delivers the
-// outputs. It is the single-query step shared by the sequential Push path
-// and the sharded runtime's workers; everything it touches (tree state,
-// stats, result buffer) belongs to exactly one goroutine at a time.
+// push feeds one routed element into the query's executor and delivers
+// the outputs. It is the single-query step shared by the sequential Push
+// path and the sharded runtime's workers; everything it touches (tree
+// state, stats, result buffer) belongs to exactly one goroutine at a time.
 func (r *Registered) push(input int, e stream.Element) error {
-	outs, err := r.Tree.Push(input, e)
+	var outs []stream.Element
+	var err error
+	if r.Part != nil {
+		outs, err = r.Part.Push(input, e)
+	} else {
+		outs, err = r.Tree.Push(input, e)
+	}
 	if err != nil {
 		return err
 	}
@@ -219,15 +264,97 @@ func (r *Registered) push(input int, e stream.Element) error {
 	return nil
 }
 
-// pushBatch feeds a run of routed elements into the query's tree via
+// pushBatch feeds a run of routed elements into the query's executor via
 // exec's batched path and delivers the outputs, exactly as if push were
 // called per element. On error it returns the offender's index, with the
 // preceding elements' outputs already delivered, so the caller can
 // classify the offender and resume with the rest of the run.
 func (r *Registered) pushBatch(input int, elems []stream.Element) (int, error) {
-	outs, n, err := r.Tree.PushBatch(input, elems)
+	var outs []stream.Element
+	var n int
+	var err error
+	if r.Part != nil {
+		outs, n, err = r.Part.PushBatch(input, elems)
+	} else {
+		outs, n, err = r.Tree.PushBatch(input, elems)
+	}
 	r.deliver(outs)
 	return n, err
+}
+
+// sweepExec dispatches Sweep to the active executor.
+func (r *Registered) sweepExec() (int, []stream.Element, error) {
+	if r.Part != nil {
+		return r.Part.Sweep()
+	}
+	return r.Tree.Sweep()
+}
+
+// flushExec dispatches Flush to the active executor.
+func (r *Registered) flushExec() ([]stream.Element, error) {
+	if r.Part != nil {
+		return r.Part.Flush()
+	}
+	return r.Tree.Flush()
+}
+
+// StatsSnapshot returns per-operator stats from the active executor; for
+// a partitioned query it returns per-operator sums across the replicas.
+func (r *Registered) StatsSnapshot() []*exec.Stats {
+	if r.Part != nil {
+		return r.Part.StatsSnapshot()
+	}
+	return r.Tree.StatsSnapshot()
+}
+
+// writeState dispatches state serialization to the active executor.
+func (r *Registered) writeState(w io.Writer) error {
+	if r.Part != nil {
+		return r.Part.WriteState(w)
+	}
+	return r.Tree.WriteState(w)
+}
+
+// Partitions returns the active partition count: 0 when the query runs on
+// the single-tree path.
+func (r *Registered) Partitions() int {
+	if r.Part != nil {
+		return r.Part.Partitions()
+	}
+	return 0
+}
+
+// TotalState sums the query's stored tuples across operators (and
+// replicas, when partitioned).
+func (r *Registered) TotalState() int {
+	if r.Part != nil {
+		return r.Part.TotalState()
+	}
+	return r.Tree.TotalState()
+}
+
+// TotalPunctStore sums the query's stored punctuations.
+func (r *Registered) TotalPunctStore() int {
+	if r.Part != nil {
+		return r.Part.TotalPunctStore()
+	}
+	return r.Tree.TotalPunctStore()
+}
+
+// MaxState sums the query's state high-water marks.
+func (r *Registered) MaxState() int {
+	if r.Part != nil {
+		return r.Part.MaxState()
+	}
+	return r.Tree.MaxState()
+}
+
+// OutputSchema is the plan's root output schema.
+func (r *Registered) OutputSchema() *stream.Schema {
+	if r.Part != nil {
+		return r.Part.OutputSchema()
+	}
+	return r.Tree.OutputSchema()
 }
 
 // Sweep runs the §5.1 background clean-up over every registered query
@@ -236,7 +363,7 @@ func (d *DSMS) Sweep() (int, error) {
 	total := 0
 	for _, name := range d.order {
 		r := d.queries[name]
-		removed, outs, err := r.Tree.Sweep()
+		removed, outs, err := r.sweepExec()
 		if err != nil {
 			return total, err
 		}
@@ -250,7 +377,7 @@ func (d *DSMS) Sweep() (int, error) {
 func (d *DSMS) Flush() error {
 	for _, name := range d.order {
 		r := d.queries[name]
-		outs, err := r.Tree.Flush()
+		outs, err := r.flushExec()
 		if err != nil {
 			return err
 		}
@@ -287,7 +414,12 @@ func (d *DSMS) Describe(name string) (string, error) {
 	fmt.Fprintf(&b, "plan: %s\n", r.Plan.Render(r.Query))
 	fmt.Fprintf(&b, "output: %s\n", r.Output)
 	b.WriteString(r.Report.Explain(r.Query))
-	for i, st := range r.Tree.StatsSnapshot() {
+	if r.Part != nil {
+		fmt.Fprintf(&b, "partitions: %d (routing on %s)\n", r.Part.Partitions(), r.Part.Routing())
+	} else if r.PartitionReason != "" {
+		fmt.Fprintf(&b, "partitions: fell back to single-tree execution: %s\n", r.PartitionReason)
+	}
+	for i, st := range r.StatsSnapshot() {
 		fmt.Fprintf(&b, "operator %d: %s\n", i, st)
 	}
 	return b.String(), nil
@@ -297,7 +429,7 @@ func (d *DSMS) Describe(name string) (string, error) {
 func (d *DSMS) TotalState() int {
 	total := 0
 	for _, r := range d.queries {
-		total += r.Tree.TotalState()
+		total += r.TotalState()
 	}
 	return total
 }

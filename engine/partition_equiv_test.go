@@ -1,0 +1,186 @@
+package engine_test
+
+// Partitioned-execution equivalence property suite: running a query as P
+// hash-partitioned replicas behind punctuation broadcast barriers must be
+// observationally identical to the single-tree path — element-for-element
+// identical result tuples, punctuations, errors and dead-letter
+// accounting — across every error policy and every seeded
+// internal/faultinject workload. Partitioning is a performance lever,
+// never a semantic one (ISSUE 5 satellite 4).
+
+import (
+	"fmt"
+	"testing"
+
+	"punctsafe/engine"
+	"punctsafe/internal/faultinject"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// runPartitioned mirrors runRuntime's batched pass with Options.Partitions
+// set: same single auction query, same promise enforcement, same
+// contiguous same-stream SendBatch grouping, so any divergence is the
+// partitioned router's fault alone.
+func runPartitioned(t *testing.T, policy engine.ErrorPolicy, feed []faultinject.Item, partitions int) runOutcome {
+	t.Helper()
+	d := engine.New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	var out runOutcome
+	reg, err := d.Register("q0", workload.AuctionQuery(), engine.Options{
+		EnforcePromises: true,
+		Partitions:      partitions,
+		OnPunct: func(p stream.Punctuation) {
+			out.puncts = append(out.puncts, p.String())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Partitions(); got != partitions {
+		t.Fatalf("query registered with %d partitions, want %d (fallback reason: %q)", got, partitions, reg.PartitionReason)
+	}
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	for start := 0; start < len(feed); {
+		end := start + 1
+		for end < len(feed) && feed[end].Stream == feed[start].Stream {
+			end++
+		}
+		elems := make([]stream.Element, 0, end-start)
+		for _, it := range feed[start:end] {
+			elems = append(elems, it.Elem)
+		}
+		if err := rt.SendBatch(feed[start].Stream, elems); err != nil {
+			t.Fatalf("SendBatch: %v", err)
+		}
+		start = end
+	}
+	rt.Close()
+	out.err = rt.Wait()
+	for _, r := range reg.Results {
+		out.results = append(out.results, r.String())
+	}
+	out.dl = rt.DeadLetters()
+	return out
+}
+
+// TestPartitionedEquivalence: for every (workload × policy × P) cell the
+// partitioned pass must be observationally identical to the single-tree
+// batched pass.
+func TestPartitionedEquivalence(t *testing.T) {
+	policies := map[string]engine.ErrorPolicy{
+		"fail":       engine.Fail,
+		"drop":       engine.Drop,
+		"quarantine": engine.Quarantine,
+	}
+	for wname, feed := range batchWorkloads(t) {
+		for pname, policy := range policies {
+			want := runRuntime(t, policy, feed, true)
+			if wname == "clean" && len(want.results) == 0 {
+				t.Fatal("clean workload produced no results; the equivalence check is vacuous")
+			}
+			for _, p := range []int{1, 2, 3, 4} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", wname, pname, p), func(t *testing.T) {
+					got := runPartitioned(t, policy, feed, p)
+					requireSameOutcome(t, want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionedStatsAggregation pins the documented aggregate-stats
+// contract on a clean run: tuple counters and final tuple state sizes sum
+// to the single-tree values exactly, while the punctuation-side counters
+// (PunctsIn, PunctsPurged, PunctStoreSize, OutPuncts) count every
+// broadcast copy — exactly P× the single-tree values.
+func TestPartitionedStatsAggregation(t *testing.T) {
+	feed := chaosBaseFeed()
+	const p = 3
+
+	run := func(partitions int) []string {
+		d := engine.New()
+		for _, s := range workload.AuctionSchemes().All() {
+			d.RegisterScheme(s)
+		}
+		reg, err := d.Register("q0", workload.AuctionQuery(), engine.Options{
+			EnforcePromises: true,
+			Partitions:      partitions,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := d.RunSharded(engine.RuntimeOptions{OnError: engine.Quarantine})
+		for _, it := range feed {
+			if err := rt.Send(it.Stream, it.Elem); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt.Close()
+		if err := rt.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := rt.Stats("q0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = reg
+		by := uint64(partitions)
+		if by == 0 {
+			by = 1
+		}
+		lines := make([]string, 0, len(stats)*8)
+		for _, st := range stats {
+			lines = append(lines,
+				fmt.Sprintf("tuplesIn=%v", st.TuplesIn),
+				fmt.Sprintf("tuplesPurged=%v", st.TuplesPurged),
+				fmt.Sprintf("stateSize=%v", st.StateSize),
+				fmt.Sprintf("punctsPurgedPerReplica=%v", dividedSlice(t, st.PunctsPurged, by)),
+				fmt.Sprintf("punctStorePerReplica=%v", dividedIntSlice(t, st.PunctStoreSize, by)),
+				fmt.Sprintf("results=%d", st.Results),
+				fmt.Sprintf("outPunctsPerReplica=%d", divided(t, st.OutPuncts, by)),
+				fmt.Sprintf("punctsInPerReplica=%v", dividedSlice(t, st.PunctsIn, by)),
+			)
+		}
+		return lines
+	}
+
+	plain := run(0)
+	part := run(p)
+	if len(plain) != len(part) {
+		t.Fatalf("stats shape diverges: %d lines vs %d", len(plain), len(part))
+	}
+	for i := range plain {
+		if plain[i] != part[i] {
+			t.Fatalf("aggregate stat %d diverges:\n  partitioned: %s\n  single-tree: %s", i, part[i], plain[i])
+		}
+	}
+}
+
+func divided(t *testing.T, v, by uint64) uint64 {
+	t.Helper()
+	if v%by != 0 {
+		t.Fatalf("counter %d is not an exact multiple of partition count %d", v, by)
+	}
+	return v / by
+}
+
+func dividedSlice(t *testing.T, vs []uint64, by uint64) []uint64 {
+	t.Helper()
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = divided(t, v, by)
+	}
+	return out
+}
+
+func dividedIntSlice(t *testing.T, vs []int, by uint64) []uint64 {
+	t.Helper()
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = divided(t, uint64(v), by)
+	}
+	return out
+}

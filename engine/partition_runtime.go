@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"punctsafe/stream"
+)
+
+// The partitioned shard: when a query registers with Options.Partitions,
+// its shard goroutine becomes a router over P partition workers, each
+// owning one replica of the query's plan tree (exec.PartitionedTree).
+// Tuple runs scatter across workers by the co-partitioning hash;
+// punctuations broadcast to every worker. Each scatter/broadcast is a
+// sequence-numbered barrier — the router gathers every reply before
+// touching the replicas or issuing the next round — so replicas only ever
+// have one driver, purge rounds stay aligned with the input order, and
+// the merge below reassembles outputs in exact input-sequence order.
+//
+// The mailbox protocol, batching, error policies and checkpoint barriers
+// are unchanged: the router is the same shard goroutine, and control
+// messages (stats, checkpoint) run between barriers while the workers are
+// idle.
+
+// partJob is one scatter or broadcast hand-off to a partition worker.
+type partJob struct {
+	seq   uint64
+	input int
+	elems []stream.Element
+}
+
+// partResult is a worker's reply: its replica's outputs for the job with
+// per-element boundaries, recoverable offenders (under Drop/Quarantine),
+// or a fatal error with the local element index it struck at.
+type partResult struct {
+	seq     uint64
+	part    int
+	outs    []stream.Element
+	ends    []int // ends[i] = len(outs) after local element i (offenders included, contributing nothing)
+	offIdx  []int // local indexes of recoverable offenders, ascending
+	offErr  []error
+	fatal   error
+	fatalAt int // local index processing stopped at when fatal != nil
+}
+
+func (r *partResult) reset(part int, seq uint64) {
+	clearElements(r.outs)
+	r.part, r.seq = part, seq
+	r.outs, r.ends = r.outs[:0], r.ends[:0]
+	r.offIdx, r.offErr = r.offIdx[:0], r.offErr[:0]
+	r.fatal, r.fatalAt = nil, 0
+}
+
+// partRunner is the worker pool of one partitioned shard. All fields are
+// owned by the shard goroutine except the channels; worker replies
+// synchronize replica memory back to the router (channel happens-before).
+type partRunner struct {
+	s    *shard
+	p    int
+	jobs []chan partJob
+	res  chan *partResult
+	wg   sync.WaitGroup
+	seq  uint64
+
+	// Router scratch, reused across runs.
+	slots   []*partResult      // gather slots, indexed by partition
+	chunks  [][]stream.Element // per-partition scatter buffers
+	script  []int32            // per-element partition id of the current tuple run
+	lastEnd []int              // per-partition output cursor during merge
+	cursor  []int              // per-partition local element cursor during merge
+	offCur  []int              // per-partition offender cursor during merge
+	merged  []stream.Element
+	bcast   [1]stream.Element
+}
+
+func newPartRunner(s *shard) *partRunner {
+	p := s.reg.Part.Partitions()
+	pr := &partRunner{
+		s:       s,
+		p:       p,
+		jobs:    make([]chan partJob, p),
+		res:     make(chan *partResult, p),
+		slots:   make([]*partResult, p),
+		chunks:  make([][]stream.Element, p),
+		lastEnd: make([]int, p),
+		cursor:  make([]int, p),
+		offCur:  make([]int, p),
+	}
+	pr.wg.Add(p)
+	for i := 0; i < p; i++ {
+		pr.jobs[i] = make(chan partJob)
+		go pr.worker(i, pr.jobs[i])
+	}
+	return pr
+}
+
+// stop releases the workers; the router guarantees no job is in flight
+// (every scatter/broadcast gathers before returning).
+func (pr *partRunner) stop() {
+	for _, ch := range pr.jobs {
+		close(ch)
+	}
+	pr.wg.Wait()
+}
+
+// worker owns replica `part`: it processes one job at a time and replies
+// on the shared gather channel. Its result buffers are reused across jobs;
+// the barrier protocol guarantees the router is done with them before the
+// next job arrives.
+func (pr *partRunner) worker(part int, jobs <-chan partJob) {
+	defer pr.wg.Done()
+	res := &partResult{}
+	for job := range jobs {
+		res.reset(part, job.seq)
+		pr.process(part, job, res)
+		pr.res <- res
+	}
+}
+
+// process pushes a job's elements through the worker's replica, applying
+// the element-level error policy locally: recoverable offenders are
+// recorded and skipped (the router dead-letters them in global input
+// order), anything else stops the job at fatalAt.
+func (pr *partRunner) process(part int, job partJob, res *partResult) {
+	elems := job.elems
+	base := 0
+	for base < len(elems) {
+		n, err := pr.pushContained(part, job.input, res, elems[base:])
+		if err == nil {
+			return
+		}
+		at := base + n
+		if pr.s.rt.policy != Fail && recoverableError(err) {
+			res.offIdx = append(res.offIdx, at)
+			res.offErr = append(res.offErr, err)
+			res.ends = append(res.ends, len(res.outs)) // offenders emit nothing
+			base = at + 1
+			continue
+		}
+		res.fatal, res.fatalAt = err, at
+		return
+	}
+}
+
+// pushContained drives the replica with panic containment (one recover
+// frame per job segment, as the sequential path does per batch). On panic
+// the result's buffers are rewound to the segment start: a panic fails
+// the whole shard, so partial outputs are irrelevant, but the boundaries
+// must stay consistent for the merge walk.
+func (pr *partRunner) pushContained(part, input int, res *partResult, elems []stream.Element) (n int, err error) {
+	outsMark, endsMark := len(res.outs), len(res.ends)
+	defer func() {
+		if r := recover(); r != nil {
+			res.outs, res.ends = res.outs[:outsMark], res.ends[:endsMark]
+			n, err = 0, newPanicError(r)
+		}
+	}()
+	var processed int
+	res.outs, res.ends, processed, err = pr.s.reg.Part.PushPartitionEnds(part, input, res.outs, res.ends, elems)
+	return processed, err
+}
+
+// flushRun is the partitioned flushBatch: it walks the shard's
+// accumulated same-input run, scattering contiguous tuple stretches and
+// broadcasting each punctuation as its own barrier, preserving the run's
+// element order end to end.
+func (pr *partRunner) flushRun() {
+	s := pr.s
+	elems := s.batch
+	i := 0
+	for i < len(elems) && !s.failed {
+		if elems[i].IsPunct() {
+			pr.broadcast(s.batchInput, s.batchStream, elems[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(elems) && !elems[j].IsPunct() {
+			j++
+		}
+		pr.scatter(s.batchInput, s.batchStream, elems[i:j])
+		i = j
+	}
+	clearElements(s.batch)
+	s.batch = s.batch[:0]
+}
+
+// scatter routes one tuple run across the workers, gathers every reply,
+// and merges the outputs back into input-sequence order.
+func (pr *partRunner) scatter(input int, streamName string, elems []stream.Element) {
+	part0 := pr.s.reg.Part
+	pr.script = pr.script[:0]
+	for p := 0; p < pr.p; p++ {
+		pr.chunks[p] = pr.chunks[p][:0]
+	}
+	for _, e := range elems {
+		p := part0.PartitionOf(input, e.Tuple())
+		pr.script = append(pr.script, int32(p))
+		pr.chunks[p] = append(pr.chunks[p], e)
+	}
+	pr.seq++
+	sent := 0
+	for p := 0; p < pr.p; p++ {
+		pr.slots[p] = nil
+		if len(pr.chunks[p]) > 0 {
+			pr.jobs[p] <- partJob{seq: pr.seq, input: input, elems: pr.chunks[p]}
+			sent++
+		}
+	}
+	if !pr.gather(sent) {
+		return
+	}
+	pr.merge(streamName, elems)
+	for p := 0; p < pr.p; p++ {
+		clearElements(pr.chunks[p])
+		pr.chunks[p] = pr.chunks[p][:0]
+	}
+}
+
+// broadcast sends one punctuation to every worker behind one barrier and
+// merges the replies in partition order through the alignment gate.
+func (pr *partRunner) broadcast(input int, streamName string, e stream.Element) {
+	pr.seq++
+	pr.bcast[0] = e
+	for p := 0; p < pr.p; p++ {
+		pr.slots[p] = nil
+		pr.jobs[p] <- partJob{seq: pr.seq, input: input, elems: pr.bcast[:]}
+	}
+	if !pr.gather(pr.p) {
+		return
+	}
+	s := pr.s
+	for p := 0; p < pr.p; p++ {
+		if f := pr.slots[p].fatal; f != nil {
+			s.failShard(f)
+			return
+		}
+	}
+	// Validation is deterministic, so either every replica rejected the
+	// punctuation or none did; a split verdict means replica state has
+	// diverged, which is a runtime bug worth failing loudly on.
+	offenders := 0
+	for p := 0; p < pr.p; p++ {
+		offenders += len(pr.slots[p].offIdx)
+	}
+	if offenders > 0 {
+		if offenders != pr.p {
+			s.failShard(fmt.Errorf("internal: punctuation rejected by %d of %d partitions", offenders, pr.p))
+			return
+		}
+		s.rt.dlq.add(DeadLetter{
+			Stream: streamName,
+			Query:  s.reg.Name,
+			Elem:   e,
+			Err:    pr.slots[0].offErr[0],
+		})
+		return
+	}
+	merged := pr.merged[:0]
+	for p := 0; p < pr.p; p++ {
+		merged = gateMerge(s.reg, p, pr.slots[p].outs, merged)
+	}
+	pr.merged = merged
+	s.reg.deliver(merged)
+	clearElements(pr.merged)
+	pr.merged = pr.merged[:0]
+}
+
+// gateMerge folds one replica's outputs through the tree's alignment
+// gate into dst.
+func gateMerge(reg *Registered, part int, outs, dst []stream.Element) []stream.Element {
+	return reg.Part.MergeOutputs(dst, part, outs)
+}
+
+// gather collects `sent` worker replies for the current barrier. It
+// returns false (failing the shard) on a sequence mismatch, which would
+// mean a stale reply from a previous barrier — an alignment bug, never
+// expected in practice.
+func (pr *partRunner) gather(sent int) bool {
+	for i := 0; i < sent; i++ {
+		r := <-pr.res
+		if r.seq != pr.seq {
+			pr.s.failShard(fmt.Errorf("internal: partition %d replied for barrier %d during barrier %d", r.part, r.seq, pr.seq))
+			return false
+		}
+		pr.slots[r.part] = r
+	}
+	return true
+}
+
+// merge reassembles a gathered scatter into input-sequence order: element
+// g's outputs are the next chunk of its partition's reply. Recoverable
+// offenders dead-letter at their global position; the globally first
+// fatal error truncates delivery there and fails the shard (a panic
+// anywhere discards the whole run, matching the sequential path where a
+// panicking batch delivers nothing).
+func (pr *partRunner) merge(streamName string, elems []stream.Element) {
+	s := pr.s
+	for p := 0; p < pr.p; p++ {
+		if r := pr.slots[p]; r != nil && r.fatal != nil {
+			var pe *PanicError
+			if errors.As(r.fatal, &pe) {
+				s.failShard(r.fatal)
+				return
+			}
+		}
+	}
+	for p := 0; p < pr.p; p++ {
+		pr.lastEnd[p], pr.cursor[p], pr.offCur[p] = 0, 0, 0
+	}
+	merged := pr.merged[:0]
+	var fatal error
+	for g := range elems {
+		p := int(pr.script[g])
+		r := pr.slots[p]
+		li := pr.cursor[p]
+		pr.cursor[p]++
+		if r.fatal != nil && li >= r.fatalAt {
+			fatal = r.fatal
+			break
+		}
+		if oc := pr.offCur[p]; oc < len(r.offIdx) && r.offIdx[oc] == li {
+			pr.offCur[p]++
+			pr.lastEnd[p] = r.ends[li]
+			s.rt.dlq.add(DeadLetter{
+				Stream: streamName,
+				Query:  s.reg.Name,
+				Elem:   elems[g],
+				Err:    r.offErr[oc],
+			})
+			continue
+		}
+		end := r.ends[li]
+		merged = gateMerge(s.reg, p, r.outs[pr.lastEnd[p]:end], merged)
+		pr.lastEnd[p] = end
+	}
+	pr.merged = merged
+	s.reg.deliver(merged)
+	clearElements(pr.merged)
+	pr.merged = pr.merged[:0]
+	if fatal != nil {
+		s.failShard(fatal)
+	}
+}
+
+// failShard marks the shard failed and records the runtime's first error,
+// mirroring the sequential flushBatch failure path.
+func (s *shard) failShard(err error) {
+	s.failed = true
+	s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))
+}

@@ -99,6 +99,9 @@ type shard struct {
 	batch       []stream.Element
 	batchInput  int
 	batchStream string
+	// pr is the shard's partition worker pool, non-nil only when the query
+	// runs partitioned (Registered.Part). Worker-goroutine-local.
+	pr *partRunner
 }
 
 // shardMsg is one mailbox entry: a routed stream element (or, from
@@ -173,6 +176,10 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 // never takes down its siblings or the process.
 func (s *shard) run() {
 	defer close(s.done)
+	if s.reg.Part != nil {
+		s.pr = newPartRunner(s)
+		defer s.pr.stop()
+	}
 	for {
 		var msg shardMsg
 		var ok bool
@@ -240,7 +247,9 @@ func (s *shard) discard() {
 func (s *shard) handle(msg shardMsg) {
 	if msg.stats != nil {
 		s.flushBatch()
-		msg.stats <- s.reg.Tree.StatsSnapshot()
+		// For a partitioned shard the preceding flush gathered every
+		// worker, so the replicas are quiescent and readable here.
+		msg.stats <- s.reg.StatsSnapshot()
 		return
 	}
 	if msg.ckpt != nil {
@@ -276,6 +285,10 @@ func (s *shard) handle(msg shardMsg) {
 // offenders are dead-lettered and the rest of the run resumes after them,
 // so batching never changes which elements a policy keeps or drops.
 func (s *shard) flushBatch() {
+	if s.pr != nil {
+		s.pr.flushRun()
+		return
+	}
 	elems := s.batch
 	for len(elems) > 0 && !s.failed {
 		n, err := s.pushBatchContained(s.batchInput, elems)
@@ -305,7 +318,7 @@ func (s *shard) checkpointReply() shardCkpt {
 		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q has failed; state not checkpointable", s.reg.Name)}
 	}
 	var buf bytes.Buffer
-	if err := s.reg.Tree.WriteState(&buf); err != nil {
+	if err := s.reg.writeState(&buf); err != nil {
 		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q: serializing state: %w", s.reg.Name, err)}
 	}
 	return shardCkpt{idx: s.idx, state: buf.Bytes()}
@@ -349,7 +362,7 @@ func (s *shard) flushContained() (err error) {
 			err = newPanicError(r)
 		}
 	}()
-	outs, err := s.reg.Tree.Flush()
+	outs, err := s.reg.flushExec()
 	if err != nil {
 		return err
 	}
@@ -552,7 +565,7 @@ func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
 		// then read directly — the <-done synchronizes with the worker's
 		// final writes.
 		<-s.done
-		return s.reg.Tree.StatsSnapshot(), nil
+		return s.reg.StatsSnapshot(), nil
 	}
 	reply := make(chan []*exec.Stats, 1)
 	s.mb <- shardMsg{stats: reply}

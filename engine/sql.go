@@ -54,14 +54,14 @@ func (d *DSMS) registerCompiled(name string, cq *streamsql.CompiledQuery, opts O
 		return nil, err
 	}
 	if len(cq.Projection) > 0 {
-		project, err = exec.NewProject(reg.Tree.OutputSchema(), cq.Projection...)
+		project, err = exec.NewProject(reg.OutputSchema(), cq.Projection...)
 		if err != nil {
 			d.Unregister(name)
 			return nil, err
 		}
 		reg.Output = project.OutputSchema()
 	} else {
-		reg.Output = reg.Tree.OutputSchema()
+		reg.Output = reg.OutputSchema()
 	}
 
 	// Result hook: project, then deliver.

@@ -227,8 +227,13 @@ func (wr *WireReader) fault(f WireFault) {
 }
 
 // compact discards consumed bytes so the window can be refilled in place.
+// Compacting on every Read would memmove the rest of the window once per
+// frame; instead it waits until the window is fully consumed (a free
+// cursor reset) or the consumed prefix covers half the buffer, so at most
+// two bytes move per byte consumed and small frames parse with no copying
+// at all.
 func (wr *WireReader) compact() {
-	if wr.pos == 0 {
+	if wr.pos == 0 || (wr.pos < wr.fill && wr.pos < len(wr.buf)/2) {
 		return
 	}
 	copy(wr.buf, wr.buf[wr.pos:wr.fill])

@@ -100,6 +100,37 @@ func (s *Stats) Snapshot() *Stats {
 	return &c
 }
 
+// Add accumulates o into s: counters and sizes sum, per-input slices add
+// element-wise. The partitioned tree reports one aggregate Stats per
+// operator position by summing the replicas'. Note the summed watermarks
+// (MaxStateSize etc.) are the sum of per-partition peaks, which may exceed
+// any instantaneous total; and under partitioned execution PunctsIn counts
+// every broadcast copy, so it is P× the punctuations ingested.
+func (s *Stats) Add(o *Stats) {
+	addU := func(dst, src []uint64) {
+		for i := range src {
+			dst[i] += src[i]
+		}
+	}
+	addI := func(dst, src []int) {
+		for i := range src {
+			dst[i] += src[i]
+		}
+	}
+	addU(s.TuplesIn, o.TuplesIn)
+	addU(s.PunctsIn, o.PunctsIn)
+	addU(s.TuplesPurged, o.TuplesPurged)
+	addU(s.PunctsPurged, o.PunctsPurged)
+	addI(s.StateSize, o.StateSize)
+	addI(s.PunctStoreSize, o.PunctStoreSize)
+	s.Results += o.Results
+	s.OutPuncts += o.OutPuncts
+	s.MaxStateSize += o.MaxStateSize
+	s.MaxPunctStoreSize += o.MaxPunctStoreSize
+	s.PurgeChecks += o.PurgeChecks
+	s.PressureEvents += o.PressureEvents
+}
+
 // String summarizes the stats on one line.
 func (s *Stats) String() string {
 	return fmt.Sprintf("state=%d (max %d) puncts=%d (max %d) results=%d purged=%v",

@@ -30,6 +30,12 @@ type Timeline struct {
 // Observe is called once per processed element with the current totals;
 // it records a sample on period boundaries.
 func (tl *Timeline) Observe(tree *Tree, results int) {
+	tl.ObserveTotals(tree.TotalState(), tree.TotalPunctStore(), results)
+}
+
+// ObserveTotals records from caller-supplied totals — for executors that
+// are not a *Tree (e.g. a PartitionedTree's summed replica counters).
+func (tl *Timeline) ObserveTotals(state, punctStore, results int) {
 	tl.count++
 	every := tl.Every
 	if every <= 0 {
@@ -40,8 +46,8 @@ func (tl *Timeline) Observe(tree *Tree, results int) {
 	}
 	tl.Samples = append(tl.Samples, TimelineSample{
 		Element:    tl.count,
-		State:      tree.TotalState(),
-		PunctStore: tree.TotalPunctStore(),
+		State:      state,
+		PunctStore: punctStore,
 		Results:    results,
 	})
 }

@@ -128,6 +128,42 @@ func (t *Tree) PushBatch(streamIdx int, elems []stream.Element) ([]stream.Elemen
 	return out, len(elems), nil
 }
 
+// PushBatchEnds is PushBatch appending into caller-owned buffers while
+// recording per-element output boundaries: after processing elems[i], out
+// has length ends[base+i] where base is len(ends) at entry. The
+// partitioned runtime uses the boundaries to slice one partition's outputs
+// back into input-sequence order when merging partitions. Semantics
+// otherwise match PushBatch: on error the offender is elems[n], it emits
+// nothing (no ends entry is appended for it), and preceding elements'
+// outputs are kept.
+func (t *Tree) PushBatchEnds(streamIdx int, out []stream.Element, ends []int, elems []stream.Element) ([]stream.Element, []int, int, error) {
+	if streamIdx < 0 || streamIdx >= t.q.N() {
+		return out, ends, 0, fmt.Errorf("exec: stream %d out of range", streamIdx)
+	}
+	route := t.leafRoute[streamIdx]
+	if route.op.parent == nil {
+		m := route.op.join
+		for i := range elems {
+			var err error
+			out, err = m.pushInto(out, route.input, elems[i])
+			if err != nil {
+				return out, ends, i, err
+			}
+			ends = append(ends, len(out))
+		}
+		return out, ends, len(elems), nil
+	}
+	for i := range elems {
+		f, err := t.feed(route.op, route.input, elems[i])
+		if err != nil {
+			return out, ends, i, err
+		}
+		out = append(out, f...)
+		ends = append(ends, len(out))
+	}
+	return out, ends, len(elems), nil
+}
+
 // feed pushes an element into an operator input and recursively forwards
 // the operator's outputs to its parent until the root emits.
 func (t *Tree) feed(op *treeOp, input int, e stream.Element) ([]stream.Element, error) {

@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+func buildQuery(t *testing.T, build func(*query.Builder) *query.Builder) *query.CJQ {
+	t.Helper()
+	q, err := build(query.NewBuilder()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestFindCoPartitionChain: a chain join equated on one attribute end to
+// end has a class spanning all streams; the routing attribute per stream
+// is the equated position.
+func TestFindCoPartitionChain(t *testing.T) {
+	q := buildQuery(t, func(b *query.Builder) *query.Builder {
+		return b.
+			AddStream(stream.MustSchema("S1", intAttrs("A", "B")...)).
+			AddStream(stream.MustSchema("S2", intAttrs("B", "C")...)).
+			AddStream(stream.MustSchema("S3", intAttrs("C", "B")...)).
+			Join("S1.B", "S2.B").
+			Join("S2.B", "S3.B")
+	})
+	cp, err := FindCoPartition(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 1} // S1.B, S2.B, S3.B
+	for s, a := range cp.Attrs {
+		if a != want[s] {
+			t.Fatalf("Attrs = %v, want %v", cp.Attrs, want)
+		}
+	}
+	if got := cp.Describe(q); got != "S1.B = S2.B = S3.B" {
+		t.Fatalf("Describe = %q", got)
+	}
+}
+
+// TestFindCoPartitionStar: a star join (hub equated with every spoke)
+// closes transitively into one spanning class.
+func TestFindCoPartitionStar(t *testing.T) {
+	q := buildQuery(t, func(b *query.Builder) *query.Builder {
+		return b.
+			AddStream(stream.MustSchema("hub", intAttrs("K", "X")...)).
+			AddStream(stream.MustSchema("s1", intAttrs("Y", "K")...)).
+			AddStream(stream.MustSchema("s2", intAttrs("K")...)).
+			AddStream(stream.MustSchema("s3", intAttrs("Z", "K")...)).
+			Join("hub.K", "s1.K").
+			Join("hub.K", "s2.K").
+			Join("hub.K", "s3.K")
+	})
+	cp, err := FindCoPartition(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1}
+	for s, a := range cp.Attrs {
+		if a != want[s] {
+			t.Fatalf("Attrs = %v, want %v", cp.Attrs, want)
+		}
+	}
+}
+
+// TestFindCoPartitionRejectsCyclic: the Figure-5 cycle equates three
+// distinct attribute pairs, each class spanning only two streams — not
+// co-partitionable, and the reason names the widest class.
+func TestFindCoPartitionRejectsCyclic(t *testing.T) {
+	q, _ := figure5(t)
+	_, err := FindCoPartition(q)
+	if !errors.Is(err, ErrNotCoPartitionable) {
+		t.Fatalf("FindCoPartition = %v, want ErrNotCoPartitionable", err)
+	}
+	if !strings.Contains(err.Error(), "widest class spans") {
+		t.Fatalf("error %q does not explain the widest class", err)
+	}
+}
+
+// TestFindCoPartitionRejectsPartialChain: a chain joined on different
+// attributes per hop has two 2-stream classes; neither spans all three.
+func TestFindCoPartitionRejectsPartialChain(t *testing.T) {
+	q := buildQuery(t, func(b *query.Builder) *query.Builder {
+		return b.
+			AddStream(stream.MustSchema("S1", intAttrs("A", "B")...)).
+			AddStream(stream.MustSchema("S2", intAttrs("B", "C")...)).
+			AddStream(stream.MustSchema("S3", intAttrs("C", "D")...)).
+			Join("S1.B", "S2.B").
+			Join("S2.C", "S3.C")
+	})
+	_, err := FindCoPartition(q)
+	if !errors.Is(err, ErrNotCoPartitionable) {
+		t.Fatalf("FindCoPartition = %v, want ErrNotCoPartitionable", err)
+	}
+}
+
+// TestFindCoPartitionDeterministic: when several classes span all streams
+// the analysis must pick the same one on every call (the class whose
+// smallest (stream, attr) member sorts first).
+func TestFindCoPartitionDeterministic(t *testing.T) {
+	build := func() *query.CJQ {
+		return buildQuery(t, func(b *query.Builder) *query.Builder {
+			return b.
+				AddStream(stream.MustSchema("S1", intAttrs("A", "B")...)).
+				AddStream(stream.MustSchema("S2", intAttrs("A", "B")...)).
+				Join("S1.B", "S2.B").
+				Join("S1.A", "S2.A")
+		})
+	}
+	first, err := FindCoPartition(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S1.A sorts before S1.B, so the A class must win.
+	if first.Attrs[0] != 0 || first.Attrs[1] != 0 {
+		t.Fatalf("Attrs = %v, want the A class [0 0]", first.Attrs)
+	}
+	for i := 0; i < 10; i++ {
+		cp, err := FindCoPartition(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range cp.Attrs {
+			if cp.Attrs[s] != first.Attrs[s] {
+				t.Fatalf("run %d chose %v, first run chose %v", i, cp.Attrs, first.Attrs)
+			}
+		}
+	}
+}

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Hot-path benchmark trajectory: runs the join/purge/ingestion benchmarks
 # with -benchmem, pairs them with the recorded pre-optimization baseline
-# (scripts/bench_baseline.txt), and writes BENCH_hotpath.json at the repo
-# root. Run from the repository root, or via `make benchfull`.
+# (scripts/bench_baseline.txt), and rewrites BENCH_hotpath.json at the
+# repo root — appending this run (git SHA + timestamp) to the report's
+# `trajectory` array so history accumulates instead of being overwritten.
+# Also runs the partitioned-ingest scaling benchmark and writes
+# BENCH_partition.json. Run from the repository root, or via
+# `make benchfull`.
 #
 #   BENCHTIME=2s scripts/bench.sh        # the checked-in configuration
 #   BENCHTIME=100ms scripts/bench.sh     # a quick smoke pass
@@ -10,8 +14,13 @@ set -eu
 
 BENCHTIME=${BENCHTIME:-2s}
 OUT=${OUT:-BENCH_hotpath.json}
+PART_OUT=${PART_OUT:-BENCH_partition.json}
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+partraw=$(mktemp)
+trap 'rm -f "$raw" "$partraw"' EXIT
+
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 # Root-package hot-path benchmarks: chained purge cycle, join probe,
 # purge check, and the steady-state probe floor.
@@ -23,8 +32,20 @@ go test . -run xxx \
 # feeds, steady-state wire frame decoding, and the checkpoint/restore
 # durability tax over a live runtime.
 go test ./engine -run xxx \
-  -bench 'BenchmarkIngest|BenchmarkWireReaderRead|BenchmarkCheckpoint' \
+  -bench 'BenchmarkIngest$|BenchmarkWireReaderRead|BenchmarkCheckpoint' \
   -benchtime "$BENCHTIME" -benchmem | tee -a "$raw"
 
-go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt > "$OUT"
+# Partitioned-ingest scaling: the critical-path rows measure router + one
+# replica (the parallel span), the engine rows the live worker pool.
+go test ./engine -run xxx \
+  -bench 'BenchmarkPartitionedIngest' \
+  -benchtime "$BENCHTIME" | tee "$partraw"
+
+tmp=$(mktemp)
+go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt \
+  -prev "$OUT" -sha "$sha" -time "$now" > "$tmp"
+mv "$tmp" "$OUT"
 echo "wrote $OUT"
+
+go run ./cmd/punctbench -partition-json "$partraw" -sha "$sha" -time "$now" > "$PART_OUT"
+echo "wrote $PART_OUT"

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Standard verify entry point (mirrors `make check`): vet, build, test,
-# and race-test the concurrent packages. Run from the repository root.
+# and race-test the whole module. Run from the repository root.
 set -eux
 
 # gofmt is a failing gate: any unformatted file lists here and aborts.
@@ -10,7 +10,7 @@ unformatted=$(gofmt -l .)
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./engine/... ./exec/...
+go test -race ./...
 go test -run Fuzz ./engine/...
 
 # Checkpoint round-trip smoke: run a sharded workload writing periodic

@@ -1,0 +1,26 @@
+package stream
+
+// Hash returns a 64-bit FNV-1a hash of the value, equal for equal values
+// (same kind and payload). The partitioned execution layer routes tuples
+// by Hash of their co-partitioning attribute, so the function must be
+// deterministic across processes and allocation-free.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(v.kind)
+	h *= prime64
+	n := v.num
+	for i := 0; i < 8; i++ {
+		h ^= n & 0xff
+		h *= prime64
+		n >>= 8
+	}
+	for i := 0; i < len(v.str); i++ {
+		h ^= uint64(v.str[i])
+		h *= prime64
+	}
+	return h
+}

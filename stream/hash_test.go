@@ -1,0 +1,59 @@
+package stream
+
+import "testing"
+
+// TestValueHashEquality: equal values hash equal — the routing invariant
+// the partitioned join relies on (tuples agreeing on the join attribute
+// must land in the same partition).
+func TestValueHashEquality(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(42), Int(42)},
+		{Int(0), Int(0)},
+		{Int(-7), Int(-7)},
+		{Str("itemid-17"), Str("itemid-17")},
+		{Str(""), Str("")},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("test bug: %v and %v should be equal", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Fatalf("equal values %v hash to %x and %x", p[0], p[0].Hash(), p[1].Hash())
+		}
+	}
+}
+
+// TestValueHashDiscriminates: distinct values — including the same bits
+// under a different kind — should not collide on a tiny probe set.
+func TestValueHashDiscriminates(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(1), Int(-1), Int(256), Int(65), // 65 = 'A'
+		Str("A"), Str(""), Str("0"), Str("AB"), Str("BA"),
+	}
+	seen := make(map[uint64]Value)
+	for _, v := range vals {
+		h := v.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("%v and %v collide at %x", prev, v, h)
+		}
+		seen[h] = v
+	}
+}
+
+// TestValueHashSpreads: sequential int keys must spread across small
+// modulus buckets, not pile into one partition.
+func TestValueHashSpreads(t *testing.T) {
+	const parts = 4
+	var buckets [parts]int
+	for k := int64(0); k < 1024; k++ {
+		buckets[Int(k).Hash()%parts]++
+	}
+	for i, n := range buckets {
+		if n == 0 {
+			t.Fatalf("bucket %d empty over 1024 sequential keys: %v", i, buckets)
+		}
+		if n > 1024/2 {
+			t.Fatalf("bucket %d holds %d of 1024 keys; hash is degenerate: %v", i, n, buckets)
+		}
+	}
+}
