@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzzseed bench benchfull fmt fmtcheck
+.PHONY: check vet build test race racestress fuzzseed bench benchfull fmt fmtcheck
 
-check: fmtcheck vet build test race fuzzseed
+check: fmtcheck vet build test race racestress fuzzseed
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,12 @@ test:
 # drive exec replicas concurrently, and everything else rides along.
 race:
 	$(GO) test -race ./...
+
+# Multi-producer ingestion stress, repeated under the race detector: one
+# pass rarely covers the interleavings of concurrent SendBatch producers,
+# the parallel wire pipeline, and Stats/Checkpoint barriers.
+racestress:
+	$(GO) test -race -run TestParallelIngestStress -count 5 ./engine/
 
 # Run the wire-format fuzz targets over their checked-in seed corpus
 # (truncated frames, oversized lengths, unknown streams). `go test -fuzz`

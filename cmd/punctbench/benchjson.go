@@ -75,7 +75,8 @@ func parseBench(r io.Reader) (names []string, metrics map[string]*benchMetrics, 
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
-		if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:") {
+		if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:") ||
+			strings.HasPrefix(line, "gomaxprocs:") || strings.HasPrefix(line, "numcpu:") {
 			env = append(env, strings.TrimSpace(line))
 			continue
 		}

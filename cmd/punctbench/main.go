@@ -17,10 +17,12 @@
 // baseline-vs-current trajectory consumed as BENCH_hotpath.json, carrying
 // the previous report's run history forward and appending this run to it.
 //
-//	punctbench -partition-json partition.txt -sha abc1234 -time ...
+//	punctbench -partition-json partition.txt -prev BENCH_partition.json \
+//	    -sha abc1234 -time ...
 //
 // parses BenchmarkPartitionedIngest output and prints the partitioned
-// MJoin scaling report consumed as BENCH_partition.json.
+// MJoin scaling report consumed as BENCH_partition.json, appending this
+// run to the previous report's trajectory the same way -bench-json does.
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	benchJSON := flag.String("bench-json", "", "parse a `go test -bench` output file and emit trajectory JSON")
 	baseline := flag.String("baseline", "", "recorded baseline bench output to pair with -bench-json")
-	prev := flag.String("prev", "", "previous BENCH_hotpath.json whose trajectory this run appends to")
+	prev := flag.String("prev", "", "previous report (BENCH_hotpath.json or BENCH_partition.json) whose trajectory this run appends to")
 	sha := flag.String("sha", "", "git commit SHA to stamp on this run's trajectory entry")
 	timeStr := flag.String("time", "", "UTC timestamp to stamp on this run's trajectory entry")
 	partitionJSON := flag.String("partition-json", "", "parse BenchmarkPartitionedIngest output and emit scaling JSON")
@@ -51,7 +53,7 @@ func main() {
 		return
 	}
 	if *partitionJSON != "" {
-		if err := emitPartitionJSON(*partitionJSON, *sha, *timeStr); err != nil {
+		if err := emitPartitionJSON(*partitionJSON, *prev, *sha, *timeStr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -41,6 +41,11 @@ type partitionReport struct {
 	Rows         []partitionRow    `json:"rows"`
 	CriticalPath *partitionScaling `json:"critical_path,omitempty"`
 	EngineWall   *partitionScaling `json:"engine_wall,omitempty"`
+	// Trajectory accumulates one slim entry per recorded run, same
+	// scheme as BENCH_hotpath.json: each bench.sh invocation appends the
+	// run (git SHA + timestamp + ns per row) instead of overwriting
+	// history.
+	Trajectory []trajectoryEntry `json:"trajectory,omitempty"`
 }
 
 // scalingFor derives the ratio set of one row group ("critical-path" or
@@ -69,8 +74,10 @@ func scalingFor(metrics map[string]*benchMetrics, group string) *partitionScalin
 	return sc
 }
 
-// emitPartitionJSON writes the partitioned-ingest scaling report to stdout.
-func emitPartitionJSON(currentPath, sha, timeStr string) error {
+// emitPartitionJSON writes the partitioned-ingest scaling report to
+// stdout. When prevPath is set, the previous report's run history is
+// carried forward and this run (stamped sha/timeStr) is appended to it.
+func emitPartitionJSON(currentPath, prevPath, sha, timeStr string) error {
 	names, metrics, env, err := parseBenchFile(currentPath)
 	if err != nil {
 		return fmt.Errorf("parsing partition results %s: %w", currentPath, err)
@@ -105,6 +112,20 @@ func emitPartitionJSON(currentPath, sha, timeStr string) error {
 	}
 	rep.CriticalPath = scalingFor(metrics, "critical-path")
 	rep.EngineWall = scalingFor(metrics, "engine")
+	if prevPath != "" {
+		history, err := loadTrajectory(prevPath)
+		if err != nil {
+			return err
+		}
+		entry := trajectoryEntry{Sha: sha, Time: timeStr}
+		for _, row := range rep.Rows {
+			entry.Benchmarks = append(entry.Benchmarks, trajectoryPoint{
+				Name:    row.Name,
+				NsPerOp: row.NsPerOp,
+			})
+		}
+		rep.Trajectory = append(history, entry)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

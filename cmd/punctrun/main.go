@@ -35,29 +35,31 @@ import (
 
 func main() {
 	var (
-		scenario   = flag.String("scenario", "auction", "auction | netmon | sensors | chain | cycle | star | clique")
-		size       = flag.Int("n", 2000, "scenario size (items/flows/epochs/rounds)")
-		k          = flag.Int("k", 3, "stream count for synthetic topologies")
-		noPunct    = flag.Bool("nopunct", false, "generate no punctuations (unbounded baseline)")
-		batch      = flag.Int("batch", 1, "purge batch size (1 = eager)")
-		lifespan   = flag.Uint64("lifespan", 0, "punctuation lifespan in elements (0 = forever)")
-		purgePunct = flag.Bool("purgepunct", false, "enable §5.1 punctuation purging")
-		interval   = flag.Int("interval", 0, "print state sizes every N elements (0 = summary only)")
-		zipf       = flag.Float64("zipf", 0, "Zipf skew s (>1) for synthetic value draws")
-		specFile   = flag.String("spec", "", "run the query declared in this spec file on a generated closed workload")
-		sqlFile    = flag.String("sql", "", "run the first query of this streamsql script on a generated closed workload")
-		csvPath    = flag.String("csv", "", "write a state/punctuation/result timeline as CSV to this file")
-		parallel   = flag.Bool("parallel", false, "ingest through the sharded per-query runtime (-interval reads race-safe snapshots; -csv is unsupported)")
-		onError    = flag.String("on-error", "fail", "error policy for the sharded runtime: fail | drop | quarantine (needs -parallel)")
-		deadLetter = flag.Int("dead-letter", 0, "max offenders retained under -on-error quarantine (0 = default bound)")
-		enforce    = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
-		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file; written atomically every -checkpoint-every elements and at end of feed (needs -parallel)")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint every N elements (0 = only at end of feed; needs -checkpoint)")
-		restore    = flag.Bool("restore", false, "restore runtime state from -checkpoint and resume the feed at the recorded offset")
-		partitions = flag.Int("partitions", 1, "hash-partitioned join replicas per query (1 = single tree; needs a co-partitionable query for >1)")
-		chaosLate  = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
-		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+		scenario     = flag.String("scenario", "auction", "auction | netmon | sensors | chain | cycle | star | clique")
+		size         = flag.Int("n", 2000, "scenario size (items/flows/epochs/rounds)")
+		k            = flag.Int("k", 3, "stream count for synthetic topologies")
+		noPunct      = flag.Bool("nopunct", false, "generate no punctuations (unbounded baseline)")
+		batch        = flag.Int("batch", 1, "purge batch size (1 = eager)")
+		lifespan     = flag.Uint64("lifespan", 0, "punctuation lifespan in elements (0 = forever)")
+		purgePunct   = flag.Bool("purgepunct", false, "enable §5.1 punctuation purging")
+		interval     = flag.Int("interval", 0, "print state sizes every N elements (0 = summary only)")
+		zipf         = flag.Float64("zipf", 0, "Zipf skew s (>1) for synthetic value draws")
+		specFile     = flag.String("spec", "", "run the query declared in this spec file on a generated closed workload")
+		sqlFile      = flag.String("sql", "", "run the first query of this streamsql script on a generated closed workload")
+		csvPath      = flag.String("csv", "", "write a state/punctuation/result timeline as CSV to this file")
+		parallel     = flag.Bool("parallel", false, "ingest through the sharded per-query runtime (-interval reads race-safe snapshots; -csv is unsupported)")
+		onError      = flag.String("on-error", "fail", "error policy for the sharded runtime: fail | drop | quarantine (needs -parallel)")
+		deadLetter   = flag.Int("dead-letter", 0, "max offenders retained under -on-error quarantine (0 = default bound)")
+		enforce      = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
+		ckptPath     = flag.String("checkpoint", "", "durable checkpoint file; written atomically every -checkpoint-every elements and at end of feed (needs -parallel)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint every N elements (0 = only at end of feed; needs -checkpoint)")
+		restore      = flag.Bool("restore", false, "restore runtime state from -checkpoint and resume the feed at the recorded offset")
+		partitions   = flag.Int("partitions", 1, "hash-partitioned join replicas per query (1 = single tree; needs a co-partitionable query for >1)")
+		chaosLate    = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
+		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+		blockProfile = flag.String("blockprofile", "", "write a goroutine-blocking profile of the ingest loop to this file (channel waits in the parallel front-end; go tool pprof)")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile of the ingest loop to this file (ingress/router lock contention; go tool pprof)")
 	)
 	flag.Parse()
 
@@ -169,6 +171,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *blockProfile != "" {
+		// Rate 1 records every blocking event: the runs are short and the
+		// interesting signal is where the parallel front-end's goroutines
+		// park (mailbox sends, barrier waits), not a sampled subset.
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	start := time.Now()
 	var deadLetters *engine.DeadLetterSnapshot
 	if *parallel {
@@ -268,6 +279,23 @@ func main() {
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
+	writeLookupProfile := func(path, name string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	writeLookupProfile(*blockProfile, "block")
+	writeLookupProfile(*mutexProfile, "mutex")
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {

@@ -157,6 +157,14 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 	} else {
 		reply := make(chan shardCkpt, len(rt.shards))
 		for _, s := range rt.shards {
+			if s.pf != nil {
+				// Partitioned shard: the barrier travels as a control
+				// chunk through every partition mailbox plus the routing
+				// script; the merge stage serializes the quiesced
+				// replicas and the alignment gate in one consistent cut.
+				s.pf.control(&partCtrl{ckpt: reply, release: make(chan struct{})})
+				continue
+			}
 			s.mb <- shardMsg{ckpt: reply}
 		}
 		var firstErr error

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"punctsafe/exec"
@@ -9,6 +11,19 @@ import (
 	"punctsafe/query"
 	"punctsafe/stream"
 )
+
+// benchEnvOnce prints the host's parallelism next to go test's own
+// goos/goarch/cpu header, in the same `key: value` shape, so the
+// punctbench parser records it in the report env: the engine rows are
+// wall-clock and only meaningful relative to the core count they ran on.
+var benchEnvOnce sync.Once
+
+func printBenchEnv() {
+	benchEnvOnce.Do(func() {
+		fmt.Printf("gomaxprocs: %d\n", runtime.GOMAXPROCS(0))
+		fmt.Printf("numcpu: %d\n", runtime.NumCPU())
+	})
+}
 
 // The partitioned-ingest scaling benchmark (ISSUE 5 acceptance): a 3-way
 // star join on one key with heavy per-key fan-out (every watch probes
@@ -182,6 +197,7 @@ func driveReplica(tb testing.TB, pt *exec.PartitionedTree, p int, segs []partiti
 // critical-path rows — p4 ≥ 2.5× the p1 throughput, p1 within 5% of
 // plain — with the engine rows recording the live runtime alongside.
 func BenchmarkPartitionedIngest(b *testing.B) {
+	printBenchEnv()
 	runs := partitionFeed()
 	elements := 0
 	for _, r := range runs {
@@ -275,6 +291,13 @@ func BenchmarkPartitionedIngest(b *testing.B) {
 		{"engine/p8", 8},
 	} {
 		b.Run(row.name, func(b *testing.B) {
+			// Wall-clock rows with more replicas than cores would just
+			// measure scheduler thrash; the critical-path rows above carry
+			// the deterministic scaling number on any host.
+			if row.partitions > runtime.NumCPU() {
+				b.Skipf("host has %d CPUs (< %d partitions); wall-clock row would serialize — see critical-path/p%d",
+					runtime.NumCPU(), row.partitions, row.partitions)
+			}
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				d, reg := newPartitionBenchDSMS(b, row.partitions)

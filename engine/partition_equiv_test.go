@@ -81,7 +81,7 @@ func TestPartitionedEquivalence(t *testing.T) {
 			if wname == "clean" && len(want.results) == 0 {
 				t.Fatal("clean workload produced no results; the equivalence check is vacuous")
 			}
-			for _, p := range []int{1, 2, 3, 4} {
+			for _, p := range []int{1, 2, 3, 4, 8} {
 				t.Run(fmt.Sprintf("%s/%s/p%d", wname, pname, p), func(t *testing.T) {
 					got := runPartitioned(t, policy, feed, p)
 					requireSameOutcome(t, want, got)

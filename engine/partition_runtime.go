@@ -5,347 +5,664 @@ import (
 	"fmt"
 	"sync"
 
+	"punctsafe/exec"
 	"punctsafe/stream"
 )
 
-// The partitioned shard: when a query registers with Options.Partitions,
-// its shard goroutine becomes a router over P partition workers, each
-// owning one replica of the query's plan tree (exec.PartitionedTree).
-// Tuple runs scatter across workers by the co-partitioning hash;
-// punctuations broadcast to every worker. Each scatter/broadcast is a
-// sequence-numbered barrier — the router gathers every reply before
-// touching the replicas or issuing the next round — so replicas only ever
-// have one driver, purge rounds stay aligned with the input order, and
-// the merge below reassembles outputs in exact input-sequence order.
+// The parallel partitioned front-end: when a query registers with
+// Options.Partitions, its ingestion no longer funnels through a serial
+// router goroutine. Instead every producer (Send, SendBatch, IngestWire)
+// computes the co-partition hash itself and scatters its run directly
+// into per-partition mailboxes, so tuples flow producer → partition
+// worker with no element ever crossing a global serial stage.
 //
-// The mailbox protocol, batching, error policies and checkpoint barriers
-// are unchanged: the router is the same shard goroutine, and control
-// messages (stats, checkpoint) run between barriers while the workers are
-// idle.
+// Three goroutine roles per partitioned shard:
+//
+//   - producers (any goroutine calling Send/SendBatch): hash each tuple
+//     to its owner with exec.PartitionedTree.PartitionOf (pure, safe
+//     concurrently), build one chunk per partition for the run, and —
+//     under a short ingress lock — enqueue the chunks followed by a
+//     routing script describing the run's global element order. The
+//     ingress lock is the only serial point and it covers channel sends
+//     only, never join work.
+//
+//   - P partition workers: each owns one replica tree and drains its own
+//     mailbox, pushing chunks through exec's batched path with the same
+//     per-element error policy as the sequential shard (recoverable
+//     offenders recorded and skipped, panics contained, fatals latched).
+//     Tuples of different partitions are processed genuinely in parallel;
+//     nothing gathers between punctuations.
+//
+//   - one merger (the shard's goroutine): replays the routing scripts in
+//     ingress order, consuming each worker's result records and folding
+//     outputs through the MergeOutputs alignment gate, so delivery
+//     order, dead-letter order and error positions are exactly those of
+//     the single-tree run even though the workers ran free.
+//
+// Punctuations are epoch seals rather than barriers: a producer appends
+// the punctuation to every partition's chunk in position (sealing the
+// epoch in each mailbox) and the workers keep flowing — no
+// scatter/gather round trip. Alignment happens only at the merge stage:
+// the merger consumes the seal from all P record streams before
+// releasing the gate-merged output punctuation, which is the paper's
+// safety argument applied per replica (each replica saw the full
+// punctuation stream, so its purges are the single tree's purges
+// restricted to the keys it owns).
+//
+// Control requests (Stats, Checkpoint) reuse the same ordering: a
+// control chunk is enqueued to every partition mailbox plus the script
+// under the ingress lock, each worker acks it in FIFO position and
+// parks, and the merger — having by then delivered everything enqueued
+// before the request — snapshots the quiescent replicas and releases
+// the workers. That preserves the mailbox-FIFO checkpoint barrier
+// contract: a checkpoint reflects exactly the elements sent before it.
 
-// partJob is one scatter or broadcast hand-off to a partition worker.
-type partJob struct {
-	seq   uint64
+// opPunct marks a broadcast punctuation in a routing script. Any smaller
+// value is the owning partition of a tuple (exec caps partitions at 64,
+// far below the sentinel).
+const opPunct = 0xFF
+
+// partChunk is one producer hand-off to a partition worker: that
+// partition's slice of a run (its owned tuples plus every punctuation,
+// in run order), or a control barrier.
+type partChunk struct {
 	input int
 	elems []stream.Element
+	ctrl  *partCtrl
 }
 
-// partResult is a worker's reply: its replica's outputs for the job with
-// per-element boundaries, recoverable offenders (under Drop/Quarantine),
-// or a fatal error with the local element index it struck at.
-type partResult struct {
-	seq     uint64
-	part    int
+// scriptBatch describes one run's global element order to the merger:
+// ops[i] says which partition's record stream element i's outputs come
+// from (or opPunct for a seal consumed from all P). elems carries the
+// original elements for dead-letter reporting.
+type scriptBatch struct {
+	input  int
+	stream string
+	elems  []stream.Element
+	ops    []byte
+	ctrl   *partCtrl
+}
+
+// partCtrl is a control barrier travelling through every partition
+// mailbox and the script: a stats snapshot request, a checkpoint
+// request, or both sides of the quiesce handshake.
+type partCtrl struct {
+	stats   chan<- []*exec.Stats
+	ckpt    chan<- shardCkpt
+	release chan struct{} // closed by the merger once the snapshot is taken
+}
+
+// partRecord is one worker reply covering one chunk: the replica's
+// outputs with per-element boundaries, recoverable offenders, or a
+// fatal error with the local element index it struck at. Records are
+// recycled through the free lists once the merger has consumed them.
+type partRecord struct {
+	n       int // element count of the chunk this record covers
 	outs    []stream.Element
-	ends    []int // ends[i] = len(outs) after local element i (offenders included, contributing nothing)
+	ends    []int // ends[i] = len(outs) after local element i
 	offIdx  []int // local indexes of recoverable offenders, ascending
 	offErr  []error
 	fatal   error
-	fatalAt int // local index processing stopped at when fatal != nil
+	fatalAt int  // local index processing stopped at when fatal != nil
+	skipped bool // worker latched an earlier fatal and did not process
+	ctrl    *partCtrl
 }
 
-func (r *partResult) reset(part int, seq uint64) {
+func (r *partRecord) reset() {
 	clearElements(r.outs)
-	r.part, r.seq = part, seq
+	r.n = 0
 	r.outs, r.ends = r.outs[:0], r.ends[:0]
 	r.offIdx, r.offErr = r.offIdx[:0], r.offErr[:0]
 	r.fatal, r.fatalAt = nil, 0
+	r.skipped, r.ctrl = false, nil
 }
 
-// partRunner is the worker pool of one partitioned shard. All fields are
-// owned by the shard goroutine except the channels; worker replies
-// synchronize replica memory back to the router (channel happens-before).
-type partRunner struct {
-	s    *shard
-	p    int
-	jobs []chan partJob
-	res  chan *partResult
-	wg   sync.WaitGroup
-	seq  uint64
+// Channel capacities: enough slack that producers, workers and merger
+// pipeline instead of lock-stepping, small enough that backpressure
+// still propagates to Send quickly.
+const (
+	partInBuffer     = 8
+	partOutBuffer    = 4
+	partScriptBuffer = 16
+)
 
-	// Router scratch, reused across runs.
-	slots   []*partResult      // gather slots, indexed by partition
-	chunks  [][]stream.Element // per-partition scatter buffers
-	script  []int32            // per-element partition id of the current tuple run
-	lastEnd []int              // per-partition output cursor during merge
-	cursor  []int              // per-partition local element cursor during merge
-	offCur  []int              // per-partition offender cursor during merge
-	merged  []stream.Element
-	bcast   [1]stream.Element
+// partFront is one partitioned shard's parallel ingestion front.
+type partFront struct {
+	s      *shard
+	p      int
+	in     []chan partChunk   // per-partition worker mailboxes
+	out    []chan *partRecord // per-partition result streams (worker → merger, SPSC)
+	free   []chan *partRecord // record recycling (merger → worker)
+	script chan scriptBatch   // run scripts in ingress order (producers → merger)
+
+	// mu is the ingress lock: it makes "chunks for a run, then its
+	// script" atomic across producers, so the script order equals each
+	// partition's mailbox order. It guards channel sends only.
+	mu sync.Mutex
+	wg sync.WaitGroup // partition workers
 }
 
-func newPartRunner(s *shard) *partRunner {
+func newPartFront(s *shard) *partFront {
 	p := s.reg.Part.Partitions()
-	pr := &partRunner{
-		s:       s,
-		p:       p,
-		jobs:    make([]chan partJob, p),
-		res:     make(chan *partResult, p),
-		slots:   make([]*partResult, p),
-		chunks:  make([][]stream.Element, p),
-		lastEnd: make([]int, p),
-		cursor:  make([]int, p),
-		offCur:  make([]int, p),
+	pf := &partFront{
+		s:      s,
+		p:      p,
+		in:     make([]chan partChunk, p),
+		out:    make([]chan *partRecord, p),
+		free:   make([]chan *partRecord, p),
+		script: make(chan scriptBatch, partScriptBuffer),
 	}
-	pr.wg.Add(p)
+	pf.wg.Add(p)
 	for i := 0; i < p; i++ {
-		pr.jobs[i] = make(chan partJob)
-		go pr.worker(i, pr.jobs[i])
+		pf.in[i] = make(chan partChunk, partInBuffer)
+		pf.out[i] = make(chan *partRecord, partOutBuffer)
+		pf.free[i] = make(chan *partRecord, partOutBuffer)
+		go pf.worker(i)
 	}
-	return pr
+	return pf
 }
 
-// stop releases the workers; the router guarantees no job is in flight
-// (every scatter/broadcast gathers before returning).
-func (pr *partRunner) stop() {
-	for _, ch := range pr.jobs {
+// sendOne routes a single element (Send's path).
+func (pf *partFront) sendOne(input int, streamName string, e stream.Element) {
+	pf.sendRun(input, streamName, []stream.Element{e})
+}
+
+// sendRun routes one contiguous same-stream run: hash outside the lock,
+// enqueue under it. The caller must not reuse elems afterwards (the
+// merger keeps it until the run is delivered).
+func (pf *partFront) sendRun(input int, streamName string, elems []stream.Element) {
+	pt := pf.s.reg.Part
+	ops := make([]byte, len(elems))
+	chunks := make([][]stream.Element, pf.p)
+	for i, e := range elems {
+		if e.IsPunct() {
+			// Epoch seal: every partition sees the punctuation in
+			// position, preserving its order against the tuples that
+			// partition owns.
+			ops[i] = opPunct
+			for p := 0; p < pf.p; p++ {
+				chunks[p] = append(chunks[p], e)
+			}
+			continue
+		}
+		d := pt.PartitionOf(input, e.Tuple())
+		ops[i] = byte(d)
+		chunks[d] = append(chunks[d], e)
+	}
+	pf.mu.Lock()
+	for p := 0; p < pf.p; p++ {
+		if len(chunks[p]) > 0 {
+			pf.in[p] <- partChunk{input: input, elems: chunks[p]}
+		}
+	}
+	pf.script <- scriptBatch{input: input, stream: streamName, elems: elems, ops: ops}
+	pf.mu.Unlock()
+}
+
+// control enqueues a barrier to every partition mailbox and the script.
+// The reply arrives on the partCtrl's channel once the merger has
+// delivered everything enqueued before this call and quiesced the
+// workers.
+func (pf *partFront) control(c *partCtrl) {
+	pf.mu.Lock()
+	for p := 0; p < pf.p; p++ {
+		pf.in[p] <- partChunk{ctrl: c}
+	}
+	pf.script <- scriptBatch{ctrl: c}
+	pf.mu.Unlock()
+}
+
+// close ends the input: the caller (Runtime.Close, under the write side
+// of closeMu) guarantees no producer is in flight.
+func (pf *partFront) close() {
+	for _, ch := range pf.in {
 		close(ch)
 	}
-	pr.wg.Wait()
+	close(pf.script)
 }
 
-// worker owns replica `part`: it processes one job at a time and replies
-// on the shared gather channel. Its result buffers are reused across jobs;
-// the barrier protocol guarantees the router is done with them before the
-// next job arrives.
-func (pr *partRunner) worker(part int, jobs <-chan partJob) {
-	defer pr.wg.Done()
-	res := &partResult{}
-	for job := range jobs {
-		res.reset(part, job.seq)
-		pr.process(part, job, res)
-		pr.res <- res
+// worker owns replica part: it drains its own mailbox, processing chunks
+// through the replica with the element-level error policy and emitting
+// one record per chunk. After its replica's first fatal it stops
+// processing (the state is no longer meaningful) but keeps the record
+// stream aligned with skipped records. On kill it drains without effect
+// so producers never block forever.
+func (pf *partFront) worker(part int) {
+	defer pf.wg.Done()
+	fatal := false
+	for {
+		var ck partChunk
+		var ok bool
+		select {
+		case ck, ok = <-pf.in[part]:
+			if !ok {
+				return
+			}
+		case <-pf.s.rt.kill:
+			pf.drainIn(part)
+			return
+		}
+		rec := pf.record(part)
+		if ck.ctrl != nil {
+			// Ack in FIFO position — every record for earlier chunks is
+			// already in the out stream — then park until the merger has
+			// taken its snapshot.
+			rec.ctrl = ck.ctrl
+			if !pf.emit(part, rec) {
+				pf.drainIn(part)
+				return
+			}
+			select {
+			case <-ck.ctrl.release:
+			case <-pf.s.rt.kill:
+				pf.drainIn(part)
+				return
+			}
+			continue
+		}
+		rec.n = len(ck.elems)
+		if fatal {
+			rec.skipped = true
+		} else {
+			pf.process(part, ck, rec)
+			if rec.fatal != nil {
+				fatal = true
+			}
+		}
+		if !pf.emit(part, rec) {
+			pf.drainIn(part)
+			return
+		}
 	}
 }
 
-// process pushes a job's elements through the worker's replica, applying
-// the element-level error policy locally: recoverable offenders are
-// recorded and skipped (the router dead-letters them in global input
-// order), anything else stops the job at fatalAt.
-func (pr *partRunner) process(part int, job partJob, res *partResult) {
-	elems := job.elems
+// drainIn is the post-kill worker loop: consume the mailbox without
+// effect until Close closes it, so blocked producers unwind.
+func (pf *partFront) drainIn(part int) {
+	for range pf.in[part] {
+	}
+}
+
+// record pops a recycled record or allocates a fresh one.
+func (pf *partFront) record(part int) *partRecord {
+	select {
+	case r := <-pf.free[part]:
+		r.reset()
+		return r
+	default:
+		return &partRecord{}
+	}
+}
+
+// emit hands a record to the merger, aborting on kill.
+func (pf *partFront) emit(part int, rec *partRecord) bool {
+	select {
+	case pf.out[part] <- rec:
+		return true
+	case <-pf.s.rt.kill:
+		return false
+	}
+}
+
+// process pushes a chunk through the worker's replica, applying the
+// element-level error policy locally: recoverable offenders are recorded
+// and skipped (the merger dead-letters them in global input order),
+// anything else stops the chunk at fatalAt.
+func (pf *partFront) process(part int, ck partChunk, rec *partRecord) {
+	elems := ck.elems
 	base := 0
 	for base < len(elems) {
-		n, err := pr.pushContained(part, job.input, res, elems[base:])
+		n, err := pf.pushContained(part, ck.input, rec, elems[base:])
 		if err == nil {
 			return
 		}
 		at := base + n
-		if pr.s.rt.policy != Fail && recoverableError(err) {
-			res.offIdx = append(res.offIdx, at)
-			res.offErr = append(res.offErr, err)
-			res.ends = append(res.ends, len(res.outs)) // offenders emit nothing
+		if pf.s.rt.policy != Fail && recoverableError(err) {
+			rec.offIdx = append(rec.offIdx, at)
+			rec.offErr = append(rec.offErr, err)
+			rec.ends = append(rec.ends, len(rec.outs)) // offenders emit nothing
 			base = at + 1
 			continue
 		}
-		res.fatal, res.fatalAt = err, at
+		rec.fatal, rec.fatalAt = err, at
 		return
 	}
 }
 
 // pushContained drives the replica with panic containment (one recover
-// frame per job segment, as the sequential path does per batch). On panic
-// the result's buffers are rewound to the segment start: a panic fails
-// the whole shard, so partial outputs are irrelevant, but the boundaries
-// must stay consistent for the merge walk.
-func (pr *partRunner) pushContained(part, input int, res *partResult, elems []stream.Element) (n int, err error) {
-	outsMark, endsMark := len(res.outs), len(res.ends)
+// frame per chunk segment, as the sequential path does per batch). On
+// panic the record's buffers are rewound to the segment start: a panic
+// fails the whole shard, so partial outputs are irrelevant, but the
+// boundaries must stay consistent for the merger's walk.
+func (pf *partFront) pushContained(part, input int, rec *partRecord, elems []stream.Element) (n int, err error) {
+	outsMark, endsMark := len(rec.outs), len(rec.ends)
 	defer func() {
 		if r := recover(); r != nil {
-			res.outs, res.ends = res.outs[:outsMark], res.ends[:endsMark]
+			rec.outs, rec.ends = rec.outs[:outsMark], rec.ends[:endsMark]
 			n, err = 0, newPanicError(r)
 		}
 	}()
 	var processed int
-	res.outs, res.ends, processed, err = pr.s.reg.Part.PushPartitionEnds(part, input, res.outs, res.ends, elems)
+	rec.outs, rec.ends, processed, err = pf.s.reg.Part.PushPartitionEnds(part, input, rec.outs, rec.ends, elems)
 	return processed, err
 }
 
-// flushRun is the partitioned flushBatch: it walks the shard's
-// accumulated same-input run, scattering contiguous tuple stretches and
-// broadcasting each punctuation as its own barrier, preserving the run's
-// element order end to end.
-func (pr *partRunner) flushRun() {
-	s := pr.s
-	elems := s.batch
-	i := 0
-	for i < len(elems) && !s.failed {
-		if elems[i].IsPunct() {
-			pr.broadcast(s.batchInput, s.batchStream, elems[i])
-			i++
+// partMerger is the merge stage's state: the current record per
+// partition with its consumption cursors.
+type partMerger struct {
+	s  *shard
+	pf *partFront
+
+	rec     []*partRecord
+	cursor  []int // local element index within rec[p]
+	lastEnd []int // output cursor within rec[p].outs
+	offCur  []int // offender cursor within rec[p].offIdx
+	merged  []stream.Element
+}
+
+func newPartMerger(s *shard) *partMerger {
+	p := s.pf.p
+	return &partMerger{
+		s:       s,
+		pf:      s.pf,
+		rec:     make([]*partRecord, p),
+		cursor:  make([]int, p),
+		lastEnd: make([]int, p),
+		offCur:  make([]int, p),
+	}
+}
+
+// runPartitioned is the partitioned shard's goroutine: the merge stage.
+// It replays routing scripts in ingress order, so delivery is
+// deterministic regardless of how the workers interleaved.
+func (s *shard) runPartitioned() {
+	defer close(s.done)
+	m := newPartMerger(s)
+	for {
+		var sb scriptBatch
+		var ok bool
+		select {
+		case sb, ok = <-s.pf.script:
+			if !ok {
+				// End of input: the workers exit once their mailboxes
+				// close; waiting on them synchronizes replica memory
+				// before the final flush reads it.
+				s.pf.wg.Wait()
+				s.finish()
+				return
+			}
+		case <-s.rt.kill:
+			s.killDrain()
+			return
+		}
+		if !m.consume(sb) {
+			s.killDrain()
+			return
+		}
+	}
+}
+
+// killDrain is the merger's post-kill loop, the crash model's analogue
+// of shard.discard: scripts drain without effect, control waiters are
+// answered so they unwind, and the workers are joined before done
+// closes so Wait leaves no goroutine touching the replicas.
+func (s *shard) killDrain() {
+	for sb := range s.pf.script {
+		if sb.ctrl != nil {
+			answerCtrlKilled(s, sb.ctrl)
+		}
+	}
+	s.pf.wg.Wait()
+}
+
+func answerCtrlKilled(s *shard, c *partCtrl) {
+	if c.stats != nil {
+		c.stats <- nil
+	}
+	if c.ckpt != nil {
+		c.ckpt <- shardCkpt{idx: s.idx, err: ErrKilled}
+	}
+}
+
+// current returns partition p's record under consumption, fetching the
+// next one (and resetting the cursors) when the previous was exhausted.
+// Returns false only on kill.
+func (m *partMerger) current(p int) (*partRecord, bool) {
+	if r := m.rec[p]; r != nil {
+		return r, true
+	}
+	select {
+	case r := <-m.pf.out[p]:
+		m.rec[p] = r
+		m.cursor[p], m.lastEnd[p], m.offCur[p] = 0, 0, 0
+		return r, true
+	case <-m.s.rt.kill:
+		return nil, false
+	}
+}
+
+// bump advances partition p past one consumed element, recycling the
+// record once exhausted. Callers must be done reading the record's
+// outs: a recycled record's buffers belong to the worker again.
+func (m *partMerger) bump(p int) {
+	m.cursor[p]++
+	if m.cursor[p] >= m.rec[p].n {
+		m.release(p)
+	}
+}
+
+func (m *partMerger) release(p int) {
+	r := m.rec[p]
+	m.rec[p] = nil
+	select {
+	case m.pf.free[p] <- r:
+	default: // free list full; let the GC have it
+	}
+}
+
+// consume replays one script batch: tuple ops take the next element's
+// outputs from the owning partition's record stream, seals take one from
+// every stream and release through the alignment gate, control ops
+// quiesce and snapshot. Outputs accumulate and deliver once per batch.
+// Returns false only on kill.
+func (m *partMerger) consume(sb scriptBatch) bool {
+	if sb.ctrl != nil {
+		return m.consumeCtrl(sb.ctrl)
+	}
+	s := m.s
+	merged := m.merged[:0]
+	for g, op := range sb.ops {
+		if s.failed {
+			// Keep the record streams aligned but deliver nothing; the
+			// sequential path likewise drains without processing after
+			// its first error.
+			if !m.discardOp(op) {
+				return false
+			}
 			continue
 		}
-		j := i
-		for j < len(elems) && !elems[j].IsPunct() {
-			j++
+		if op == opPunct {
+			fatal, ok := m.consumeSeal(sb, g, &merged)
+			if !ok {
+				return false
+			}
+			if fatal != nil {
+				m.fail(fatal, &merged)
+			}
+			continue
 		}
-		pr.scatter(s.batchInput, s.batchStream, elems[i:j])
-		i = j
-	}
-	clearElements(s.batch)
-	s.batch = s.batch[:0]
-}
-
-// scatter routes one tuple run across the workers, gathers every reply,
-// and merges the outputs back into input-sequence order.
-func (pr *partRunner) scatter(input int, streamName string, elems []stream.Element) {
-	part0 := pr.s.reg.Part
-	pr.script = pr.script[:0]
-	for p := 0; p < pr.p; p++ {
-		pr.chunks[p] = pr.chunks[p][:0]
-	}
-	for _, e := range elems {
-		p := part0.PartitionOf(input, e.Tuple())
-		pr.script = append(pr.script, int32(p))
-		pr.chunks[p] = append(pr.chunks[p], e)
-	}
-	pr.seq++
-	sent := 0
-	for p := 0; p < pr.p; p++ {
-		pr.slots[p] = nil
-		if len(pr.chunks[p]) > 0 {
-			pr.jobs[p] <- partJob{seq: pr.seq, input: input, elems: pr.chunks[p]}
-			sent++
-		}
-	}
-	if !pr.gather(sent) {
-		return
-	}
-	pr.merge(streamName, elems)
-	for p := 0; p < pr.p; p++ {
-		clearElements(pr.chunks[p])
-		pr.chunks[p] = pr.chunks[p][:0]
-	}
-}
-
-// broadcast sends one punctuation to every worker behind one barrier and
-// merges the replies in partition order through the alignment gate.
-func (pr *partRunner) broadcast(input int, streamName string, e stream.Element) {
-	pr.seq++
-	pr.bcast[0] = e
-	for p := 0; p < pr.p; p++ {
-		pr.slots[p] = nil
-		pr.jobs[p] <- partJob{seq: pr.seq, input: input, elems: pr.bcast[:]}
-	}
-	if !pr.gather(pr.p) {
-		return
-	}
-	s := pr.s
-	for p := 0; p < pr.p; p++ {
-		if f := pr.slots[p].fatal; f != nil {
-			s.failShard(f)
-			return
-		}
-	}
-	// Validation is deterministic, so either every replica rejected the
-	// punctuation or none did; a split verdict means replica state has
-	// diverged, which is a runtime bug worth failing loudly on.
-	offenders := 0
-	for p := 0; p < pr.p; p++ {
-		offenders += len(pr.slots[p].offIdx)
-	}
-	if offenders > 0 {
-		if offenders != pr.p {
-			s.failShard(fmt.Errorf("internal: punctuation rejected by %d of %d partitions", offenders, pr.p))
-			return
-		}
-		s.rt.dlq.add(DeadLetter{
-			Stream: streamName,
-			Query:  s.reg.Name,
-			Elem:   e,
-			Err:    pr.slots[0].offErr[0],
-		})
-		return
-	}
-	merged := pr.merged[:0]
-	for p := 0; p < pr.p; p++ {
-		merged = gateMerge(s.reg, p, pr.slots[p].outs, merged)
-	}
-	pr.merged = merged
-	s.reg.deliver(merged)
-	clearElements(pr.merged)
-	pr.merged = pr.merged[:0]
-}
-
-// gateMerge folds one replica's outputs through the tree's alignment
-// gate into dst.
-func gateMerge(reg *Registered, part int, outs, dst []stream.Element) []stream.Element {
-	return reg.Part.MergeOutputs(dst, part, outs)
-}
-
-// gather collects `sent` worker replies for the current barrier. It
-// returns false (failing the shard) on a sequence mismatch, which would
-// mean a stale reply from a previous barrier — an alignment bug, never
-// expected in practice.
-func (pr *partRunner) gather(sent int) bool {
-	for i := 0; i < sent; i++ {
-		r := <-pr.res
-		if r.seq != pr.seq {
-			pr.s.failShard(fmt.Errorf("internal: partition %d replied for barrier %d during barrier %d", r.part, r.seq, pr.seq))
+		p := int(op)
+		rec, ok := m.current(p)
+		if !ok {
 			return false
 		}
-		pr.slots[r.part] = r
+		li := m.cursor[p]
+		if rec.fatal != nil && li >= rec.fatalAt {
+			m.fail(rec.fatal, &merged)
+			m.bump(p)
+			continue
+		}
+		if oc := m.offCur[p]; oc < len(rec.offIdx) && rec.offIdx[oc] == li {
+			m.offCur[p]++
+			m.lastEnd[p] = rec.ends[li]
+			s.rt.dlq.add(DeadLetter{
+				Stream: sb.stream,
+				Query:  s.reg.Name,
+				Elem:   sb.elems[g],
+				Err:    rec.offErr[oc],
+			})
+			m.bump(p)
+			continue
+		}
+		end := rec.ends[li]
+		merged = s.reg.Part.MergeOutputs(merged, p, rec.outs[m.lastEnd[p]:end])
+		m.lastEnd[p] = end
+		m.bump(p)
 	}
+	m.merged = merged
+	s.reg.deliver(merged)
+	clearElements(m.merged)
+	m.merged = m.merged[:0]
 	return true
 }
 
-// merge reassembles a gathered scatter into input-sequence order: element
-// g's outputs are the next chunk of its partition's reply. Recoverable
-// offenders dead-letter at their global position; the globally first
-// fatal error truncates delivery there and fails the shard (a panic
-// anywhere discards the whole run, matching the sequential path where a
-// panicking batch delivers nothing).
-func (pr *partRunner) merge(streamName string, elems []stream.Element) {
-	s := pr.s
-	for p := 0; p < pr.p; p++ {
-		if r := pr.slots[p]; r != nil && r.fatal != nil {
-			var pe *PanicError
-			if errors.As(r.fatal, &pe) {
-				s.failShard(r.fatal)
-				return
+// fail delivers the outputs merged before the fatal element and fails
+// the shard there, truncating delivery exactly where the single tree
+// would stop. A panic discards the undelivered prefix instead (the
+// sequential path delivers nothing from a panicking batch).
+func (m *partMerger) fail(fatal error, merged *[]stream.Element) {
+	var pe *PanicError
+	if !errors.As(fatal, &pe) {
+		m.s.reg.deliver(*merged)
+	}
+	clearElements(*merged)
+	*merged = (*merged)[:0]
+	m.s.failShard(fatal)
+}
+
+// consumeSeal consumes one broadcast punctuation: one element from every
+// partition's record stream, in partition order, then the verdict.
+// Validation is deterministic, so either every replica rejected the
+// punctuation or none did; a split verdict means replica state has
+// diverged, which is a runtime bug worth failing loudly on. The records
+// are only advanced after the gate merge so no worker can recycle a
+// buffer still being read.
+func (m *partMerger) consumeSeal(sb scriptBatch, g int, merged *[]stream.Element) (error, bool) {
+	s := m.s
+	var fatal error
+	offenders := 0
+	var offErr error
+	for p := 0; p < m.pf.p; p++ {
+		rec, ok := m.current(p)
+		if !ok {
+			return nil, false
+		}
+		li := m.cursor[p]
+		if rec.fatal != nil && li >= rec.fatalAt {
+			if fatal == nil {
+				fatal = rec.fatal
+			}
+			continue
+		}
+		if oc := m.offCur[p]; oc < len(rec.offIdx) && rec.offIdx[oc] == li {
+			offenders++
+			if offErr == nil {
+				offErr = rec.offErr[oc]
 			}
 		}
 	}
-	for p := 0; p < pr.p; p++ {
-		pr.lastEnd[p], pr.cursor[p], pr.offCur[p] = 0, 0, 0
-	}
-	merged := pr.merged[:0]
-	var fatal error
-	for g := range elems {
-		p := int(pr.script[g])
-		r := pr.slots[p]
-		li := pr.cursor[p]
-		pr.cursor[p]++
-		if r.fatal != nil && li >= r.fatalAt {
-			fatal = r.fatal
-			break
-		}
-		if oc := pr.offCur[p]; oc < len(r.offIdx) && r.offIdx[oc] == li {
-			pr.offCur[p]++
-			pr.lastEnd[p] = r.ends[li]
+	if fatal == nil {
+		switch {
+		case offenders == 0:
+			for p := 0; p < m.pf.p; p++ {
+				rec := m.rec[p]
+				li := m.cursor[p]
+				end := rec.ends[li]
+				*merged = s.reg.Part.MergeOutputs(*merged, p, rec.outs[m.lastEnd[p]:end])
+				m.lastEnd[p] = end
+			}
+		case offenders == m.pf.p:
+			// Unanimous rejection: the punctuation itself is the
+			// offender. Dead-letter it once, in script position.
 			s.rt.dlq.add(DeadLetter{
-				Stream: streamName,
+				Stream: sb.stream,
 				Query:  s.reg.Name,
-				Elem:   elems[g],
-				Err:    r.offErr[oc],
+				Elem:   sb.elems[g],
+				Err:    offErr,
 			})
-			continue
+		default:
+			fatal = fmt.Errorf("internal: punctuation rejected by %d of %d partitions", offenders, m.pf.p)
 		}
-		end := r.ends[li]
-		merged = gateMerge(s.reg, p, r.outs[pr.lastEnd[p]:end], merged)
-		pr.lastEnd[p] = end
 	}
-	pr.merged = merged
-	s.reg.deliver(merged)
-	clearElements(pr.merged)
-	pr.merged = pr.merged[:0]
-	if fatal != nil {
-		s.failShard(fatal)
+	for p := 0; p < m.pf.p; p++ {
+		rec := m.rec[p]
+		li := m.cursor[p]
+		if rec.fatal == nil || li < rec.fatalAt {
+			if oc := m.offCur[p]; oc < len(rec.offIdx) && rec.offIdx[oc] == li {
+				m.offCur[p]++
+				m.lastEnd[p] = rec.ends[li]
+			}
+		}
+		m.bump(p)
 	}
+	return fatal, true
 }
 
-// failShard marks the shard failed and records the runtime's first error,
-// mirroring the sequential flushBatch failure path.
+// discardOp keeps the per-partition cursors aligned with the script
+// after the shard has failed, consuming without delivering.
+func (m *partMerger) discardOp(op byte) bool {
+	if op == opPunct {
+		for p := 0; p < m.pf.p; p++ {
+			if !m.discardOne(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return m.discardOne(int(op))
+}
+
+func (m *partMerger) discardOne(p int) bool {
+	if _, ok := m.current(p); !ok {
+		return false
+	}
+	m.bump(p)
+	return true
+}
+
+// consumeCtrl is the merge-stage half of a control barrier: consume the
+// ack record from every partition — by mailbox FIFO all earlier records
+// are consumed and delivered, and every worker is parked on release, so
+// the replicas and the gate are quiescent — snapshot, reply, release.
+// Stats are answered even on a failed shard (matching the sequential
+// path); checkpointReply itself refuses failed state.
+func (m *partMerger) consumeCtrl(c *partCtrl) bool {
+	s := m.s
+	for p := 0; p < m.pf.p; p++ {
+		rec, ok := m.current(p)
+		if !ok {
+			// Killed mid-barrier: answer like the kill drain so the
+			// waiter unwinds; parked workers unpark via the kill signal.
+			answerCtrlKilled(s, c)
+			return false
+		}
+		if rec.ctrl != c {
+			s.failShard(fmt.Errorf("internal: partition %d out of sync at control barrier", p))
+		}
+		m.release(p)
+	}
+	if c.stats != nil {
+		c.stats <- s.reg.StatsSnapshot()
+	}
+	if c.ckpt != nil {
+		c.ckpt <- s.checkpointReply()
+	}
+	close(c.release)
+	return true
+}
+
+// failShard marks the shard failed and records the runtime's first
+// error, mirroring the sequential flushBatch failure path.
 func (s *shard) failShard(err error) {
 	s.failed = true
 	s.rt.fail(fmt.Errorf("engine: query %q: %w", s.reg.Name, err))

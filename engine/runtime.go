@@ -99,9 +99,12 @@ type shard struct {
 	batch       []stream.Element
 	batchInput  int
 	batchStream string
-	// pr is the shard's partition worker pool, non-nil only when the query
-	// runs partitioned (Registered.Part). Worker-goroutine-local.
-	pr *partRunner
+	// pf is the shard's parallel partition front-end, non-nil only when
+	// the query runs partitioned (Registered.Part). A partitioned shard
+	// has no mailbox: producers route into the front's per-partition
+	// mailboxes themselves, and the shard goroutine runs the merge stage
+	// (runPartitioned) instead of run.
+	pf *partFront
 }
 
 // shardMsg is one mailbox entry: a routed stream element (or, from
@@ -150,7 +153,6 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 	for _, name := range d.order {
 		s := &shard{
 			reg:  d.queries[name],
-			mb:   make(chan shardMsg, buffer),
 			done: make(chan struct{}),
 			rt:   rt,
 			idx:  len(rt.shards),
@@ -160,6 +162,15 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 		for streamName := range s.reg.streamInput {
 			rt.route[streamName] = append(rt.route[streamName], s)
 		}
+		if s.reg.Part != nil {
+			// Partitioned query: no mailbox. Producers scatter directly
+			// into the front's per-partition mailboxes and the shard
+			// goroutine becomes the merge stage.
+			s.pf = newPartFront(s)
+			go s.runPartitioned()
+			continue
+		}
+		s.mb = make(chan shardMsg, buffer)
 		go s.run()
 	}
 	return rt
@@ -176,10 +187,6 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 // never takes down its siblings or the process.
 func (s *shard) run() {
 	defer close(s.done)
-	if s.reg.Part != nil {
-		s.pr = newPartRunner(s)
-		defer s.pr.stop()
-	}
 	for {
 		var msg shardMsg
 		var ok bool
@@ -247,8 +254,6 @@ func (s *shard) discard() {
 func (s *shard) handle(msg shardMsg) {
 	if msg.stats != nil {
 		s.flushBatch()
-		// For a partitioned shard the preceding flush gathered every
-		// worker, so the replicas are quiescent and readable here.
 		msg.stats <- s.reg.StatsSnapshot()
 		return
 	}
@@ -285,10 +290,6 @@ func (s *shard) handle(msg shardMsg) {
 // offenders are dead-lettered and the rest of the run resumes after them,
 // so batching never changes which elements a policy keeps or drops.
 func (s *shard) flushBatch() {
-	if s.pr != nil {
-		s.pr.flushRun()
-		return
-	}
 	elems := s.batch
 	for len(elems) > 0 && !s.failed {
 		n, err := s.pushBatchContained(s.batchInput, elems)
@@ -440,6 +441,13 @@ func (rt *Runtime) sendLocked(streamName string, e stream.Element) error {
 		if !ok {
 			continue
 		}
+		if s.pf != nil {
+			// Partitioned query: the producer routes the element itself
+			// — hash to the owning partition, or seal every partition's
+			// mailbox for a punctuation.
+			s.pf.sendOne(input, streamName, e)
+			continue
+		}
 		s.mb <- shardMsg{input: input, stream: streamName, elem: e}
 	}
 	return nil
@@ -496,6 +504,13 @@ func (rt *Runtime) sendBatchLocked(streamName string, elems []stream.Element) er
 		if len(accepted) == 0 {
 			continue
 		}
+		if s.pf != nil {
+			// Partitioned query: hash-scatter the run from this producer
+			// goroutine (accepted is this shard's own copy, so handing it
+			// to the front is safe).
+			s.pf.sendRun(input, streamName, accepted)
+			continue
+		}
 		s.mb <- shardMsg{input: input, stream: streamName, elems: accepted}
 	}
 	return nil
@@ -531,6 +546,10 @@ func (rt *Runtime) Close() {
 	}
 	rt.closed = true
 	for _, s := range rt.shards {
+		if s.pf != nil {
+			s.pf.close()
+			continue
+		}
 		close(s.mb)
 	}
 }
@@ -568,6 +587,14 @@ func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
 		return s.reg.StatsSnapshot(), nil
 	}
 	reply := make(chan []*exec.Stats, 1)
+	if s.pf != nil {
+		// Partitioned query: the request travels as a control barrier
+		// through every partition mailbox; the merge stage answers once
+		// everything enqueued before it has been delivered and the
+		// workers are quiescent.
+		s.pf.control(&partCtrl{stats: reply, release: make(chan struct{})})
+		return <-reply, nil
+	}
 	s.mb <- shardMsg{stats: reply}
 	return <-reply, nil
 }

@@ -156,6 +156,50 @@ func (wr *WireReader) Lenient(onFault func(WireFault)) *WireReader {
 // In strict mode (the default) any corrupt frame fails the read; in
 // Lenient mode corrupt regions are skipped and reported instead.
 func (wr *WireReader) Read() (TaggedElement, error) {
+	for {
+		ws, payload, frameLen, err := wr.readRaw()
+		if err != nil {
+			return TaggedElement{}, err
+		}
+		e, derr := decodeWireFrame(ws, payload)
+		if derr == nil {
+			wr.pos += frameLen
+			return TaggedElement{Stream: ws.name, Elem: e}, nil
+		}
+		// Payload damage: the frame's boundary is known, so the lenient
+		// reader skips it whole.
+		if !wr.lenient {
+			return TaggedElement{}, fmt.Errorf("engine: wire: %w", derr)
+		}
+		wr.skipFrame(ws.name, frameLen, derr)
+	}
+}
+
+// skipFrame reports a boundary-known corrupt frame as one fault and
+// consumes it.
+func (wr *WireReader) skipFrame(streamName string, frameLen int, err error) {
+	frame := append([]byte(nil), wr.buf[wr.pos:wr.pos+frameLen]...)
+	wr.fault(WireFault{
+		Stream:  streamName,
+		Offset:  wr.base + int64(wr.pos),
+		Skipped: frameLen,
+		Frame:   frame,
+		Err:     fmt.Errorf("engine: wire: %w", err),
+	})
+	wr.pos += frameLen
+}
+
+// readRaw scans to the next well-framed frame of a known stream without
+// consuming or decoding it, returning the stream, the payload view into
+// the window (valid until the next readRaw or compact) and the frame's
+// byte length; the caller consumes by advancing wr.pos. Framing-level
+// damage — bad varints, absurd lengths, unknown streams, truncation — is
+// skipped and reported here under Lenient; payload damage is the
+// caller's concern (the decode step may run on another goroutine, see
+// the parallel ingestion pipeline). Returns io.EOF at a clean end of
+// input.
+func (wr *WireReader) readRaw() (wireStream, []byte, int, error) {
+	var zero wireStream
 	var scanStart int64
 	var scanErr error
 	scanned := 0
@@ -167,37 +211,28 @@ func (wr *WireReader) Read() (TaggedElement, error) {
 	}
 	for {
 		wr.compact()
-		te, frameLen, err := wr.parseFrame()
+		ws, payload, frameLen, err := wr.parseRawFrame()
 		if err == nil {
 			flushScan()
-			wr.pos += frameLen
-			return te, nil
+			return ws, payload, frameLen, nil
 		}
 		if err == io.EOF {
 			flushScan()
-			return TaggedElement{}, io.EOF
+			return zero, nil, 0, io.EOF
 		}
 		var c *wireCorruption
 		if !errors.As(err, &c) {
 			// Underlying reader failure: not data damage, always fatal at
 			// this layer (RetryReader absorbs transient ones underneath).
-			return TaggedElement{}, fmt.Errorf("engine: wire: %w", err)
+			return zero, nil, 0, fmt.Errorf("engine: wire: %w", err)
 		}
 		if !wr.lenient {
-			return TaggedElement{}, fmt.Errorf("engine: wire: %w", c.err)
+			return zero, nil, 0, fmt.Errorf("engine: wire: %w", c.err)
 		}
 		if c.frameLen > 0 {
-			// The frame's boundary is known: skip it whole.
+			// The frame's boundary is known (unknown stream): skip whole.
 			flushScan()
-			frame := append([]byte(nil), wr.buf[wr.pos:wr.pos+c.frameLen]...)
-			wr.fault(WireFault{
-				Stream:  c.stream,
-				Offset:  wr.base + int64(wr.pos),
-				Skipped: c.frameLen,
-				Frame:   frame,
-				Err:     fmt.Errorf("engine: wire: %w", c.err),
-			})
-			wr.pos += c.frameLen
+			wr.skipFrame(c.stream, c.frameLen, c.err)
 			continue
 		}
 		// Framing broken (bad varint, absurd length, truncation): scan
@@ -310,70 +345,71 @@ func (wr *WireReader) uvarint(p int) (uint64, int, error) {
 	}
 }
 
-// parseFrame parses one frame at wr.pos without consuming it, returning
-// the element and the frame's byte length. io.EOF means a clean end of
-// input exactly at a frame boundary; *wireCorruption means damaged data;
-// anything else is an underlying reader error.
-func (wr *WireReader) parseFrame() (TaggedElement, int, error) {
-	var zero TaggedElement
+// parseRawFrame parses one frame's boundaries at wr.pos without
+// consuming or decoding it, returning the frame's stream, its payload
+// view into the window, and the frame's byte length. io.EOF means a
+// clean end of input exactly at a frame boundary; *wireCorruption means
+// damaged framing (boundary-known when its frameLen is set); anything
+// else is an underlying reader error.
+func (wr *WireReader) parseRawFrame() (wireStream, []byte, int, error) {
+	var zero wireStream
 	start := wr.pos
 	for wr.fill == start {
 		if err := wr.fillMore(); err != nil {
-			return zero, 0, err
+			return zero, nil, 0, err
 		}
 	}
 	nameLen64, n, err := wr.uvarint(start)
 	if err != nil {
-		return zero, 0, err
+		return zero, nil, 0, err
 	}
 	p := start + n
 	if nameLen64 > maxWireNameLen {
-		return zero, 0, &wireCorruption{err: fmt.Errorf("stream name length %d too large", nameLen64)}
+		return zero, nil, 0, &wireCorruption{err: fmt.Errorf("stream name length %d too large", nameLen64)}
 	}
 	nameLen := int(nameLen64)
 	if err := wr.need(p + nameLen); err != nil {
-		return zero, 0, err
+		return zero, nil, 0, err
 	}
 	nameBytes := wr.buf[p : p+nameLen]
 	p += nameLen
 	payloadLen64, n, err := wr.uvarint(p)
 	if err != nil {
-		return zero, 0, err
+		return zero, nil, 0, err
 	}
 	p += n
 	if payloadLen64 > maxWirePayloadLen {
-		return zero, 0, &wireCorruption{err: fmt.Errorf("payload length %d too large", payloadLen64)}
+		return zero, nil, 0, &wireCorruption{err: fmt.Errorf("payload length %d too large", payloadLen64)}
 	}
 	payloadLen := int(payloadLen64)
 	if err := wr.need(p + payloadLen); err != nil {
-		return zero, 0, err
+		return zero, nil, 0, err
 	}
 	payload := wr.buf[p : p+payloadLen]
 	frameLen := p + payloadLen - start
 	ws, ok := wr.streams[string(nameBytes)] // alloc-free map probe
 	if !ok {
-		return zero, 0, &wireCorruption{
+		return zero, nil, 0, &wireCorruption{
 			err:      fmt.Errorf("unknown stream %q", nameBytes),
 			frameLen: frameLen,
 			stream:   string(nameBytes),
 		}
 	}
+	return ws, payload, frameLen, nil
+}
+
+// decodeWireFrame decodes one raw frame's payload. It touches no reader
+// state (stream.Codec is stateless), so decoding can run on any
+// goroutine — the parallel ingestion pipeline fans it out across cores.
+func decodeWireFrame(ws wireStream, payload []byte) (stream.Element, error) {
 	e, rest, err := ws.codec.Decode(payload)
 	if err != nil {
-		return zero, 0, &wireCorruption{
-			err:      fmt.Errorf("stream %q: %w", ws.name, err),
-			frameLen: frameLen,
-			stream:   ws.name,
-		}
+		return stream.Element{}, fmt.Errorf("stream %q: %w", ws.name, err)
 	}
 	if len(rest) != 0 {
-		return zero, 0, &wireCorruption{
-			err:      fmt.Errorf("stream %q: %d trailing bytes", ws.name, len(rest)),
-			frameLen: frameLen,
-			stream:   ws.name,
-		}
+		return stream.Element{}, fmt.Errorf("stream %q: %d trailing bytes", ws.name, len(rest))
 	}
-	return TaggedElement{Stream: ws.name, Elem: e}, frameLen, nil
+	return e, nil
 }
 
 // IngestWire reads frames from r until EOF and pushes each element into

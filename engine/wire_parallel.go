@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"punctsafe/stream"
+)
+
+// Parallel wire ingestion: the decode half of IngestWire fanned out over
+// multiple cores. One splitter goroutine owns the WireReader and does
+// only the cheap, inherently serial work — framing, stream dispatch,
+// lenient skip-and-resync — while frame payloads are decoded by a pool
+// of workers (stream.Codec is stateless, so decoding is embarrassingly
+// parallel). A bounded assembly stage on the caller's goroutine consumes
+// the decoded batches strictly in wire order, so per-source frame order,
+// fault order, and the offset-exact checkpoint semantics of the
+// sequential path are all preserved; only the decode CPU time leaves the
+// critical path.
+//
+//	splitter ──work──▶ decode workers
+//	   │                    │ (per-batch result channel)
+//	   └──────order──▶ assembly (caller) ──▶ SendBatch / ingestCommit
+//
+// The splitter pushes every batch to the workers and, in the same order,
+// to the bounded order queue; the assembler takes batches from the order
+// queue and waits on each batch's own result channel, which restores the
+// wire order no matter how the workers interleaved.
+
+// wireParallelBatch caps how many contiguous same-stream frames one
+// decode batch carries (the routing granularity, matching the
+// sequential ingest's batching).
+const wireParallelBatch = 128
+
+// wireFrameSpan locates one raw frame inside its batch buffer.
+type wireFrameSpan struct {
+	frameStart   int   // frame bytes start in buf (header included)
+	payloadStart int   // payload bytes start in buf
+	end          int   // frame end in buf
+	wireEnd      int64 // absolute wire offset just past this frame
+}
+
+// wireRawBatch is one splitter hand-off: a run of contiguous same-stream
+// raw frames copied out of the reader's window, or the terminal sentinel
+// (last set) carrying the final offset and the reader's terminal error.
+type wireRawBatch struct {
+	ws     wireStream
+	buf    []byte
+	frames []wireFrameSpan
+	pre    []WireFault // framing faults preceding this batch, wire order
+	end    int64       // wire offset after the last frame (final offset for the sentinel)
+	err    error       // sentinel only: terminal reader error (nil at clean EOF)
+	last   bool
+	res    chan wireDecoded
+}
+
+// wireDecoded is a worker's reply for one batch.
+type wireDecoded struct {
+	elems  []stream.Element
+	faults []WireFault // payload-corrupt frames skipped under Lenient, wire order
+	err    error       // strict mode: terminal decode error at frame len(elems)
+	endOK  int64       // wire offset after the last frame accounted for (0 if none)
+}
+
+// decodeRawBatch decodes a batch's frames. Under lenient a corrupt
+// payload becomes a WireFault (the frame's boundary is known, so it
+// skips whole); under strict it truncates the batch with the error.
+func decodeRawBatch(b *wireRawBatch, lenient bool) wireDecoded {
+	d := wireDecoded{elems: make([]stream.Element, 0, len(b.frames))}
+	for _, span := range b.frames {
+		e, err := decodeWireFrame(b.ws, b.buf[span.payloadStart:span.end])
+		if err == nil {
+			d.elems = append(d.elems, e)
+			d.endOK = span.wireEnd
+			continue
+		}
+		if !lenient {
+			d.err = fmt.Errorf("engine: wire: %w", err)
+			return d
+		}
+		frame := append([]byte(nil), b.buf[span.frameStart:span.end]...)
+		d.faults = append(d.faults, WireFault{
+			Stream:  b.ws.name,
+			Offset:  span.wireEnd - int64(span.end-span.frameStart),
+			Skipped: span.end - span.frameStart,
+			Frame:   frame,
+			Err:     fmt.Errorf("engine: wire: %w", err),
+		})
+		d.endOK = span.wireEnd
+	}
+	return d
+}
+
+// runWirePipeline drives the splitter/worker/assembly pipeline over wr.
+// sink runs on the caller's goroutine, once per batch in wire order (d
+// is nil for the terminal sentinel); its first non-nil error cancels the
+// pipeline and is returned after all pipeline goroutines have exited, so
+// wr and its underlying reader are never touched after return.
+func runWirePipeline(wr *WireReader, workers int, sink func(b *wireRawBatch, d *wireDecoded) error) error {
+	work := make(chan *wireRawBatch, workers*2)
+	order := make(chan *wireRawBatch, workers*2)
+	cancel := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Lenient framing faults surface inside readRaw; collect them in
+	// order (splitter-goroutine-local) and ride them to the assembler on
+	// the next batch, preserving their wire position.
+	var pending []WireFault
+	lenient := wr.lenient
+	if lenient {
+		wr.onFault = func(f WireFault) { pending = append(pending, f) }
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(order)
+		defer close(work)
+		var b *wireRawBatch
+		flush := func() bool {
+			if b == nil {
+				return true
+			}
+			sb := b
+			b = nil
+			select {
+			case order <- sb:
+			case <-cancel:
+				return false
+			}
+			select {
+			case work <- sb:
+			case <-cancel:
+				return false
+			}
+			return true
+		}
+		for {
+			ws, payload, frameLen, err := wr.readRaw()
+			if err != nil {
+				if !flush() {
+					return
+				}
+				term := err
+				if term == io.EOF {
+					term = nil
+				}
+				s := &wireRawBatch{pre: pending, end: wr.Offset(), err: term, last: true}
+				pending = nil
+				select {
+				case order <- s:
+				case <-cancel:
+				}
+				return
+			}
+			// A stream change, the size cap, or an interleaved framing
+			// fault all end the current batch (faults ride as the next
+			// batch's prefix so their wire order survives).
+			if b != nil && (b.ws.name != ws.name || len(b.frames) >= wireParallelBatch || len(pending) > 0) {
+				if !flush() {
+					return
+				}
+			}
+			if b == nil {
+				b = &wireRawBatch{ws: ws, pre: pending, res: make(chan wireDecoded, 1)}
+				pending = nil
+			}
+			fs := len(b.buf)
+			b.buf = append(b.buf, wr.buf[wr.pos:wr.pos+frameLen]...)
+			wr.pos += frameLen
+			b.frames = append(b.frames, wireFrameSpan{
+				frameStart:   fs,
+				payloadStart: fs + frameLen - len(payload),
+				end:          fs + frameLen,
+				wireEnd:      wr.Offset(),
+			})
+			b.end = wr.Offset()
+		}
+	}()
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				// res has capacity 1 and exactly one consumer, so this
+				// never blocks even if the assembler bailed early.
+				b.res <- decodeRawBatch(b, lenient)
+			}
+		}()
+	}
+
+	var sinkErr error
+	for b := range order {
+		if sinkErr != nil {
+			continue // drain so the splitter's sends unwind
+		}
+		var d *wireDecoded
+		if !b.last {
+			dd := <-b.res
+			d = &dd
+		}
+		if err := sink(b, d); err != nil {
+			sinkErr = err
+			close(cancel)
+		}
+	}
+	wg.Wait()
+	return sinkErr
+}
+
+// wireWorkers normalizes a worker-count knob: <= 0 selects GOMAXPROCS.
+func wireWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// IngestWireParallel is IngestWire with frame decoding fanned out over
+// `workers` goroutines (<= 0 selects GOMAXPROCS; 1 falls back to the
+// sequential path). Elements are routed in wire order with the same
+// batching, leniency, and dead-letter semantics as IngestWire — only the
+// decode CPU time is parallelized.
+func (rt *Runtime) IngestWireParallel(r io.Reader, workers int, schemas ...*stream.Schema) (int, error) {
+	if workers = wireWorkers(workers); workers == 1 {
+		return rt.IngestWire(r, schemas...)
+	}
+	wr := NewWireReader(r, schemas...)
+	if rt.policy != Fail {
+		wr.Lenient(nil) // faults are collected in wire order by the pipeline
+	}
+	count := 0
+	err := runWirePipeline(wr, workers, func(b *wireRawBatch, d *wireDecoded) error {
+		for _, f := range b.pre {
+			rt.dlq.add(DeadLetter{Stream: f.Stream, Frame: f.Frame, Err: f.Err})
+		}
+		if b.last {
+			return b.err
+		}
+		for _, f := range d.faults {
+			rt.dlq.add(DeadLetter{Stream: f.Stream, Frame: f.Frame, Err: f.Err})
+		}
+		if len(d.elems) > 0 {
+			if err := rt.SendBatch(b.ws.name, d.elems); err != nil {
+				return err
+			}
+			count += len(d.elems)
+		}
+		return d.err
+	})
+	return count, err
+}
+
+// IngestWireFromParallel is IngestWireFrom with parallel frame decoding.
+// The assembly stage commits offsets batch-by-batch in wire order, so
+// the offset-exact resume contract is untouched: a checkpoint taken
+// mid-ingest resumes exactly after the last frame whose batch was
+// committed, with pending fault regions committed only once the offset
+// passes them.
+func (rt *Runtime) IngestWireFromParallel(source string, open func(offset int64) (io.Reader, error), workers int, schemas ...*stream.Schema) (int, error) {
+	if workers = wireWorkers(workers); workers == 1 {
+		return rt.IngestWireFrom(source, open, schemas...)
+	}
+	start := rt.ResumeOffset(source)
+	rr := &RetryReader{Open: open, StartOffset: start}
+	wr := NewWireReader(rr, schemas...)
+	wr.base = start
+	if rt.policy != Fail {
+		wr.Lenient(nil)
+	}
+	var pendingFaults []WireFault
+	count := 0
+	lastEnd := start
+	commit := func(streamName string, elems []stream.Element, off int64) error {
+		var ready []DeadLetter
+		rest := pendingFaults[:0]
+		for _, f := range pendingFaults {
+			if f.Offset+int64(f.Skipped) <= off {
+				ready = append(ready, DeadLetter{Stream: f.Stream, Frame: f.Frame, Err: f.Err})
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		pendingFaults = rest
+		if len(ready) == 0 && len(elems) == 0 {
+			return nil
+		}
+		if err := rt.ingestCommit(source, streamName, elems, ready, off); err != nil {
+			return err
+		}
+		count += len(elems)
+		return nil
+	}
+	err := runWirePipeline(wr, workers, func(b *wireRawBatch, d *wireDecoded) error {
+		pendingFaults = append(pendingFaults, b.pre...)
+		if b.last {
+			if b.err != nil {
+				// Commit only through the last routed frame; regions
+				// beyond it stay uncommitted for the retry, exactly as
+				// the sequential path leaves them.
+				if cerr := commit("", nil, lastEnd); cerr != nil {
+					return cerr
+				}
+				return b.err
+			}
+			// Clean EOF consumes the whole wire: trailing skipped regions
+			// commit with the final offset.
+			return commit("", nil, b.end)
+		}
+		pendingFaults = append(pendingFaults, d.faults...)
+		off := b.end
+		if d.err != nil {
+			off = lastEnd
+			if d.endOK > off {
+				off = d.endOK
+			}
+		}
+		if cerr := commit(b.ws.name, d.elems, off); cerr != nil {
+			return cerr
+		}
+		lastEnd = off
+		return d.err
+	})
+	return count, err
+}

@@ -47,5 +47,8 @@ go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt 
 mv "$tmp" "$OUT"
 echo "wrote $OUT"
 
-go run ./cmd/punctbench -partition-json "$partraw" -sha "$sha" -time "$now" > "$PART_OUT"
+tmp=$(mktemp)
+go run ./cmd/punctbench -partition-json "$partraw" \
+  -prev "$PART_OUT" -sha "$sha" -time "$now" > "$tmp"
+mv "$tmp" "$PART_OUT"
 echo "wrote $PART_OUT"

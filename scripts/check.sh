@@ -11,6 +11,12 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
+
+# Multi-producer ingestion stress, repeated under the race detector: one
+# pass rarely covers the interleavings of concurrent SendBatch producers,
+# the parallel wire pipeline, and Stats/Checkpoint barriers.
+go test -race -run TestParallelIngestStress -count 5 ./engine/
+
 go test -run Fuzz ./engine/...
 
 # Checkpoint round-trip smoke: run a sharded workload writing periodic
