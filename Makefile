@@ -27,11 +27,12 @@ race:
 racestress:
 	$(GO) test -race -run TestParallelIngestStress -count 5 ./engine/
 
-# Run the wire-format fuzz targets over their checked-in seed corpus
-# (truncated frames, oversized lengths, unknown streams). `go test -fuzz`
+# Run the fuzz targets over their checked-in seed corpus: wire-format
+# (truncated frames, oversized lengths, unknown streams) and the serving
+# handshake (bad magic, bad role, absurd name lengths). `go test -fuzz`
 # explores further; the seed set is the regression gate.
 fuzzseed:
-	$(GO) test -run Fuzz ./engine/...
+	$(GO) test -run Fuzz ./engine/... ./server/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

@@ -23,6 +23,13 @@
 // parses BenchmarkPartitionedIngest output and prints the partitioned
 // MJoin scaling report consumed as BENCH_partition.json, appending this
 // run to the previous report's trajectory the same way -bench-json does.
+//
+//	punctbench -serving-json serving.txt -prev BENCH_serving.json \
+//	    -sha abc1234 -time ...
+//
+// parses BenchmarkServe output (sustained producer/subscriber connection
+// throughput of the punctserve front-end) and prints the serving report
+// consumed as BENCH_serving.json, with the same appended trajectory.
 package main
 
 import (
@@ -43,6 +50,7 @@ func main() {
 	sha := flag.String("sha", "", "git commit SHA to stamp on this run's trajectory entry")
 	timeStr := flag.String("time", "", "UTC timestamp to stamp on this run's trajectory entry")
 	partitionJSON := flag.String("partition-json", "", "parse BenchmarkPartitionedIngest output and emit scaling JSON")
+	servingJSON := flag.String("serving-json", "", "parse BenchmarkServe output and emit serving throughput JSON")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -54,6 +62,13 @@ func main() {
 	}
 	if *partitionJSON != "" {
 		if err := emitPartitionJSON(*partitionJSON, *prev, *sha, *timeStr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *servingJSON != "" {
+		if err := emitServingJSON(*servingJSON, *prev, *sha, *timeStr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

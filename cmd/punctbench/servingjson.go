@@ -1,0 +1,90 @@
+package main
+
+// The -serving-json mode turns raw BenchmarkServe output into
+// BENCH_serving.json: per-row sustained serving throughput of the
+// punctserve front-end (P producer connections × S subscriber
+// connections over a unix socket, background checkpoints on). Each row
+// reports the measured time per op and the derived frames-per-second
+// figure; every bench.sh run appends to the trajectory so the serving
+// path accrues history like the hot-path and partition reports.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// servingRow is one BenchmarkServe/pP_sS row's measurements.
+type servingRow struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	ElementsPerOp float64 `json:"elements_per_op,omitempty"`
+	// ElementsPerSec is the sustained wire throughput: every element a
+	// producer sends crosses the socket as one frame, so this is also
+	// frames per second.
+	ElementsPerSec float64 `json:"elements_per_sec,omitempty"`
+}
+
+type servingReport struct {
+	Note       string            `json:"note"`
+	Env        []string          `json:"env,omitempty"`
+	Sha        string            `json:"sha,omitempty"`
+	Time       string            `json:"time,omitempty"`
+	Rows       []servingRow      `json:"rows"`
+	Trajectory []trajectoryEntry `json:"trajectory,omitempty"`
+}
+
+// emitServingJSON writes the serving throughput report to stdout. When
+// prevPath is set, the previous report's run history is carried forward
+// and this run (stamped sha/timeStr) is appended to it.
+func emitServingJSON(currentPath, prevPath, sha, timeStr string) error {
+	names, metrics, env, err := parseBenchFile(currentPath)
+	if err != nil {
+		return fmt.Errorf("parsing serving results %s: %w", currentPath, err)
+	}
+	rep := servingReport{
+		Note: "punctserve sustained throughput (BenchmarkServe): pP_sS rows run P producer " +
+			"connections and S subscriber connections over a unix socket with background " +
+			"checkpoints and durable producer acks on. One op = every producer pushing the " +
+			"full auction feed and the server ingesting all of it; elements_per_sec is the " +
+			"derived sustained frames/sec across the whole front-end.",
+		Env:  env,
+		Sha:  sha,
+		Time: timeStr,
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "Serve/") {
+			continue
+		}
+		m := metrics[name]
+		row := servingRow{Name: name, NsPerOp: m.NsPerOp}
+		if m.Extra != nil {
+			row.ElementsPerOp = m.Extra["elements/op"]
+		}
+		if row.ElementsPerOp > 0 && m.NsPerOp > 0 {
+			row.ElementsPerSec = round2(row.ElementsPerOp / (m.NsPerOp / 1e9))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("no Serve rows in %s", currentPath)
+	}
+	if prevPath != "" {
+		history, err := loadTrajectory(prevPath)
+		if err != nil {
+			return err
+		}
+		entry := trajectoryEntry{Sha: sha, Time: timeStr}
+		for _, row := range rep.Rows {
+			entry.Benchmarks = append(entry.Benchmarks, trajectoryPoint{
+				Name:    row.Name,
+				NsPerOp: row.NsPerOp,
+			})
+		}
+		rep.Trajectory = append(history, entry)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,159 @@
+// Punctserve runs the network serving front-end: a punctuated-stream
+// server that accepts producer connections pushing wire frames and
+// subscriber connections receiving the query's results and punctuations
+// over TCP or a unix socket (see DESIGN.md §"Serving & HA model").
+//
+// Usage:
+//
+//	punctserve -addr tcp://127.0.0.1:7341 -scenario auction \
+//	    -checkpoint /var/tmp/auction.ckpt -checkpoint-every 2s
+//
+// With -checkpoint set the server restores from the file when it exists
+// (crash failover: restart with the same flags and clients resume),
+// checkpoints on the timer, and acks producers with durable offsets.
+// SIGINT/SIGTERM trigger a graceful drain: producers are cut off, the
+// runtime flushes, a final checkpoint is written, and subscribers
+// receive everything up to the cut plus a clean end-of-stream marker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"punctsafe/engine"
+	"punctsafe/query"
+	"punctsafe/server"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "tcp://127.0.0.1:7341", "listen address: tcp://host:port or unix:///path")
+		scenario   = flag.String("scenario", "auction", "query to serve: auction | netmon | sensors")
+		partitions = flag.Int("partitions", 1, "hash-partitioned join replicas (1 = single tree)")
+		onError    = flag.String("on-error", "quarantine", "runtime error policy: fail | drop | quarantine")
+		enforce    = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
+		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file (enables restore-at-start, periodic checkpoints, producer acks)")
+		ckptEvery  = flag.Duration("checkpoint-every", 2*time.Second, "background checkpoint interval (needs -checkpoint)")
+		queue      = flag.Int("queue", 256, "per-subscriber pending backlog before the slow-consumer policy applies")
+		retain     = flag.Int("retain", 1024, "recent deliveries retained per query for reconnecting subscribers")
+		slow       = flag.String("slow", "block", "slow-consumer policy: block | drop | disconnect")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound on subscriber drain")
+		quiet      = flag.Bool("quiet", false, "suppress connection logs")
+	)
+	flag.Parse()
+
+	policy, err := engine.ParseErrorPolicy(*onError)
+	if err != nil {
+		fatal(err)
+	}
+	slowPolicy, err := server.ParseSlowPolicy(*slow)
+	if err != nil {
+		fatal(err)
+	}
+	q, schemes, err := servedScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	enginePartitions := 0
+	if *partitions > 1 {
+		enginePartitions = *partitions
+	}
+	schemas := make([]*stream.Schema, q.N())
+	for i := range schemas {
+		schemas[i] = q.Stream(i)
+	}
+
+	l, err := listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "punctserve: "+format+"\n", args...)
+	}
+	cfg := server.Config{
+		Listener: l,
+		Build: func(d *engine.DSMS) error {
+			for _, s := range schemes.All() {
+				d.RegisterScheme(s)
+			}
+			_, err := d.Register(*scenario, q, engine.Options{
+				EnforcePromises: *enforce,
+				Partitions:      enginePartitions,
+			})
+			return err
+		},
+		Schemas:         schemas,
+		Runtime:         engine.RuntimeOptions{OnError: policy},
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		QueueLimit:      *queue,
+		Retain:          *retain,
+		Slow:            slowPolicy,
+		DrainTimeout:    *drain,
+	}
+	if !*quiet {
+		// The server package prefixes its own messages with "punctserve:".
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	logf("serving %q on %s (queue %d, retain %d, slow=%s)", *scenario, srv.Addr(), *queue, *retain, slowPolicy)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		logf("%s: draining (bounded by %v)", sig, *drain)
+		srv.Shutdown()
+	}()
+
+	if err := srv.Wait(); err != nil {
+		fatal(err)
+	}
+	logf("drained cleanly")
+}
+
+// listen opens the flag-specified listener. A unix path is unlinked
+// first so a restart after kill -9 does not trip over the stale socket.
+func listen(addr string) (net.Listener, error) {
+	switch {
+	case strings.HasPrefix(addr, "unix://"):
+		path := strings.TrimPrefix(addr, "unix://")
+		os.Remove(path)
+		return net.Listen("unix", path)
+	case strings.HasPrefix(addr, "tcp://"):
+		return net.Listen("tcp", strings.TrimPrefix(addr, "tcp://"))
+	default:
+		return net.Listen("tcp", addr)
+	}
+}
+
+func servedScenario(name string) (*query.CJQ, *stream.SchemeSet, error) {
+	switch name {
+	case "auction":
+		return workload.AuctionQuery(), workload.AuctionSchemes(), nil
+	case "netmon":
+		return workload.NetMonQuery(), workload.NetMonSchemes(), nil
+	case "sensors":
+		return workload.SensorQuery(), workload.SensorSchemes(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown scenario %q (auction | netmon | sensors)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "punctserve:", err)
+	os.Exit(2)
+}

@@ -23,7 +23,7 @@ import (
 // dead-letter queue, and the committed resume offset of every named
 // ingest source. The file layout is
 //
-//	"PSCKPT01" uvarint(len(body)) body crc32(everything before it)
+//	"PSCKPT02" uvarint(len(body)) body crc32(everything before it)
 //
 // so a torn write is detectable three ways: short header, length
 // mismatch, checksum mismatch. Operator state inside the body reuses
@@ -51,8 +51,9 @@ var ErrKilled = errors.New("engine: runtime killed")
 
 // checkpointMagic doubles as format version; readers reject anything
 // else, so a layout change shows up as ErrCorruptCheckpoint, not as
-// silently misparsed state.
-const checkpointMagic = "PSCKPT01"
+// silently misparsed state. Version 02 added the per-query delivery
+// count to the per-shard section (serving-layer sequence numbers).
+const checkpointMagic = "PSCKPT02"
 
 // Kill simulates a crash: every worker stops processing mid-stream (no
 // batch flush, no final purge round) and the runtime reports ErrKilled.
@@ -127,6 +128,19 @@ func (rt *Runtime) sourceOffsets() map[string]int64 {
 	return out
 }
 
+// CheckpointSummary describes the consistent cut a checkpoint captured:
+// the committed resume offset of every ingest source and each query's
+// delivery count at the barrier. The serving layer uses it to send
+// durable acknowledgements to producers and to trim its subscriber
+// replay rings to the cut.
+type CheckpointSummary struct {
+	// Offsets maps ingest source names to their committed resume offsets.
+	Offsets map[string]int64
+	// Delivered maps query names to their total delivery counts at the
+	// cut (see Registered.Delivered).
+	Delivered map[string]uint64
+}
+
 // Checkpoint quiesces every shard via a mailbox barrier and writes one
 // atomic snapshot of the runtime to w: operator state per query, the
 // dead-letter queue, and the committed ingest offsets. It blocks
@@ -134,25 +148,35 @@ func (rt *Runtime) sourceOffsets() map[string]int64 {
 // nothing) if the runtime has failed. Checkpointing a Closed runtime
 // waits for the drain and snapshots the final state.
 func (rt *Runtime) Checkpoint(w io.Writer) error {
+	_, err := rt.CheckpointSummary(w)
+	return err
+}
+
+// CheckpointSummary is Checkpoint plus a description of the cut it
+// captured.
+func (rt *Runtime) CheckpointSummary(w io.Writer) (CheckpointSummary, error) {
+	var sum CheckpointSummary
 	rt.closeMu.Lock()
 	defer rt.closeMu.Unlock()
 	if err := rt.Err(); err != nil {
-		return fmt.Errorf("engine: checkpoint: runtime has failed: %w", err)
+		return sum, fmt.Errorf("engine: checkpoint: runtime has failed: %w", err)
 	}
 	states := make([][]byte, len(rt.shards))
+	delivered := make([]uint64, len(rt.shards))
 	if rt.closed {
 		for _, s := range rt.shards {
 			<-s.done
 		}
 		if err := rt.Err(); err != nil {
-			return fmt.Errorf("engine: checkpoint: runtime has failed: %w", err)
+			return sum, fmt.Errorf("engine: checkpoint: runtime has failed: %w", err)
 		}
 		for i, s := range rt.shards {
 			var buf bytes.Buffer
 			if err := s.reg.writeState(&buf); err != nil {
-				return fmt.Errorf("engine: checkpoint: query %q: %w", s.reg.Name, err)
+				return sum, fmt.Errorf("engine: checkpoint: query %q: %w", s.reg.Name, err)
 			}
 			states[i] = buf.Bytes()
+			delivered[i] = s.reg.delivered
 		}
 	} else {
 		reply := make(chan shardCkpt, len(rt.shards))
@@ -177,12 +201,18 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 				continue
 			}
 			states[c.idx] = c.state
+			delivered[c.idx] = c.delivered
 		}
 		if firstErr != nil {
-			return fmt.Errorf("engine: checkpoint: %w", firstErr)
+			return sum, fmt.Errorf("engine: checkpoint: %w", firstErr)
 		}
 	}
-	body := rt.appendCheckpointBody(make([]byte, 0, 4096), states)
+	sum.Offsets = rt.sourceOffsets()
+	sum.Delivered = make(map[string]uint64, len(rt.shards))
+	for i, s := range rt.shards {
+		sum.Delivered[s.reg.Name] = delivered[i]
+	}
+	body := rt.appendCheckpointBody(make([]byte, 0, 4096), sum.Offsets, states, delivered)
 	out := make([]byte, 0, len(body)+len(checkpointMagic)+binary.MaxVarintLen64+4)
 	out = append(out, checkpointMagic...)
 	out = binary.AppendUvarint(out, uint64(len(body)))
@@ -190,8 +220,10 @@ func (rt *Runtime) Checkpoint(w io.Writer) error {
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
 	out = append(out, crc[:]...)
-	_, err := w.Write(out)
-	return err
+	if _, err := w.Write(out); err != nil {
+		return sum, err
+	}
+	return sum, nil
 }
 
 // CheckpointFile writes a checkpoint to path atomically: the snapshot
@@ -221,10 +253,9 @@ func (rt *Runtime) CheckpointFile(path string) error {
 }
 
 // appendCheckpointBody serializes the snapshot body: sorted source
-// offsets, the dead-letter queue, then each shard's state in
-// registration order.
-func (rt *Runtime) appendCheckpointBody(dst []byte, states [][]byte) []byte {
-	offsets := rt.sourceOffsets()
+// offsets, the dead-letter queue, then each shard's delivery count and
+// state in registration order.
+func (rt *Runtime) appendCheckpointBody(dst []byte, offsets map[string]int64, states [][]byte, delivered []uint64) []byte {
 	names := make([]string, 0, len(offsets))
 	for name := range offsets {
 		names = append(names, name)
@@ -239,6 +270,7 @@ func (rt *Runtime) appendCheckpointBody(dst []byte, states [][]byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(rt.shards)))
 	for i, s := range rt.shards {
 		dst = appendCkptString(dst, s.reg.Name)
+		dst = binary.AppendUvarint(dst, delivered[i])
 		dst = binary.AppendUvarint(dst, uint64(len(states[i])))
 		dst = append(dst, states[i]...)
 	}
@@ -253,8 +285,9 @@ type checkpointSnapshot struct {
 }
 
 type shardState struct {
-	name  string
-	state []byte
+	name      string
+	delivered uint64
+	state     []byte
 }
 
 // RestoreRuntime rebuilds a sharded runtime from a checkpoint written by
@@ -286,9 +319,10 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 	// checkpoint taken at one partition count only restores into the same
 	// count (the formats differ, so a mismatch parses as corrupt).
 	type stagedState struct {
-		reg   *Registered
-		state *exec.TreeState
-		part  *exec.PartitionedTreeState
+		reg       *Registered
+		delivered uint64
+		state     *exec.TreeState
+		part      *exec.PartitionedTreeState
 	}
 	staged := make([]stagedState, 0, len(snap.shards))
 	seen := make(map[string]bool, len(snap.shards))
@@ -301,7 +335,7 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 			return nil, fmt.Errorf("%w: duplicate query %q", ErrCorruptCheckpoint, sh.name)
 		}
 		seen[sh.name] = true
-		st := stagedState{reg: reg}
+		st := stagedState{reg: reg, delivered: sh.delivered}
 		var err error
 		if reg.Part != nil {
 			st.part, err = reg.Part.DecodeState(bytes.NewReader(sh.state))
@@ -324,6 +358,7 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
 		}
+		st.reg.delivered = st.delivered
 	}
 	rt := d.RunSharded(opts)
 	rt.dlq.install(snap.dlq)
@@ -398,6 +433,10 @@ func readCheckpoint(r io.Reader) (*checkpointSnapshot, error) {
 		if err != nil {
 			return nil, err
 		}
+		delivered, err := d.uvarint("query delivery count")
+		if err != nil {
+			return nil, err
+		}
 		stateLen, err := d.count("query state length")
 		if err != nil {
 			return nil, err
@@ -406,7 +445,7 @@ func readCheckpoint(r io.Reader) (*checkpointSnapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		snap.shards = append(snap.shards, shardState{name: name, state: state})
+		snap.shards = append(snap.shards, shardState{name: name, delivered: delivered, state: state})
 	}
 	if d.off != len(d.buf) {
 		return nil, fmt.Errorf("%w: %d trailing bytes in body", ErrCorruptCheckpoint, len(d.buf)-d.off)
@@ -776,9 +815,20 @@ func (d *ckptDec) str(what string) (string, error) {
 // batch whose offset moves past it, so faults are exactly-once across a
 // crash too.
 func (rt *Runtime) IngestWireFrom(source string, open func(offset int64) (io.Reader, error), schemas ...*stream.Schema) (int, error) {
+	rr := &RetryReader{Open: open, StartOffset: rt.ResumeOffset(source)}
+	return rt.IngestWireResume(source, rr, schemas...)
+}
+
+// IngestWireResume is the transport-agnostic half of IngestWireFrom: r
+// must already be positioned at the source's committed resume offset
+// (rt.ResumeOffset(source)), and no reconnection is attempted — a read
+// failure surfaces after committing everything read before it. The
+// serving front-end feeds each producer connection through this path:
+// the connection handshake positions the client at the resume offset,
+// and reconnection is the client's job, not the reader's.
+func (rt *Runtime) IngestWireResume(source string, r io.Reader, schemas ...*stream.Schema) (int, error) {
 	start := rt.ResumeOffset(source)
-	rr := &RetryReader{Open: open, StartOffset: start}
-	wr := NewWireReader(rr, schemas...)
+	wr := NewWireReader(r, schemas...)
 	wr.base = start
 	var pendingFaults []WireFault
 	if rt.policy != Fail {
@@ -825,6 +875,11 @@ func (rt *Runtime) IngestWireFrom(source string, open func(offset int64) (io.Rea
 		if err != nil {
 			if ferr := commit(lastEnd); ferr != nil {
 				return count, ferr
+			}
+			if errors.Is(err, ErrWouldBlock) {
+				// The transport drained its buffered bytes: progress so
+				// far is committed, the next Read blocks for more.
+				continue
 			}
 			return count, err
 		}

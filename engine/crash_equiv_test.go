@@ -261,7 +261,7 @@ func TestCrashRecoveryEquivalenceAcrossConfigs(t *testing.T) {
 }
 
 // TestCrashRecoveryEquivalencePartitioned: the crash matrix with
-// partitioned execution enabled — the PSCKPT01 snapshot's per-partition
+// partitioned execution enabled — the PSCKPT02 snapshot's per-partition
 // section (replica states plus the output-punctuation alignment gate)
 // must restore a partitioned shard to observational equivalence, and a
 // partitioned restore must also match the partitioned reference exactly.

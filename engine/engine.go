@@ -106,6 +106,17 @@ type Registered struct {
 	Output   *stream.Schema
 	onResult func(stream.Tuple)
 	onPunct  func(stream.Punctuation)
+	// delivered counts every output (result tuple or propagated
+	// punctuation) delivered over the query's life. It is owned by
+	// whatever goroutine drives the query (the shard worker, the
+	// partition merger, or the sequential caller) and is captured at
+	// checkpoint barriers so delivery sequence numbers survive a
+	// crash/restore (see Delivered and SetDeliveryHook).
+	delivered uint64
+	// onDeliver, when set, replaces onResult/onPunct/Results entirely:
+	// every output is handed to it with its 1-based delivery sequence
+	// number. The serving layer uses this to stamp subscriber frames.
+	onDeliver func(seq uint64, e stream.Element)
 	// filter, when set, drops input tuples before they reach the plan
 	// (SQL literal predicates); punctuations always pass.
 	filter func(input int, t stream.Tuple) bool
@@ -386,8 +397,34 @@ func (d *DSMS) Flush() error {
 	return nil
 }
 
+// SetDeliveryHook routes every delivered output — result tuples and
+// propagated punctuations alike — to fn with its 1-based delivery
+// sequence number, instead of the OnResult/OnPunct callbacks or the
+// Results buffer. The sequence is the query's total delivery count: it
+// is captured in checkpoints and restored by RestoreRuntime, so a
+// resumed run re-emits post-checkpoint outputs under the same numbers
+// an uninterrupted run would have used — the property the serving
+// layer's duplicate suppression rests on. Install the hook before the
+// runtime starts; it runs on the query's driving goroutine.
+func (r *Registered) SetDeliveryHook(fn func(seq uint64, e stream.Element)) {
+	r.onDeliver = fn
+}
+
+// Delivered returns the query's total delivery count. Only meaningful
+// on a quiescent query (before a runtime starts or after Wait); while a
+// runtime runs the counter belongs to the driving goroutine.
+func (r *Registered) Delivered() uint64 { return r.delivered }
+
 func (r *Registered) deliver(outs []stream.Element) {
+	if r.onDeliver != nil {
+		for _, o := range outs {
+			r.delivered++
+			r.onDeliver(r.delivered, o)
+		}
+		return
+	}
 	for _, o := range outs {
+		r.delivered++
 		if o.IsPunct() {
 			if r.onPunct != nil {
 				r.onPunct(o.Punct())

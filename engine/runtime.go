@@ -121,11 +121,13 @@ type shardMsg struct {
 }
 
 // shardCkpt is a worker's answer to a checkpoint barrier: its tree's
-// serialized state, taken after the in-flight batch was flushed.
+// serialized state and delivery count, taken after the in-flight batch
+// was flushed.
 type shardCkpt struct {
-	idx   int
-	state []byte
-	err   error
+	idx       int
+	state     []byte
+	delivered uint64
+	err       error
 }
 
 // maxShardBatch caps how many elements a worker accumulates before
@@ -322,7 +324,7 @@ func (s *shard) checkpointReply() shardCkpt {
 	if err := s.reg.writeState(&buf); err != nil {
 		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q: serializing state: %w", s.reg.Name, err)}
 	}
-	return shardCkpt{idx: s.idx, state: buf.Bytes()}
+	return shardCkpt{idx: s.idx, state: buf.Bytes(), delivered: s.reg.delivered}
 }
 
 // finish runs the end-of-input flush once the mailbox has fully drained.
@@ -533,6 +535,14 @@ func safeAccepts(r *Registered, input int, e stream.Element) (ok bool, err error
 // Quarantine, plus the retained offenders under Quarantine. Safe to call
 // from any goroutine at any time.
 func (rt *Runtime) DeadLetters() DeadLetterSnapshot { return rt.dlq.snapshot() }
+
+// AddDeadLetter records an externally classified offender in the
+// runtime's dead-letter queue — counted always, retained under
+// Quarantine — exactly as if a shard had rejected it. The serving
+// layer's drop-with-counter slow-consumer policy uses this so dropped
+// deliveries ride the same accounting as every other absorbed fault.
+// Safe to call from any goroutine.
+func (rt *Runtime) AddDeadLetter(d DeadLetter) { rt.dlq.add(d) }
 
 // Close signals the end of input: every shard finishes its queued
 // elements, flushes pending lazy purges, and exits. Idempotent; call it

@@ -131,6 +131,15 @@ type WireReader struct {
 
 const wireReadChunk = 32 * 1024
 
+// ErrWouldBlock is a transient signal a transport reader may return
+// (with zero bytes) to mean "everything available so far has been
+// consumed; the next read will block". Unlike every other reader error
+// it is NOT latched: the WireReader surfaces it to its caller — which
+// can commit partial progress, as IngestWireResume does at these
+// drained-pipeline boundaries — and the next Read continues where the
+// parse left off.
+var ErrWouldBlock = errors.New("engine: wire read would block")
+
 // NewWireReader builds a strict reader for the given stream schemas (the
 // streams the wire may carry): the first corrupt frame fails the read, as
 // Read documents.
@@ -296,6 +305,9 @@ func (wr *WireReader) fillMore() error {
 	n, err := wr.r.Read(wr.buf[wr.fill:])
 	wr.fill += n
 	if err != nil {
+		if err == ErrWouldBlock && n == 0 {
+			return err // transient, not latched: the caller may retry
+		}
 		wr.rdErr = err
 		if n == 0 {
 			return err

@@ -4,9 +4,9 @@
 # (scripts/bench_baseline.txt), and rewrites BENCH_hotpath.json at the
 # repo root — appending this run (git SHA + timestamp) to the report's
 # `trajectory` array so history accumulates instead of being overwritten.
-# Also runs the partitioned-ingest scaling benchmark and writes
-# BENCH_partition.json. Run from the repository root, or via
-# `make benchfull`.
+# Also runs the partitioned-ingest scaling benchmark (BENCH_partition.json)
+# and the punctserve sustained serving benchmark (BENCH_serving.json).
+# Run from the repository root, or via `make benchfull`.
 #
 #   BENCHTIME=2s scripts/bench.sh        # the checked-in configuration
 #   BENCHTIME=100ms scripts/bench.sh     # a quick smoke pass
@@ -15,9 +15,11 @@ set -eu
 BENCHTIME=${BENCHTIME:-2s}
 OUT=${OUT:-BENCH_hotpath.json}
 PART_OUT=${PART_OUT:-BENCH_partition.json}
+SERVE_OUT=${SERVE_OUT:-BENCH_serving.json}
 raw=$(mktemp)
 partraw=$(mktemp)
-trap 'rm -f "$raw" "$partraw"' EXIT
+serveraw=$(mktemp)
+trap 'rm -f "$raw" "$partraw" "$serveraw"' EXIT
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -41,6 +43,13 @@ go test ./engine -run xxx \
   -bench 'BenchmarkPartitionedIngest' \
   -benchtime "$BENCHTIME" | tee "$partraw"
 
+# Serving-layer sustained throughput: P producer x S subscriber
+# connections over a unix socket against a live punctserve server, with
+# background checkpoints and durable producer acks on.
+go test ./server -run xxx \
+  -bench 'BenchmarkServe' \
+  -benchtime "$BENCHTIME" | tee "$serveraw"
+
 tmp=$(mktemp)
 go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt \
   -prev "$OUT" -sha "$sha" -time "$now" > "$tmp"
@@ -52,3 +61,9 @@ go run ./cmd/punctbench -partition-json "$partraw" \
   -prev "$PART_OUT" -sha "$sha" -time "$now" > "$tmp"
 mv "$tmp" "$PART_OUT"
 echo "wrote $PART_OUT"
+
+tmp=$(mktemp)
+go run ./cmd/punctbench -serving-json "$serveraw" \
+  -prev "$SERVE_OUT" -sha "$sha" -time "$now" > "$tmp"
+mv "$tmp" "$SERVE_OUT"
+echo "wrote $SERVE_OUT"

@@ -17,7 +17,9 @@ go test -race ./...
 # the parallel wire pipeline, and Stats/Checkpoint barriers.
 go test -race -run TestParallelIngestStress -count 5 ./engine/
 
-go test -run Fuzz ./engine/...
+# Fuzz targets over their checked-in seed corpus: wire-format framing
+# and the serving handshake front door.
+go test -run Fuzz ./engine/... ./server/...
 
 # Checkpoint round-trip smoke: run a sharded workload writing periodic
 # snapshots, then restore from the final snapshot and resume (a no-op

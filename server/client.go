@@ -1,0 +1,558 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"punctsafe/engine"
+	"punctsafe/stream"
+)
+
+// Dialer connects producers and subscribers to a punctserve server,
+// with RetryReader-style capped jittered exponential backoff on every
+// (re)connection attempt. The zero value needs only Addr.
+type Dialer struct {
+	// Addr is "host:port", "tcp://host:port", or "unix:///path".
+	Addr string
+	// Dial overrides how a raw connection is made (chaos injection,
+	// in-memory pipes). When set, Addr is ignored.
+	Dial func() (net.Conn, error)
+	// MaxRetries bounds consecutive failed connection attempts before a
+	// client call gives up (<= 0 selects the default of 4; a success
+	// resets the count).
+	MaxRetries int
+	// Backoff is the initial delay between attempts (default 10ms),
+	// doubling each failure up to MaxBackoff (default 1s), with ±50%
+	// jitter.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Context, when set, aborts in-flight backoff sleeps.
+	Context context.Context
+	// Sleep and Rand are test seams (real sleep and math/rand default).
+	Sleep func(time.Duration)
+	Rand  func(n int64) int64
+}
+
+func (d *Dialer) rawDial() (net.Conn, error) {
+	if d.Dial != nil {
+		return d.Dial()
+	}
+	network, addr := "tcp", d.Addr
+	switch {
+	case strings.HasPrefix(addr, "tcp://"):
+		addr = strings.TrimPrefix(addr, "tcp://")
+	case strings.HasPrefix(addr, "unix://"):
+		network, addr = "unix", strings.TrimPrefix(addr, "unix://")
+	}
+	return net.Dial(network, addr)
+}
+
+func (d *Dialer) maxRetries() int {
+	if d.MaxRetries > 0 {
+		return d.MaxRetries
+	}
+	return 4
+}
+
+func (d *Dialer) backoffStart() time.Duration {
+	if d.Backoff > 0 {
+		return d.Backoff
+	}
+	return 10 * time.Millisecond
+}
+
+func (d *Dialer) backoffMax() time.Duration {
+	if d.MaxBackoff > 0 {
+		return d.MaxBackoff
+	}
+	return time.Second
+}
+
+func (d *Dialer) sleep(t time.Duration) error {
+	if d.Context != nil {
+		if err := d.Context.Err(); err != nil {
+			return err
+		}
+	}
+	if d.Sleep != nil {
+		d.Sleep(t)
+	} else if d.Context != nil {
+		select {
+		case <-d.Context.Done():
+			return d.Context.Err()
+		case <-time.After(t):
+		}
+	} else {
+		time.Sleep(t)
+	}
+	if d.Context != nil {
+		return d.Context.Err()
+	}
+	return nil
+}
+
+// jitter spreads d uniformly over [d/2, 3d/2) so reconnect storms from
+// many clients decorrelate.
+func (d *Dialer) jitter(t time.Duration) time.Duration {
+	if t <= 0 {
+		return t
+	}
+	r := d.Rand
+	if r == nil {
+		r = rand.Int63n
+	}
+	return t/2 + time.Duration(r(int64(t)))
+}
+
+// connect dials and runs handshake until it succeeds or retries are
+// exhausted. A server rejection (ErrRejected) is terminal, not retried:
+// the server answered, it just said no.
+func (d *Dialer) connect(handshake func(net.Conn, *bufio.Reader) error) (net.Conn, *bufio.Reader, error) {
+	backoff := d.backoffStart()
+	var lastErr error
+	for attempt := 0; attempt <= d.maxRetries(); attempt++ {
+		if attempt > 0 {
+			if err := d.sleep(d.jitter(backoff)); err != nil {
+				return nil, nil, err
+			}
+			if backoff *= 2; backoff > d.backoffMax() {
+				backoff = d.backoffMax()
+			}
+		}
+		c, err := d.rawDial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		br := bufio.NewReader(c)
+		if err := handshake(c, br); err != nil {
+			c.Close()
+			if isRejection(err) {
+				return nil, nil, err
+			}
+			lastErr = err
+			continue
+		}
+		return c, br, nil
+	}
+	return nil, nil, fmt.Errorf("server: connect: retries exhausted: %w", lastErr)
+}
+
+// isRejection classifies handshake errors that retrying cannot cure.
+// ErrSourceBusy is deliberately NOT terminal: after an abrupt
+// disconnect the server may briefly still hold the dead connection's
+// producer registration, and the very next attempt succeeds once the
+// stale handler notices its conn died.
+func isRejection(err error) bool {
+	for _, terminal := range []error{ErrBadHandshake, ErrBadResume, ErrResumeExpired, ErrUnknownQuery} {
+		if errorsIs(err, terminal) {
+			return true
+		}
+	}
+	return false
+}
+
+// errorsIs matches both wrapped sentinels and server-transported
+// rejection text (a rejection crosses the wire as a message, so the
+// original sentinel identity is gone — substring-match it back).
+func errorsIs(err, target error) bool {
+	return err != nil && strings.Contains(err.Error(), target.Error())
+}
+
+// Producer is a reconnecting client feeding one named source. Sends are
+// encoded into an in-memory replay buffer keyed by wire offset and
+// written through; on reconnect the unacknowledged suffix is replayed
+// from the server's resume offset, so a crash-failover costs no data.
+// The buffer is trimmed by durable acks (one per server checkpoint);
+// its high-water mark is therefore bounded by the checkpoint interval.
+type Producer struct {
+	d      *Dialer
+	source string
+
+	mu    sync.Mutex
+	ww    *engine.WireWriter
+	buf   []byte // encoded frames [base, base+len(buf))
+	base  int64  // wire offset of buf[0]
+	acked int64  // durable ack floor (-1 until the first ack)
+	conn  net.Conn
+	bw    *bufio.Writer
+	gen   int // connection generation, fences stale ack readers
+	err   error
+
+	// ReplayFromAck, when true, replays from the durable ack floor on
+	// every reconnect instead of the server's resume offset — maximal
+	// duplication, for exercising the server's dedup path in tests.
+	ReplayFromAck bool
+}
+
+// Producer connects a producer for the named source. The schemas must
+// cover every stream it will send.
+func (d *Dialer) Producer(source string, schemas ...*stream.Schema) (*Producer, error) {
+	p := &Producer{d: d, source: source, acked: -1}
+	p.ww = engine.NewWireWriter(producerSink{p}, schemas...)
+	if err := p.reconnectLocked(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// producerSink routes WireWriter output into the replay buffer.
+type producerSink struct{ p *Producer }
+
+func (s producerSink) Write(b []byte) (int, error) {
+	s.p.buf = append(s.p.buf, b...)
+	return len(b), nil
+}
+
+// reconnectLocked (callers hold p.mu or are the constructor) dials,
+// handshakes, and replays the needed suffix of the buffer.
+func (p *Producer) reconnectLocked() error {
+	gen := p.gen + 1
+	conn, br, err := p.d.connect(func(c net.Conn, br *bufio.Reader) error {
+		if _, err := c.Write(appendHello(nil, roleProduce, p.source, 0)); err != nil {
+			return err
+		}
+		if err := readReply(br); err != nil {
+			return err
+		}
+		resume, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("server: resume offset: %w", err)
+		}
+		start := int64(resume)
+		if p.ReplayFromAck && p.acked >= 0 && p.acked < start {
+			start = p.acked
+		}
+		if start < p.base {
+			return fmt.Errorf("%w: server resumes at %d, buffer trimmed to %d", ErrBadResume, start, p.base)
+		}
+		if start > p.base+int64(len(p.buf)) {
+			return fmt.Errorf("%w: server resumes at %d beyond sent %d (another producer on source %q?)",
+				ErrBadResume, start, p.base+int64(len(p.buf)), p.source)
+		}
+		preamble := binary.AppendUvarint(nil, uint64(start))
+		if _, err := c.Write(preamble); err != nil {
+			return err
+		}
+		if replay := p.buf[start-p.base:]; len(replay) > 0 {
+			if _, err := c.Write(replay); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	p.gen = gen
+	p.conn = conn
+	p.bw = bufio.NewWriter(conn)
+	go p.readAcks(conn, br, gen)
+	return nil
+}
+
+// readAcks trims the replay buffer as checkpoints make offsets durable.
+// It doubles as the liveness probe: when its read fails the connection
+// is dead, and marking it so lets the next Send or Flush reconnect and
+// replay even if the producer was idle when the server went down.
+func (p *Producer) readAcks(conn net.Conn, br *bufio.Reader, gen int) {
+	for {
+		off, err := binary.ReadUvarint(br)
+		if err != nil {
+			p.mu.Lock()
+			if p.gen == gen && p.conn == conn {
+				p.conn.Close()
+				p.conn = nil
+			}
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Lock()
+		if p.gen != gen {
+			p.mu.Unlock()
+			return
+		}
+		if ack := int64(off); ack > p.acked {
+			p.acked = ack
+			if trim := ack - p.base; trim > 0 && trim <= int64(len(p.buf)) {
+				p.buf = append(p.buf[:0], p.buf[trim:]...)
+				p.base = ack
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Send encodes one element for the named stream and writes it through,
+// reconnecting (with backoff) on a dead connection. The write is
+// buffered; Flush or Close forces it out.
+func (p *Producer) Send(streamName string, e stream.Element) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	pre := len(p.buf)
+	if err := p.ww.Write(streamName, e); err != nil {
+		return err // encoding error: nothing appended, nothing sent
+	}
+	frame := p.buf[pre:]
+	for {
+		if p.conn == nil {
+			if err := p.reconnectLocked(); err != nil {
+				p.err = err
+				return err
+			}
+			// reconnectLocked replayed the whole unacked suffix,
+			// including the frame just appended.
+			return nil
+		}
+		if _, err := p.bw.Write(frame); err == nil {
+			return nil
+		}
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// Flush forces buffered frames to the wire, reconnecting if needed.
+func (p *Producer) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Producer) flushLocked() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.conn != nil {
+		if err := p.bw.Flush(); err == nil {
+			return nil
+		}
+		p.conn.Close()
+		p.conn = nil
+	}
+	// Reconnect replays the unacked suffix directly on the conn, which
+	// subsumes the flush.
+	if err := p.reconnectLocked(); err != nil {
+		p.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes and closes the connection. The producer cannot be
+// reused after Close.
+func (p *Producer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.flushLocked()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.gen++ // fence the ack reader
+	if p.err == nil {
+		p.err = ErrServerClosed
+	}
+	return err
+}
+
+// Acked returns the durable ack floor (-1 before the first ack).
+func (p *Producer) Acked() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acked
+}
+
+// Buffered returns the replay buffer size in bytes (bounded by the
+// server's checkpoint interval).
+func (p *Producer) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// Sent returns the total wire offset encoded so far — when the server's
+// committed offset for this source reaches it, every Send has been
+// ingested.
+func (p *Producer) Sent() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base + int64(len(p.buf))
+}
+
+// Delivery is one subscriber-received output: a result tuple or a
+// punctuation, with its server-assigned delivery sequence number.
+type Delivery struct {
+	Seq  uint64
+	Elem stream.Element
+}
+
+// Subscriber is a reconnecting client consuming one query's delivery
+// stream exactly once: it resumes at its last delivered sequence and
+// discards replayed duplicates, so Next yields each delivery exactly
+// once in order even across server crashes.
+type Subscriber struct {
+	d     *Dialer
+	query string
+
+	conn   net.Conn
+	br     *bufio.Reader
+	last   uint64
+	schema *stream.Schema
+	codec  *stream.Codec
+	ended  bool
+	closed bool
+	mu     sync.Mutex // guards conn/closed against concurrent Close
+}
+
+// Subscribe connects a subscriber to the named query's delivery stream
+// from the beginning.
+func (d *Dialer) Subscribe(query string) (*Subscriber, error) {
+	s := &Subscriber{d: d, query: query}
+	if err := s.reconnect(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Subscriber) reconnect() error {
+	conn, br, err := s.d.connect(func(c net.Conn, br *bufio.Reader) error {
+		if _, err := c.Write(appendHello(nil, roleSub, s.query, s.last)); err != nil {
+			return err
+		}
+		if err := readReply(br); err != nil {
+			return err
+		}
+		if _, err := binary.ReadUvarint(br); err != nil { // resume echo
+			return fmt.Errorf("server: resume echo: %w", err)
+		}
+		schema, err := readSchema(br)
+		if err != nil {
+			return err
+		}
+		if s.schema != nil && s.schema.Name() != schema.Name() {
+			return fmt.Errorf("server: schema changed across reconnect: %s -> %s", s.schema.Name(), schema.Name())
+		}
+		s.schema = schema
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return ErrServerClosed
+	}
+	s.conn, s.br = conn, br
+	s.mu.Unlock()
+	s.codec = stream.NewCodec(s.schema)
+	return nil
+}
+
+// Schema returns the query's output schema (known after Subscribe).
+func (s *Subscriber) Schema() *stream.Schema { return s.schema }
+
+// Last returns the sequence number of the last delivery Next returned.
+func (s *Subscriber) Last() uint64 { return s.last }
+
+// Next returns the next delivery, blocking until one arrives. It
+// reconnects and resumes transparently on connection failure,
+// suppresses replayed duplicates, and returns io.EOF after the server's
+// clean end-of-stream marker.
+func (s *Subscriber) Next() (Delivery, error) {
+	for {
+		if s.ended {
+			return Delivery{}, io.EOF
+		}
+		s.mu.Lock()
+		closed, conn := s.closed, s.conn
+		s.mu.Unlock()
+		if closed {
+			return Delivery{}, ErrServerClosed
+		}
+		if conn == nil {
+			if err := s.reconnect(); err != nil {
+				return Delivery{}, err
+			}
+			continue
+		}
+		seq, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			s.dropConn()
+			continue
+		}
+		if seq == 0 {
+			s.ended = true
+			s.mu.Lock()
+			s.conn.Close()
+			s.conn = nil
+			s.mu.Unlock()
+			return Delivery{}, io.EOF
+		}
+		payload, err := readLenBytes(s.br)
+		if err != nil {
+			s.dropConn()
+			continue
+		}
+		elem, rest, err := s.codec.Decode(payload)
+		if err != nil || len(rest) != 0 {
+			s.dropConn() // torn mid-frame write; resume re-fetches it
+			continue
+		}
+		if seq <= s.last {
+			continue // replayed duplicate
+		}
+		s.last = seq
+		return Delivery{Seq: seq, Elem: elem}, nil
+	}
+}
+
+func (s *Subscriber) dropConn() {
+	s.mu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.mu.Unlock()
+}
+
+// Collect drains the stream to its end marker, returning every
+// remaining delivery. Useful with a server known to be shutting down.
+func (s *Subscriber) Collect() ([]Delivery, error) {
+	var out []Delivery
+	for {
+		d, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+}
+
+// Close severs the subscription.
+func (s *Subscriber) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package server
+
+// FuzzHandshake hardens the connection front door: arbitrary handshake
+// bytes must yield either a well-formed hello or a typed
+// ErrBadHandshake — never a panic, a hang, or an unbounded allocation.
+// The seed corpus is wired into the fuzzseed gate in make check.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func FuzzHandshake(f *testing.F) {
+	// Well-formed hellos for both roles.
+	f.Add(appendHello(nil, roleProduce, "feed", 0))
+	f.Add(appendHello(nil, roleSub, "auction", 12345))
+	// Truncations at every interesting boundary.
+	valid := appendHello(nil, roleSub, "auction", 7)
+	for _, cut := range []int{0, 1, 4, 5, 6, 7, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	// Bad magic, bad role, absurd name length, embedded garbage.
+	f.Add([]byte("GARBAGE!"))
+	f.Add([]byte("PSRV1X\x04feed\x00"))
+	f.Add([]byte("PSRV1P\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("PSRV1S\x00"))
+	f.Add(append(appendHello(nil, roleProduce, "feed", 0), 0xde, 0xad))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		h, err := readHello(br)
+		if err != nil {
+			if !errors.Is(err, ErrBadHandshake) {
+				t.Fatalf("handshake error is not typed: %v", err)
+			}
+			return
+		}
+		if h.role != roleProduce && h.role != roleSub {
+			t.Fatalf("accepted hello with role %q", h.role)
+		}
+		if h.name == "" || len(h.name) > maxHandshakeName {
+			t.Fatalf("accepted hello with name length %d", len(h.name))
+		}
+		// A parsed hello must survive an encode/decode round trip.
+		again, err := readHello(bufio.NewReader(bytes.NewReader(
+			appendHello(nil, h.role, h.name, h.hint))))
+		if err != nil || again != h {
+			t.Fatalf("round trip: %+v vs %+v (err %v)", h, again, err)
+		}
+	})
+}

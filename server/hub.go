@@ -1,0 +1,315 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"punctsafe/stream"
+)
+
+// SlowPolicy selects what the hub does with a subscriber whose pending
+// backlog exceeds Config.QueueLimit.
+type SlowPolicy int
+
+const (
+	// SlowBlock applies backpressure: delivery (and therefore the
+	// query's worker) waits until the slow subscriber catches up or
+	// disconnects. Zero loss, at the cost of coupling the pipeline to
+	// its slowest consumer.
+	SlowBlock SlowPolicy = iota
+	// SlowDrop skips the oldest pending deliveries for that subscriber,
+	// counting each skip in the runtime's dead-letter queue under the
+	// query's name. The subscriber stays connected with gaps.
+	SlowDrop
+	// SlowDisconnect severs the slow subscriber; it may reconnect and
+	// resume within the retention window.
+	SlowDisconnect
+)
+
+func (p SlowPolicy) String() string {
+	switch p {
+	case SlowBlock:
+		return "block"
+	case SlowDrop:
+		return "drop"
+	case SlowDisconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("SlowPolicy(%d)", int(p))
+	}
+}
+
+// ParseSlowPolicy maps a CLI string to a policy.
+func ParseSlowPolicy(s string) (SlowPolicy, error) {
+	switch s {
+	case "block":
+		return SlowBlock, nil
+	case "drop":
+		return SlowDrop, nil
+	case "disconnect":
+		return SlowDisconnect, nil
+	default:
+		return SlowBlock, fmt.Errorf("unknown slow-consumer policy %q (block, drop, disconnect)", s)
+	}
+}
+
+// hubEntry is one retained delivery: the query output (tuple or
+// punctuation) and its 1-based delivery sequence number.
+type hubEntry struct {
+	seq  uint64
+	elem stream.Element
+}
+
+// subCursor is one subscriber's position in a hub: cursor is the next
+// sequence it needs. The hub owns all fields under its mutex; the
+// subscriber goroutine reads through hub methods only.
+type subCursor struct {
+	cursor  uint64
+	dropped uint64 // deliveries skipped under SlowDrop
+	err     error  // set when the hub severs the subscriber
+}
+
+// hub fans one query's delivery stream out to its subscribers. It
+// retains the last `retain` deliveries so reconnecting subscribers can
+// resume exactly where they left off, and it is the unit the server
+// checkpoint persists (entries at or below the checkpoint cut) so a
+// crash cannot strand a lagging subscriber: everything the engine will
+// not replay is in the snapshot, everything newer the engine replays
+// deterministically with identical sequence numbers.
+type hub struct {
+	name  string
+	codec *stream.Codec
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	entries    []hubEntry // retained deliveries, ascending seq
+	next       uint64     // seq the next delivery will get
+	retain     int
+	queueLimit int
+	policy     SlowPolicy
+	subs       map[*subCursor]struct{}
+	ended      bool // graceful end-of-stream: drain then stop
+	killed     bool // abrupt stop: unblock everything now
+
+	// onDrop reports SlowDrop skips (outside the hub lock).
+	onDrop func(query string, elem stream.Element, seq uint64)
+}
+
+func newHub(name string, schema *stream.Schema, retain, queueLimit int, policy SlowPolicy) *hub {
+	h := &hub{
+		name:       name,
+		codec:      stream.NewCodec(schema),
+		next:       1,
+		retain:     retain,
+		queueLimit: queueLimit,
+		policy:     policy,
+		subs:       make(map[*subCursor]struct{}),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// seed installs a restored retention ring: entries are the snapshot's
+// retained deliveries (ascending, all ≤ cut) and the next live delivery
+// will be cut+1 — the engine's restored delivery counter guarantees the
+// replayed outputs pick up numbering exactly there.
+func (h *hub) seed(entries []hubEntry, cut uint64) {
+	h.mu.Lock()
+	h.entries = entries
+	h.next = cut + 1
+	h.mu.Unlock()
+}
+
+// publish is the query's delivery hook: called by whatever goroutine
+// drives the query, in delivery order, with the engine-assigned seq.
+// Under SlowBlock it may wait for slow subscribers.
+func (h *hub) publish(seq uint64, e stream.Element) {
+	type drop struct {
+		elem stream.Element
+		seq  uint64
+	}
+	var drops []drop
+	h.mu.Lock()
+	if seq < h.next {
+		// Replay below the restored cut: subscribers that survived the
+		// crash already hold these entries via the snapshot seed.
+		h.mu.Unlock()
+		return
+	}
+	if h.policy == SlowBlock {
+		for !h.killed && h.slowest() >= uint64(h.queueLimit) {
+			h.cond.Wait()
+		}
+	}
+	if h.killed {
+		h.mu.Unlock()
+		return
+	}
+	h.entries = append(h.entries, hubEntry{seq: seq, elem: e})
+	h.next = seq + 1
+	switch h.policy {
+	case SlowDrop:
+		for s := range h.subs {
+			for lag(h.next, s.cursor) > uint64(h.queueLimit) {
+				if h.onDrop != nil {
+					drops = append(drops, drop{elem: h.entryAt(s.cursor), seq: s.cursor})
+				}
+				s.cursor++
+				s.dropped++
+			}
+		}
+	case SlowDisconnect:
+		for s := range h.subs {
+			if l := lag(h.next, s.cursor); l > uint64(h.queueLimit) {
+				s.err = fmt.Errorf("%s: subscriber lagged %d > %d deliveries", h.name, l, h.queueLimit)
+				delete(h.subs, s)
+			}
+		}
+	}
+	if len(h.entries) > h.retain {
+		h.entries = append(h.entries[:0], h.entries[len(h.entries)-h.retain:]...)
+	}
+	h.mu.Unlock()
+	h.cond.Broadcast()
+	for _, d := range drops {
+		h.onDrop(h.name, d.elem, d.seq)
+	}
+}
+
+// lag is the pending backlog of a cursor. A cursor AHEAD of next is
+// legal — after a crash-restore, a surviving subscriber waits out the
+// engine's deterministic replay — and has zero backlog, not an
+// underflowed one.
+func lag(next, cursor uint64) uint64 {
+	if cursor >= next {
+		return 0
+	}
+	return next - cursor
+}
+
+// slowest returns the largest pending backlog across subscribers
+// (callers hold h.mu).
+func (h *hub) slowest() uint64 {
+	var worst uint64
+	for s := range h.subs {
+		if l := lag(h.next, s.cursor); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// entryAt returns the retained entry with the given seq (callers hold
+// h.mu and guarantee it is retained).
+func (h *hub) entryAt(seq uint64) stream.Element {
+	floor := h.next - uint64(len(h.entries))
+	return h.entries[seq-floor].elem
+}
+
+// attach registers a subscriber that has seen every delivery up to and
+// including last. It fails with ErrResumeExpired when deliveries in
+// (last, oldest-retained) are already gone. A cursor beyond the current
+// head is legal: after a crash the engine replays deliveries the
+// subscriber already saw, and the cursor simply waits them out.
+func (h *hub) attach(last uint64) (*subCursor, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.killed || h.ended {
+		return nil, ErrServerClosed
+	}
+	floor := h.next - uint64(len(h.entries)) // oldest retained seq
+	if last+1 < floor {
+		return nil, fmt.Errorf("%w: resume at %d but oldest retained delivery is %d", ErrResumeExpired, last, floor)
+	}
+	s := &subCursor{cursor: last + 1}
+	h.subs[s] = struct{}{}
+	return s, nil
+}
+
+// detach removes a subscriber (idempotent) and wakes a blocked
+// publisher that may have been waiting on it.
+func (h *hub) detach(s *subCursor) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// collect waits for deliveries at or past s.cursor and appends up to
+// max of them to buf, advancing the cursor. It returns (entries, false,
+// nil) on data, (nil, true, nil) at a graceful end of stream, and an
+// error when the subscriber was severed or the hub killed.
+func (h *hub) collect(s *subCursor, buf []hubEntry, max int) ([]hubEntry, bool, error) {
+	h.mu.Lock()
+	defer func() {
+		h.mu.Unlock()
+		h.cond.Broadcast() // cursor advanced: wake a blocked publisher
+	}()
+	for {
+		if s.err != nil {
+			return nil, false, s.err
+		}
+		if h.killed {
+			return nil, false, ErrServerClosed
+		}
+		if h.next > s.cursor {
+			floor := h.next - uint64(len(h.entries))
+			i := int(s.cursor - floor)
+			for ; i < len(h.entries) && len(buf) < max; i++ {
+				buf = append(buf, h.entries[i])
+			}
+			s.cursor = h.entries[i-1].seq + 1
+			return buf, false, nil
+		}
+		if h.ended {
+			return nil, true, nil
+		}
+		h.cond.Wait()
+	}
+}
+
+// end marks a graceful end of stream: subscribers drain what is
+// retained, then receive the end marker.
+func (h *hub) end() {
+	h.mu.Lock()
+	h.ended = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// kill unblocks everything immediately (crash path).
+func (h *hub) kill() {
+	h.mu.Lock()
+	h.killed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// drained reports whether every attached subscriber has consumed every
+// published delivery (used by graceful shutdown to wait for the tail).
+func (h *hub) drained() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		if s.cursor < h.next {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot returns the retained entries with seq ≤ cut, for the server
+// checkpoint. Entries above the cut are NOT persisted: the engine
+// replays them deterministically after restore, with the same sequence
+// numbers (the delivery counter is part of the engine snapshot).
+func (h *hub) snapshot(cut uint64) []hubEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []hubEntry
+	for _, e := range h.entries {
+		if e.seq <= cut {
+			out = append(out, e)
+		}
+	}
+	return out
+}

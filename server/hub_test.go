@@ -1,0 +1,163 @@
+package server
+
+// White-box hub tests: the slow-consumer policies and the resume
+// window, deterministic and socket-free.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"punctsafe/stream"
+)
+
+func testSchema() *stream.Schema {
+	return stream.MustSchema("out", stream.Attribute{Name: "v", Kind: stream.KindInt})
+}
+
+func intElem(v int64) stream.Element {
+	return stream.TupleElement(stream.NewTuple(stream.Int(v)))
+}
+
+func publishN(h *hub, from, n int) {
+	for i := 0; i < n; i++ {
+		h.publish(uint64(from+i), intElem(int64(from+i)))
+	}
+}
+
+func TestHubDropPolicy(t *testing.T) {
+	var dropped []uint64
+	h := newHub("q", testSchema(), 8, 4, SlowDrop)
+	h.onDrop = func(query string, elem stream.Element, seq uint64) {
+		dropped = append(dropped, seq)
+	}
+	s, err := h.attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(h, 1, 10) // backlog 10 > limit 4: deliveries 1..6 dropped
+	if want := []uint64{1, 2, 3, 4, 5, 6}; len(dropped) != len(want) {
+		t.Fatalf("dropped %v, want %v", dropped, want)
+	}
+	got, ended, err := h.collect(s, nil, 100)
+	if err != nil || ended {
+		t.Fatalf("collect: ended=%v err=%v", ended, err)
+	}
+	if len(got) != 4 || got[0].seq != 7 || got[3].seq != 10 {
+		t.Fatalf("surviving deliveries %v, want seqs 7..10", got)
+	}
+	if s.dropped != 6 {
+		t.Fatalf("cursor counted %d drops, want 6", s.dropped)
+	}
+}
+
+func TestHubDisconnectPolicy(t *testing.T) {
+	h := newHub("q", testSchema(), 8, 4, SlowDisconnect)
+	s, err := h.attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(h, 1, 6)
+	if _, _, err := h.collect(s, nil, 100); err == nil {
+		t.Fatal("lagging subscriber was not severed")
+	}
+}
+
+func TestHubBlockPolicy(t *testing.T) {
+	h := newHub("q", testSchema(), 8, 4, SlowBlock)
+	s, err := h.attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(h, 1, 4) // exactly at the limit: publisher not yet blocked
+	blocked := make(chan struct{})
+	go func() {
+		h.publish(5, intElem(5)) // backlog would exceed 4: must wait
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("publisher did not block on a full subscriber backlog")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, _, err := h.collect(s, nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher still blocked after the subscriber caught up")
+	}
+	// Detach must also unblock a waiting publisher.
+	publishN(h, 6, 3)
+	blocked2 := make(chan struct{})
+	go func() {
+		h.publish(9, intElem(9))
+		close(blocked2)
+	}()
+	h.detach(s)
+	select {
+	case <-blocked2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher still blocked after the slow subscriber detached")
+	}
+}
+
+func TestHubResumeWindow(t *testing.T) {
+	h := newHub("q", testSchema(), 4, 4, SlowDrop)
+	publishN(h, 1, 10) // retained: 7..10
+	if _, err := h.attach(2); !errors.Is(err, ErrResumeExpired) {
+		t.Fatalf("resume below the retention floor: got %v, want ErrResumeExpired", err)
+	}
+	s, err := h.attach(6) // cursor 7 == floor: exactly resumable
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := h.collect(s, nil, 100)
+	if err != nil || len(got) != 4 || got[0].seq != 7 {
+		t.Fatalf("resume at floor: got %v err %v", got, err)
+	}
+	// A cursor ahead of the head (post-restore replay wait) is legal
+	// and has zero backlog.
+	ahead, err := h.attach(25)
+	if err != nil {
+		t.Fatalf("attach ahead of head: %v", err)
+	}
+	publishN(h, 11, 2) // replayed deliveries below the ahead cursor
+	done := make(chan struct{})
+	go func() {
+		h.collect(ahead, nil, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("ahead cursor returned deliveries it already saw")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.kill()
+	<-done
+}
+
+func TestHubSnapshotCut(t *testing.T) {
+	h := newHub("q", testSchema(), 16, 8, SlowDrop)
+	publishN(h, 1, 10)
+	snap := h.snapshot(7)
+	if len(snap) != 7 || snap[0].seq != 1 || snap[6].seq != 7 {
+		t.Fatalf("snapshot(7) = %v, want seqs 1..7", snap)
+	}
+	// Seeding a fresh hub resumes numbering at the cut.
+	h2 := newHub("q", testSchema(), 16, 8, SlowDrop)
+	h2.seed(snap, 7)
+	s, err := h2.attach(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.publish(8, intElem(8)) // engine replay continues at cut+1
+	got, _, err := h2.collect(s, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].seq != 6 || got[2].seq != 8 {
+		t.Fatalf("post-seed collect = %v, want seqs 6..8", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package server is the network serving front-end for the punctuated
+// runtime: producers push wire frames over TCP or unix sockets and
+// subscribers receive the query's results AND its punctuations, so
+// downstream consumers can purge their own state exactly as the paper's
+// operators do (punctuations are first-class on the wire, not an
+// engine-internal signal).
+//
+// The HA contract mirrors the engine's crash model: the server takes
+// periodic atomic checkpoints (engine snapshot plus the retained
+// per-query delivery rings, one file, CRC-sealed), acks producers only
+// with durable offsets, and stamps every subscriber delivery with a
+// checkpoint-stable sequence number. After a kill -9 the server restarts
+// from the latest checkpoint, producers replay their unacked suffix
+// (duplicates discarded by offset), subscribers resume at their last
+// seen sequence (duplicates discarded by seq), and the observed stream
+// is element-for-element identical to an uninterrupted run.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"punctsafe/stream"
+)
+
+// Wire protocol, all integers uvarint unless noted.
+//
+//	client hello:  "PSRV1" role(1: 'P'|'S') nameLen name resumeHint
+//	server ok:     "PSOK1" payload      (producer: resumeOffset;
+//	                                     subscriber: resumeSeq schema)
+//	server reject: "PSER1" msgLen msg
+//
+//	producer data (client→server): startOffset, then raw engine wire
+//	frames starting at exactly that offset; server→producer traffic is a
+//	stream of uvarint durable-offset acks, one per checkpoint.
+//
+//	subscriber data (server→client): per delivery
+//	  seq(≥1) payloadLen payload      payload = stream.Codec encoding
+//	and a single seq=0 as the clean end-of-stream marker.
+const (
+	protoMagic  = "PSRV1"
+	replyOK     = "PSOK1"
+	replyErr    = "PSER1"
+	roleProduce = 'P'
+	roleSub     = 'S'
+
+	// maxHandshakeName bounds the stream/query name so a malformed
+	// hello cannot demand an absurd allocation.
+	maxHandshakeName = 4096
+	// maxErrMsg bounds a rejection message on the client side.
+	maxErrMsg = 4096
+)
+
+// Typed protocol errors. Server-side rejections travel as text; the
+// client wraps them in ErrRejected.
+var (
+	// ErrBadHandshake classifies malformed hello bytes (bad magic, bad
+	// role, oversized or truncated name). Connections failing the
+	// handshake are rejected and closed, never serviced.
+	ErrBadHandshake = errors.New("server: malformed handshake")
+	// ErrUnknownQuery rejects a subscriber naming no registered query.
+	ErrUnknownQuery = errors.New("server: unknown query")
+	// ErrSourceBusy rejects a producer for a source that already has an
+	// active connection (offsets are per-source; two writers would
+	// interleave unrecoverably).
+	ErrSourceBusy = errors.New("server: source busy")
+	// ErrResumeExpired rejects a subscriber resuming below the retention
+	// floor: deliveries between its last seen sequence and the oldest
+	// retained entry are gone, so exactly-once resumption is impossible.
+	ErrResumeExpired = errors.New("server: resume window expired")
+	// ErrBadResume rejects a producer whose announced start offset is
+	// ahead of the server's resume point (bytes in between would be
+	// unseen) or behind its own replayable window.
+	ErrBadResume = errors.New("server: bad resume offset")
+	// ErrRejected wraps a server rejection message on the client side.
+	ErrRejected = errors.New("server: rejected")
+	// ErrServerClosed is returned by client calls after a clean
+	// end-of-stream or explicit Close.
+	ErrServerClosed = errors.New("server: closed")
+)
+
+// hello is a parsed client handshake.
+type hello struct {
+	role byte
+	name string
+	hint uint64 // producer: unused; subscriber: last delivered seq
+}
+
+// readHello parses a client handshake, classifying every malformation
+// as ErrBadHandshake. It reads a bounded number of bytes, so a hostile
+// or corrupt peer can make it fail but never hang on allocation or
+// over-read past the handshake.
+func readHello(br *bufio.Reader) (hello, error) {
+	var h hello
+	var magic [len(protoMagic) + 1]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return h, fmt.Errorf("%w: short hello: %v", ErrBadHandshake, err)
+	}
+	if string(magic[:len(protoMagic)]) != protoMagic {
+		return h, fmt.Errorf("%w: bad magic %q", ErrBadHandshake, magic[:len(protoMagic)])
+	}
+	h.role = magic[len(protoMagic)]
+	if h.role != roleProduce && h.role != roleSub {
+		return h, fmt.Errorf("%w: bad role %q", ErrBadHandshake, h.role)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return h, fmt.Errorf("%w: name length: %v", ErrBadHandshake, err)
+	}
+	if n == 0 || n > maxHandshakeName {
+		return h, fmt.Errorf("%w: name length %d out of range", ErrBadHandshake, n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return h, fmt.Errorf("%w: short name: %v", ErrBadHandshake, err)
+	}
+	h.name = string(name)
+	if h.hint, err = binary.ReadUvarint(br); err != nil {
+		return h, fmt.Errorf("%w: resume hint: %v", ErrBadHandshake, err)
+	}
+	return h, nil
+}
+
+// appendHello encodes a client handshake.
+func appendHello(dst []byte, role byte, name string, hint uint64) []byte {
+	dst = append(dst, protoMagic...)
+	dst = append(dst, role)
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	return binary.AppendUvarint(dst, hint)
+}
+
+// writeReject sends a rejection reply. The connection is expected to be
+// closed right after.
+func writeReject(w io.Writer, err error) {
+	msg := err.Error()
+	if len(msg) > maxErrMsg {
+		msg = msg[:maxErrMsg]
+	}
+	buf := append([]byte(replyErr), binary.AppendUvarint(nil, uint64(len(msg)))...)
+	buf = append(buf, msg...)
+	w.Write(buf)
+}
+
+// readReply consumes a server reply header, returning nil when the
+// server accepted (payload follows on br) and ErrRejected with the
+// server's message when it did not.
+func readReply(br *bufio.Reader) error {
+	var tag [len(replyOK)]byte
+	if _, err := io.ReadFull(br, tag[:]); err != nil {
+		return fmt.Errorf("server: reading reply: %w", err)
+	}
+	switch string(tag[:]) {
+	case replyOK:
+		return nil
+	case replyErr:
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxErrMsg {
+			return fmt.Errorf("%w: unreadable rejection", ErrRejected)
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(br, msg); err != nil {
+			return fmt.Errorf("%w: unreadable rejection", ErrRejected)
+		}
+		return fmt.Errorf("%w: %s", ErrRejected, msg)
+	default:
+		return fmt.Errorf("server: bad reply tag %q", tag[:])
+	}
+}
+
+// appendSchema serializes a schema so subscribers need no prior
+// knowledge of the query's output shape.
+func appendSchema(dst []byte, s *stream.Schema) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.Name())))
+	dst = append(dst, s.Name()...)
+	dst = binary.AppendUvarint(dst, uint64(s.Arity()))
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		dst = binary.AppendUvarint(dst, uint64(len(a.Name)))
+		dst = append(dst, a.Name...)
+		dst = append(dst, byte(a.Kind))
+	}
+	return dst
+}
+
+// readSchema parses a serialized schema.
+func readSchema(br *bufio.Reader) (*stream.Schema, error) {
+	name, err := readShortString(br)
+	if err != nil {
+		return nil, fmt.Errorf("server: schema name: %w", err)
+	}
+	arity, err := binary.ReadUvarint(br)
+	if err != nil || arity > maxHandshakeName {
+		return nil, fmt.Errorf("server: schema arity unreadable")
+	}
+	attrs := make([]stream.Attribute, arity)
+	for i := range attrs {
+		if attrs[i].Name, err = readShortString(br); err != nil {
+			return nil, fmt.Errorf("server: schema attr: %w", err)
+		}
+		k, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("server: schema attr kind: %w", err)
+		}
+		attrs[i].Kind = stream.Kind(k)
+	}
+	return stream.NewSchema(name, attrs...)
+}
+
+func readShortString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxHandshakeName {
+		return "", fmt.Errorf("length %d out of range", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

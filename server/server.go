@@ -1,0 +1,664 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"punctsafe/engine"
+	"punctsafe/stream"
+)
+
+// serverCkptMagic seals the server checkpoint: the engine snapshot plus
+// every hub's retained deliveries at the same cut, in one atomic file.
+//
+//	"PSRVCK01" uvarint(len(engineBlob)) engineBlob
+//	uvarint(nqueries) { str(name) uvarint(cut) uvarint(nentries)
+//	                    { uvarint(seq) uvarint(len) codecPayload } }
+//	crc32-IEEE(everything before)
+const serverCkptMagic = "PSRVCK01"
+
+// ErrCorruptServerCheckpoint classifies an unreadable server snapshot.
+var ErrCorruptServerCheckpoint = errors.New("server: corrupt checkpoint")
+
+// Config assembles a Server.
+type Config struct {
+	// Listener accepts producer and subscriber connections (TCP or unix
+	// socket). The server owns it and closes it on shutdown.
+	Listener net.Listener
+	// Build registers schemes and queries on a fresh DSMS. It runs once
+	// at startup and again (on a fresh DSMS) when restoring from a
+	// checkpoint, so it must be deterministic.
+	Build func(*engine.DSMS) error
+	// Schemas are the input stream schemas producers may send.
+	Schemas []*stream.Schema
+	// Runtime tunes the wrapped runtime (error policy, buffers).
+	Runtime engine.RuntimeOptions
+	// CheckpointPath, when set, enables durability: the server restores
+	// from this file at startup when it exists, checkpoints to it every
+	// CheckpointEvery (and at graceful shutdown), and acks producers
+	// with the durable offsets each checkpoint commits. Empty disables
+	// checkpoints AND producer acks.
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+	// QueueLimit bounds a subscriber's pending backlog before the slow
+	// consumer policy applies (default 256). Must be ≤ Retain.
+	QueueLimit int
+	// Retain is how many recent deliveries each query keeps for
+	// reconnecting subscribers (default 1024). A subscriber resuming
+	// below the retention floor is rejected with ErrResumeExpired.
+	Retain int
+	// Slow selects the slow-consumer policy (default SlowBlock).
+	Slow SlowPolicy
+	// DrainTimeout bounds how long a graceful Shutdown waits for
+	// connected subscribers to consume the final deliveries before
+	// ending their streams anyway (default 10s).
+	DrainTimeout time.Duration
+	// Logf, when set, receives server lifecycle and connection logs.
+	Logf func(format string, args ...any)
+}
+
+// Server wraps a runtime behind a listener. See the package comment for
+// the HA contract.
+type Server struct {
+	cfg  Config
+	d    *engine.DSMS
+	rt   *engine.Runtime
+	hubs map[string]*hub
+
+	mu        sync.Mutex
+	producers map[string]net.Conn // active producer conn per source
+	conns     map[net.Conn]struct{}
+	stopping  bool
+	killed    bool
+
+	ckptMu sync.Mutex // serializes checkpoints and the acks they send
+
+	acceptWg sync.WaitGroup // accept loop + connection handlers
+	subWg    sync.WaitGroup // subscriber writers (drain after runtime)
+	tickStop chan struct{}
+	tickWg   sync.WaitGroup
+
+	doneMu  sync.Mutex
+	doneErr error
+	done    chan struct{}
+}
+
+// New builds the DSMS, restores from cfg.CheckpointPath when the file
+// exists (fresh start otherwise), and begins serving on cfg.Listener.
+func New(cfg Config) (*Server, error) {
+	if cfg.Listener == nil {
+		return nil, fmt.Errorf("server: Config.Listener is required")
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("server: Config.Build is required")
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 256
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 1024
+	}
+	if cfg.QueueLimit > cfg.Retain {
+		return nil, fmt.Errorf("server: QueueLimit %d exceeds Retain %d (reconnect resume would be impossible)", cfg.QueueLimit, cfg.Retain)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	d := engine.New()
+	if err := cfg.Build(d); err != nil {
+		return nil, fmt.Errorf("server: build: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		d:         d,
+		hubs:      make(map[string]*hub),
+		producers: make(map[string]net.Conn),
+		conns:     make(map[net.Conn]struct{}),
+		tickStop:  make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, name := range d.Queries() {
+		reg, _ := d.Get(name)
+		h := newHub(name, reg.OutputSchema(), cfg.Retain, cfg.QueueLimit, cfg.Slow)
+		h.onDrop = func(query string, elem stream.Element, seq uint64) {
+			s.rt.AddDeadLetter(engine.DeadLetter{
+				Query: query,
+				Elem:  elem,
+				Err:   fmt.Errorf("server: delivery %d dropped: subscriber backlog over %d (policy %v)", seq, cfg.QueueLimit, cfg.Slow),
+			})
+		}
+		reg.SetDeliveryHook(h.publish)
+		s.hubs[name] = h
+	}
+
+	var blob []byte
+	if cfg.CheckpointPath != "" {
+		raw, err := os.ReadFile(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			if blob, err = s.restoreEnvelope(raw); err != nil {
+				return nil, err
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// fresh start
+		default:
+			return nil, fmt.Errorf("server: reading checkpoint: %w", err)
+		}
+	}
+	if blob != nil {
+		rt, err := d.RestoreRuntime(bytes.NewReader(blob), cfg.Runtime)
+		if err != nil {
+			return nil, fmt.Errorf("server: restore: %w", err)
+		}
+		s.rt = rt
+		cfg.Logf("punctserve: restored from %s", cfg.CheckpointPath)
+	} else {
+		s.rt = d.RunSharded(cfg.Runtime)
+	}
+
+	s.acceptWg.Add(1)
+	go s.acceptLoop()
+	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
+		s.tickWg.Add(1)
+		go s.checkpointLoop()
+	}
+	cfg.Logf("punctserve: serving on %s", cfg.Listener.Addr())
+	return s, nil
+}
+
+// Addr returns the listener address (handy with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.cfg.Listener.Addr() }
+
+// Runtime exposes the wrapped runtime for stats and dead letters.
+func (s *Server) Runtime() *engine.Runtime { return s.rt }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWg.Done()
+	for {
+		c, err := s.cfg.Listener.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Kill
+		}
+		s.mu.Lock()
+		if s.stopping {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.acceptWg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.acceptWg.Done()
+	br := bufio.NewReader(c)
+	h, err := readHello(br)
+	if err != nil {
+		writeReject(c, err)
+		s.dropConn(c)
+		return
+	}
+	switch h.role {
+	case roleProduce:
+		s.serveProducer(c, br, h)
+	case roleSub:
+		s.serveSubscriber(c, br, h)
+	}
+}
+
+// serveProducer ingests one producer connection: handshake, resume
+// preamble, then raw wire frames committed through the engine's
+// offset-exact ingest path. Acks ride the checkpoint loop, not this
+// goroutine.
+func (s *Server) serveProducer(c net.Conn, br *bufio.Reader, h hello) {
+	s.mu.Lock()
+	if _, busy := s.producers[h.name]; busy {
+		s.mu.Unlock()
+		writeReject(c, fmt.Errorf("%w: source %q already has an active producer", ErrSourceBusy, h.name))
+		s.dropConn(c)
+		return
+	}
+	s.producers[h.name] = c
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.producers, h.name)
+		s.mu.Unlock()
+		s.dropConn(c)
+	}()
+
+	resume := s.rt.ResumeOffset(h.name)
+	reply := append([]byte(replyOK), binary.AppendUvarint(nil, uint64(resume))...)
+	if _, err := c.Write(reply); err != nil {
+		return
+	}
+	start, err := binary.ReadUvarint(br)
+	if err != nil {
+		return
+	}
+	if int64(start) > resume {
+		writeReject(c, fmt.Errorf("%w: producer starts at %d, server resumes at %d", ErrBadResume, start, resume))
+		return
+	}
+	// The producer replays from its own buffer floor; skip the prefix
+	// the runtime has already committed so the reader lands exactly on
+	// the resume offset.
+	if skip := resume - int64(start); skip > 0 {
+		if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+			return
+		}
+	}
+	n, err := s.rt.IngestWireResume(h.name, &drainBoundaryReader{br: br}, s.cfg.Schemas...)
+	if err != nil && !s.teardownErr() {
+		s.cfg.Logf("punctserve: producer %q: after %d elements: %v", h.name, n, err)
+	}
+}
+
+// drainBoundaryReader signals engine.ErrWouldBlock exactly once each
+// time the buffered bytes run out, so the ingest loop commits whatever
+// the producer has sent before the read actually blocks — a connection
+// that pauses mid-stream still has all its complete frames committed.
+type drainBoundaryReader struct {
+	br       *bufio.Reader
+	signaled bool
+}
+
+func (d *drainBoundaryReader) Read(p []byte) (int, error) {
+	if !d.signaled && d.br.Buffered() == 0 {
+		d.signaled = true
+		return 0, engine.ErrWouldBlock
+	}
+	d.signaled = false
+	return d.br.Read(p)
+}
+
+// teardownErr reports whether connection errors are expected because
+// the server itself is closing conns.
+func (s *Server) teardownErr() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopping || s.killed
+}
+
+// serveSubscriber streams seq-stamped deliveries for one query.
+func (s *Server) serveSubscriber(c net.Conn, br *bufio.Reader, h hello) {
+	hub, ok := s.hubs[h.name]
+	if !ok {
+		writeReject(c, fmt.Errorf("%w: %q", ErrUnknownQuery, h.name))
+		s.dropConn(c)
+		return
+	}
+	cur, err := hub.attach(h.hint)
+	if err != nil {
+		writeReject(c, err)
+		s.dropConn(c)
+		return
+	}
+	reg, _ := s.d.Get(h.name)
+	reply := append([]byte(replyOK), binary.AppendUvarint(nil, h.hint)...)
+	reply = appendSchema(reply, reg.OutputSchema())
+	if _, err := c.Write(reply); err != nil {
+		hub.detach(cur)
+		s.dropConn(c)
+		return
+	}
+
+	// A reader goroutine watches for the peer closing (or sending
+	// anything unexpected) so a dead subscriber can never wedge a
+	// SlowBlock publisher: conn death detaches the cursor.
+	s.subWg.Add(1)
+	go func() {
+		defer s.subWg.Done()
+		io.Copy(io.Discard, br)
+		hub.detach(cur)
+		c.Close()
+	}()
+
+	s.subWg.Add(1)
+	go func() {
+		defer s.subWg.Done()
+		defer hub.detach(cur)
+		defer s.dropConn(c)
+		bw := bufio.NewWriter(c)
+		var batch []hubEntry
+		var payload []byte
+		for {
+			var ended bool
+			var err error
+			batch, ended, err = hub.collect(cur, batch[:0], 64)
+			if err != nil {
+				return
+			}
+			if ended {
+				bw.Write(binary.AppendUvarint(nil, 0)) // end-of-stream
+				bw.Flush()
+				return
+			}
+			for _, e := range batch {
+				payload, err = hub.codec.Encode(payload[:0], e.elem)
+				if err != nil {
+					s.cfg.Logf("punctserve: subscriber %q: encode: %v", h.name, err)
+					return
+				}
+				var hdr [2 * binary.MaxVarintLen64]byte
+				n := binary.PutUvarint(hdr[:], e.seq)
+				n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+				if _, err := bw.Write(hdr[:n]); err != nil {
+					return
+				}
+				if _, err := bw.Write(payload); err != nil {
+					return
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.tickWg.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tickStop:
+			return
+		case <-t.C:
+			if err := s.CheckpointNow(); err != nil && !s.teardownErr() {
+				s.cfg.Logf("punctserve: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// CheckpointNow takes one durable checkpoint — the engine snapshot and
+// every hub's retained ring at the same cut, in one atomic file — then
+// acks every connected producer with its durable offset.
+func (s *Server) CheckpointNow() error {
+	if s.cfg.CheckpointPath == "" {
+		return fmt.Errorf("server: no checkpoint path configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	var engineBuf bytes.Buffer
+	sum, err := s.rt.CheckpointSummary(&engineBuf)
+	if err != nil {
+		return err
+	}
+	body := append([]byte(serverCkptMagic), binary.AppendUvarint(nil, uint64(engineBuf.Len()))...)
+	body = append(body, engineBuf.Bytes()...)
+	body = binary.AppendUvarint(body, uint64(len(s.hubs)))
+	var payload []byte
+	for _, name := range s.d.Queries() {
+		h := s.hubs[name]
+		cut := sum.Delivered[name]
+		entries := h.snapshot(cut)
+		body = binary.AppendUvarint(body, uint64(len(name)))
+		body = append(body, name...)
+		body = binary.AppendUvarint(body, cut)
+		body = binary.AppendUvarint(body, uint64(len(entries)))
+		for _, e := range entries {
+			if payload, err = h.codec.Encode(payload[:0], e.elem); err != nil {
+				return fmt.Errorf("server: checkpoint encode: %w", err)
+			}
+			body = binary.AppendUvarint(body, e.seq)
+			body = binary.AppendUvarint(body, uint64(len(payload)))
+			body = append(body, payload...)
+		}
+	}
+	body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(body); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.cfg.CheckpointPath)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	// Ack producers with the offsets this checkpoint made durable: a
+	// client may trim its replay buffer up to (and resume from) exactly
+	// these — never the live offsets, which a crash would rewind.
+	s.mu.Lock()
+	acks := make(map[net.Conn]int64, len(s.producers))
+	for source, c := range s.producers {
+		if off, ok := sum.Offsets[source]; ok {
+			acks[c] = off
+		}
+	}
+	s.mu.Unlock()
+	for c, off := range acks {
+		c.Write(binary.AppendUvarint(nil, uint64(off)))
+	}
+	return nil
+}
+
+// restoreEnvelope validates a server checkpoint, seeds the hubs from
+// its retained rings, and returns the embedded engine snapshot.
+func (s *Server) restoreEnvelope(raw []byte) ([]byte, error) {
+	fail := func(what string) ([]byte, error) {
+		return nil, fmt.Errorf("%w: %s", ErrCorruptServerCheckpoint, what)
+	}
+	if len(raw) < len(serverCkptMagic)+4 || string(raw[:len(serverCkptMagic)]) != serverCkptMagic {
+		return fail("bad magic")
+	}
+	bodyEnd := len(raw) - 4
+	if crc32.ChecksumIEEE(raw[:bodyEnd]) != binary.LittleEndian.Uint32(raw[bodyEnd:]) {
+		return fail("checksum mismatch")
+	}
+	rd := bytes.NewReader(raw[len(serverCkptMagic):bodyEnd])
+	blobLen, err := binary.ReadUvarint(rd)
+	if err != nil || blobLen > uint64(rd.Len()) {
+		return fail("engine snapshot length")
+	}
+	blob := make([]byte, blobLen)
+	io.ReadFull(rd, blob)
+	nq, err := binary.ReadUvarint(rd)
+	if err != nil || nq > uint64(rd.Len()) {
+		return fail("query count")
+	}
+	br := bufio.NewReader(rd)
+	for i := uint64(0); i < nq; i++ {
+		name, err := readShortString(br)
+		if err != nil {
+			return fail("query name")
+		}
+		h, ok := s.hubs[name]
+		if !ok {
+			return fail(fmt.Sprintf("snapshot names unregistered query %q", name))
+		}
+		cut, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fail("delivery cut")
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > cut+1 {
+			return fail("retained entry count")
+		}
+		entries := make([]hubEntry, 0, n)
+		for j := uint64(0); j < n; j++ {
+			seq, err := binary.ReadUvarint(br)
+			if err != nil || seq > cut {
+				return fail("retained entry seq")
+			}
+			payload, err := readLenBytes(br)
+			if err != nil {
+				return fail("retained entry payload")
+			}
+			elem, rest, err := h.codec.Decode(payload)
+			if err != nil || len(rest) != 0 {
+				return fail("retained entry element")
+			}
+			entries = append(entries, hubEntry{seq: seq, elem: elem})
+		}
+		h.seed(entries, cut)
+	}
+	return blob, nil
+}
+
+func readLenBytes(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("length %d out of range", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Shutdown drains gracefully: stop accepting, sever producers (their
+// in-flight frames commit), drain the runtime into the hubs, take a
+// final checkpoint, let subscribers consume the tail, then send
+// end-of-stream markers and close. Safe to call once.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return s.Wait()
+	}
+	s.stopping = true
+	producers := make([]net.Conn, 0, len(s.producers))
+	for _, c := range s.producers {
+		producers = append(producers, c)
+	}
+	s.mu.Unlock()
+
+	s.cfg.Listener.Close()
+	close(s.tickStop)
+	s.tickWg.Wait()
+	for _, c := range producers {
+		c.Close()
+	}
+	s.acceptWg.Wait() // producer ingest committed and done
+
+	s.rt.Close()
+	err := s.rt.Wait() // all deliveries have reached the hubs
+
+	if s.cfg.CheckpointPath != "" {
+		if cerr := s.CheckpointNow(); err == nil {
+			err = cerr
+		}
+	}
+
+	// Let connected subscribers consume everything, then end streams.
+	drainBy := s.cfg.DrainTimeout
+	if drainBy <= 0 {
+		drainBy = 10 * time.Second
+	}
+	deadline := time.Now().Add(drainBy)
+	for !s.allDrained() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for _, h := range s.hubs {
+		h.end()
+	}
+	s.subWg.Wait()
+
+	s.finish(err)
+	return err
+}
+
+func (s *Server) allDrained() bool {
+	for _, h := range s.hubs {
+		if !h.drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Kill is the in-process kill -9: the runtime aborts mid-element, every
+// connection is severed, nothing further is checkpointed. Use New with
+// the same Config (and checkpoint path) to fail over.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return
+	}
+	s.stopping = true
+	s.killed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.rt.Kill()
+	s.cfg.Listener.Close()
+	close(s.tickStop)
+	s.tickWg.Wait()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, h := range s.hubs {
+		h.kill()
+	}
+	s.acceptWg.Wait()
+	s.subWg.Wait()
+	s.rt.Close()
+	err := s.rt.Wait()
+	if errors.Is(err, engine.ErrKilled) {
+		err = nil
+	}
+	s.finish(err)
+}
+
+func (s *Server) finish(err error) {
+	s.doneMu.Lock()
+	defer s.doneMu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	s.doneErr = err
+	close(s.done)
+}
+
+// Wait blocks until the server has fully stopped (Shutdown or Kill)
+// and returns its terminal error.
+func (s *Server) Wait() error {
+	<-s.done
+	s.doneMu.Lock()
+	defer s.doneMu.Unlock()
+	return s.doneErr
+}
