@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race racestress fuzzseed bench benchfull fmt fmtcheck
+.PHONY: check vet build test race racestress fuzzseed bench benchfull benchskew fmt fmtcheck
 
 check: fmtcheck vet build test race racestress fuzzseed
 
@@ -28,11 +28,12 @@ racestress:
 	$(GO) test -race -run TestParallelIngestStress -count 5 ./engine/
 
 # Run the fuzz targets over their checked-in seed corpus: wire-format
-# (truncated frames, oversized lengths, unknown streams) and the serving
-# handshake (bad magic, bad role, absurd name lengths). `go test -fuzz`
-# explores further; the seed set is the regression gate.
+# (truncated frames, oversized lengths, unknown streams), the serving
+# handshake (bad magic, bad role, absurd name lengths), and the tiered
+# join-state snapshot decoder (torn cold segments, corrupted bytes).
+# `go test -fuzz` explores further; the seed set is the regression gate.
 fuzzseed:
-	$(GO) test -run Fuzz ./engine/... ./server/...
+	$(GO) test -run Fuzz ./engine/... ./server/... ./exec/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
@@ -41,6 +42,12 @@ bench:
 # of the recorded trajectory in BENCH_hotpath.json.
 benchfull:
 	BENCHTIME=2s scripts/bench.sh
+
+# Adaptive state-tiering acceptance run only: cold-tier probe parity over
+# long-lived state and the skew-split state bound, recorded (with
+# per-name medians across repeated samples) into BENCH_tiering.json.
+benchskew:
+	ONLY=tiering scripts/bench.sh
 
 fmt:
 	gofmt -l .

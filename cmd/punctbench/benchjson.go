@@ -69,15 +69,43 @@ type trajectoryPoint struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 // parseBench reads go-test benchmark output and returns results in
-// appearance order plus the goos/goarch/cpu header lines.
+// appearance order plus the goos/goarch/cpu header lines. A benchmark
+// repeated by -count keeps its last sample; use parseBenchAppend when
+// every sample matters.
 func parseBench(r io.Reader) (names []string, metrics map[string]*benchMetrics, env []string, err error) {
-	metrics = make(map[string]*benchMetrics)
+	names, samples, env, err := parseBenchAppend(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	metrics = make(map[string]*benchMetrics, len(samples))
+	for name, vs := range samples {
+		metrics[name] = vs[len(vs)-1]
+	}
+	return names, metrics, env, nil
+}
+
+// parseBenchAppend reads go-test benchmark output keeping every sample
+// of each benchmark (one per -count repetition), in appearance order.
+func parseBenchAppend(r io.Reader) (names []string, samples map[string][]*benchMetrics, env []string, err error) {
+	samples = make(map[string][]*benchMetrics)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "cpu:") ||
 			strings.HasPrefix(line, "gomaxprocs:") || strings.HasPrefix(line, "numcpu:") {
-			env = append(env, strings.TrimSpace(line))
+			// Concatenated runs (bench.sh's interleaved tiering loop)
+			// repeat the env header; keep one copy of each line.
+			line = strings.TrimSpace(line)
+			seen := false
+			for _, e := range env {
+				if e == line {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				env = append(env, line)
+			}
 			continue
 		}
 		m := benchLine.FindStringSubmatch(line)
@@ -106,12 +134,12 @@ func parseBench(r io.Reader) (names []string, metrics map[string]*benchMetrics, 
 				bm.Extra[unit] = v
 			}
 		}
-		if _, dup := metrics[name]; !dup {
+		if _, dup := samples[name]; !dup {
 			names = append(names, name)
 		}
-		metrics[name] = bm
+		samples[name] = append(samples[name], bm)
 	}
-	return names, metrics, env, sc.Err()
+	return names, samples, env, sc.Err()
 }
 
 func parseBenchFile(path string) ([]string, map[string]*benchMetrics, []string, error) {

@@ -30,6 +30,14 @@
 // parses BenchmarkServe output (sustained producer/subscriber connection
 // throughput of the punctserve front-end) and prints the serving report
 // consumed as BENCH_serving.json, with the same appended trajectory.
+//
+//	punctbench -tiering-json tiering.txt -prev BENCH_tiering.json \
+//	    -sha abc1234 -time ...
+//
+// parses BenchmarkTiering output (cold-tier probe parity and skew-split
+// state bounds, run with -count for per-name medians) and prints the
+// state-tiering report consumed as BENCH_tiering.json, with the same
+// appended trajectory.
 package main
 
 import (
@@ -51,6 +59,7 @@ func main() {
 	timeStr := flag.String("time", "", "UTC timestamp to stamp on this run's trajectory entry")
 	partitionJSON := flag.String("partition-json", "", "parse BenchmarkPartitionedIngest output and emit scaling JSON")
 	servingJSON := flag.String("serving-json", "", "parse BenchmarkServe output and emit serving throughput JSON")
+	tieringJSON := flag.String("tiering-json", "", "parse BenchmarkTiering output and emit state-tiering JSON")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -69,6 +78,13 @@ func main() {
 	}
 	if *servingJSON != "" {
 		if err := emitServingJSON(*servingJSON, *prev, *sha, *timeStr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tieringJSON != "" {
+		if err := emitTieringJSON(*tieringJSON, *prev, *sha, *timeStr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,239 @@
+package main
+
+// The -tiering-json mode turns raw BenchmarkTiering output into
+// BENCH_tiering.json: the adaptive state-tiering acceptance numbers. The
+// long-state rows compare the steady-state probe over a large resident
+// join state with the cold tier off and on — the bar is tiered ns/op
+// within 5% of hot-only while the resident hot tier shrinks by >= 2x.
+// The skew rows drive the Zipfian auction feed through a 2-replica
+// partitioned tree under a soft state limit — the bar is that forced
+// live splits hold the hottest replica below the limit where the
+// no-split run latches pressure above it. bench.sh runs the benchmark
+// set several times in an interleaved loop; rows take per-name medians,
+// and the ns ratio is the median of per-loop pairs, so host load drift
+// between samples does not decide the acceptance.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// tieringRow is one benchmark row's (median) measurements.
+type tieringRow struct {
+	Name        string             `json:"name"`
+	Samples     int                `json:"samples"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// tieringLongState holds the long-state acceptance ratios.
+type tieringLongState struct {
+	// TieredVsHotNs = tiered ns/op over hot-only ns/op (<= 1.05 passes);
+	// the median of interleaved per-loop sample pairs (see pairedRatio).
+	TieredVsHotNs float64 `json:"tiered_vs_hot_ns"`
+	// HotResident rows after the run, per mode (from the hot-resident metric).
+	HotResidentHotOnly float64 `json:"hot_resident_hot_only"`
+	HotResidentTiered  float64 `json:"hot_resident_tiered"`
+	// HotStateReduction = hot-only resident over tiered resident (>= 2
+	// passes; the tiered resident is floored at one row so a fully frozen
+	// state reports a finite ratio).
+	HotStateReduction float64 `json:"hot_state_reduction"`
+}
+
+// tieringSkew holds the skew acceptance numbers.
+type tieringSkew struct {
+	SoftLimit            float64 `json:"soft_limit"`
+	NoSplitMaxReplica    float64 `json:"no_split_max_replica"`
+	SplitMaxReplicaPeak  float64 `json:"split_max_replica_peak"`
+	SplitMaxReplicaFinal float64 `json:"split_max_replica_final"`
+	SplitsPerOp          float64 `json:"splits_per_op"`
+	// SplitHoldsBelowLimit: the forced splits kept every replica at or
+	// below the soft limit where the no-split run exceeded it.
+	SplitHoldsBelowLimit bool `json:"split_holds_below_limit"`
+}
+
+type tieringReport struct {
+	Note      string            `json:"note"`
+	Env       []string          `json:"env,omitempty"`
+	Sha       string            `json:"sha,omitempty"`
+	Time      string            `json:"time,omitempty"`
+	Rows      []tieringRow      `json:"rows"`
+	LongState *tieringLongState `json:"long_state,omitempty"`
+	Skew      *tieringSkew      `json:"skew,omitempty"`
+	// Trajectory accumulates one slim entry per recorded run, same scheme
+	// as BENCH_hotpath.json.
+	Trajectory []trajectoryEntry `json:"trajectory,omitempty"`
+}
+
+// parseBenchSamples reads benchmark output keeping every sample of a
+// repeated (-count > 1) benchmark, in appearance order.
+func parseBenchSamples(path string) (names []string, samples map[string][]*benchMetrics, env []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	allNames, metrics, env, err := parseBenchAppend(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return allNames, metrics, env, nil
+}
+
+// median returns the middle sample of vs under key, 0 when absent.
+func median(vs []*benchMetrics, key func(*benchMetrics) float64) float64 {
+	var xs []float64
+	for _, m := range vs {
+		xs = append(xs, key(m))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// medianRow collapses one benchmark's samples into a row of medians.
+func medianRow(name string, vs []*benchMetrics) tieringRow {
+	row := tieringRow{
+		Name:        name,
+		Samples:     len(vs),
+		NsPerOp:     round2(median(vs, func(m *benchMetrics) float64 { return m.NsPerOp })),
+		BPerOp:      round2(median(vs, func(m *benchMetrics) float64 { return m.BPerOp })),
+		AllocsPerOp: round2(median(vs, func(m *benchMetrics) float64 { return m.AllocsPerOp })),
+	}
+	units := map[string]bool{}
+	for _, m := range vs {
+		for u := range m.Extra {
+			units[u] = true
+		}
+	}
+	for u := range units {
+		if row.Extra == nil {
+			row.Extra = make(map[string]float64)
+		}
+		row.Extra[u] = round2(median(vs, func(m *benchMetrics) float64 {
+			if m.Extra == nil {
+				return 0
+			}
+			return m.Extra[u]
+		}))
+	}
+	return row
+}
+
+// pairedRatio is the A/B statistic for interleaved samples: bench.sh
+// runs the benchmark set repeatedly (-count 1 in a loop), so sample i of
+// each mode ran seconds apart and shares the host's load at that moment.
+// The median of the per-pair ratios num[i]/den[i] therefore cancels load
+// drift that a ratio of independent medians (all num samples taken after
+// all den samples) cannot. Falls back to median/median when the sample
+// counts differ.
+func pairedRatio(num, den []*benchMetrics) float64 {
+	if len(num) != len(den) || len(num) == 0 {
+		d := median(den, func(m *benchMetrics) float64 { return m.NsPerOp })
+		if d == 0 {
+			return 0
+		}
+		return median(num, func(m *benchMetrics) float64 { return m.NsPerOp }) / d
+	}
+	ratios := make([]float64, 0, len(num))
+	for i := range num {
+		if den[i].NsPerOp > 0 {
+			ratios = append(ratios, num[i].NsPerOp/den[i].NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
+// emitTieringJSON writes the state-tiering report to stdout. When
+// prevPath is set, the previous report's run history is carried forward
+// and this run (stamped sha/timeStr) is appended to it.
+func emitTieringJSON(currentPath, prevPath, sha, timeStr string) error {
+	names, samples, env, err := parseBenchSamples(currentPath)
+	if err != nil {
+		return fmt.Errorf("parsing tiering results %s: %w", currentPath, err)
+	}
+	rep := tieringReport{
+		Note: "Adaptive state tiering (BenchmarkTiering). long-state rows: steady-state probe over a " +
+			"32k-row resident join state, cold tier off vs on — tiered_vs_hot_ns <= 1.05 and " +
+			"hot_state_reduction >= 2 pass. skew rows: Zipfian auction feed through a 2-replica " +
+			"partitioned tree under a soft state limit — the no-split run latches pressure above the " +
+			"limit, the split run force-splits the hot replica (the engine watcher's policy) and must " +
+			"hold every replica at or below it. Rows are per-name medians across interleaved " +
+			"samples; tiered_vs_hot_ns is the median of per-loop sample-pair ratios.",
+		Env:  env,
+		Sha:  sha,
+		Time: timeStr,
+	}
+	rows := make(map[string]tieringRow)
+	for _, name := range names {
+		if !strings.HasPrefix(name, "Tiering/") {
+			continue
+		}
+		row := medianRow(name, samples[name])
+		rows[name] = row
+		rep.Rows = append(rep.Rows, row)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("no Tiering rows in %s", currentPath)
+	}
+	hot, okHot := rows["Tiering/long-state/hot-only"]
+	tiered, okTiered := rows["Tiering/long-state/tiered"]
+	if okHot && okTiered && hot.NsPerOp > 0 {
+		ls := &tieringLongState{
+			TieredVsHotNs:      round2(pairedRatio(samples["Tiering/long-state/tiered"], samples["Tiering/long-state/hot-only"])),
+			HotResidentHotOnly: hot.Extra["hot-resident"],
+			HotResidentTiered:  tiered.Extra["hot-resident"],
+		}
+		denom := ls.HotResidentTiered
+		if denom < 1 {
+			denom = 1
+		}
+		ls.HotStateReduction = round2(ls.HotResidentHotOnly / denom)
+		rep.LongState = ls
+	}
+	noSplit, okNo := rows["Tiering/skew/no-split"]
+	split, okSplit := rows["Tiering/skew/split"]
+	if okNo && okSplit {
+		sk := &tieringSkew{
+			SoftLimit:            noSplit.Extra["soft-limit"],
+			NoSplitMaxReplica:    noSplit.Extra["max-replica-final"],
+			SplitMaxReplicaPeak:  split.Extra["max-replica-peak"],
+			SplitMaxReplicaFinal: split.Extra["max-replica-final"],
+			SplitsPerOp:          split.Extra["splits/op"],
+		}
+		sk.SplitHoldsBelowLimit = sk.SoftLimit > 0 &&
+			sk.NoSplitMaxReplica > sk.SoftLimit &&
+			sk.SplitMaxReplicaPeak <= sk.SoftLimit &&
+			sk.SplitMaxReplicaFinal <= sk.SoftLimit
+		rep.Skew = sk
+	}
+	if prevPath != "" {
+		history, err := loadTrajectory(prevPath)
+		if err != nil {
+			return err
+		}
+		entry := trajectoryEntry{Sha: sha, Time: timeStr}
+		for _, row := range rep.Rows {
+			entry.Benchmarks = append(entry.Benchmarks, trajectoryPoint{
+				Name:        row.Name,
+				NsPerOp:     row.NsPerOp,
+				AllocsPerOp: row.AllocsPerOp,
+			})
+		}
+		rep.Trajectory = append(history, entry)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -43,7 +43,7 @@ func main() {
 		lifespan     = flag.Uint64("lifespan", 0, "punctuation lifespan in elements (0 = forever)")
 		purgePunct   = flag.Bool("purgepunct", false, "enable §5.1 punctuation purging")
 		interval     = flag.Int("interval", 0, "print state sizes every N elements (0 = summary only)")
-		zipf         = flag.Float64("zipf", 0, "Zipf skew s (>1) for synthetic value draws")
+		zipf         = flag.Float64("zipf", 0, "Zipf skew for synthetic value draws; for -scenario auction, skews bids-per-item heavy-tailed")
 		specFile     = flag.String("spec", "", "run the query declared in this spec file on a generated closed workload")
 		sqlFile      = flag.String("sql", "", "run the first query of this streamsql script on a generated closed workload")
 		csvPath      = flag.String("csv", "", "write a state/punctuation/result timeline as CSV to this file")
@@ -55,6 +55,9 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint every N elements (0 = only at end of feed; needs -checkpoint)")
 		restore      = flag.Bool("restore", false, "restore runtime state from -checkpoint and resume the feed at the recorded offset")
 		partitions   = flag.Int("partitions", 1, "hash-partitioned join replicas per query (1 = single tree; needs a co-partitionable query for >1)")
+		coldAfter    = flag.Uint64("cold-after", 0, "freeze join-state rows older than N elements into the compacted cold tier (0 = all-hot)")
+		softLimit    = flag.Int("soft-state-limit", 0, "soft per-replica state bound: crossing it forces a purge round and reports pressure (0 = off)")
+		maxSplit     = flag.Int("max-partition-split", 0, "live-split a pressured hot replica at most N times (needs -parallel, -partitions > 1 and -soft-state-limit)")
 		chaosLate    = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
 		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
@@ -90,6 +93,10 @@ func main() {
 	if *partitions > 1 {
 		enginePartitions = *partitions
 	}
+	if *maxSplit > 0 && (!*parallel || enginePartitions == 0 || *softLimit <= 0) {
+		fmt.Fprintln(os.Stderr, "punctrun: -max-partition-split needs -parallel, -partitions > 1 and -soft-state-limit > 0")
+		os.Exit(2)
+	}
 
 	q, schemes, inputs, err := buildScenario(*scenario, *size, *k, !*noPunct, *zipf, *specFile, *sqlFile)
 	if err != nil {
@@ -115,13 +122,36 @@ func main() {
 		d.RegisterScheme(s)
 	}
 	results := 0
+	pressures, freezes, splits := 0, 0, 0
 	reg, err := d.Register(*scenario, q, engine.Options{
-		PurgeBatch:        *batch,
-		PunctLifespan:     *lifespan,
-		PurgePunctuations: *purgePunct,
-		EnforcePromises:   *enforce,
-		Partitions:        enginePartitions,
-		OnResult:          func(stream.Tuple) { results++ },
+		PurgeBatch:         *batch,
+		PunctLifespan:      *lifespan,
+		PurgePunctuations:  *purgePunct,
+		EnforcePromises:    *enforce,
+		Partitions:         enginePartitions,
+		ColdAfter:          *coldAfter,
+		SoftStateLimit:     *softLimit,
+		MaxPartitionSplits: *maxSplit,
+		OnResult:           func(stream.Tuple) { results++ },
+		OnPressure: func(ev exec.PressureEvent) {
+			pressures++
+			freezes += ev.Frozen
+			where := "single tree"
+			if ev.Partition >= 0 {
+				where = fmt.Sprintf("partition %d", ev.Partition)
+			}
+			fmt.Printf("pressure: %s state %d over soft limit %d; purge relieved to %d (%d rows frozen cold)\n",
+				where, ev.State, ev.SoftLimit, ev.Relieved, ev.Frozen)
+		},
+		OnRepartition: func(ev engine.RepartitionEvent) {
+			if ev.Err != nil {
+				fmt.Printf("repartition: split of hot partition %d refused: %v\n", ev.Hot, ev.Err)
+				return
+			}
+			splits++
+			fmt.Printf("repartition: hot partition %d live-split into new replica %d (%d total)\n",
+				ev.Hot, ev.New, ev.Parts)
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -317,6 +347,17 @@ func main() {
 	fmt.Printf("final state:        %d tuples\n", reg.TotalState())
 	fmt.Printf("max state:          %d tuples\n", reg.MaxState())
 	fmt.Printf("final punct store:  %d\n", reg.TotalPunctStore())
+	if *coldAfter > 0 || pressures > 0 {
+		cold := 0
+		for _, st := range reg.StatsSnapshot() {
+			cold += st.TotalColdState()
+		}
+		fmt.Printf("cold tier:          %d tuples resident; %d pressure events (%d rows frozen under pressure)\n",
+			cold, pressures, freezes)
+	}
+	if *maxSplit > 0 {
+		fmt.Printf("repartitions:       %d live splits (%d replicas now)\n", splits, reg.Partitions())
+	}
 	for i, st := range reg.StatsSnapshot() {
 		fmt.Printf("operator %d:         %s\n", i, st)
 	}
@@ -354,7 +395,7 @@ func buildScenario(name string, n, k int, punct bool, zipf float64, specFile, sq
 		q := workload.AuctionQuery()
 		schemes := workload.AuctionSchemes()
 		inputs := workload.Auction(workload.AuctionConfig{
-			Items: n, MaxBidsPerItem: 8, OpenWindow: 6,
+			Items: n, MaxBidsPerItem: 8, OpenWindow: 6, Skew: zipf,
 			PunctuateItems: punct, PunctuateClose: punct, Seed: 1,
 		})
 		return q, schemes, inputs, nil

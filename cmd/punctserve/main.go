@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"punctsafe/engine"
+	"punctsafe/exec"
 	"punctsafe/query"
 	"punctsafe/server"
 	"punctsafe/stream"
@@ -38,6 +39,9 @@ func main() {
 		addr       = flag.String("addr", "tcp://127.0.0.1:7341", "listen address: tcp://host:port or unix:///path")
 		scenario   = flag.String("scenario", "auction", "query to serve: auction | netmon | sensors")
 		partitions = flag.Int("partitions", 1, "hash-partitioned join replicas (1 = single tree)")
+		coldAfter  = flag.Uint64("cold-after", 0, "freeze join-state rows older than N elements into the compacted cold tier (0 = all-hot)")
+		softLimit  = flag.Int("soft-state-limit", 0, "soft per-replica state bound: crossing it forces a purge round and logs pressure (0 = off)")
+		maxSplit   = flag.Int("max-partition-split", 0, "live-split a pressured hot replica at most N times (needs -partitions > 1 and -soft-state-limit)")
 		onError    = flag.String("on-error", "quarantine", "runtime error policy: fail | drop | quarantine")
 		enforce    = flag.Bool("enforce", false, "fail tuples that violate an already-seen punctuation promise")
 		ckptPath   = flag.String("checkpoint", "", "durable checkpoint file (enables restore-at-start, periodic checkpoints, producer acks)")
@@ -66,6 +70,9 @@ func main() {
 	if *partitions > 1 {
 		enginePartitions = *partitions
 	}
+	if *maxSplit > 0 && (enginePartitions == 0 || *softLimit <= 0) {
+		fatal(fmt.Errorf("punctserve: -max-partition-split needs -partitions > 1 and -soft-state-limit > 0"))
+	}
 	schemas := make([]*stream.Schema, q.N())
 	for i := range schemas {
 		schemas[i] = q.Stream(i)
@@ -85,8 +92,27 @@ func main() {
 				d.RegisterScheme(s)
 			}
 			_, err := d.Register(*scenario, q, engine.Options{
-				EnforcePromises: *enforce,
-				Partitions:      enginePartitions,
+				EnforcePromises:    *enforce,
+				Partitions:         enginePartitions,
+				ColdAfter:          *coldAfter,
+				SoftStateLimit:     *softLimit,
+				MaxPartitionSplits: *maxSplit,
+				OnPressure: func(ev exec.PressureEvent) {
+					where := "single tree"
+					if ev.Partition >= 0 {
+						where = fmt.Sprintf("partition %d", ev.Partition)
+					}
+					logf("pressure: %s state %d over soft limit %d; relieved to %d (%d rows frozen cold)",
+						where, ev.State, ev.SoftLimit, ev.Relieved, ev.Frozen)
+				},
+				OnRepartition: func(ev engine.RepartitionEvent) {
+					if ev.Err != nil {
+						logf("repartition: split of hot partition %d refused: %v", ev.Hot, ev.Err)
+						return
+					}
+					logf("repartition: hot partition %d live-split into new replica %d (%d total)",
+						ev.Hot, ev.New, ev.Parts)
+				},
 			})
 			return err
 		},

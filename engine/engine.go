@@ -81,6 +81,38 @@ type Options struct {
 	// partitioned; it falls back to the single-tree path with the reason
 	// recorded in Registered.PartitionReason.
 	Partitions int
+	// ColdAfter enables two-tier join state: every ColdAfter processed
+	// elements, stored tuples that survived a full inter-freeze interval
+	// are compacted out of the hot insert path into immutable cold
+	// segments (mirrors exec.Config.ColdAfter). 0 keeps every tuple hot.
+	ColdAfter uint64
+	// MaxPartitionSplits, when > 0 on a partitioned query, arms the
+	// sharded runtime's skew watcher: a replica still at or above
+	// SoftStateLimit after its forced purge round is live-split (its key
+	// range divided by observed bucket load onto a new replica), at most
+	// this many times over the runtime's life. Requires SoftStateLimit
+	// and Partitions >= 1; 0 disables automatic repartitioning
+	// (Runtime.SplitPartition remains available manually).
+	MaxPartitionSplits int
+	// OnRepartition, when set, observes every split the skew watcher
+	// attempts — successful or refused — from the watcher goroutine.
+	OnRepartition func(RepartitionEvent)
+}
+
+// RepartitionEvent describes one attempted skew-driven partition split.
+type RepartitionEvent struct {
+	// Query names the repartitioned query.
+	Query string
+	// Hot is the replica whose sustained pressure triggered the split.
+	Hot int
+	// New is the replica that took over the heavier half of Hot's key
+	// range (meaningful only when Err is nil).
+	New int
+	// Parts is the partition count after the attempt.
+	Parts int
+	// Err is nil on success, or the reason the split was refused (e.g.
+	// single-bucket key skew that routing cannot separate).
+	Err error
 }
 
 // Registered is one admitted continuous join query.
@@ -122,6 +154,14 @@ type Registered struct {
 	filter func(input int, t stream.Tuple) bool
 	// streamInput maps a stream name to this query's stream index.
 	streamInput map[string]int
+	// pressure, maxSplits and onRepartition drive the sharded runtime's
+	// skew watcher (Options.MaxPartitionSplits): replica pressure events
+	// are teed into the channel by the exec.Config.OnPressure wrapper
+	// installed at registration, and the watcher splits hot replicas
+	// from them. pressure is nil unless the watcher was requested.
+	pressure      chan exec.PressureEvent
+	maxSplits     int
+	onRepartition func(RepartitionEvent)
 }
 
 // Register admits a continuous join query: it runs the safety check
@@ -164,6 +204,7 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 		SoftStateLimit:    opts.SoftStateLimit,
 		OnPressure:        opts.OnPressure,
 		EnforcePromises:   opts.EnforcePromises,
+		ColdAfter:         opts.ColdAfter,
 	}
 	r := &Registered{
 		Name:        name,
@@ -176,6 +217,26 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 	}
 	if opts.Partitions < 0 {
 		return nil, fmt.Errorf("engine: query %q: negative partition count %d", name, opts.Partitions)
+	}
+	if opts.Partitions >= 1 && opts.MaxPartitionSplits > 0 {
+		// Arm the sharded runtime's skew watcher: tee replica pressure
+		// events into a channel the watcher drains. The tee never blocks
+		// the partition worker that fired the event — a watcher that falls
+		// behind just misses an excursion, and pressure re-fires on the
+		// next one.
+		r.maxSplits = opts.MaxPartitionSplits
+		r.onRepartition = opts.OnRepartition
+		r.pressure = make(chan exec.PressureEvent, 16)
+		user, tee := opts.OnPressure, r.pressure
+		cfg.OnPressure = func(ev exec.PressureEvent) {
+			select {
+			case tee <- ev:
+			default:
+			}
+			if user != nil {
+				user(ev)
+			}
+		}
 	}
 	if opts.Partitions >= 1 {
 		part, err := exec.NewPartitionedTree(cfg, p, opts.Partitions)

@@ -85,11 +85,22 @@ type scriptBatch struct {
 
 // partCtrl is a control barrier travelling through every partition
 // mailbox and the script: a stats snapshot request, a checkpoint
-// request, or both sides of the quiesce handshake.
+// request, a live repartition, or both sides of the quiesce handshake.
 type partCtrl struct {
 	stats   chan<- []*exec.Stats
 	ckpt    chan<- shardCkpt
+	split   *splitReq
 	release chan struct{} // closed by the merger once the snapshot is taken
+}
+
+// splitReq asks the merge stage to split a hot replica while every
+// worker is parked at the barrier: the one moment the replica set is
+// provably quiescent, which is what exec.PartitionedTree.Split
+// requires. The reply carries the split's outcome (nil, or the reason
+// the replica could not be split).
+type splitReq struct {
+	hot   int
+	reply chan error // buffered; the merger never blocks answering
 }
 
 // partRecord is one worker reply covering one chunk: the replica's
@@ -157,7 +168,7 @@ func newPartFront(s *shard) *partFront {
 		pf.in[i] = make(chan partChunk, partInBuffer)
 		pf.out[i] = make(chan *partRecord, partOutBuffer)
 		pf.free[i] = make(chan *partRecord, partOutBuffer)
-		go pf.worker(i)
+		go pf.worker(i, pf.in[i], pf.out[i], pf.free[i])
 	}
 	return pf
 }
@@ -170,33 +181,50 @@ func (pf *partFront) sendOne(input int, streamName string, e stream.Element) {
 // sendRun routes one contiguous same-stream run: hash outside the lock,
 // enqueue under it. The caller must not reuse elems afterwards (the
 // merger keeps it until the run is delivered).
+//
+// Hashing runs against a snapshot of the routing spec taken before the
+// lock. A live repartition (splitPartition) replaces the spec while
+// holding the ingress lock, so a producer that hashed against the old
+// owner table discovers the swap the moment it acquires the lock and
+// simply rehashes — chunks routed by a stale table never enter a
+// mailbox.
 func (pf *partFront) sendRun(input int, streamName string, elems []stream.Element) {
 	pt := pf.s.reg.Part
 	ops := make([]byte, len(elems))
-	chunks := make([][]stream.Element, pf.p)
-	for i, e := range elems {
-		if e.IsPunct() {
-			// Epoch seal: every partition sees the punctuation in
-			// position, preserving its order against the tuples that
-			// partition owns.
-			ops[i] = opPunct
-			for p := 0; p < pf.p; p++ {
-				chunks[p] = append(chunks[p], e)
+	for {
+		spec := pt.RoutingSpec()
+		chunks := make([][]stream.Element, spec.Parts)
+		for i, e := range elems {
+			if e.IsPunct() {
+				// Epoch seal: every partition sees the punctuation in
+				// position, preserving its order against the tuples that
+				// partition owns.
+				ops[i] = opPunct
+				for p := range chunks {
+					chunks[p] = append(chunks[p], e)
+				}
+				continue
 			}
+			d := pt.PartitionOfSpec(spec, input, e.Tuple())
+			ops[i] = byte(d)
+			chunks[d] = append(chunks[d], e)
+		}
+		pf.mu.Lock()
+		if pt.RoutingSpec() != spec {
+			// A repartition landed between hashing and the lock: rehash
+			// against the published table.
+			pf.mu.Unlock()
 			continue
 		}
-		d := pt.PartitionOf(input, e.Tuple())
-		ops[i] = byte(d)
-		chunks[d] = append(chunks[d], e)
-	}
-	pf.mu.Lock()
-	for p := 0; p < pf.p; p++ {
-		if len(chunks[p]) > 0 {
-			pf.in[p] <- partChunk{input: input, elems: chunks[p]}
+		for p := range chunks {
+			if len(chunks[p]) > 0 {
+				pf.in[p] <- partChunk{input: input, elems: chunks[p]}
+			}
 		}
+		pf.script <- scriptBatch{input: input, stream: streamName, elems: elems, ops: ops}
+		pf.mu.Unlock()
+		return
 	}
-	pf.script <- scriptBatch{input: input, stream: streamName, elems: elems, ops: ops}
-	pf.mu.Unlock()
 }
 
 // control enqueues a barrier to every partition mailbox and the script.
@@ -210,6 +238,33 @@ func (pf *partFront) control(c *partCtrl) {
 	}
 	pf.script <- scriptBatch{ctrl: c}
 	pf.mu.Unlock()
+}
+
+// splitPartition performs a live repartition: it enqueues a split
+// barrier and holds the ingress lock until the merge stage has executed
+// the split and published the new routing table. The hold is load-
+// bearing, not just convenient: a run enqueued after the barrier but
+// before the table swap would have been hashed against the old owner
+// table, landing tuples on a replica that no longer owns their keys.
+// With the lock held, every producer that raced the split re-validates
+// its spec snapshot in sendRun and rehashes.
+func (pf *partFront) splitPartition(hot int) error {
+	c := &partCtrl{
+		split:   &splitReq{hot: hot, reply: make(chan error, 1)},
+		release: make(chan struct{}),
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	for p := 0; p < pf.p; p++ {
+		pf.in[p] <- partChunk{ctrl: c}
+	}
+	pf.script <- scriptBatch{ctrl: c}
+	select {
+	case err := <-c.split.reply:
+		return err
+	case <-pf.s.rt.kill:
+		return ErrKilled
+	}
 }
 
 // close ends the input: the caller (Runtime.Close, under the write side
@@ -227,35 +282,40 @@ func (pf *partFront) close() {
 // processing (the state is no longer meaningful) but keeps the record
 // stream aligned with skipped records. On kill it drains without effect
 // so producers never block forever.
-func (pf *partFront) worker(part int) {
+//
+// The channels arrive as arguments rather than through pf.in[part]
+// indexing: a live repartition appends to the channel slices from the
+// merge stage, so a worker must never touch the slice headers after
+// spawn.
+func (pf *partFront) worker(part int, in chan partChunk, out, free chan *partRecord) {
 	defer pf.wg.Done()
 	fatal := false
 	for {
 		var ck partChunk
 		var ok bool
 		select {
-		case ck, ok = <-pf.in[part]:
+		case ck, ok = <-in:
 			if !ok {
 				return
 			}
 		case <-pf.s.rt.kill:
-			pf.drainIn(part)
+			drainIn(in)
 			return
 		}
-		rec := pf.record(part)
+		rec := pf.record(free)
 		if ck.ctrl != nil {
 			// Ack in FIFO position — every record for earlier chunks is
 			// already in the out stream — then park until the merger has
 			// taken its snapshot.
 			rec.ctrl = ck.ctrl
-			if !pf.emit(part, rec) {
-				pf.drainIn(part)
+			if !pf.emit(out, rec) {
+				drainIn(in)
 				return
 			}
 			select {
 			case <-ck.ctrl.release:
 			case <-pf.s.rt.kill:
-				pf.drainIn(part)
+				drainIn(in)
 				return
 			}
 			continue
@@ -269,8 +329,8 @@ func (pf *partFront) worker(part int) {
 				fatal = true
 			}
 		}
-		if !pf.emit(part, rec) {
-			pf.drainIn(part)
+		if !pf.emit(out, rec) {
+			drainIn(in)
 			return
 		}
 	}
@@ -278,15 +338,15 @@ func (pf *partFront) worker(part int) {
 
 // drainIn is the post-kill worker loop: consume the mailbox without
 // effect until Close closes it, so blocked producers unwind.
-func (pf *partFront) drainIn(part int) {
-	for range pf.in[part] {
+func drainIn(in chan partChunk) {
+	for range in {
 	}
 }
 
 // record pops a recycled record or allocates a fresh one.
-func (pf *partFront) record(part int) *partRecord {
+func (pf *partFront) record(free chan *partRecord) *partRecord {
 	select {
-	case r := <-pf.free[part]:
+	case r := <-free:
 		r.reset()
 		return r
 	default:
@@ -295,9 +355,9 @@ func (pf *partFront) record(part int) *partRecord {
 }
 
 // emit hands a record to the merger, aborting on kill.
-func (pf *partFront) emit(part int, rec *partRecord) bool {
+func (pf *partFront) emit(out chan *partRecord, rec *partRecord) bool {
 	select {
-	case pf.out[part] <- rec:
+	case out <- rec:
 		return true
 	case <-pf.s.rt.kill:
 		return false
@@ -421,6 +481,9 @@ func answerCtrlKilled(s *shard, c *partCtrl) {
 	}
 	if c.ckpt != nil {
 		c.ckpt <- shardCkpt{idx: s.idx, err: ErrKilled}
+	}
+	if c.split != nil {
+		c.split.reply <- ErrKilled
 	}
 }
 
@@ -657,8 +720,54 @@ func (m *partMerger) consumeCtrl(c *partCtrl) bool {
 	if c.ckpt != nil {
 		c.ckpt <- s.checkpointReply()
 	}
+	if c.split != nil {
+		c.split.reply <- m.doSplit(c.split.hot)
+	}
 	close(c.release)
 	return true
+}
+
+// doSplit executes a live repartition at the quiescent point of a
+// control barrier: every worker is parked on release, every record
+// enqueued before the barrier is consumed, so the replica set is
+// exactly as still as it is for a checkpoint. exec does the state
+// surgery (clone hot, filter both halves by the new owner table,
+// publish the table); the front then grows by one worker lane and the
+// merger by one cursor set. The new worker only ever sees chunks
+// enqueued after the barrier — splitPartition holds the ingress lock
+// until this returns, and every later producer hashes against the new
+// table.
+func (m *partMerger) doSplit(hot int) error {
+	s := m.s
+	if s.failed {
+		return fmt.Errorf("engine: query %q has failed; cannot repartition", s.reg.Name)
+	}
+	_, unblocked, err := s.reg.Part.Split(hot)
+	if err != nil {
+		return err
+	}
+	pf := m.pf
+	part := pf.p
+	in := make(chan partChunk, partInBuffer)
+	out := make(chan *partRecord, partOutBuffer)
+	free := make(chan *partRecord, partOutBuffer)
+	pf.in = append(pf.in, in)
+	pf.out = append(pf.out, out)
+	pf.free = append(pf.free, free)
+	pf.p++
+	pf.wg.Add(1)
+	go pf.worker(part, in, out, free)
+	m.rec = append(m.rec, nil)
+	m.cursor = append(m.cursor, 0)
+	m.lastEnd = append(m.lastEnd, 0)
+	m.offCur = append(m.offCur, 0)
+	// Punctuations the state filter unblocked deliver at the barrier —
+	// everything enqueued before the split is already out, so this is
+	// their exact stream position.
+	if len(unblocked) > 0 {
+		s.reg.deliver(unblocked)
+	}
+	return nil
 }
 
 // failShard marks the shard failed and records the runtime's first

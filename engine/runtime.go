@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -170,6 +171,9 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 			// goroutine becomes the merge stage.
 			s.pf = newPartFront(s)
 			go s.runPartitioned()
+			if s.reg.pressure != nil && s.reg.maxSplits > 0 {
+				go s.splitWatcher()
+			}
 			continue
 		}
 		s.mb = make(chan shardMsg, buffer)
@@ -607,4 +611,74 @@ func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
 	}
 	s.mb <- shardMsg{stats: reply}
 	return <-reply, nil
+}
+
+// SplitPartition live-splits one replica of the named partitioned query:
+// the hot replica's key range is divided by observed bucket load, a new
+// replica takes over the heavier half, and producers re-route on the
+// published owner table — all behind the same control barrier a
+// checkpoint uses, so no element is lost, duplicated, or reordered by
+// the move. It blocks until the split is complete (or refused: a
+// replica whose load sits in one hash bucket cannot be split by
+// routing). Safe from any goroutine; the skew watcher calls it
+// automatically when Options.MaxPartitionSplits allows.
+func (rt *Runtime) SplitPartition(name string, hot int) error {
+	s, ok := rt.byName[name]
+	if !ok {
+		return fmt.Errorf("engine: no query %q", name)
+	}
+	if s.pf == nil {
+		return fmt.Errorf("engine: query %q is not partitioned", name)
+	}
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
+	if rt.closed {
+		return fmt.Errorf("engine: runtime: SplitPartition after Close")
+	}
+	return s.pf.splitPartition(hot)
+}
+
+// splitWatcher is the skew-repartitioning policy loop, one per
+// partitioned shard with a split budget. It watches the query's
+// pressure events for a replica that stayed at or above its soft state
+// limit after the forced purge round — state the punctuation horizon
+// legitimately retains, concentrated on one replica by key skew — and
+// splits that replica. Replicas whose load cannot be separated by
+// bucket routing (single pathological key) are remembered and not
+// retried.
+func (s *shard) splitWatcher() {
+	splits := 0
+	unsplittable := make(map[int]bool)
+	for splits < s.reg.maxSplits {
+		var ev exec.PressureEvent
+		select {
+		case ev = <-s.reg.pressure:
+		case <-s.done:
+			return
+		case <-s.rt.kill:
+			return
+		}
+		if ev.Partition < 0 || ev.Relieved < ev.SoftLimit || unsplittable[ev.Partition] {
+			continue
+		}
+		err := s.rt.SplitPartition(s.reg.Name, ev.Partition)
+		rev := RepartitionEvent{
+			Query: s.reg.Name,
+			Hot:   ev.Partition,
+			Parts: s.reg.Partitions(),
+			Err:   err,
+		}
+		if err == nil {
+			splits++
+			rev.New = rev.Parts - 1
+		} else {
+			if errors.Is(err, ErrKilled) {
+				return
+			}
+			unsplittable[ev.Partition] = true
+		}
+		if s.reg.onRepartition != nil {
+			s.reg.onRepartition(rev)
+		}
+	}
 }

@@ -1,0 +1,380 @@
+package engine_test
+
+// Adaptive-state-tiering equivalence suite (ISSUE 8): two-tier join
+// state (ColdAfter) and live skew-driven repartitioning are performance
+// levers, never semantic ones. Every test pins the same claim shape —
+// the tiered run, the live-split run, and the crash-recovered run with
+// frozen segments must be element-for-element identical to the plain
+// reference — and the watcher test pins the policy half: sustained
+// single-replica pressure on a skewed feed actually triggers a split.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"punctsafe/engine"
+	"punctsafe/internal/faultinject"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// runTiered mirrors runRuntime's batched pass with arbitrary Options
+// layered on top (ColdAfter, Partitions, pressure limits), plus optional
+// manual partition splits at element boundaries.
+func runTiered(t *testing.T, policy engine.ErrorPolicy, feed []faultinject.Item, opts engine.Options, splitAt map[int]int) runOutcome {
+	t.Helper()
+	d := engine.New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	var out runOutcome
+	opts.EnforcePromises = true
+	opts.OnPunct = func(p stream.Punctuation) {
+		out.puncts = append(out.puncts, p.String())
+	}
+	reg, err := d.Register("q0", workload.AuctionQuery(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	splitPoints := make([]int, 0, len(splitAt))
+	for at := range splitAt {
+		splitPoints = append(splitPoints, at)
+	}
+	sort.Ints(splitPoints)
+	for start := 0; start < len(feed); {
+		// Batch boundaries need not land exactly on a requested index, so
+		// trigger each split on the first boundary at or past it.
+		for len(splitPoints) > 0 && start >= splitPoints[0] {
+			hot := splitAt[splitPoints[0]]
+			splitPoints = splitPoints[1:]
+			if err := rt.SplitPartition("q0", hot); err != nil {
+				t.Fatalf("SplitPartition(%d) at element %d: %v", hot, start, err)
+			}
+		}
+		end := start + 1
+		for end < len(feed) && feed[end].Stream == feed[start].Stream {
+			end++
+		}
+		elems := make([]stream.Element, 0, end-start)
+		for _, it := range feed[start:end] {
+			elems = append(elems, it.Elem)
+		}
+		if err := rt.SendBatch(feed[start].Stream, elems); err != nil {
+			t.Fatalf("SendBatch: %v", err)
+		}
+		start = end
+	}
+	rt.Close()
+	out.err = rt.Wait()
+	for _, r := range reg.Results {
+		out.results = append(out.results, r.String())
+	}
+	out.dl = rt.DeadLetters()
+	if want := opts.Partitions + len(splitAt); len(splitAt) > 0 && reg.Partitions() != want {
+		t.Fatalf("query runs %d partitions after %d splits, want %d", reg.Partitions(), len(splitAt), want)
+	}
+	return out
+}
+
+// TestTieredRuntimeBisimulation: for every (workload × policy ×
+// ColdAfter) cell — and the partitioned+tiered combination — the tiered
+// pass must be observationally identical to the all-hot batched pass.
+func TestTieredRuntimeBisimulation(t *testing.T) {
+	policies := map[string]engine.ErrorPolicy{
+		"fail":       engine.Fail,
+		"drop":       engine.Drop,
+		"quarantine": engine.Quarantine,
+	}
+	for wname, feed := range batchWorkloads(t) {
+		for pname, policy := range policies {
+			want := runRuntime(t, policy, feed, true)
+			for _, coldAfter := range []uint64{1, 16} {
+				t.Run(fmt.Sprintf("%s/%s/cold%d", wname, pname, coldAfter), func(t *testing.T) {
+					got := runTiered(t, policy, feed, engine.Options{ColdAfter: coldAfter}, nil)
+					requireSameOutcome(t, want, got)
+				})
+				t.Run(fmt.Sprintf("%s/%s/cold%d/p3", wname, pname, coldAfter), func(t *testing.T) {
+					got := runTiered(t, policy, feed, engine.Options{ColdAfter: coldAfter, Partitions: 3}, nil)
+					requireSameOutcome(t, want, got)
+				})
+			}
+		}
+	}
+}
+
+// skewedFeed is the Zipfian auction workload: a few heavy itemids soak
+// up most bids, so hash-partitioned replicas inherit the key skew.
+func skewedFeed(punctuate bool) []faultinject.Item {
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 60, MaxBidsPerItem: 6, OpenWindow: 4, Skew: 1.1,
+		PunctuateItems: punctuate, PunctuateClose: punctuate, Seed: 17,
+	})
+	feed := make([]faultinject.Item, len(inputs))
+	for i, in := range inputs {
+		feed[i] = faultinject.Item(in)
+	}
+	return feed
+}
+
+// TestLiveSplitRuntimeEquivalence: manual SplitPartition calls at fixed
+// element boundaries — mid-feed, on a skewed workload, with cold
+// segments present — must not change a single delivered element
+// relative to the single-tree run.
+func TestLiveSplitRuntimeEquivalence(t *testing.T) {
+	feed := skewedFeed(true)
+	want := runRuntime(t, engine.Fail, feed, true)
+	if len(want.results) == 0 {
+		t.Fatal("skewed feed produced no results; the equivalence check is vacuous")
+	}
+	third := len(feed) / 3
+	got := runTiered(t, engine.Fail, feed,
+		engine.Options{Partitions: 2, ColdAfter: 8},
+		map[int]int{third: 0, 2 * third: 1})
+	requireSameOutcome(t, want, got)
+}
+
+// TestSplitWatcherSplitsHotReplica pins the policy loop end to end: a
+// skewed, unpunctuated feed drives one replica over its soft state
+// limit, purging cannot relieve it, and the armed watcher live-splits
+// the hot replica — while the delivered results stay exactly those of
+// the single-tree run.
+func TestSplitWatcherSplitsHotReplica(t *testing.T) {
+	feed := skewedFeed(false)
+	want := runRuntime(t, engine.Fail, feed, true)
+
+	d := engine.New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	events := make(chan engine.RepartitionEvent, 8)
+	reg, err := d.Register("q0", workload.AuctionQuery(), engine.Options{
+		EnforcePromises:    true,
+		Partitions:         2,
+		ColdAfter:          32,
+		SoftStateLimit:     120,
+		MaxPartitionSplits: 2,
+		OnRepartition: func(ev engine.RepartitionEvent) {
+			select {
+			case events <- ev:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: engine.Fail})
+	for _, it := range feed {
+		if err := rt.Send(it.Stream, it.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pressure event is deterministic (a replica crossed the soft
+	// limit while feeding); the watcher's split is asynchronous, so wait
+	// for its verdict before closing input.
+	select {
+	case ev := <-events:
+		if ev.Err != nil {
+			t.Fatalf("watcher split refused: %v", ev.Err)
+		}
+		if ev.Query != "q0" || ev.Parts != 3 || ev.New != 2 {
+			t.Fatalf("unexpected repartition event %+v", ev)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no repartition event: the skewed feed never tripped the watcher")
+	}
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Partitions() < 3 {
+		t.Fatalf("query still runs %d partitions; the watcher split did not install", reg.Partitions())
+	}
+	got := make([]string, len(reg.Results))
+	for i, r := range reg.Results {
+		got[i] = r.String()
+	}
+	if len(got) != len(want.results) {
+		t.Fatalf("watcher-split run delivered %d results, single tree %d", len(got), len(want.results))
+	}
+	for i := range want.results {
+		if got[i] != want.results[i] {
+			t.Fatalf("result %d diverges after the watcher split:\n  split run:   %s\n  single tree: %s", i, got[i], want.results[i])
+		}
+	}
+}
+
+// TestCrashRecoveryEquivalenceTiered: the crash matrix with cold
+// segments present — frozen state, freeze watermarks, and the compacted
+// segments themselves must snapshot and restore to exact observational
+// equivalence (including the full stats, freeze counters included).
+func TestCrashRecoveryEquivalenceTiered(t *testing.T) {
+	feed := equivChaosFeed()
+	configs := []engine.Options{
+		{ColdAfter: 5},
+		{ColdAfter: 3, PurgeBatch: 3},
+		{ColdAfter: 4, Partitions: 3},
+	}
+	for ci, opts := range configs {
+		want := referenceRun(t, engine.Quarantine, opts, feed, "q0")
+		for _, k := range faultinject.CrashPoints(len(feed), 2, int64(200+ci)) {
+			got := crashRun(t, engine.Quarantine, opts, feed, k, "q0")
+			compareObservations(t, fmt.Sprintf("tiered config %d crash at %d", ci, k), got, want)
+		}
+	}
+}
+
+// TestCrashDuringLiveSplit: a kill landing while a live split is in
+// flight must neither deadlock nor corrupt recovery — the restore from
+// the pre-split checkpoint replays to exact equivalence whatever the
+// split had or had not done when the crash hit.
+func TestCrashDuringLiveSplit(t *testing.T) {
+	feed := skewedFeed(true)
+	opts := engine.Options{Partitions: 2, ColdAfter: 4}
+	want := referenceRun(t, engine.Quarantine, opts, feed, "q0")
+	for _, k := range faultinject.CrashPoints(len(feed), 3, 77) {
+		got := crashRunDuringSplit(t, engine.Quarantine, opts, feed, k)
+		compareObservations(t, fmt.Sprintf("mid-split crash at %d", k), got, want)
+	}
+}
+
+// crashRunDuringSplit is crashRun with the kill racing a live split: the
+// split launches right before Kill, so the crash lands somewhere inside
+// the split protocol (barrier travelling, merger splitting, or just
+// after) depending on scheduling — recovery must hold on every
+// interleaving.
+func crashRunDuringSplit(t *testing.T, policy engine.ErrorPolicy, opts engine.Options, feed []faultinject.Item, k int) runObservation {
+	t.Helper()
+	d, regs := newEquivDSMS(t, opts, "q0")
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	for i := 0; i < k; i++ {
+		if err := rt.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := rt.Checkpoint(&snap); err != nil {
+		t.Fatalf("checkpoint at %d: %v", k, err)
+	}
+	prefix := map[string][]string{"q0": append([]string(nil), orderedResults(regs[0])...)}
+	extra := k + 25
+	if extra > len(feed) {
+		extra = len(feed)
+	}
+	for i := k; i < extra; i++ {
+		if err := rt.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	splitDone := make(chan error, 1)
+	go func() { splitDone <- rt.SplitPartition("q0", 0) }()
+	rt.Kill()
+	rt.Close()
+	if err := rt.Wait(); !errors.Is(err, engine.ErrKilled) {
+		t.Fatalf("killed runtime Wait = %v, want ErrKilled", err)
+	}
+	// The split either completed before the kill, was answered by the
+	// kill path, or observed the already-closed runtime — any outcome is
+	// legal in the race, but the goroutine must unwind promptly.
+	select {
+	case <-splitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("split blocked across the kill")
+	}
+
+	d2, regs2 := newEquivDSMS(t, opts, "q0")
+	rt2, err := d2.RestoreRuntime(bytes.NewReader(snap.Bytes()), engine.RuntimeOptions{OnError: policy})
+	if err != nil {
+		t.Fatalf("restore of checkpoint at %d: %v", k, err)
+	}
+	for i := int(rt2.ResumeOffset("feed")); i < len(feed); i++ {
+		if err := rt2.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt2.Close()
+	if err := rt2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return observe(t, rt2, regs2, prefix)
+}
+
+// TestCheckpointAfterSplitRestores: a checkpoint taken after a live
+// split carries the grown owner table and the extra replica; restoring
+// it into a register built with the original partition count must grow
+// the replica set and continue to exact equivalence — against a
+// reference that split at the same element boundary.
+func TestCheckpointAfterSplitRestores(t *testing.T) {
+	feed := skewedFeed(true)
+	opts := engine.Options{Partitions: 2, ColdAfter: 4}
+	splitK := len(feed) / 3
+	ckptK := len(feed) / 2
+
+	// Reference: uninterrupted run with the same manual split.
+	d, regs := newEquivDSMS(t, opts, "q0")
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: engine.Quarantine})
+	for i, it := range feed {
+		if i == splitK {
+			if err := rt.SplitPartition("q0", 0); err != nil {
+				t.Fatalf("reference split: %v", err)
+			}
+		}
+		if err := rt.SendAt("feed", it.Stream, it.Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := observe(t, rt, regs, nil)
+
+	// Crash run: split, checkpoint the grown runtime, kill, restore into
+	// a fresh 2-partition register, resume.
+	d1, regs1 := newEquivDSMS(t, opts, "q0")
+	rt1 := d1.RunSharded(engine.RuntimeOptions{OnError: engine.Quarantine})
+	for i := 0; i < ckptK; i++ {
+		if i == splitK {
+			if err := rt1.SplitPartition("q0", 0); err != nil {
+				t.Fatalf("split: %v", err)
+			}
+		}
+		if err := rt1.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := rt1.Checkpoint(&snap); err != nil {
+		t.Fatalf("post-split checkpoint: %v", err)
+	}
+	prefix := map[string][]string{"q0": append([]string(nil), orderedResults(regs1[0])...)}
+	rt1.Kill()
+	rt1.Close()
+	if err := rt1.Wait(); !errors.Is(err, engine.ErrKilled) {
+		t.Fatalf("killed runtime Wait = %v, want ErrKilled", err)
+	}
+
+	d2, regs2 := newEquivDSMS(t, opts, "q0")
+	rt2, err := d2.RestoreRuntime(bytes.NewReader(snap.Bytes()), engine.RuntimeOptions{OnError: engine.Quarantine})
+	if err != nil {
+		t.Fatalf("restore of post-split checkpoint: %v", err)
+	}
+	if got := regs2[0].Partitions(); got != 3 {
+		t.Fatalf("restored query runs %d partitions, want the snapshot's 3", got)
+	}
+	for i := int(rt2.ResumeOffset("feed")); i < len(feed); i++ {
+		if err := rt2.SendAt("feed", feed[i].Stream, feed[i].Elem, int64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt2.Close()
+	if err := rt2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	compareObservations(t, "post-split restore", observe(t, rt2, regs2, prefix), want)
+}

@@ -96,6 +96,57 @@ func TestSteadyStateProbeAllocs(t *testing.T) {
 	})
 }
 
+// TestColdTierProbeAllocs: the cold tier must add no per-probe garbage.
+// The guard is self-calibrated — the same probe/purge cycle runs against
+// an all-hot state and against one whose 32k resident rows are fully
+// frozen, and the tiered average may not exceed the hot average by more
+// than 10% plus one allocation of slack. An absolute guard on the miss
+// cycle (~0 allocs) rides along, mirroring TestSteadyStateProbeAllocs.
+func TestColdTierProbeAllocs(t *testing.T) {
+	run := func(coldAfter uint64, key int64) float64 {
+		m := longStateJoin(t, coldAfter)
+		punct := stream.PunctElement(stream.MustPunctuation(stream.Const(stream.Int(key)), stream.Wildcard()))
+		i := int64(0)
+		cycle := func() {
+			// Probe + insert on S, then a key punctuation on R purges the
+			// S tuple again: steady state, like the tiering benchmark.
+			el := stream.TupleElement(stream.NewTuple(stream.Int(key), stream.Int(i)))
+			if _, err := m.Push(1, el); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Push(0, punct); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+		for j := 0; j < 512; j++ {
+			cycle()
+		}
+		avg := testing.AllocsPerRun(2000, cycle)
+		if coldAfter > 0 && m.StatsSnapshot().ColdSize[0] == 0 {
+			t.Fatal("tiered operator froze nothing; the guard is vacuous")
+		}
+		return avg
+	}
+	t.Run("hit", func(t *testing.T) {
+		hot := run(0, 3)
+		tiered := run(2048, 3)
+		if tiered > hot*1.1+1 {
+			t.Fatalf("cold-tier hit cycle averages %.2f allocs vs %.2f all-hot; the tier adds per-probe garbage", tiered, hot)
+		}
+	})
+	t.Run("miss", func(t *testing.T) {
+		hot := run(0, 1<<20)
+		tiered := run(2048, 1<<20)
+		if tiered > hot+0.5 {
+			t.Fatalf("cold-tier miss cycle averages %.2f allocs vs %.2f all-hot", tiered, hot)
+		}
+		if tiered > 2.5 {
+			t.Fatalf("miss cycle averages %.2f allocs, want ~2 (the probe tuple only)", tiered)
+		}
+	})
+}
+
 // TestChainedPurgeAllocs pins the budget of one full chained-purge cycle
 // on the Figure 3 three-stream chain: insert a joined chain of tuples,
 // then punctuate it away through the §4.2 chained rounds. Before the

@@ -1,0 +1,113 @@
+package exec
+
+// FuzzColdSegment hardens the MJS2 snapshot decoder against arbitrary
+// bytes, with the cold tier populated: the seed corpus is a real tiered
+// snapshot (frozen segments, gap watermarks, punctuation stores) plus
+// torn, bit-flipped, and garbage variants. The invariants are the
+// snapshot contract of DecodeState/InstallState — never panic, reject
+// with an error wrapping ErrCorruptState, and an accepted restore must
+// leave the tree usable (a push and a flush still run).
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"punctsafe/internal/faultinject"
+	"punctsafe/plan"
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// fuzzTieredTree builds the three-stream star tree with aggressive
+// freezing so snapshots carry cold segments.
+func fuzzTieredTree(tb testing.TB) *Tree {
+	tb.Helper()
+	q, err := query.NewBuilder().
+		AddStream(mustSchema("S1", "A", "B")).
+		AddStream(mustSchema("S2", "A", "C")).
+		AddStream(mustSchema("S3", "A", "D")).
+		Join("S1.A", "S2.A").
+		Join("S2.A", "S3.A").
+		Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	root := plan.Join(plan.Leaf(0), plan.Leaf(1), plan.Leaf(2))
+	tr, err := NewTree(Config{Query: q, Schemes: starSchemes(), ColdAfter: 2}, root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// fuzzTieredSnapshot drives enough of the star workload through a tiered
+// tree for rows to freeze and one punctuation to be stored, then
+// serializes the state.
+func fuzzTieredSnapshot(tb testing.TB) []byte {
+	tb.Helper()
+	tr := fuzzTieredTree(tb)
+	for k := int64(0); k < 12; k++ {
+		for _, input := range []int{0, 1, 2} {
+			if _, err := tr.Push(input, stream.TupleElement(tup(k%4, k))); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	// A stored (unemittable) punctuation: key 1 still has matches.
+	if _, err := tr.Push(0, stream.PunctElement(punct(1, -1))); err != nil {
+		tb.Fatal(err)
+	}
+	cold := 0
+	for _, st := range tr.StatsSnapshot() {
+		for _, c := range st.ColdSize {
+			cold += c
+		}
+	}
+	if cold == 0 {
+		tb.Fatal("seed snapshot has no frozen rows; the fuzz corpus is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteState(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzColdSegment(f *testing.F) {
+	blob := fuzzTieredSnapshot(f)
+	f.Add(blob)
+	f.Add(blob[:1])
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:len(blob)-3])
+	f.Add(blob[:4])                       // magic only
+	f.Add([]byte("MJS9............"))     // wrong version
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // uvarint soup
+	for _, c := range faultinject.CorruptCopies(blob, 8, 7) {
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := fuzzTieredTree(t)
+		st, err := tr.DecodeState(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorruptState) {
+				t.Fatalf("DecodeState rejected with untyped error: %v", err)
+			}
+			return
+		}
+		if err := tr.InstallState(st); err != nil {
+			if !errors.Is(err, ErrCorruptState) {
+				t.Fatalf("InstallState rejected with untyped error: %v", err)
+			}
+			return
+		}
+		// An accepted restore must leave a usable tree: a probe into the
+		// restored (possibly tiered) state and a flush both run clean.
+		if _, err := tr.Push(0, stream.TupleElement(tup(1, 99))); err != nil {
+			t.Fatalf("push after accepted restore: %v", err)
+		}
+		if _, err := tr.Flush(); err != nil {
+			t.Fatalf("flush after accepted restore: %v", err)
+		}
+	})
+}

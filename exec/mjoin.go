@@ -58,6 +58,16 @@ type Config struct {
 	// OnPressure, when set, observes SoftStateLimit crossings. It runs on
 	// the goroutine driving the operator and must not call back into it.
 	OnPressure func(PressureEvent)
+	// ColdAfter, when nonzero, enables adaptive state tiering: every
+	// ColdAfter input elements the operator runs a freeze generation,
+	// compacting stored tuples that survived a full inter-freeze interval
+	// into the immutable cold segment (coldtier.go). The hot columns stay
+	// short — recent, churning state — while long-lived state is probed
+	// through the cold segment's frozen sorted runs. A pressure excursion
+	// (SoftStateLimit) additionally forces a full freeze, so state that
+	// legitimately outlives punctuation horizons stops taxing the hot
+	// tier. 0 disables tiering entirely (single-tier, the prior behavior).
+	ColdAfter uint64
 	// EnforcePromises makes Push fail when an input tuple matches a live
 	// punctuation previously received on ITS OWN input — a violation of
 	// the punctuation contract ("no future tuple will satisfy this
@@ -135,9 +145,13 @@ type probeScratch struct {
 	results []stream.Tuple
 	// candA/candB are per-depth double buffers for multi-predicate bucket
 	// intersections (two, so an intersection never reads the buffer it is
-	// writing).
+	// writing). Intersections run per tier — cold ids and hot ids are
+	// disjoint ranges, so tierwise intersection is exact — with coldA/
+	// coldB as the cold-tier counterparts.
 	candA [][]tupleID
 	candB [][]tupleID
+	coldA [][]tupleID
+	coldB [][]tupleID
 	// consts is the promise-check scratch.
 	consts []stream.Value
 }
@@ -199,6 +213,8 @@ func NewMJoin(cfg Config) (*MJoin, error) {
 		isBound: make([]bool, q.N()),
 		candA:   make([][]tupleID, q.N()),
 		candB:   make([][]tupleID, q.N()),
+		coldA:   make([][]tupleID, q.N()),
+		coldB:   make([][]tupleID, q.N()),
 	}
 	m.initPurgeScratch()
 	m.buildOutputSchema()
@@ -346,11 +362,32 @@ func (m *MJoin) pushInto(out []stream.Element, input int, e stream.Element) ([]s
 	if len(m.pending) > 0 && m.cfg.PurgeBatch > 1 && m.clock%uint64(m.cfg.PurgeBatch) == 0 {
 		out = m.flushPendingInto(out)
 	}
+	if m.cfg.ColdAfter > 0 && m.clock%m.cfg.ColdAfter == 0 {
+		m.freezeStates()
+	}
 	if m.cfg.SoftStateLimit > 0 {
 		out = m.relievePressure(out)
 	}
 	m.stats.noteWatermarks()
 	return out, nil
+}
+
+// freezeStates runs one freeze generation over every input's state (see
+// Config.ColdAfter). Freezing is purely an internal re-tiering: it emits
+// nothing and changes no live-tuple set, so running it on the element
+// clock keeps crash-equivalence exact — a restored run freezes at the
+// same points the uninterrupted run did.
+func (m *MJoin) freezeStates() {
+	froze := false
+	for i, st := range m.states {
+		if st.advanceFreeze() > 0 {
+			froze = true
+		}
+		m.stats.ColdSize[i] = st.coldSize()
+	}
+	if froze {
+		m.stats.Freezes++
+	}
 }
 
 func (m *MJoin) pushTuple(out []stream.Element, input int, t stream.Tuple) ([]stream.Element, error) {
@@ -487,17 +524,21 @@ func (m *MJoin) expand(order []int, k int) error {
 		return err
 	}
 	st := m.states[j]
-	for _, id := range cand {
-		u, ok := st.get(id)
-		if !ok {
-			continue
+	// Cold run first, then hot: candidate ids ascend across the pair, so
+	// results keep exact arrival order regardless of tiering.
+	for _, run := range cand.runs() {
+		for _, id := range run {
+			u, ok := st.get(id)
+			if !ok {
+				continue
+			}
+			pr.bound[j] = u
+			pr.isBound[j] = true
+			if err := m.expand(order, k+1); err != nil {
+				return err
+			}
+			pr.isBound[j] = false
 		}
-		pr.bound[j] = u
-		pr.isBound[j] = true
-		if err := m.expand(order, k+1); err != nil {
-			return err
-		}
-		pr.isBound[j] = false
 	}
 	return nil
 }
@@ -507,9 +548,9 @@ func (m *MJoin) expand(order []int, k int) error {
 // intersection of the per-predicate index buckets (galloping, into the
 // depth's scratch buffer). A single-predicate candidate set is the bucket
 // itself, borrowed read-only from the state.
-func (m *MJoin) candidateIDs(j, depth int) ([]tupleID, error) {
+func (m *MJoin) candidateIDs(j, depth int) (tierBuckets, error) {
 	pr := &m.pr
-	var cand []tupleID
+	var cand tierBuckets
 	first := true
 	flip := false
 	for _, p := range m.predsTouching[j] {
@@ -517,28 +558,32 @@ func (m *MJoin) candidateIDs(j, depth int) ([]tupleID, error) {
 		if !pr.isBound[other] {
 			continue
 		}
-		bucket := m.states[j].lookup(jAttr, pr.bound[other].Values[otherAttr])
+		tb := m.states[j].lookup2(jAttr, pr.bound[other].Values[otherAttr])
 		if first {
-			cand, first = bucket, false
+			cand, first = tb, false
 		} else {
-			// Alternate the two depth buffers so the intersection never
+			// Intersect tierwise — cold ids and hot ids occupy disjoint
+			// ranges, so cold∩cold ++ hot∩hot is the exact intersection —
+			// alternating the two depth buffers so an intersection never
 			// writes the slice it reads.
 			if flip {
-				pr.candB[depth] = intersectSorted(pr.candB[depth], cand, bucket)
-				cand = pr.candB[depth]
+				pr.candB[depth] = intersectSorted(pr.candB[depth], cand.hot, tb.hot)
+				pr.coldB[depth] = intersectSorted(pr.coldB[depth], cand.cold, tb.cold)
+				cand = tierBuckets{cold: pr.coldB[depth], hot: pr.candB[depth]}
 			} else {
-				pr.candA[depth] = intersectSorted(pr.candA[depth], cand, bucket)
-				cand = pr.candA[depth]
+				pr.candA[depth] = intersectSorted(pr.candA[depth], cand.hot, tb.hot)
+				pr.coldA[depth] = intersectSorted(pr.coldA[depth], cand.cold, tb.cold)
+				cand = tierBuckets{cold: pr.coldA[depth], hot: pr.candA[depth]}
 			}
 			flip = !flip
 		}
-		if len(cand) == 0 {
-			return nil, nil
+		if cand.empty() {
+			return tierBuckets{}, nil
 		}
 	}
 	if first {
 		// Unreachable for connected queries expanded in a connectivity order.
-		return nil, fmt.Errorf("%w: stream %d unreachable from bound set (query %s)", ErrProbeDisconnected, j, m.q)
+		return tierBuckets{}, fmt.Errorf("%w: stream %d unreachable from bound set (query %s)", ErrProbeDisconnected, j, m.q)
 	}
 	return cand, nil
 }
@@ -554,13 +599,13 @@ func (m *MJoin) probeDynamic(boundCount int) error {
 		return nil
 	}
 	best := -1
-	var bestBucket []tupleID
+	var bestBucket tierBuckets
 	for j := 0; j < m.q.N(); j++ {
 		if pr.isBound[j] {
 			continue
 		}
 		adjacent := false
-		var bucket []tupleID
+		var bucket tierBuckets
 		for _, p := range m.predsTouching[j] {
 			other, jAttr, otherAttr := p.Other(j)
 			if !pr.isBound[other] {
@@ -568,16 +613,16 @@ func (m *MJoin) probeDynamic(boundCount int) error {
 			}
 			if !adjacent {
 				adjacent = true
-				bucket = m.states[j].lookup(jAttr, pr.bound[other].Values[otherAttr])
+				bucket = m.states[j].lookup2(jAttr, pr.bound[other].Values[otherAttr])
 			}
 		}
 		if !adjacent {
 			continue
 		}
-		if best < 0 || len(bucket) < len(bestBucket) {
+		if best < 0 || bucket.total() < bestBucket.total() {
 			best, bestBucket = j, bucket
 		}
-		if len(bestBucket) == 0 {
+		if bestBucket.empty() {
 			return nil // some adjacent stream has no match: dead branch
 		}
 	}
@@ -585,20 +630,22 @@ func (m *MJoin) probeDynamic(boundCount int) error {
 		return fmt.Errorf("%w: no unbound stream adjacent to bound set (query %s)", ErrProbeDisconnected, m.q)
 	}
 	st := m.states[best]
-	for _, id := range bestBucket {
-		u, ok := st.get(id)
-		if !ok {
-			continue
+	for _, run := range bestBucket.runs() {
+		for _, id := range run {
+			u, ok := st.get(id)
+			if !ok {
+				continue
+			}
+			if !m.matchesBound(best, u) {
+				continue
+			}
+			pr.bound[best] = u
+			pr.isBound[best] = true
+			if err := m.probeDynamic(boundCount + 1); err != nil {
+				return err
+			}
+			pr.isBound[best] = false
 		}
-		if !m.matchesBound(best, u) {
-			continue
-		}
-		pr.bound[best] = u
-		pr.isBound[best] = true
-		if err := m.probeDynamic(boundCount + 1); err != nil {
-			return err
-		}
-		pr.isBound[best] = false
 	}
 	return nil
 }

@@ -109,8 +109,11 @@ func (m *MJoin) purgeRound(out []stream.Element, batch []pendingPunct) []stream.
 					})
 					continue
 				}
-				for _, id := range m.states[other].lookup(otherAttr, pat.Value()) {
-					m.pgPush(other, id)
+				tb := m.states[other].lookup2(otherAttr, pat.Value())
+				for _, run := range tb.runs() {
+					for _, id := range run {
+						m.pgPush(other, id)
+					}
 				}
 			}
 		}
@@ -125,8 +128,11 @@ func (m *MJoin) purgeRound(out []stream.Element, batch []pendingPunct) []stream.
 		}
 		for _, p := range m.predsTouching[k.s] {
 			other, myAttr, otherAttr := p.Other(k.s)
-			for _, id := range m.states[other].lookup(otherAttr, u.Values[myAttr]) {
-				m.pgPush(other, id)
+			tb := m.states[other].lookup2(otherAttr, u.Values[myAttr])
+			for _, run := range tb.runs() {
+				for _, id := range run {
+					m.pgPush(other, id)
+				}
 			}
 		}
 	}
@@ -182,6 +188,7 @@ func (m *MJoin) purgeFixpoint(cand [][]tupleID) [][]stream.Tuple {
 				m.states[s].remove(id)
 				m.stats.TuplesPurged[s]++
 				m.stats.StateSize[s] = m.states[s].size()
+				m.stats.ColdSize[s] = m.states[s].coldSize()
 				removed[s] = append(removed[s], t)
 				changed = true
 			}
@@ -332,24 +339,27 @@ func (m *MJoin) frontier(dst []stream.Tuple, j int, covered []bool, frontiers []
 	}
 	st := m.states[j]
 	for _, vk := range pg.consKeys[best] {
-		for _, id := range st.lookup(pg.consAttrs[best], vk.Value()) {
-			u, live := st.get(id)
-			if !live {
-				continue
-			}
-			ok := true
-			for ci := 0; ci < nc; ci++ {
-				if ci == best {
+		tb := st.lookup2(pg.consAttrs[best], vk.Value())
+		for _, run := range tb.runs() {
+			for _, id := range run {
+				u, live := st.get(id)
+				if !live {
 					continue
 				}
-				k := u.Values[pg.consAttrs[ci]].Key()
-				if !containsKey(pg.consKeys[ci], k) {
-					ok = false
-					break
+				ok := true
+				for ci := 0; ci < nc; ci++ {
+					if ci == best {
+						continue
+					}
+					k := u.Values[pg.consAttrs[ci]].Key()
+					if !containsKey(pg.consKeys[ci], k) {
+						ok = false
+						break
+					}
 				}
-			}
-			if ok {
-				dst = append(dst, u)
+				if ok {
+					dst = append(dst, u)
+				}
 			}
 		}
 	}
@@ -514,9 +524,12 @@ func (m *MJoin) hasMatchingTuple(input int, p stream.Punctuation) bool {
 		if st.index[a] == nil || p.Patterns[a].IsLeq() {
 			continue
 		}
-		for _, id := range st.lookup(a, p.Patterns[a].Value()) {
-			if u, ok := st.get(id); ok && p.Matches(u) {
-				return true
+		tb := st.lookup2(a, p.Patterns[a].Value())
+		for _, run := range tb.runs() {
+			for _, id := range run {
+				if u, ok := st.get(id); ok && p.Matches(u) {
+					return true
+				}
 			}
 		}
 		return false
@@ -825,20 +838,23 @@ func (m *MJoin) hasTupleMatching(s int, mapped map[int]stream.Value) bool {
 		if st.index[a] == nil {
 			continue
 		}
-		for _, id := range st.lookup(a, v) {
-			u, live := st.get(id)
-			if !live {
-				continue
-			}
-			all := true
-			for a2, v2 := range mapped {
-				if !u.Values[a2].Equal(v2) {
-					all = false
-					break
+		tb := st.lookup2(a, v)
+		for _, run := range tb.runs() {
+			for _, id := range run {
+				u, live := st.get(id)
+				if !live {
+					continue
 				}
-			}
-			if all {
-				return true
+				all := true
+				for a2, v2 := range mapped {
+					if !u.Values[a2].Equal(v2) {
+						all = false
+						break
+					}
+				}
+				if all {
+					return true
+				}
 			}
 		}
 		return false

@@ -34,9 +34,12 @@ var ErrCorruptState = errors.New("exec: corrupt operator state")
 // Format version tags. Bump when the layout changes; decoders reject
 // anything else as corrupt (version-mismatched state is indistinguishable
 // from damage once the layout moved).
+// MJS2 extends MJS1 with the state-tiering section: per input, the tier
+// watermarks (frozenBound, freezeAt) and the frozen cold rows serialized
+// separately from the hot rows, plus the ColdSize/Freezes stats columns.
 const (
 	treeStateMagic = "PTR1"
-	opStateMagic   = "MJS1"
+	opStateMagic   = "MJS2"
 )
 
 // TreeState is a fully decoded, validated snapshot of a tree's operator
@@ -168,21 +171,39 @@ func (m *MJoin) appendState(dst []byte) ([]byte, error) {
 }
 
 // appendInputState serializes one input's join state and punctuation
-// store. Live rows travel in ascending tupleID order; punctuation entries
-// per scheme in sorted key order (including expired-but-unswept entries,
-// which still count toward the store size the stats report).
+// store. Live rows travel in ascending tupleID order — the cold tier's
+// rows first (ids below frozenBound), then the hot rows — so decoding
+// rebuilds each tier's columns and index buckets born sorted.
+// Punctuation entries travel per scheme in sorted key order (including
+// expired-but-unswept entries, which still count toward the store size
+// the stats report).
 func (m *MJoin) appendInputState(dst []byte, input int, codec *stream.Codec) ([]byte, error) {
 	st := m.states[input]
 	dst = binary.AppendUvarint(dst, uint64(st.nextID))
-	dst = binary.AppendUvarint(dst, uint64(st.size()))
+	dst = binary.AppendUvarint(dst, uint64(st.frozenBound))
+	dst = binary.AppendUvarint(dst, uint64(st.freezeAt))
 	var encErr error
-	st.each(func(id tupleID, t stream.Tuple) bool {
-		dst = binary.AppendUvarint(dst, uint64(id))
-		dst, encErr = codec.Encode(dst, stream.TupleElement(t))
-		return encErr == nil
-	})
-	if encErr != nil {
-		return nil, fmt.Errorf("exec: serializing stored tuple: %w", encErr)
+	dst = binary.AppendUvarint(dst, uint64(st.coldSize()))
+	if c := st.cold; c != nil {
+		for r := range c.ids {
+			if c.dead[r] {
+				continue
+			}
+			dst = binary.AppendUvarint(dst, uint64(c.ids[r]))
+			if dst, encErr = codec.Encode(dst, stream.TupleElement(c.tups[r])); encErr != nil {
+				return nil, fmt.Errorf("exec: serializing frozen tuple: %w", encErr)
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(st.ids)-st.nDead))
+	for r := range st.ids {
+		if st.dead[r] {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(st.ids[r]))
+		if dst, encErr = codec.Encode(dst, stream.TupleElement(st.tups[r])); encErr != nil {
+			return nil, fmt.Errorf("exec: serializing stored tuple: %w", encErr)
+		}
 	}
 	ps := m.puncts[input]
 	dst = binary.AppendUvarint(dst, uint64(len(ps.schemes)))
@@ -277,44 +298,88 @@ func (m *MJoin) decodeState(blob []byte) (*opState, error) {
 	return os, nil
 }
 
-// decodeJoinState rebuilds one input's ordered columns and re-derives the
-// per-attribute index buckets (rows arrive in ascending id order, so
-// appended buckets are born sorted).
+// decodeJoinState rebuilds one input's ordered columns — cold tier, then
+// hot — and re-derives the per-attribute index buckets of both tiers
+// (rows arrive in ascending id order, so appended buckets are born
+// sorted). Tier membership is validated against the serialized
+// watermarks: cold ids below frozenBound, hot ids at or above it, and
+// frozenBound <= freezeAt <= nextID.
 func (m *MJoin) decodeJoinState(d *stateDec, input int, codec *stream.Codec) (*joinState, error) {
 	nextID, err := d.uvarint("nextID")
 	if err != nil {
 		return nil, err
 	}
-	live, err := d.count("live tuple count")
+	frozenBound, err := d.uvarint("frozenBound")
 	if err != nil {
 		return nil, err
 	}
-	st := &joinState{index: make(map[int]map[stream.ValueKey][]tupleID, len(m.states[input].index))}
+	freezeAt, err := d.uvarint("freezeAt")
+	if err != nil {
+		return nil, err
+	}
+	if frozenBound > freezeAt || freezeAt > nextID {
+		return nil, fmt.Errorf("%w: tier watermarks out of order (frozenBound %d, freezeAt %d, nextID %d)",
+			ErrCorruptState, frozenBound, freezeAt, nextID)
+	}
+	st := &joinState{
+		index:       make(map[int]map[stream.ValueKey][]tupleID, len(m.states[input].index)),
+		frozenBound: tupleID(frozenBound),
+		freezeAt:    tupleID(freezeAt),
+	}
 	for a := range m.states[input].index {
 		st.index[a] = make(map[stream.ValueKey][]tupleID)
 	}
+	coldLive, err := d.count("frozen tuple count")
+	if err != nil {
+		return nil, err
+	}
 	prev := int64(-1)
-	for r := 0; r < live; r++ {
-		id64, err := d.uvarint("tuple id")
+	decodeRow := func(what string, max uint64) (tupleID, stream.Tuple, error) {
+		id64, err := d.uvarint(what)
 		if err != nil {
-			return nil, err
+			return 0, stream.Tuple{}, err
 		}
 		if int64(id64) <= prev {
-			return nil, fmt.Errorf("%w: tuple ids not strictly ascending", ErrCorruptState)
+			return 0, stream.Tuple{}, fmt.Errorf("%w: tuple ids not strictly ascending", ErrCorruptState)
 		}
-		if id64 >= nextID {
-			return nil, fmt.Errorf("%w: tuple id %d >= nextID %d", ErrCorruptState, id64, nextID)
+		if id64 >= max {
+			return 0, stream.Tuple{}, fmt.Errorf("%w: %s %d out of tier bound %d", ErrCorruptState, what, id64, max)
 		}
 		prev = int64(id64)
 		e, err := d.element(codec)
 		if err != nil {
-			return nil, err
+			return 0, stream.Tuple{}, err
 		}
 		if e.IsPunct() {
-			return nil, fmt.Errorf("%w: stored row is not a tuple", ErrCorruptState)
+			return 0, stream.Tuple{}, fmt.Errorf("%w: stored row is not a tuple", ErrCorruptState)
 		}
-		id := tupleID(id64)
-		t := e.Tuple()
+		return tupleID(id64), e.Tuple(), nil
+	}
+	if coldLive > 0 {
+		st.cold = newColdSegment(st.index)
+		for r := 0; r < coldLive; r++ {
+			id, t, err := decodeRow("frozen tuple id", frozenBound)
+			if err != nil {
+				return nil, err
+			}
+			st.cold.appendRow(id, t)
+			for a := range st.cold.index {
+				st.cold.appendBucketRun(a, t.Values[a].Key(), []tupleID{id})
+			}
+		}
+	}
+	live, err := d.count("live tuple count")
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < live; r++ {
+		id, t, err := decodeRow("tuple id", nextID)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(id) < frozenBound {
+			return nil, fmt.Errorf("%w: hot tuple id %d below frozenBound %d", ErrCorruptState, id, frozenBound)
+		}
 		st.ids = append(st.ids, id)
 		st.tups = append(st.tups, t)
 		st.dead = append(st.dead, false)
@@ -399,7 +464,7 @@ func (s *Stats) appendState(dst []byte) []byte {
 			dst = binary.AppendUvarint(dst, v)
 		}
 	}
-	for _, col := range [][]int{s.StateSize, s.PunctStoreSize} {
+	for _, col := range [][]int{s.StateSize, s.ColdSize, s.PunctStoreSize} {
 		for _, v := range col {
 			dst = binary.AppendUvarint(dst, uint64(v))
 		}
@@ -410,6 +475,7 @@ func (s *Stats) appendState(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(s.MaxPunctStoreSize))
 	dst = binary.AppendUvarint(dst, s.PurgeChecks)
 	dst = binary.AppendUvarint(dst, s.PressureEvents)
+	dst = binary.AppendUvarint(dst, s.Freezes)
 	return dst
 }
 
@@ -423,7 +489,7 @@ func decodeStats(d *stateDec, n int) (*Stats, error) {
 			}
 		}
 	}
-	for _, col := range [][]int{s.StateSize, s.PunctStoreSize} {
+	for _, col := range [][]int{s.StateSize, s.ColdSize, s.PunctStoreSize} {
 		for i := range col {
 			v, err := d.uvarint("stats size")
 			if err != nil {
@@ -451,6 +517,9 @@ func decodeStats(d *stateDec, n int) (*Stats, error) {
 		return nil, err
 	}
 	if s.PressureEvents, err = d.uvarint("stats pressure events"); err != nil {
+		return nil, err
+	}
+	if s.Freezes, err = d.uvarint("stats freezes"); err != nil {
 		return nil, err
 	}
 	return s, nil

@@ -22,6 +22,11 @@ type tupleID uint64
 // tombstones dominate. The per-attribute hash index stores sorted
 // []tupleID buckets — appends keep them sorted for free, and candidate
 // iteration and intersection need no per-probe allocation.
+// The state is two-tiered (coldtier.go): rows older than the freeze
+// watermark compact into an immutable-layout cold segment, keeping the
+// hot columns short under long-lived state. Every cold id < frozenBound
+// <= every hot id, so id-based dispatch and per-tier intersection are a
+// single comparison.
 type joinState struct {
 	ids  []tupleID      // sorted ascending (monotonic assignment)
 	tups []stream.Tuple // parallel to ids
@@ -31,7 +36,16 @@ type joinState struct {
 	index   map[int]map[stream.ValueKey][]tupleID
 	nDead   int
 	nextID  tupleID
-	walkers int // >0 while each() iterates; defers compaction
+	walkers int // >0 while each() iterates; defers compaction & freezing
+
+	// cold is the frozen tier, nil until the first freeze moves rows.
+	cold *coldSegment
+	// frozenBound separates the tiers: ids below it live in cold (or are
+	// gone), ids at or above it live in the hot columns.
+	frozenBound tupleID
+	// freezeAt is the pending watermark: the next freeze() moves live hot
+	// rows with id < freezeAt. advanceFreeze bumps it to nextID after.
+	freezeAt tupleID
 }
 
 // compactMinDead bounds how small a state bothers compacting; below it
@@ -62,9 +76,19 @@ func (st *joinState) insert(t stream.Tuple) tupleID {
 	return id
 }
 
-// pos returns the row of id in the sorted id column, or -1.
+// pos returns the row of id in the sorted id column, or -1. Removals
+// tombstone in place, so the column is usually a gap-free id run and the
+// guess row id-ids[0] resolves in O(1); compaction introduces gaps and
+// falls back to binary search.
 func (st *joinState) pos(id tupleID) int {
-	lo, hi := 0, len(st.ids)
+	n := len(st.ids)
+	if n == 0 || id < st.ids[0] || id > st.ids[n-1] {
+		return -1
+	}
+	if d := id - st.ids[0]; d < tupleID(n) && st.ids[d] == id {
+		return int(d)
+	}
+	lo, hi := 0, n
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if st.ids[mid] < id {
@@ -73,14 +97,21 @@ func (st *joinState) pos(id tupleID) int {
 			hi = mid
 		}
 	}
-	if lo < len(st.ids) && st.ids[lo] == id {
+	if lo < n && st.ids[lo] == id {
 		return lo
 	}
 	return -1
 }
 
-// get returns the stored tuple for id, if live.
+// get returns the stored tuple for id, if live, from whichever tier
+// owns the id.
 func (st *joinState) get(id tupleID) (stream.Tuple, bool) {
+	if id < st.frozenBound {
+		if st.cold == nil {
+			return stream.Tuple{}, false
+		}
+		return st.cold.get(id)
+	}
 	p := st.pos(id)
 	if p < 0 || st.dead[p] {
 		return stream.Tuple{}, false
@@ -91,6 +122,22 @@ func (st *joinState) get(id tupleID) (stream.Tuple, bool) {
 // remove deletes a stored tuple and unindexes it. It reports whether the
 // id was present (and live).
 func (st *joinState) remove(id tupleID) bool {
+	if id < st.frozenBound {
+		if st.cold == nil || !st.cold.remove(id) {
+			return false
+		}
+		// Recompact once tombstones dominate, and release a fully-dead
+		// segment immediately — below the threshold its tombstones would
+		// otherwise linger forever.
+		if st.walkers == 0 && (st.cold.size() == 0 ||
+			(st.cold.nDead >= compactMinDead && st.cold.nDead*2 >= len(st.cold.ids))) {
+			st.cold.compact()
+			if len(st.cold.ids) == 0 {
+				st.cold = nil
+			}
+		}
+		return true
+	}
 	p := st.pos(id)
 	if p < 0 || st.dead[p] {
 		return false
@@ -151,18 +198,30 @@ func deleteSorted(b []tupleID, id tupleID) []tupleID {
 	return b[:len(b)-1]
 }
 
-// size returns the number of stored (live) tuples.
-func (st *joinState) size() int { return len(st.ids) - st.nDead }
+// size returns the number of stored (live) tuples across both tiers.
+func (st *joinState) size() int { return len(st.ids) - st.nDead + st.coldSize() }
 
-// lookup returns the sorted ids of stored tuples whose attribute attr
-// equals v. The returned bucket is owned by the state; callers must not
-// modify or retain it across inserts and removes.
-func (st *joinState) lookup(attr int, v stream.Value) []tupleID {
-	idx := st.index[attr]
-	if idx == nil {
-		return nil
+// coldSize returns the live tuples resident in the frozen tier.
+func (st *joinState) coldSize() int {
+	if st.cold == nil {
+		return 0
 	}
-	return idx[v.Key()]
+	return st.cold.size()
+}
+
+// lookup2 returns the per-tier sorted ids of stored tuples whose
+// attribute attr equals v. The buckets are owned by the state; callers
+// must not modify or retain them across inserts, removes, or freezes.
+func (st *joinState) lookup2(attr int, v stream.Value) tierBuckets {
+	var tb tierBuckets
+	k := v.Key()
+	if idx := st.index[attr]; idx != nil {
+		tb.hot = idx[k]
+	}
+	if st.cold != nil {
+		tb.cold = st.cold.lookup(attr, k)
+	}
+	return tb
 }
 
 // each calls fn for every stored tuple until fn returns false. Tuples are
@@ -174,6 +233,17 @@ func (st *joinState) lookup(attr int, v stream.Value) []tupleID {
 func (st *joinState) each(fn func(tupleID, stream.Tuple) bool) {
 	st.walkers++
 	defer func() { st.walkers-- }()
+	if c := st.cold; c != nil {
+		// Cold ids all precede hot ids, so cold-then-hot is arrival order.
+		for r := 0; r < len(c.ids); r++ {
+			if c.dead[r] {
+				continue
+			}
+			if !fn(c.ids[r], c.tups[r]) {
+				return
+			}
+		}
+	}
 	for r := 0; r < len(st.ids); r++ {
 		if st.dead[r] {
 			continue

@@ -4,66 +4,96 @@
 # (scripts/bench_baseline.txt), and rewrites BENCH_hotpath.json at the
 # repo root — appending this run (git SHA + timestamp) to the report's
 # `trajectory` array so history accumulates instead of being overwritten.
-# Also runs the partitioned-ingest scaling benchmark (BENCH_partition.json)
-# and the punctserve sustained serving benchmark (BENCH_serving.json).
+# Also runs the partitioned-ingest scaling benchmark (BENCH_partition.json),
+# the punctserve sustained serving benchmark (BENCH_serving.json), and the
+# adaptive state-tiering benchmark (BENCH_tiering.json).
 # Run from the repository root, or via `make benchfull`.
 #
 #   BENCHTIME=2s scripts/bench.sh        # the checked-in configuration
 #   BENCHTIME=100ms scripts/bench.sh     # a quick smoke pass
+#   ONLY=tiering scripts/bench.sh        # just the tiering section
 set -eu
 
 BENCHTIME=${BENCHTIME:-2s}
+ONLY=${ONLY:-all}
 OUT=${OUT:-BENCH_hotpath.json}
 PART_OUT=${PART_OUT:-BENCH_partition.json}
 SERVE_OUT=${SERVE_OUT:-BENCH_serving.json}
+TIER_OUT=${TIER_OUT:-BENCH_tiering.json}
+# The tiering acceptance is a ratio of two rows. The loop below runs the
+# whole benchmark set TIER_COUNT times (NOT -count, which runs one name's
+# samples back to back): sample i of each mode lands seconds apart, so
+# punctbench's per-pair ratio medians cancel host load drift.
+TIER_COUNT=${TIER_COUNT:-9}
 raw=$(mktemp)
 partraw=$(mktemp)
 serveraw=$(mktemp)
-trap 'rm -f "$raw" "$partraw" "$serveraw"' EXIT
+tierraw=$(mktemp)
+trap 'rm -f "$raw" "$partraw" "$serveraw" "$tierraw"' EXIT
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-# Root-package hot-path benchmarks: chained purge cycle, join probe,
-# purge check, and the steady-state probe floor.
-go test . -run xxx \
-  -bench 'BenchmarkE2ChainedPurge|BenchmarkJoinProbe|BenchmarkPurgeCheck|BenchmarkProbeSteadyState' \
-  -benchtime "$BENCHTIME" -benchmem | tee "$raw"
+if [ "$ONLY" = all ]; then
+  # Root-package hot-path benchmarks: chained purge cycle, join probe,
+  # purge check, and the steady-state probe floor.
+  go test . -run xxx \
+    -bench 'BenchmarkE2ChainedPurge|BenchmarkJoinProbe|BenchmarkPurgeCheck|BenchmarkProbeSteadyState' \
+    -benchtime "$BENCHTIME" -benchmem | tee "$raw"
 
-# Engine ingestion benchmarks: sequential vs sharded vs batched-sharded
-# feeds, steady-state wire frame decoding, and the checkpoint/restore
-# durability tax over a live runtime.
-go test ./engine -run xxx \
-  -bench 'BenchmarkIngest$|BenchmarkWireReaderRead|BenchmarkCheckpoint' \
-  -benchtime "$BENCHTIME" -benchmem | tee -a "$raw"
+  # Engine ingestion benchmarks: sequential vs sharded vs batched-sharded
+  # feeds, steady-state wire frame decoding, and the checkpoint/restore
+  # durability tax over a live runtime.
+  go test ./engine -run xxx \
+    -bench 'BenchmarkIngest$|BenchmarkWireReaderRead|BenchmarkCheckpoint' \
+    -benchtime "$BENCHTIME" -benchmem | tee -a "$raw"
 
-# Partitioned-ingest scaling: the critical-path rows measure router + one
-# replica (the parallel span), the engine rows the live worker pool.
-go test ./engine -run xxx \
-  -bench 'BenchmarkPartitionedIngest' \
-  -benchtime "$BENCHTIME" | tee "$partraw"
+  # Partitioned-ingest scaling: the critical-path rows measure router + one
+  # replica (the parallel span), the engine rows the live worker pool.
+  go test ./engine -run xxx \
+    -bench 'BenchmarkPartitionedIngest' \
+    -benchtime "$BENCHTIME" | tee "$partraw"
 
-# Serving-layer sustained throughput: P producer x S subscriber
-# connections over a unix socket against a live punctserve server, with
-# background checkpoints and durable producer acks on.
-go test ./server -run xxx \
-  -bench 'BenchmarkServe' \
-  -benchtime "$BENCHTIME" | tee "$serveraw"
+  # Serving-layer sustained throughput: P producer x S subscriber
+  # connections over a unix socket against a live punctserve server, with
+  # background checkpoints and durable producer acks on.
+  go test ./server -run xxx \
+    -bench 'BenchmarkServe' \
+    -benchtime "$BENCHTIME" | tee "$serveraw"
+fi
+
+# Adaptive state tiering: cold-tier probe parity over long-lived state and
+# the skew-split state bound (also reachable alone via `make benchskew`).
+i=0
+while [ "$i" -lt "$TIER_COUNT" ]; do
+  go test ./exec -run xxx \
+    -bench 'BenchmarkTiering' \
+    -benchtime "$BENCHTIME" -benchmem | tee -a "$tierraw"
+  i=$((i + 1))
+done
+
+if [ "$ONLY" = all ]; then
+  tmp=$(mktemp)
+  go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt \
+    -prev "$OUT" -sha "$sha" -time "$now" > "$tmp"
+  mv "$tmp" "$OUT"
+  echo "wrote $OUT"
+
+  tmp=$(mktemp)
+  go run ./cmd/punctbench -partition-json "$partraw" \
+    -prev "$PART_OUT" -sha "$sha" -time "$now" > "$tmp"
+  mv "$tmp" "$PART_OUT"
+  echo "wrote $PART_OUT"
+
+  tmp=$(mktemp)
+  go run ./cmd/punctbench -serving-json "$serveraw" \
+    -prev "$SERVE_OUT" -sha "$sha" -time "$now" > "$tmp"
+  mv "$tmp" "$SERVE_OUT"
+  echo "wrote $SERVE_OUT"
+fi
 
 tmp=$(mktemp)
-go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt \
-  -prev "$OUT" -sha "$sha" -time "$now" > "$tmp"
-mv "$tmp" "$OUT"
-echo "wrote $OUT"
-
-tmp=$(mktemp)
-go run ./cmd/punctbench -partition-json "$partraw" \
-  -prev "$PART_OUT" -sha "$sha" -time "$now" > "$tmp"
-mv "$tmp" "$PART_OUT"
-echo "wrote $PART_OUT"
-
-tmp=$(mktemp)
-go run ./cmd/punctbench -serving-json "$serveraw" \
-  -prev "$SERVE_OUT" -sha "$sha" -time "$now" > "$tmp"
-mv "$tmp" "$SERVE_OUT"
-echo "wrote $SERVE_OUT"
+go run ./cmd/punctbench -tiering-json "$tierraw" \
+  -prev "$TIER_OUT" -sha "$sha" -time "$now" > "$tmp"
+mv "$tmp" "$TIER_OUT"
+echo "wrote $TIER_OUT"

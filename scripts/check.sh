@@ -17,9 +17,10 @@ go test -race ./...
 # the parallel wire pipeline, and Stats/Checkpoint barriers.
 go test -race -run TestParallelIngestStress -count 5 ./engine/
 
-# Fuzz targets over their checked-in seed corpus: wire-format framing
-# and the serving handshake front door.
-go test -run Fuzz ./engine/... ./server/...
+# Fuzz targets over their checked-in seed corpus: wire-format framing,
+# the serving handshake front door, and the tiered join-state snapshot
+# decoder (torn cold segments, corrupted bytes).
+go test -run Fuzz ./engine/... ./server/... ./exec/...
 
 # Checkpoint round-trip smoke: run a sharded workload writing periodic
 # snapshots, then restore from the final snapshot and resume (a no-op
@@ -32,7 +33,8 @@ go run ./cmd/punctrun -scenario auction -n 300 -parallel \
 rm -f "$ckpt"
 
 # Allocation floors for the hot path (testing.AllocsPerRun guards): the
-# steady-state probe must stay ~alloc-free and a chained-purge cycle
-# within its scratch budget; frame decoding keeps its per-frame bound.
-go test -run 'TestSteadyStateProbeAllocs|TestChainedPurgeAllocs' -count 1 ./exec/...
+# steady-state probe must stay ~alloc-free, a chained-purge cycle within
+# its scratch budget, and the cold-tier probe at parity with the all-hot
+# probe; frame decoding keeps its per-frame bound.
+go test -run 'TestSteadyStateProbeAllocs|TestChainedPurgeAllocs|TestColdTierProbeAllocs' -count 1 ./exec/...
 go test -run 'TestWireReaderReadAllocs' -count 1 ./engine/...

@@ -28,6 +28,15 @@ type AuctionConfig struct {
 	// PunctuateClose, when true, emits a bid-stream punctuation on itemid
 	// when an auction closes ("no more bids for item X").
 	PunctuateClose bool
+	// Skew, when > 0, draws each auction's bid count from a Zipf
+	// distribution with exponent 1+Skew over [1, 64*MaxBidsPerItem]
+	// instead of uniformly over [1, MaxBidsPerItem]: most auctions see a
+	// bid or two while a few heavy hitters soak up hundreds, so the join
+	// state concentrates on a handful of itemids. This is the adversarial
+	// feed for skew-aware repartitioning — hash-partitioned replicas
+	// inherit the key skew as replica skew. Heavy auctions always run to
+	// their full bid count (no random force-close under skew).
+	Skew float64
 	// Seed drives the deterministic generator.
 	Seed int64
 }
@@ -78,6 +87,10 @@ func Auction(cfg AuctionConfig) []Input {
 		cfg.OpenWindow = 4
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Skew > 0 {
+		zipf = rand.NewZipf(rng, 1+cfg.Skew, 1, uint64(cfg.MaxBidsPerItem)*64)
+	}
 
 	type openAuction struct {
 		itemid  int64
@@ -101,7 +114,11 @@ func Auction(cfg AuctionConfig) []Input {
 				stream.Wildcard(), stream.Const(stream.Int(id)), stream.Wildcard(), stream.Wildcard(),
 			))})
 		}
-		open = append(open, openAuction{itemid: id, pending: 1 + rng.Intn(cfg.MaxBidsPerItem)})
+		pending := 1 + rng.Intn(cfg.MaxBidsPerItem)
+		if zipf != nil {
+			pending = 1 + int(zipf.Uint64())
+		}
+		open = append(open, openAuction{itemid: id, pending: pending})
 	}
 	closeOldest := func() {
 		a := open[0]
@@ -130,8 +147,9 @@ func Auction(cfg AuctionConfig) []Input {
 		for len(open) > 0 && open[0].pending <= 0 {
 			closeOldest()
 		}
-		// An auction with pending bids can also be force-closed rarely.
-		if len(open) > 0 && rng.Intn(50) == 0 {
+		// An auction with pending bids can also be force-closed rarely —
+		// except under skew, where heavy auctions must run their course.
+		if zipf == nil && len(open) > 0 && rng.Intn(50) == 0 {
 			closeOldest()
 		}
 	}
