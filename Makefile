@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race racestress fuzzseed bench benchfull benchskew fmt fmtcheck
+.PHONY: check vet build test race racestress soakfailover fuzzseed bench benchfull benchskew benchserving fmt fmtcheck
 
-check: fmtcheck vet build test race racestress fuzzseed
+check: fmtcheck vet build test race racestress soakfailover fuzzseed
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,14 @@ race:
 # the parallel wire pipeline, and Stats/Checkpoint barriers.
 racestress:
 	$(GO) test -race -run TestParallelIngestStress -count 5 ./engine/
+
+# Warm-standby failover chaos soak under the race detector: repeated
+# kill -> promote -> re-seed cycles over one continuous stream, requiring
+# an element-exact delivery stream and one epoch bump per promotion.
+# SOAKFAILOVER_CYCLES raises the round count (default 5 here).
+SOAKFAILOVER_CYCLES ?= 5
+soakfailover:
+	SOAKFAILOVER_CYCLES=$(SOAKFAILOVER_CYCLES) $(GO) test -race -run 'TestFailoverSoak|TestStandbyFailoverChaos' -count 1 ./server/
 
 # Run the fuzz targets over their checked-in seed corpus: wire-format
 # (truncated frames, oversized lengths, unknown streams), the serving
@@ -48,6 +56,11 @@ benchfull:
 # per-name medians across repeated samples) into BENCH_tiering.json.
 benchskew:
 	ONLY=tiering scripts/bench.sh
+
+# Serving-layer benchmark pass only: sustained throughput plus the
+# warm-standby failover RTO row, recorded into BENCH_serving.json.
+benchserving:
+	ONLY=serving scripts/bench.sh
 
 fmt:
 	gofmt -l .

@@ -6,7 +6,10 @@ package main
 // connections over a unix socket, background checkpoints on). Each row
 // reports the measured time per op and the derived frames-per-second
 // figure; every bench.sh run appends to the trajectory so the serving
-// path accrues history like the hot-path and partition reports.
+// path accrues history like the hot-path and partition reports. The
+// FailoverRTO row rides the same report: its ns_per_op is the
+// kill-to-first-post-failover-delivery recovery time of a warm-standby
+// pair (25ms promotion timeout included).
 
 import (
 	"encoding/json"
@@ -48,13 +51,16 @@ func emitServingJSON(currentPath, prevPath, sha, timeStr string) error {
 			"connections and S subscriber connections over a unix socket with background " +
 			"checkpoints and durable producer acks on. One op = every producer pushing the " +
 			"full auction feed and the server ingesting all of it; elements_per_sec is the " +
-			"derived sustained frames/sec across the whole front-end.",
+			"derived sustained frames/sec across the whole front-end. The FailoverRTO row " +
+			"is the recovery time objective of a warm-standby pair: ns_per_op spans primary " +
+			"kill -> standby self-promotion (25ms silence timeout) -> clients rotating over " +
+			"-> first post-failover delivery at an attached subscriber.",
 		Env:  env,
 		Sha:  sha,
 		Time: timeStr,
 	}
 	for _, name := range names {
-		if !strings.HasPrefix(name, "Serve/") {
+		if !strings.HasPrefix(name, "Serve/") && name != "FailoverRTO" {
 			continue
 		}
 		m := metrics[name]

@@ -14,14 +14,28 @@
 // SIGINT/SIGTERM trigger a graceful drain: producers are cut off, the
 // runtime flushes, a final checkpoint is written, and subscribers
 // receive everything up to the cut plus a clean end-of-stream marker.
+//
+// Warm-standby replication (DESIGN.md §3.10): start a primary with
+// -repl-listen and a standby with -replica-of pointing at it. The
+// standby mirrors the primary's ingress feed and promotes itself after
+// -promote-timeout of primary silence; -advertise tells clients where
+// to find this server when the peer redirects them. -tls-cert/-tls-key
+// wrap the client listener in TLS and -auth-token requires producers,
+// subscribers, replicas and probes to present a shared secret.
+//
+// `punctserve -probe addr` connects once, prints the peer's role,
+// fencing epoch and committed per-source offsets, and exits 0 for a
+// primary, 3 otherwise — usable as a liveness/role health check.
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -51,8 +65,22 @@ func main() {
 		slow       = flag.String("slow", "block", "slow-consumer policy: block | drop | disconnect")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound on subscriber drain")
 		quiet      = flag.Bool("quiet", false, "suppress connection logs")
+
+		replListen = flag.String("repl-listen", "", "replication listen address for warm standbys (tcp://host:port or unix:///path)")
+		replicaOf  = flag.String("replica-of", "", "run as warm standby of the primary at this replication address")
+		promote    = flag.Duration("promote-timeout", 3*time.Second, "standby self-promotes after this much primary silence (0 = never)")
+		advertise  = flag.String("advertise", "", "address clients should be redirected to for this server (defaults to -addr)")
+		tlsCert    = flag.String("tls-cert", "", "serve the client listener over TLS with this certificate (needs -tls-key)")
+		tlsKey     = flag.String("tls-key", "", "private key for -tls-cert")
+		authToken  = flag.String("auth-token", "", "shared secret all clients, replicas and probes must present")
+		probeAddr  = flag.String("probe", "", "probe the server at this address (role/epoch/offsets) and exit; honours -auth-token and -probe-tls")
+		probeTLS   = flag.Bool("probe-tls", false, "probe over TLS, skipping certificate verification")
 	)
 	flag.Parse()
+
+	if *probeAddr != "" {
+		os.Exit(probe(*probeAddr, *authToken, *probeTLS))
+	}
 
 	policy, err := engine.ParseErrorPolicy(*onError)
 	if err != nil {
@@ -78,9 +106,26 @@ func main() {
 		schemas[i] = q.Stream(i)
 	}
 
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fatal(fmt.Errorf("punctserve: -tls-cert and -tls-key must be set together"))
+	}
 	l, err := listen(*addr)
 	if err != nil {
 		fatal(err)
+	}
+	if *tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			fatal(err)
+		}
+		l = tls.NewListener(l, &tls.Config{Certificates: []tls.Certificate{cert}})
+	}
+	var rl net.Listener
+	if *replListen != "" {
+		rl, err = listen(*replListen)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "punctserve: "+format+"\n", args...)
@@ -124,6 +169,11 @@ func main() {
 		Retain:          *retain,
 		Slow:            slowPolicy,
 		DrainTimeout:    *drain,
+		AuthToken:       *authToken,
+		Advertise:       *advertise,
+		ReplListener:    rl,
+		ReplicaOf:       *replicaOf,
+		PromoteTimeout:  *promote,
 	}
 	if !*quiet {
 		// The server package prefixes its own messages with "punctserve:".
@@ -135,7 +185,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	logf("serving %q on %s (queue %d, retain %d, slow=%s)", *scenario, srv.Addr(), *queue, *retain, slowPolicy)
+	role := "primary"
+	if *replicaOf != "" {
+		role = fmt.Sprintf("standby of %s", *replicaOf)
+		go func() {
+			<-srv.Promoted()
+			logf("promoted to primary (epoch %d)", srv.Epoch())
+		}()
+	}
+	logf("serving %q on %s as %s (queue %d, retain %d, slow=%s)", *scenario, srv.Addr(), role, *queue, *retain, slowPolicy)
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -177,6 +235,34 @@ func servedScenario(name string) (*query.CJQ, *stream.SchemeSet, error) {
 	default:
 		return nil, nil, fmt.Errorf("unknown scenario %q (auction | netmon | sensors)", name)
 	}
+}
+
+// probe connects once to addr, prints the peer's role, fencing epoch
+// and committed per-source offsets, and returns the process exit code:
+// 0 for a reachable primary, 3 for a standby or fenced peer, 2 on error.
+func probe(addr, token string, useTLS bool) int {
+	d := server.Dialer{Addr: addr, AuthToken: token}
+	if useTLS {
+		d.TLS = &tls.Config{InsecureSkipVerify: true}
+	}
+	h, err := d.Probe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "punctserve: probe:", err)
+		return 2
+	}
+	fmt.Printf("role=%s epoch=%d\n", h.Role, h.Epoch)
+	srcs := make([]string, 0, len(h.Offsets))
+	for src := range h.Offsets {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		fmt.Printf("source %s committed %d\n", src, h.Offsets[src])
+	}
+	if h.Role != "primary" {
+		return 3
+	}
+	return 0
 }
 
 func fatal(err error) {

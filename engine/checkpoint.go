@@ -109,6 +109,14 @@ func (rt *Runtime) ResumeOffset(source string) int64 {
 	return rt.sources[source]
 }
 
+// SourceOffsets returns a copy of every named ingest source's committed
+// resume offset. The serving layer's standby uses it to acknowledge
+// applied (memory-durable) replication progress when no checkpoint path
+// is configured.
+func (rt *Runtime) SourceOffsets() map[string]int64 {
+	return rt.sourceOffsets()
+}
+
 // commitOffset records a source's resume position; the caller holds
 // closeMu's read side (see SendAt).
 func (rt *Runtime) commitOffset(source string, offset int64) {
@@ -828,6 +836,11 @@ func (rt *Runtime) IngestWireFrom(source string, open func(offset int64) (io.Rea
 // and reconnection is the client's job, not the reader's.
 func (rt *Runtime) IngestWireResume(source string, r io.Reader, schemas ...*stream.Schema) (int, error) {
 	start := rt.ResumeOffset(source)
+	var rec *tapRecorder
+	if rt.tap != nil {
+		rec = &tapRecorder{r: r, base: start, mark: start}
+		r = rec
+	}
 	wr := NewWireReader(r, schemas...)
 	wr.base = start
 	var pendingFaults []WireFault
@@ -854,7 +867,7 @@ func (rt *Runtime) IngestWireResume(source string, r io.Reader, schemas ...*stre
 		if len(ready) == 0 && len(batch) == 0 {
 			return nil
 		}
-		if err := rt.ingestCommit(source, batchStream, batch, ready, off); err != nil {
+		if err := rt.ingestCommit(source, batchStream, batch, ready, off, rec); err != nil {
 			return err
 		}
 		count += len(batch)
@@ -897,11 +910,18 @@ func (rt *Runtime) IngestWireResume(source string, r io.Reader, schemas ...*stre
 // ingestCommit routes a batch and commits its source offset (plus any
 // wire faults whose regions the offset has passed) in one critical
 // section, so a concurrent Checkpoint sees all of it or none of it.
-func (rt *Runtime) ingestCommit(source, streamName string, elems []stream.Element, faults []DeadLetter, offset int64) error {
+// With a tap recorder attached, the whole commit additionally runs
+// under tapMu and finishes by handing the committed raw bytes to the
+// tap, so tap order equals send order across concurrent sources.
+func (rt *Runtime) ingestCommit(source, streamName string, elems []stream.Element, faults []DeadLetter, offset int64, rec *tapRecorder) error {
 	rt.closeMu.RLock()
 	defer rt.closeMu.RUnlock()
 	if err := rt.sendGuard("IngestWireFrom"); err != nil {
 		return err
+	}
+	if rec != nil {
+		rt.tapMu.Lock()
+		defer rt.tapMu.Unlock()
 	}
 	for _, f := range faults {
 		rt.dlq.add(f)
@@ -912,5 +932,43 @@ func (rt *Runtime) ingestCommit(source, streamName string, elems []stream.Elemen
 		}
 	}
 	rt.commitOffset(source, offset)
+	if rec != nil {
+		if raw, from := rec.pending(offset); len(raw) > 0 {
+			rt.tap(source, raw, from, offset)
+		}
+		rec.release(offset)
+	}
 	return nil
+}
+
+// tapRecorder wraps a wire-ingest reader, retaining every byte read
+// until the commit that covers it fires the tap. The retained window is
+// bounded by the ingest batch size plus one frame: release trims it at
+// every commit.
+type tapRecorder struct {
+	r    io.Reader
+	buf  []byte
+	base int64 // wire offset of buf[0]
+	mark int64 // bytes below mark have been handed to the tap
+}
+
+func (t *tapRecorder) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.buf = append(t.buf, p[:n]...)
+	}
+	return n, err
+}
+
+// pending returns the raw bytes in [mark, off) and their start offset.
+// The slice is valid until release.
+func (t *tapRecorder) pending(off int64) ([]byte, int64) {
+	return t.buf[t.mark-t.base : off-t.base], t.mark
+}
+
+// release marks everything below off as committed and trims the buffer.
+func (t *tapRecorder) release(off int64) {
+	t.buf = append(t.buf[:0], t.buf[off-t.base:]...)
+	t.base = off
+	t.mark = off
 }

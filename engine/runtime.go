@@ -40,6 +40,19 @@ type RuntimeOptions struct {
 	// selects the default of 128); the newest offenders win. Counts are
 	// never bounded.
 	DeadLetterLimit int
+	// IngestTap, when set, observes every committed wire-ingest batch in
+	// commit order: the source name, the raw frame bytes just committed,
+	// and the wire offset range [start, end) they occupy on that source.
+	// While a tap is installed, wire-ingest commits are serialized across
+	// sources, so the tap's call order IS the runtime's ingress order:
+	// replaying the tapped records into a second runtime in call order
+	// reproduces the exact interleaving, and therefore the exact output
+	// and delivery sequence, of this one. The serving layer's
+	// primary→standby replication feed rides this hook. Only the
+	// IngestWireResume/IngestWireFrom path is tapped; direct Send calls
+	// bypass it. The callback runs inside the commit critical section and
+	// must not call back into the runtime.
+	IngestTap func(source string, frames []byte, start, end int64)
 }
 
 const defaultShardBuffer = 64
@@ -58,6 +71,11 @@ type Runtime struct {
 	failFast bool
 	policy   ErrorPolicy
 	dlq      *deadLetterQueue
+
+	// tap is RuntimeOptions.IngestTap; tapMu serializes tapped wire-ingest
+	// commits across sources so the tap observes a total ingress order.
+	tap   func(source string, frames []byte, start, end int64)
+	tapMu sync.Mutex
 
 	// closeMu serializes Close against in-flight Send/Stats calls so a
 	// mailbox is never closed mid-send. Producers share the read side;
@@ -151,6 +169,7 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 		sources:  make(map[string]int64),
 		failFast: opts.FailFast,
 		policy:   opts.OnError,
+		tap:      opts.IngestTap,
 		dlq:      newDeadLetterQueue(opts.OnError == Quarantine, opts.DeadLetterLimit),
 	}
 	for _, name := range d.order {

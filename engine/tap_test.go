@@ -1,0 +1,160 @@
+package engine
+
+// IngestTap contract tests: the tap observes every committed wire batch
+// with byte-exact frames and contiguous offsets, its call order is a
+// total ingress order even across concurrently-ingesting sources, and
+// replaying the tapped records in call order into a second runtime
+// reproduces the exact delivery stream — the property the serving
+// layer's primary→standby replication feed is built on.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+type tapRecord struct {
+	source     string
+	frames     []byte
+	start, end int64
+}
+
+func tapAuctionDSMS(t *testing.T) (*DSMS, *[]string) {
+	t.Helper()
+	d := New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	reg, err := d.Register("q", workload.AuctionQuery(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliveries := &[]string{}
+	reg.SetDeliveryHook(func(seq uint64, e stream.Element) {
+		*deliveries = append(*deliveries, fmt.Sprintf("%d|%s", seq, e))
+	})
+	return d, deliveries
+}
+
+func TestIngestTapTotalOrderAndReplay(t *testing.T) {
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 80, MaxBidsPerItem: 4, OpenWindow: 3,
+		PunctuateItems: true, PunctuateClose: true, Seed: 31,
+	})
+	item, bid := workload.AuctionSchemas()
+
+	// Two sources, each carrying an alternating half of the workload.
+	wires := map[string]*bytes.Buffer{"a": {}, "b": {}}
+	writers := map[string]*WireWriter{
+		"a": NewWireWriter(wires["a"], item, bid),
+		"b": NewWireWriter(wires["b"], item, bid),
+	}
+	names := []string{"a", "b"}
+	for i, in := range inputs {
+		if err := writers[names[i%2]].Write(in.Stream, in.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First run: both sources ingest concurrently under a tap.
+	var taps []tapRecord
+	d, deliveries := tapAuctionDSMS(t)
+	rt := d.RunSharded(RuntimeOptions{
+		IngestTap: func(source string, frames []byte, start, end int64) {
+			taps = append(taps, tapRecord{source, append([]byte(nil), frames...), start, end})
+		},
+	})
+	var wg sync.WaitGroup
+	for _, src := range names {
+		wg.Add(1)
+		go func(src string) {
+			defer wg.Done()
+			if _, err := rt.IngestWireResume(src, bytes.NewReader(wires[src].Bytes()), item, bid); err != nil {
+				t.Errorf("ingest %s: %v", src, err)
+			}
+		}(src)
+	}
+	wg.Wait()
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per source: offsets are contiguous from zero and the concatenated
+	// tapped frames are byte-identical to what went over the wire.
+	rebuilt := map[string][]byte{}
+	next := map[string]int64{}
+	for i, rec := range taps {
+		if rec.start != next[rec.source] {
+			t.Fatalf("tap %d: source %s jumps from offset %d to %d", i, rec.source, next[rec.source], rec.start)
+		}
+		if rec.end-rec.start != int64(len(rec.frames)) {
+			t.Fatalf("tap %d: %d bytes labelled [%d,%d)", i, len(rec.frames), rec.start, rec.end)
+		}
+		next[rec.source] = rec.end
+		rebuilt[rec.source] = append(rebuilt[rec.source], rec.frames...)
+	}
+	for _, src := range names {
+		if !bytes.Equal(rebuilt[src], wires[src].Bytes()) {
+			t.Fatalf("source %s: tapped bytes differ from wire bytes (%d vs %d)", src, len(rebuilt[src]), len(wires[src].Bytes()))
+		}
+	}
+
+	// Replay the tapped records in call order into a fresh runtime: the
+	// delivery stream (elements AND sequence numbers) must be identical.
+	d2, replayed := tapAuctionDSMS(t)
+	rt2 := d2.RunSharded(RuntimeOptions{})
+	for i, rec := range taps {
+		if got := rt2.ResumeOffset(rec.source); got != rec.start {
+			t.Fatalf("replay %d: source %s resumes at %d, record starts at %d", i, rec.source, got, rec.start)
+		}
+		if _, err := rt2.IngestWireResume(rec.source, bytes.NewReader(rec.frames), item, bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt2.Close()
+	if err := rt2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*deliveries) == 0 {
+		t.Fatal("no deliveries observed")
+	}
+	if len(*replayed) != len(*deliveries) {
+		t.Fatalf("replay delivered %d, original %d", len(*replayed), len(*deliveries))
+	}
+	for i := range *deliveries {
+		if (*deliveries)[i] != (*replayed)[i] {
+			t.Fatalf("delivery %d differs:\n  original %s\n  replay   %s", i, (*deliveries)[i], (*replayed)[i])
+		}
+	}
+}
+
+// TestIngestTapIgnoresDirectSend pins the tap's scope: only the
+// wire-ingest path is observed; direct Send calls bypass it.
+func TestIngestTapIgnoresDirectSend(t *testing.T) {
+	inputs := workload.Auction(workload.AuctionConfig{
+		Items: 10, MaxBidsPerItem: 2, OpenWindow: 2,
+		PunctuateItems: true, PunctuateClose: true, Seed: 7,
+	})
+	d, _ := tapAuctionDSMS(t)
+	calls := 0
+	rt := d.RunSharded(RuntimeOptions{
+		IngestTap: func(string, []byte, int64, int64) { calls++ },
+	})
+	for _, in := range inputs {
+		if err := rt.Send(in.Stream, in.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("tap fired %d times on the direct Send path", calls)
+	}
+}

@@ -288,7 +288,7 @@ func (rt *Runtime) IngestWireFromParallel(source string, open func(offset int64)
 		if len(ready) == 0 && len(elems) == 0 {
 			return nil
 		}
-		if err := rt.ingestCommit(source, streamName, elems, ready, off); err != nil {
+		if err := rt.ingestCommit(source, streamName, elems, ready, off, nil); err != nil {
 			return err
 		}
 		count += len(elems)

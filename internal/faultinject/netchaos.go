@@ -177,6 +177,113 @@ func (l *ChaosListener) Accept() (net.Conn, error) {
 	return NewChaosConn(c, cfg), nil
 }
 
+// ErrSevered is returned by a NetGate-wrapped conn after Sever: the
+// link is cut for good and the underlying conn closed.
+var ErrSevered = errors.New("faultinject: link severed")
+
+// NetGate wraps a net.Conn with a controllable partition. Hold stalls
+// every subsequent Read and Write (traffic parks at the gate; bytes are
+// neither lost nor reordered — an I/O already inside the kernel
+// completes); Release lets parked and future I/O proceed; Sever closes
+// the conn and fails all I/O with ErrSevered. It models the two network
+// faults ChaosConn cannot: a clean pause (standby lag, GC stall, slow
+// link) and a hard partition, both under test control rather than a
+// seeded schedule.
+type NetGate struct {
+	net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	held    bool
+	severed bool
+}
+
+// NewNetGate wraps c with an open gate.
+func NewNetGate(c net.Conn) *NetGate {
+	g := &NetGate{Conn: c}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Hold stalls all subsequent reads and writes until Release or Sever.
+func (g *NetGate) Hold() {
+	g.mu.Lock()
+	g.held = true
+	g.mu.Unlock()
+}
+
+// Release re-opens the gate, letting parked and future I/O proceed.
+func (g *NetGate) Release() {
+	g.mu.Lock()
+	g.held = false
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Sever cuts the link permanently: parked and future I/O fail with
+// ErrSevered and the underlying conn is closed.
+func (g *NetGate) Sever() {
+	g.mu.Lock()
+	g.severed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	g.Conn.Close()
+}
+
+// pass parks while the gate is held and reports whether the link has
+// been severed.
+func (g *NetGate) pass() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.held && !g.severed {
+		g.cond.Wait()
+	}
+	if g.severed {
+		return ErrSevered
+	}
+	return nil
+}
+
+func (g *NetGate) Read(p []byte) (int, error) {
+	if err := g.pass(); err != nil {
+		return 0, err
+	}
+	n, err := g.Conn.Read(p)
+	if err != nil {
+		g.mu.Lock()
+		severed := g.severed
+		g.mu.Unlock()
+		if severed {
+			err = ErrSevered
+		}
+	}
+	return n, err
+}
+
+func (g *NetGate) Write(p []byte) (int, error) {
+	if err := g.pass(); err != nil {
+		return 0, err
+	}
+	n, err := g.Conn.Write(p)
+	if err != nil {
+		g.mu.Lock()
+		severed := g.severed
+		g.mu.Unlock()
+		if severed {
+			err = ErrSevered
+		}
+	}
+	return n, err
+}
+
+func (g *NetGate) Close() error {
+	g.mu.Lock()
+	g.severed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	return g.Conn.Close()
+}
+
 // ChaosDialer wraps a dial function so every successful dial yields a
 // ChaosConn with a per-conn seed derived from cfg.Seed. Use it to
 // inject faults on the client side of a connection (the listener side

@@ -12,6 +12,7 @@
 #   BENCHTIME=2s scripts/bench.sh        # the checked-in configuration
 #   BENCHTIME=100ms scripts/bench.sh     # a quick smoke pass
 #   ONLY=tiering scripts/bench.sh        # just the tiering section
+#   ONLY=serving scripts/bench.sh        # just the serving + failover-RTO section
 set -eu
 
 BENCHTIME=${BENCHTIME:-2s}
@@ -54,23 +55,30 @@ if [ "$ONLY" = all ]; then
     -bench 'BenchmarkPartitionedIngest' \
     -benchtime "$BENCHTIME" | tee "$partraw"
 
-  # Serving-layer sustained throughput: P producer x S subscriber
+fi
+
+if [ "$ONLY" = all ] || [ "$ONLY" = serving ]; then
+  # Serving-layer sustained throughput (P producer x S subscriber
   # connections over a unix socket against a live punctserve server, with
-  # background checkpoints and durable producer acks on.
+  # background checkpoints and durable producer acks on) plus the
+  # warm-standby failover recovery time (kill -> promotion -> first
+  # post-failover delivery; ns/op is the RTO).
   go test ./server -run xxx \
-    -bench 'BenchmarkServe' \
+    -bench 'BenchmarkServe|BenchmarkFailoverRTO' \
     -benchtime "$BENCHTIME" | tee "$serveraw"
 fi
 
 # Adaptive state tiering: cold-tier probe parity over long-lived state and
 # the skew-split state bound (also reachable alone via `make benchskew`).
-i=0
-while [ "$i" -lt "$TIER_COUNT" ]; do
-  go test ./exec -run xxx \
-    -bench 'BenchmarkTiering' \
-    -benchtime "$BENCHTIME" -benchmem | tee -a "$tierraw"
-  i=$((i + 1))
-done
+if [ "$ONLY" = all ] || [ "$ONLY" = tiering ]; then
+  i=0
+  while [ "$i" -lt "$TIER_COUNT" ]; do
+    go test ./exec -run xxx \
+      -bench 'BenchmarkTiering' \
+      -benchtime "$BENCHTIME" -benchmem | tee -a "$tierraw"
+    i=$((i + 1))
+  done
+fi
 
 if [ "$ONLY" = all ]; then
   tmp=$(mktemp)
@@ -84,7 +92,9 @@ if [ "$ONLY" = all ]; then
     -prev "$PART_OUT" -sha "$sha" -time "$now" > "$tmp"
   mv "$tmp" "$PART_OUT"
   echo "wrote $PART_OUT"
+fi
 
+if [ "$ONLY" = all ] || [ "$ONLY" = serving ]; then
   tmp=$(mktemp)
   go run ./cmd/punctbench -serving-json "$serveraw" \
     -prev "$SERVE_OUT" -sha "$sha" -time "$now" > "$tmp"
@@ -92,8 +102,10 @@ if [ "$ONLY" = all ]; then
   echo "wrote $SERVE_OUT"
 fi
 
-tmp=$(mktemp)
-go run ./cmd/punctbench -tiering-json "$tierraw" \
-  -prev "$TIER_OUT" -sha "$sha" -time "$now" > "$tmp"
-mv "$tmp" "$TIER_OUT"
-echo "wrote $TIER_OUT"
+if [ "$ONLY" = all ] || [ "$ONLY" = tiering ]; then
+  tmp=$(mktemp)
+  go run ./cmd/punctbench -tiering-json "$tierraw" \
+    -prev "$TIER_OUT" -sha "$sha" -time "$now" > "$tmp"
+  mv "$tmp" "$TIER_OUT"
+  echo "wrote $TIER_OUT"
+fi

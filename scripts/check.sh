@@ -17,6 +17,12 @@ go test -race ./...
 # the parallel wire pipeline, and Stats/Checkpoint barriers.
 go test -race -run TestParallelIngestStress -count 5 ./engine/
 
+# Warm-standby failover chaos soak under the race detector: repeated
+# kill -> promote -> re-seed cycles over one continuous stream, requiring
+# an element-exact delivery stream and one epoch bump per promotion.
+SOAKFAILOVER_CYCLES=${SOAKFAILOVER_CYCLES:-5} \
+  go test -race -run 'TestFailoverSoak|TestStandbyFailoverChaos' -count 1 ./server/
+
 # Fuzz targets over their checked-in seed corpus: wire-format framing,
 # the serving handshake front door, and the tiered join-state snapshot
 # decoder (torn cold segments, corrupted bytes).

@@ -3,7 +3,9 @@ package server
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -19,19 +21,40 @@ import (
 // Dialer connects producers and subscribers to a punctserve server,
 // with RetryReader-style capped jittered exponential backoff on every
 // (re)connection attempt. The zero value needs only Addr.
+//
+// For a replicated deployment list every candidate in Addrs: clients
+// rotate through them on connection failure, follow PSER1 redirects to
+// the current primary, and track the highest fencing epoch they have
+// seen — a server at a lower epoch (a revived old primary) is treated
+// as failed, never trusted with data.
 type Dialer struct {
 	// Addr is "host:port", "tcp://host:port", or "unix:///path".
 	Addr string
+	// Addrs lists failover candidates (same syntax). Addr, when also
+	// set, is tried first.
+	Addrs []string
 	// Dial overrides how a raw connection is made (chaos injection,
-	// in-memory pipes). When set, Addr is ignored.
+	// in-memory pipes). When set, Addr/Addrs rotation is bypassed.
 	Dial func() (net.Conn, error)
+	// DialAddr overrides per-address dialing while keeping the
+	// rotation/redirect logic (multi-server chaos injection).
+	DialAddr func(addr string) (net.Conn, error)
+	// TLS, when set, wraps every dialed connection in a TLS client.
+	TLS *tls.Config
+	// AuthToken is carried in every handshake; must match the server's
+	// configured token.
+	AuthToken string
+	// MinEpoch seeds the session's fencing epoch: servers replying with
+	// a lower epoch are rejected. Useful when the caller already knows
+	// a promotion happened.
+	MinEpoch uint64
 	// MaxRetries bounds consecutive failed connection attempts before a
 	// client call gives up (<= 0 selects the default of 4; a success
 	// resets the count).
 	MaxRetries int
 	// Backoff is the initial delay between attempts (default 10ms),
 	// doubling each failure up to MaxBackoff (default 1s), with ±50%
-	// jitter.
+	// jitter. A successful session resets the progression.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
 	// Context, when set, aborts in-flight backoff sleeps.
@@ -41,18 +64,78 @@ type Dialer struct {
 	Rand  func(n int64) int64
 }
 
-func (d *Dialer) rawDial() (net.Conn, error) {
-	if d.Dial != nil {
-		return d.Dial()
+// dialSession is one client's long-lived connection state: address
+// rotation position, a pending redirect, the highest fencing epoch
+// seen, and the backoff progression — which persists across connect
+// calls but resets after every successful handshake, so a long-lived
+// client that reconnects after a quiet hour starts from Backoff again
+// instead of the inflated tail of its last outage.
+type dialSession struct {
+	addrs    []string
+	idx      int
+	redirect string
+	epoch    uint64
+	backoff  time.Duration
+}
+
+func (d *Dialer) newSession() *dialSession {
+	s := &dialSession{epoch: d.MinEpoch}
+	if d.Addr != "" {
+		s.addrs = append(s.addrs, d.Addr)
 	}
-	network, addr := "tcp", d.Addr
+	for _, a := range d.Addrs {
+		if a != d.Addr {
+			s.addrs = append(s.addrs, a)
+		}
+	}
+	return s
+}
+
+// nextAddr picks the dial target: a one-shot redirect if the server
+// named one, the rotation position otherwise.
+func (s *dialSession) nextAddr() string {
+	if s.redirect != "" {
+		a := s.redirect
+		s.redirect = ""
+		return a
+	}
+	if len(s.addrs) == 0 {
+		return ""
+	}
+	return s.addrs[s.idx%len(s.addrs)]
+}
+
+func (s *dialSession) rotate() {
+	if len(s.addrs) > 1 {
+		s.idx++
+	}
+}
+
+func (d *Dialer) dialOne(addr string) (net.Conn, error) {
+	var c net.Conn
+	var err error
 	switch {
-	case strings.HasPrefix(addr, "tcp://"):
-		addr = strings.TrimPrefix(addr, "tcp://")
-	case strings.HasPrefix(addr, "unix://"):
-		network, addr = "unix", strings.TrimPrefix(addr, "unix://")
+	case d.Dial != nil:
+		c, err = d.Dial()
+	case d.DialAddr != nil:
+		c, err = d.DialAddr(addr)
+	default:
+		network := "tcp"
+		switch {
+		case strings.HasPrefix(addr, "tcp://"):
+			addr = strings.TrimPrefix(addr, "tcp://")
+		case strings.HasPrefix(addr, "unix://"):
+			network, addr = "unix", strings.TrimPrefix(addr, "unix://")
+		}
+		c, err = net.Dial(network, addr)
 	}
-	return net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	if d.TLS != nil {
+		c = tls.Client(c, d.TLS)
+	}
+	return c, nil
 }
 
 func (d *Dialer) maxRetries() int {
@@ -113,23 +196,30 @@ func (d *Dialer) jitter(t time.Duration) time.Duration {
 }
 
 // connect dials and runs handshake until it succeeds or retries are
-// exhausted. A server rejection (ErrRejected) is terminal, not retried:
-// the server answered, it just said no.
-func (d *Dialer) connect(handshake func(net.Conn, *bufio.Reader) error) (net.Conn, *bufio.Reader, error) {
-	backoff := d.backoffStart()
+// exhausted, rotating across the session's addresses and following
+// redirects. A terminal server rejection (bad resume, unknown query,
+// unauthorized…) fails immediately: the server answered, it just said
+// no. Role rejections (ErrNotPrimary, ErrFenced) are retried — the
+// cluster is mid-failover and another address (or the same one,
+// moments later) will serve.
+func (d *Dialer) connect(sess *dialSession, handshake func(net.Conn, *bufio.Reader) error) (net.Conn, *bufio.Reader, error) {
+	if sess.backoff <= 0 {
+		sess.backoff = d.backoffStart()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= d.maxRetries(); attempt++ {
 		if attempt > 0 {
-			if err := d.sleep(d.jitter(backoff)); err != nil {
+			if err := d.sleep(d.jitter(sess.backoff)); err != nil {
 				return nil, nil, err
 			}
-			if backoff *= 2; backoff > d.backoffMax() {
-				backoff = d.backoffMax()
+			if sess.backoff *= 2; sess.backoff > d.backoffMax() {
+				sess.backoff = d.backoffMax()
 			}
 		}
-		c, err := d.rawDial()
+		c, err := d.dialOne(sess.nextAddr())
 		if err != nil {
 			lastErr = err
+			sess.rotate()
 			continue
 		}
 		br := bufio.NewReader(c)
@@ -139,20 +229,38 @@ func (d *Dialer) connect(handshake func(net.Conn, *bufio.Reader) error) (net.Con
 				return nil, nil, err
 			}
 			lastErr = err
+			if r := redirectOf(err); r != "" {
+				sess.redirect = r // next attempt goes straight there
+			} else {
+				sess.rotate()
+			}
 			continue
 		}
+		sess.backoff = 0 // successful session: next outage starts fresh
 		return c, br, nil
 	}
 	return nil, nil, fmt.Errorf("server: connect: retries exhausted: %w", lastErr)
+}
+
+// checkEpoch validates and folds a server reply epoch into the
+// session: a lower epoch proves a stale server (revived old primary).
+func (sess *dialSession) checkEpoch(epoch uint64) error {
+	if epoch < sess.epoch {
+		return fmt.Errorf("%w: server at epoch %d, session has seen %d", ErrFenced, epoch, sess.epoch)
+	}
+	sess.epoch = epoch
+	return nil
 }
 
 // isRejection classifies handshake errors that retrying cannot cure.
 // ErrSourceBusy is deliberately NOT terminal: after an abrupt
 // disconnect the server may briefly still hold the dead connection's
 // producer registration, and the very next attempt succeeds once the
-// stale handler notices its conn died.
+// stale handler notices its conn died. ErrNotPrimary and ErrFenced are
+// likewise transient: they resolve when a standby promotes or the
+// session rotates to the new primary.
 func isRejection(err error) bool {
-	for _, terminal := range []error{ErrBadHandshake, ErrBadResume, ErrResumeExpired, ErrUnknownQuery} {
+	for _, terminal := range []error{ErrBadHandshake, ErrBadResume, ErrResumeExpired, ErrUnknownQuery, ErrUnauthorized} {
 		if errorsIs(err, terminal) {
 			return true
 		}
@@ -167,15 +275,95 @@ func errorsIs(err, target error) bool {
 	return err != nil && strings.Contains(err.Error(), target.Error())
 }
 
+// redirectOf extracts the redirect address of a server rejection.
+func redirectOf(err error) string {
+	var rej *RejectedError
+	if errors.As(err, &rej) {
+		return rej.Redirect
+	}
+	return ""
+}
+
+// Health is a server's probe reply.
+type Health struct {
+	// Role is "primary", "standby", or "fenced".
+	Role string
+	// Epoch is the server's fencing epoch.
+	Epoch uint64
+	// Offsets maps every ingest source to its last committed offset.
+	Offsets map[string]int64
+}
+
+// Probe sends one PING control frame and returns the server's role,
+// fencing epoch, and last-committed offsets. It uses the same
+// rotation/backoff as data clients but does not follow redirects (the
+// point is to ask THIS server how it feels).
+func (d *Dialer) Probe() (Health, error) {
+	var h Health
+	sess := d.newSession()
+	conn, br, err := d.connect(sess, func(c net.Conn, br *bufio.Reader) error {
+		if _, err := c.Write(appendHello(nil, hello{role: roleProbe, token: d.AuthToken, epoch: d.MinEpoch})); err != nil {
+			return err
+		}
+		epoch, err := readReply(br)
+		if err != nil {
+			return err
+		}
+		role, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("server: probe role: %w", err)
+		}
+		switch role {
+		case probePrimary:
+			h.Role = "primary"
+		case probeStandby:
+			h.Role = "standby"
+		case probeFenced:
+			h.Role = "fenced"
+		default:
+			return fmt.Errorf("server: probe: bad role byte %q", role)
+		}
+		h.Epoch = epoch
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxHandshakeName {
+			return fmt.Errorf("server: probe: source count unreadable")
+		}
+		h.Offsets = make(map[string]int64, n)
+		for i := uint64(0); i < n; i++ {
+			src, err := readShortString(br)
+			if err != nil {
+				return fmt.Errorf("server: probe source: %w", err)
+			}
+			off, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("server: probe offset: %w", err)
+			}
+			h.Offsets[src] = int64(off)
+		}
+		return nil
+	})
+	if err != nil {
+		return h, err
+	}
+	conn.Close()
+	_ = br
+	return h, nil
+}
+
 // Producer is a reconnecting client feeding one named source. Sends are
 // encoded into an in-memory replay buffer keyed by wire offset and
 // written through; on reconnect the unacknowledged suffix is replayed
 // from the server's resume offset, so a crash-failover costs no data.
 // The buffer is trimmed by durable acks (one per server checkpoint);
 // its high-water mark is therefore bounded by the checkpoint interval.
+// Across a primary→standby failover the same replay handshake runs
+// against the promoted standby: offsets are identical on both sides of
+// the feed, so the producer replays exactly the suffix the standby has
+// not made durable.
 type Producer struct {
 	d      *Dialer
 	source string
+	sess   *dialSession
 
 	mu    sync.Mutex
 	ww    *engine.WireWriter
@@ -196,7 +384,7 @@ type Producer struct {
 // Producer connects a producer for the named source. The schemas must
 // cover every stream it will send.
 func (d *Dialer) Producer(source string, schemas ...*stream.Schema) (*Producer, error) {
-	p := &Producer{d: d, source: source, acked: -1}
+	p := &Producer{d: d, source: source, acked: -1, sess: d.newSession()}
 	p.ww = engine.NewWireWriter(producerSink{p}, schemas...)
 	if err := p.reconnectLocked(); err != nil {
 		return nil, err
@@ -216,11 +404,15 @@ func (s producerSink) Write(b []byte) (int, error) {
 // handshakes, and replays the needed suffix of the buffer.
 func (p *Producer) reconnectLocked() error {
 	gen := p.gen + 1
-	conn, br, err := p.d.connect(func(c net.Conn, br *bufio.Reader) error {
-		if _, err := c.Write(appendHello(nil, roleProduce, p.source, 0)); err != nil {
+	conn, br, err := p.d.connect(p.sess, func(c net.Conn, br *bufio.Reader) error {
+		if _, err := c.Write(appendHello(nil, hello{role: roleProduce, token: p.d.AuthToken, name: p.source, epoch: p.sess.epoch})); err != nil {
 			return err
 		}
-		if err := readReply(br); err != nil {
+		epoch, err := readReply(br)
+		if err != nil {
+			return err
+		}
+		if err := p.sess.checkEpoch(epoch); err != nil {
 			return err
 		}
 		resume, err := binary.ReadUvarint(br)
@@ -391,6 +583,13 @@ func (p *Producer) Sent() int64 {
 	return p.base + int64(len(p.buf))
 }
 
+// Epoch returns the highest fencing epoch this producer has seen.
+func (p *Producer) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sess.epoch
+}
+
 // Delivery is one subscriber-received output: a result tuple or a
 // punctuation, with its server-assigned delivery sequence number.
 type Delivery struct {
@@ -401,10 +600,13 @@ type Delivery struct {
 // Subscriber is a reconnecting client consuming one query's delivery
 // stream exactly once: it resumes at its last delivered sequence and
 // discards replayed duplicates, so Next yields each delivery exactly
-// once in order even across server crashes.
+// once in order even across server crashes — and across failovers,
+// because the promoted standby assigns the same sequence numbers the
+// primary did.
 type Subscriber struct {
 	d     *Dialer
 	query string
+	sess  *dialSession
 
 	conn   net.Conn
 	br     *bufio.Reader
@@ -419,7 +621,7 @@ type Subscriber struct {
 // Subscribe connects a subscriber to the named query's delivery stream
 // from the beginning.
 func (d *Dialer) Subscribe(query string) (*Subscriber, error) {
-	s := &Subscriber{d: d, query: query}
+	s := &Subscriber{d: d, query: query, sess: d.newSession()}
 	if err := s.reconnect(); err != nil {
 		return nil, err
 	}
@@ -427,11 +629,15 @@ func (d *Dialer) Subscribe(query string) (*Subscriber, error) {
 }
 
 func (s *Subscriber) reconnect() error {
-	conn, br, err := s.d.connect(func(c net.Conn, br *bufio.Reader) error {
-		if _, err := c.Write(appendHello(nil, roleSub, s.query, s.last)); err != nil {
+	conn, br, err := s.d.connect(s.sess, func(c net.Conn, br *bufio.Reader) error {
+		if _, err := c.Write(appendHello(nil, hello{role: roleSub, token: s.d.AuthToken, name: s.query, epoch: s.sess.epoch, hint: s.last})); err != nil {
 			return err
 		}
-		if err := readReply(br); err != nil {
+		epoch, err := readReply(br)
+		if err != nil {
+			return err
+		}
+		if err := s.sess.checkEpoch(epoch); err != nil {
 			return err
 		}
 		if _, err := binary.ReadUvarint(br); err != nil { // resume echo
@@ -467,6 +673,9 @@ func (s *Subscriber) Schema() *stream.Schema { return s.schema }
 
 // Last returns the sequence number of the last delivery Next returned.
 func (s *Subscriber) Last() uint64 { return s.last }
+
+// Epoch returns the highest fencing epoch this subscriber has seen.
+func (s *Subscriber) Epoch() uint64 { return s.sess.epoch }
 
 // Next returns the next delivery, blocking until one arrives. It
 // reconnects and resumes transparently on connection failure,

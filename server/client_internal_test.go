@@ -1,0 +1,119 @@
+package server
+
+// White-box tests for the dial session's backoff progression. The
+// subtle contract: backoff state persists across connect() calls (a
+// client stuck in one outage keeps escalating), but resets after any
+// successful handshake — a long-lived client that reconnects after a
+// quiet hour must start from Backoff again, not the inflated tail of
+// its last outage.
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeClockDialer returns a Dialer whose sleeps are recorded instead of
+// slept and whose jitter is the identity (Rand n -> n/2 makes
+// jitter(t) = t/2 + t/2 = t exactly).
+func fakeClockDialer(sleeps *[]time.Duration) *Dialer {
+	return &Dialer{
+		MaxRetries: 16,
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+		Sleep:      func(d time.Duration) { *sleeps = append(*sleeps, d) },
+		Rand:       func(n int64) int64 { return n / 2 },
+	}
+}
+
+func ms(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * time.Millisecond
+	}
+	return out
+}
+
+func sameDurations(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBackoffResetsAfterSuccess drives two outages separated by a
+// successful session and requires the second outage to restart the
+// progression from Backoff.
+func TestBackoffResetsAfterSuccess(t *testing.T) {
+	var sleeps []time.Duration
+	d := fakeClockDialer(&sleeps)
+	attempt := 0
+	d.Dial = func() (net.Conn, error) {
+		attempt++
+		if attempt%4 != 0 { // three failures, then a success
+			return nil, errors.New("connection refused")
+		}
+		client, server := net.Pipe()
+		server.Close()
+		return client, nil
+	}
+	ok := func(net.Conn, *bufio.Reader) error { return nil }
+
+	sess := d.newSession()
+	c, _, err := d.connect(sess, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if want := ms(10, 20, 40); !sameDurations(sleeps, want) {
+		t.Fatalf("first outage slept %v, want %v", sleeps, want)
+	}
+
+	// The session reconnects later: the progression must restart at
+	// Backoff, not resume at the doubled tail of the last outage.
+	sleeps = nil
+	c, _, err = d.connect(sess, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if want := ms(10, 20, 40); !sameDurations(sleeps, want) {
+		t.Fatalf("post-success outage slept %v, want %v (backoff did not reset)", sleeps, want)
+	}
+}
+
+// TestBackoffCapsAndPersistsAcrossCalls pins the other half of the
+// contract: without an intervening success the progression continues
+// across connect() calls and saturates at MaxBackoff.
+func TestBackoffCapsAndPersistsAcrossCalls(t *testing.T) {
+	var sleeps []time.Duration
+	d := fakeClockDialer(&sleeps)
+	d.MaxRetries = 5
+	down := func() (net.Conn, error) { return nil, errors.New("connection refused") }
+	d.Dial = down
+	ok := func(net.Conn, *bufio.Reader) error { return nil }
+
+	sess := d.newSession()
+	if _, _, err := d.connect(sess, ok); err == nil {
+		t.Fatal("connect succeeded with the endpoint down")
+	}
+	if want := ms(10, 20, 40, 80, 80); !sameDurations(sleeps, want) {
+		t.Fatalf("outage slept %v, want %v (cap at MaxBackoff)", sleeps, want)
+	}
+
+	// Still no success: the next call continues at the cap.
+	sleeps = nil
+	if _, _, err := d.connect(sess, ok); err == nil {
+		t.Fatal("connect succeeded with the endpoint down")
+	}
+	if want := ms(80, 80, 80, 80, 80); !sameDurations(sleeps, want) {
+		t.Fatalf("continued outage slept %v, want %v (progression lost across calls)", sleeps, want)
+	}
+}

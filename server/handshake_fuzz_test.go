@@ -13,20 +13,26 @@ import (
 )
 
 func FuzzHandshake(f *testing.F) {
-	// Well-formed hellos for both roles.
-	f.Add(appendHello(nil, roleProduce, "feed", 0))
-	f.Add(appendHello(nil, roleSub, "auction", 12345))
+	// Well-formed hellos for every role, with and without auth tokens
+	// and fencing epochs.
+	f.Add(appendHello(nil, hello{role: roleProduce, name: "feed"}))
+	f.Add(appendHello(nil, hello{role: roleSub, name: "auction", hint: 12345}))
+	f.Add(appendHello(nil, hello{role: roleSub, token: "s3cret", name: "auction", epoch: 7, hint: 9}))
+	f.Add(appendHello(nil, hello{role: roleReplica, epoch: 3}))
+	f.Add(appendHello(nil, hello{role: roleProbe}))
 	// Truncations at every interesting boundary.
-	valid := appendHello(nil, roleSub, "auction", 7)
-	for _, cut := range []int{0, 1, 4, 5, 6, 7, len(valid) - 1} {
+	valid := appendHello(nil, hello{role: roleSub, token: "tk", name: "auction", epoch: 2, hint: 7})
+	for _, cut := range []int{0, 1, 4, 5, 6, 7, 9, len(valid) - 1} {
 		f.Add(valid[:cut])
 	}
-	// Bad magic, bad role, absurd name length, embedded garbage.
+	// Bad magic, bad role, absurd token/name lengths, empty name on a
+	// data role, embedded garbage.
 	f.Add([]byte("GARBAGE!"))
-	f.Add([]byte("PSRV1X\x04feed\x00"))
+	f.Add([]byte("PSRV1X\x00\x04feed\x00\x00"))
 	f.Add([]byte("PSRV1P\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
-	f.Add([]byte("PSRV1S\x00"))
-	f.Add(append(appendHello(nil, roleProduce, "feed", 0), 0xde, 0xad))
+	f.Add([]byte("PSRV1P\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("PSRV1S\x00\x00\x00\x00"))
+	f.Add(append(appendHello(nil, hello{role: roleProduce, name: "feed"}), 0xde, 0xad))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
@@ -37,15 +43,19 @@ func FuzzHandshake(f *testing.F) {
 			}
 			return
 		}
-		if h.role != roleProduce && h.role != roleSub {
+		switch h.role {
+		case roleProduce, roleSub, roleReplica, roleProbe:
+		default:
 			t.Fatalf("accepted hello with role %q", h.role)
 		}
-		if h.name == "" || len(h.name) > maxHandshakeName {
-			t.Fatalf("accepted hello with name length %d", len(h.name))
+		if (h.role == roleProduce || h.role == roleSub) && h.name == "" {
+			t.Fatalf("accepted data-role hello with empty name")
+		}
+		if len(h.name) > maxHandshakeName || len(h.token) > maxHandshakeName {
+			t.Fatalf("accepted hello with name %d / token %d bytes", len(h.name), len(h.token))
 		}
 		// A parsed hello must survive an encode/decode round trip.
-		again, err := readHello(bufio.NewReader(bytes.NewReader(
-			appendHello(nil, h.role, h.name, h.hint))))
+		again, err := readHello(bufio.NewReader(bytes.NewReader(appendHello(nil, h))))
 		if err != nil || again != h {
 			t.Fatalf("round trip: %+v vs %+v (err %v)", h, again, err)
 		}

@@ -1,0 +1,146 @@
+package server_test
+
+// End-to-end coverage for the serving-layer edge policies: a subscriber
+// resuming below the retention floor must get the typed terminal
+// ErrResumeExpired over the wire (not a retry loop), and the
+// SlowDisconnect policy must sever an unresponsive subscriber yet let
+// it reconnect and recover the exact stream from the retained window —
+// with chaos on every subscriber connection.
+
+import (
+	"io"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"punctsafe/internal/faultinject"
+	"punctsafe/server"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+func startPolicyServer(t *testing.T, sock string, retain, queue int, slow server.SlowPolicy) *server.Server {
+	t.Helper()
+	item, bid := workload.AuctionSchemas()
+	srv, err := server.New(server.Config{
+		Listener:   listenUnix(t, sock),
+		Build:      buildAuction,
+		Schemas:    []*stream.Schema{item, bid},
+		Retain:     retain,
+		QueueLimit: queue,
+		Slow:       slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestResumeExpiredBelowFloor slides the retention window past the
+// beginning of the stream and requires a late subscriber to be rejected
+// with the typed ErrResumeExpired on its first attempt — the server
+// answered, retrying cannot cure it.
+func TestResumeExpiredBelowFloor(t *testing.T) {
+	feed := auctionFeed()
+	want := referenceDeliveries(t, feed)
+	if len(want) <= 16 {
+		t.Fatalf("feed yields only %d deliveries; cannot slide an 8-delivery window", len(want))
+	}
+	sock := filepath.Join(t.TempDir(), "s.sock")
+	srv := startPolicyServer(t, sock, 8, 4, server.SlowBlock)
+	defer srv.Kill()
+
+	item, bid := workload.AuctionSchemas()
+	prod, err := testDialer(sock).Producer("feed", item, bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for _, it := range feed {
+		if err := prod.Send(it.Stream, it.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitIngested(t, srv, prod, "feed")
+
+	dl := testDialer(sock)
+	var dials atomic.Int64
+	dl.DialAddr = func(addr string) (net.Conn, error) {
+		dials.Add(1)
+		return net.Dial("unix", strings.TrimPrefix(addr, "unix://"))
+	}
+	if _, err := dl.Subscribe(testQuery); err == nil {
+		t.Fatal("subscribe below the retention floor succeeded")
+	} else if !contains(err, server.ErrResumeExpired) {
+		t.Fatalf("want ErrResumeExpired, got %v", err)
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("terminal rejection took %d dials, want exactly 1 (no retry loop)", n)
+	}
+}
+
+// TestSlowDisconnectUnderChaos floods a server whose slow-consumer
+// policy severs laggards, with a subscriber that refuses to read during
+// the flood and dials every connection through a seeded fault injector.
+// The hub must disconnect it (observable as a second dial), and the
+// reconnect must recover the exact delivery stream from the retained
+// window, ending with a clean drain.
+func TestSlowDisconnectUnderChaos(t *testing.T) {
+	feed := auctionFeed()
+	want := referenceDeliveries(t, feed)
+	sock := filepath.Join(t.TempDir(), "s.sock")
+	srv := startPolicyServer(t, sock, 1<<16, 4, server.SlowDisconnect)
+
+	dl := testDialer(sock)
+	var dials atomic.Int64
+	dl.DialAddr = func(addr string) (net.Conn, error) {
+		c, err := net.Dial("unix", strings.TrimPrefix(addr, "unix://"))
+		if err != nil {
+			return nil, err
+		}
+		return faultinject.NewChaosConn(c, faultinject.ChaosConfig{
+			Seed:         7000 + dials.Add(1),
+			PartialReads: true, PartialWrites: true,
+			MaxDelay: 30 * time.Microsecond,
+		}), nil
+	}
+	sub, err := dl.Subscribe(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood while the subscriber reads nothing: its 4-slot queue
+	// overflows almost immediately and the policy severs it.
+	item, bid := workload.AuctionSchemas()
+	prod, err := testDialer(sock).Producer("feed", item, bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for _, it := range feed {
+		if err := prod.Send(it.Stream, it.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitIngested(t, srv, prod, "feed")
+
+	got, errc := collectNAsync(sub, len(want))
+	if err := <-errc; err != nil {
+		t.Fatalf("subscriber after disconnect: %v", err)
+	}
+	requireSameStream(t, "slow-disconnect", deliveryStrings(<-got), want)
+	if n := dials.Load(); n < 2 {
+		t.Fatalf("subscriber synced in %d dials; the slow-consumer disconnect never fired", n)
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after drain, got %v", err)
+	}
+	sub.Close()
+}

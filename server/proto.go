@@ -14,6 +14,13 @@
 // (duplicates discarded by offset), subscribers resume at their last
 // seen sequence (duplicates discarded by seq), and the observed stream
 // is element-for-element identical to an uninterrupted run.
+//
+// Horizontal failover extends the same contract across boxes: a warm
+// standby dials the primary's replication listener, installs a snapshot,
+// and tails the ingress-ordered feed (see repl.go / standby.go). Every
+// handshake carries a monotonic fencing epoch; a server asked to serve
+// by a client that has seen a higher epoch knows it has been superseded
+// and self-fences, so a revived old primary can never split the brain.
 package server
 
 import (
@@ -28,10 +35,20 @@ import (
 
 // Wire protocol, all integers uvarint unless noted.
 //
-//	client hello:  "PSRV1" role(1: 'P'|'S') nameLen name resumeHint
-//	server ok:     "PSOK1" payload      (producer: resumeOffset;
-//	                                     subscriber: resumeSeq schema)
-//	server reject: "PSER1" msgLen msg
+//	client hello:  "PSRV1" role(1: 'P'|'S'|'R'|'H') tokenLen token
+//	               nameLen name epoch resumeHint
+//	server ok:     "PSOK1" epoch payload
+//	               (producer: resumeOffset; subscriber: resumeSeq schema;
+//	                replica: advertiseAddr snapshotLen snapshot;
+//	                probe: roleByte n {srcLen src offset}...)
+//	server reject: "PSER1" epoch msgLen msg redirLen redirect
+//
+// epoch is the fencing epoch: the server's current epoch in replies, the
+// client's highest observed epoch in hellos (0 = none). A hello whose
+// epoch exceeds the server's proves a newer primary was promoted; the
+// server self-fences. A reply whose epoch is below the client's proves
+// the server is stale; the client abandons it. The redirect field of a
+// rejection optionally names the address of the current primary.
 //
 //	producer data (client→server): startOffset, then raw engine wire
 //	frames starting at exactly that offset; server→producer traffic is a
@@ -40,27 +57,40 @@ import (
 //	subscriber data (server→client): per delivery
 //	  seq(≥1) payloadLen payload      payload = stream.Codec encoding
 //	and a single seq=0 as the clean end-of-stream marker.
+//
+//	replica data: see repl.go (record-framed feed + offset acks).
 const (
 	protoMagic  = "PSRV1"
 	replyOK     = "PSOK1"
 	replyErr    = "PSER1"
 	roleProduce = 'P'
 	roleSub     = 'S'
+	roleReplica = 'R'
+	roleProbe   = 'H'
 
-	// maxHandshakeName bounds the stream/query name so a malformed
-	// hello cannot demand an absurd allocation.
+	// probe reply role bytes.
+	probePrimary = 'P'
+	probeStandby = 'B'
+	probeFenced  = 'F'
+
+	// maxHandshakeName bounds the stream/query name, auth token, and
+	// redirect address so a malformed hello cannot demand an absurd
+	// allocation.
 	maxHandshakeName = 4096
 	// maxErrMsg bounds a rejection message on the client side.
 	maxErrMsg = 4096
 )
 
 // Typed protocol errors. Server-side rejections travel as text; the
-// client wraps them in ErrRejected.
+// client wraps them in a RejectedError unwrapping to ErrRejected.
 var (
 	// ErrBadHandshake classifies malformed hello bytes (bad magic, bad
 	// role, oversized or truncated name). Connections failing the
 	// handshake are rejected and closed, never serviced.
 	ErrBadHandshake = errors.New("server: malformed handshake")
+	// ErrUnauthorized rejects a hello whose token does not match the
+	// server's configured shared secret.
+	ErrUnauthorized = errors.New("server: unauthorized")
 	// ErrUnknownQuery rejects a subscriber naming no registered query.
 	ErrUnknownQuery = errors.New("server: unknown query")
 	// ErrSourceBusy rejects a producer for a source that already has an
@@ -75,6 +105,14 @@ var (
 	// ahead of the server's resume point (bytes in between would be
 	// unseen) or behind its own replayable window.
 	ErrBadResume = errors.New("server: bad resume offset")
+	// ErrNotPrimary rejects producer/subscriber traffic at a standby
+	// that has not been promoted; the rejection's redirect names the
+	// primary it is replicating from.
+	ErrNotPrimary = errors.New("server: not primary")
+	// ErrFenced rejects traffic at a server that has observed a higher
+	// fencing epoch than its own: a newer primary exists, and serving
+	// would risk split-brain.
+	ErrFenced = errors.New("server: fenced by newer epoch")
 	// ErrRejected wraps a server rejection message on the client side.
 	ErrRejected = errors.New("server: rejected")
 	// ErrServerClosed is returned by client calls after a clean
@@ -82,11 +120,32 @@ var (
 	ErrServerClosed = errors.New("server: closed")
 )
 
+// RejectedError is a server rejection as seen by the client: the
+// server's message and fencing epoch, plus an optional redirect naming
+// the current primary. It unwraps to ErrRejected so errors.Is keeps
+// working on the sentinel.
+type RejectedError struct {
+	Msg      string
+	Epoch    uint64
+	Redirect string
+}
+
+func (e *RejectedError) Error() string {
+	if e.Redirect != "" {
+		return fmt.Sprintf("%v: %s (primary at %s)", ErrRejected, e.Msg, e.Redirect)
+	}
+	return fmt.Sprintf("%v: %s", ErrRejected, e.Msg)
+}
+
+func (e *RejectedError) Unwrap() error { return ErrRejected }
+
 // hello is a parsed client handshake.
 type hello struct {
-	role byte
-	name string
-	hint uint64 // producer: unused; subscriber: last delivered seq
+	role  byte
+	token string
+	name  string
+	epoch uint64 // client's highest observed fencing epoch
+	hint  uint64 // producer: unused; subscriber: last delivered seq
 }
 
 // readHello parses a client handshake, classifying every malformation
@@ -103,71 +162,124 @@ func readHello(br *bufio.Reader) (hello, error) {
 		return h, fmt.Errorf("%w: bad magic %q", ErrBadHandshake, magic[:len(protoMagic)])
 	}
 	h.role = magic[len(protoMagic)]
-	if h.role != roleProduce && h.role != roleSub {
+	switch h.role {
+	case roleProduce, roleSub, roleReplica, roleProbe:
+	default:
 		return h, fmt.Errorf("%w: bad role %q", ErrBadHandshake, h.role)
 	}
-	n, err := binary.ReadUvarint(br)
-	if err != nil {
-		return h, fmt.Errorf("%w: name length: %v", ErrBadHandshake, err)
+	var err error
+	if h.token, err = readHelloString(br, "token"); err != nil {
+		return h, err
 	}
-	if n == 0 || n > maxHandshakeName {
-		return h, fmt.Errorf("%w: name length %d out of range", ErrBadHandshake, n)
+	if h.name, err = readHelloString(br, "name"); err != nil {
+		return h, err
 	}
-	name := make([]byte, n)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return h, fmt.Errorf("%w: short name: %v", ErrBadHandshake, err)
+	// Probes and replicas address the server, not a stream or query;
+	// data roles must name their target.
+	if h.name == "" && (h.role == roleProduce || h.role == roleSub) {
+		return h, fmt.Errorf("%w: empty name", ErrBadHandshake)
 	}
-	h.name = string(name)
+	if h.epoch, err = binary.ReadUvarint(br); err != nil {
+		return h, fmt.Errorf("%w: epoch: %v", ErrBadHandshake, err)
+	}
 	if h.hint, err = binary.ReadUvarint(br); err != nil {
 		return h, fmt.Errorf("%w: resume hint: %v", ErrBadHandshake, err)
 	}
 	return h, nil
 }
 
-// appendHello encodes a client handshake.
-func appendHello(dst []byte, role byte, name string, hint uint64) []byte {
-	dst = append(dst, protoMagic...)
-	dst = append(dst, role)
-	dst = binary.AppendUvarint(dst, uint64(len(name)))
-	dst = append(dst, name...)
-	return binary.AppendUvarint(dst, hint)
+// readHelloString reads one bounded length-prefixed handshake string.
+func readHelloString(br *bufio.Reader, field string) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("%w: %s length: %v", ErrBadHandshake, field, err)
+	}
+	if n > maxHandshakeName {
+		return "", fmt.Errorf("%w: %s length %d out of range", ErrBadHandshake, field, n)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", fmt.Errorf("%w: short %s: %v", ErrBadHandshake, field, err)
+	}
+	return string(b), nil
 }
 
-// writeReject sends a rejection reply. The connection is expected to be
-// closed right after.
-func writeReject(w io.Writer, err error) {
+// appendHello encodes a client handshake.
+func appendHello(dst []byte, h hello) []byte {
+	dst = append(dst, protoMagic...)
+	dst = append(dst, h.role)
+	dst = binary.AppendUvarint(dst, uint64(len(h.token)))
+	dst = append(dst, h.token...)
+	dst = binary.AppendUvarint(dst, uint64(len(h.name)))
+	dst = append(dst, h.name...)
+	dst = binary.AppendUvarint(dst, h.epoch)
+	return binary.AppendUvarint(dst, h.hint)
+}
+
+// writeReject sends a rejection reply carrying the server's fencing
+// epoch and an optional redirect to the current primary. The connection
+// is expected to be closed right after.
+func writeReject(w io.Writer, epoch uint64, err error, redirect string) {
 	msg := err.Error()
 	if len(msg) > maxErrMsg {
 		msg = msg[:maxErrMsg]
 	}
-	buf := append([]byte(replyErr), binary.AppendUvarint(nil, uint64(len(msg)))...)
+	if len(redirect) > maxHandshakeName {
+		redirect = redirect[:maxHandshakeName]
+	}
+	buf := append([]byte(replyErr), binary.AppendUvarint(nil, epoch)...)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
 	buf = append(buf, msg...)
+	buf = binary.AppendUvarint(buf, uint64(len(redirect)))
+	buf = append(buf, redirect...)
 	w.Write(buf)
 }
 
-// readReply consumes a server reply header, returning nil when the
-// server accepted (payload follows on br) and ErrRejected with the
-// server's message when it did not.
-func readReply(br *bufio.Reader) error {
+// appendOK encodes the accept reply header; role-specific payload
+// follows.
+func appendOK(dst []byte, epoch uint64) []byte {
+	dst = append(dst, replyOK...)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+// readReply consumes a server reply header, returning the server's
+// fencing epoch and nil when the server accepted (payload follows on
+// br), or a *RejectedError when it did not.
+func readReply(br *bufio.Reader) (uint64, error) {
 	var tag [len(replyOK)]byte
 	if _, err := io.ReadFull(br, tag[:]); err != nil {
-		return fmt.Errorf("server: reading reply: %w", err)
+		return 0, fmt.Errorf("server: reading reply: %w", err)
 	}
 	switch string(tag[:]) {
 	case replyOK:
-		return nil
+		epoch, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("server: reply epoch: %w", err)
+		}
+		return epoch, nil
 	case replyErr:
+		epoch, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("%w: unreadable rejection", ErrRejected)
+		}
 		n, err := binary.ReadUvarint(br)
 		if err != nil || n > maxErrMsg {
-			return fmt.Errorf("%w: unreadable rejection", ErrRejected)
+			return epoch, fmt.Errorf("%w: unreadable rejection", ErrRejected)
 		}
 		msg := make([]byte, n)
 		if _, err := io.ReadFull(br, msg); err != nil {
-			return fmt.Errorf("%w: unreadable rejection", ErrRejected)
+			return epoch, fmt.Errorf("%w: unreadable rejection", ErrRejected)
 		}
-		return fmt.Errorf("%w: %s", ErrRejected, msg)
+		redir, err := readShortString(br)
+		if err != nil {
+			return epoch, fmt.Errorf("%w: unreadable rejection", ErrRejected)
+		}
+		return epoch, &RejectedError{Msg: string(msg), Epoch: epoch, Redirect: redir}
 	default:
-		return fmt.Errorf("server: bad reply tag %q", tag[:])
+		return 0, fmt.Errorf("server: bad reply tag %q", tag[:])
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"punctsafe/engine"
@@ -19,12 +20,17 @@ import (
 
 // serverCkptMagic seals the server checkpoint: the engine snapshot plus
 // every hub's retained deliveries at the same cut, in one atomic file.
+// v02 adds the fencing epoch right after the magic; v01 files (no
+// epoch) are still restored, at epoch 1.
 //
-//	"PSRVCK01" uvarint(len(engineBlob)) engineBlob
+//	"PSRVCK02" uvarint(epoch) uvarint(len(engineBlob)) engineBlob
 //	uvarint(nqueries) { str(name) uvarint(cut) uvarint(nentries)
 //	                    { uvarint(seq) uvarint(len) codecPayload } }
 //	crc32-IEEE(everything before)
-const serverCkptMagic = "PSRVCK01"
+const (
+	serverCkptMagic   = "PSRVCK02"
+	serverCkptMagicV1 = "PSRVCK01"
+)
 
 // ErrCorruptServerCheckpoint classifies an unreadable server snapshot.
 var ErrCorruptServerCheckpoint = errors.New("server: corrupt checkpoint")
@@ -32,11 +38,13 @@ var ErrCorruptServerCheckpoint = errors.New("server: corrupt checkpoint")
 // Config assembles a Server.
 type Config struct {
 	// Listener accepts producer and subscriber connections (TCP or unix
-	// socket). The server owns it and closes it on shutdown.
+	// socket). The server owns it and closes it on shutdown. Wrap it in
+	// tls.NewListener for transport security; clients set Dialer.TLS.
 	Listener net.Listener
 	// Build registers schemes and queries on a fresh DSMS. It runs once
 	// at startup and again (on a fresh DSMS) when restoring from a
-	// checkpoint, so it must be deterministic.
+	// checkpoint or installing a replication snapshot, so it must be
+	// deterministic.
 	Build func(*engine.DSMS) error
 	// Schemas are the input stream schemas producers may send.
 	Schemas []*stream.Schema
@@ -62,28 +70,87 @@ type Config struct {
 	// connected subscribers to consume the final deliveries before
 	// ending their streams anyway (default 10s).
 	DrainTimeout time.Duration
+	// AuthToken, when set, is a shared secret every hello must carry;
+	// mismatches are rejected with ErrUnauthorized before any role is
+	// serviced.
+	AuthToken string
+	// Advertise is the address clients should be redirected to when
+	// this server is (or becomes) the primary. Defaults to the
+	// listener's address — set it when the listener binds a wildcard.
+	Advertise string
+	// ReplListener, when set, accepts warm-standby replication
+	// connections and enables the replication feed (an engine ingest
+	// tap recording ingress order). The server owns and closes it.
+	ReplListener net.Listener
+	// ReplBuffer bounds the in-memory replication backlog in bytes
+	// (default 16 MiB). A standby lagging beyond it is evicted and must
+	// reconnect with a fresh snapshot.
+	ReplBuffer int
+	// ReplicaOf, when set, starts the server as a warm standby
+	// replicating from the given primary replication address. It
+	// rejects producers/subscribers (with a redirect to the primary)
+	// until promoted by Promote or PromoteTimeout.
+	ReplicaOf string
+	// ReplicaDial overrides how the standby dials ReplicaOf (chaos
+	// injection, in-memory pipes). Defaults to tcp/unix by prefix, as
+	// Dialer.Addr.
+	ReplicaDial func(addr string) (net.Conn, error)
+	// PromoteTimeout, on a standby, bounds how long a lost replication
+	// feed is re-dialed before the standby promotes itself. Zero
+	// disables automatic promotion (Promote still works).
+	PromoteTimeout time.Duration
 	// Logf, when set, receives server lifecycle and connection logs.
 	Logf func(format string, args ...any)
+}
+
+// enginePack bundles one engine incarnation: the DSMS, its runtime, and
+// the per-query delivery hubs wired to it. The primary builds exactly
+// one; a standby builds a fresh pack per installed snapshot (every
+// feed (re)connect), swapping it in atomically.
+type enginePack struct {
+	d    *engine.DSMS
+	rt   *engine.Runtime
+	hubs map[string]*hub
 }
 
 // Server wraps a runtime behind a listener. See the package comment for
 // the HA contract.
 type Server struct {
-	cfg  Config
-	d    *engine.DSMS
-	rt   *engine.Runtime
-	hubs map[string]*hub
+	cfg Config
+	eng atomic.Pointer[enginePack]
+
+	// epoch is the fencing epoch: bumped on every promotion, persisted
+	// in the checkpoint, carried in every protocol reply. fenced is set
+	// when a hello proves a newer primary exists; a fenced server
+	// rejects all data and replication roles.
+	epoch   atomic.Uint64
+	fenced  atomic.Bool
+	standby atomic.Bool
+
+	// observed is the highest fencing epoch any peer hello has carried.
+	// A standby folds it into its promotion epoch instead of fencing:
+	// rotating clients routinely reach a fresh standby before its first
+	// snapshot install, and a standby serves no data roles, so a newer
+	// epoch cannot split-brain through it.
+	observed atomic.Uint64
+
+	repl *replLog // primary-side feed; non-nil iff ReplListener set
+	stb  *standbyRunner
 
 	mu        sync.Mutex
 	producers map[string]net.Conn // active producer conn per source
 	conns     map[net.Conn]struct{}
+	replConns map[net.Conn]struct{} // attached standby feed conns
 	stopping  bool
 	killed    bool
 
 	ckptMu sync.Mutex // serializes checkpoints and the acks they send
 
-	acceptWg sync.WaitGroup // accept loop + connection handlers
+	acceptWg sync.WaitGroup // accept loops + producer/subscriber handshakes
+	replWg   sync.WaitGroup // replica feed senders
 	subWg    sync.WaitGroup // subscriber writers (drain after runtime)
+	tickMu   sync.Mutex     // guards tickStarted (promotion vs shutdown)
+	tickOn   bool
 	tickStop chan struct{}
 	tickWg   sync.WaitGroup
 
@@ -94,6 +161,8 @@ type Server struct {
 
 // New builds the DSMS, restores from cfg.CheckpointPath when the file
 // exists (fresh start otherwise), and begins serving on cfg.Listener.
+// With cfg.ReplicaOf set it starts in standby mode instead: no local
+// runtime until the first snapshot from the primary is installed.
 func New(cfg Config) (*Server, error) {
 	if cfg.Listener == nil {
 		return nil, fmt.Errorf("server: Config.Listener is required")
@@ -113,39 +182,47 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	d := engine.New()
-	if err := cfg.Build(d); err != nil {
-		return nil, fmt.Errorf("server: build: %w", err)
+	if cfg.ReplBuffer <= 0 {
+		cfg.ReplBuffer = 16 << 20
 	}
 	s := &Server{
 		cfg:       cfg,
-		d:         d,
-		hubs:      make(map[string]*hub),
 		producers: make(map[string]net.Conn),
 		conns:     make(map[net.Conn]struct{}),
+		replConns: make(map[net.Conn]struct{}),
 		tickStop:  make(chan struct{}),
 		done:      make(chan struct{}),
 	}
-	for _, name := range d.Queries() {
-		reg, _ := d.Get(name)
-		h := newHub(name, reg.OutputSchema(), cfg.Retain, cfg.QueueLimit, cfg.Slow)
-		h.onDrop = func(query string, elem stream.Element, seq uint64) {
-			s.rt.AddDeadLetter(engine.DeadLetter{
-				Query: query,
-				Elem:  elem,
-				Err:   fmt.Errorf("server: delivery %d dropped: subscriber backlog over %d (policy %v)", seq, cfg.QueueLimit, cfg.Slow),
-			})
-		}
-		reg.SetDeliveryHook(h.publish)
-		s.hubs[name] = h
+	if cfg.ReplListener != nil {
+		s.repl = newReplLog(cfg.ReplBuffer)
 	}
 
+	if cfg.ReplicaOf != "" {
+		// Standby: the engine starts when the first snapshot arrives.
+		s.standby.Store(true)
+		s.stb = newStandbyRunner(s)
+		s.acceptWg.Add(1)
+		go s.acceptLoop(cfg.Listener)
+		if cfg.ReplListener != nil {
+			s.acceptWg.Add(1)
+			go s.acceptLoop(cfg.ReplListener)
+		}
+		s.stb.start()
+		cfg.Logf("punctserve: standby of %s, serving on %s", cfg.ReplicaOf, cfg.Listener.Addr())
+		return s, nil
+	}
+
+	p, err := s.newPack()
+	if err != nil {
+		return nil, err
+	}
 	var blob []byte
+	epoch := uint64(1)
 	if cfg.CheckpointPath != "" {
 		raw, err := os.ReadFile(cfg.CheckpointPath)
 		switch {
 		case err == nil:
-			if blob, err = s.restoreEnvelope(raw); err != nil {
+			if blob, epoch, err = s.restoreEnvelope(p, raw); err != nil {
 				return nil, err
 			}
 		case errors.Is(err, os.ErrNotExist):
@@ -154,37 +231,138 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: reading checkpoint: %w", err)
 		}
 	}
-	if blob != nil {
-		rt, err := d.RestoreRuntime(bytes.NewReader(blob), cfg.Runtime)
-		if err != nil {
-			return nil, fmt.Errorf("server: restore: %w", err)
-		}
-		s.rt = rt
-		cfg.Logf("punctserve: restored from %s", cfg.CheckpointPath)
-	} else {
-		s.rt = d.RunSharded(cfg.Runtime)
+	s.epoch.Store(epoch)
+	if err := s.startPack(p, blob); err != nil {
+		return nil, err
 	}
+	if blob != nil {
+		cfg.Logf("punctserve: restored from %s (epoch %d)", cfg.CheckpointPath, epoch)
+	}
+	s.eng.Store(p)
 
 	s.acceptWg.Add(1)
-	go s.acceptLoop()
-	if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 {
-		s.tickWg.Add(1)
-		go s.checkpointLoop()
+	go s.acceptLoop(cfg.Listener)
+	if cfg.ReplListener != nil {
+		s.acceptWg.Add(1)
+		go s.acceptLoop(cfg.ReplListener)
 	}
-	cfg.Logf("punctserve: serving on %s", cfg.Listener.Addr())
+	s.startCheckpointLoop()
+	cfg.Logf("punctserve: serving on %s (epoch %d)", cfg.Listener.Addr(), epoch)
 	return s, nil
+}
+
+// newPack builds a fresh DSMS + hubs (no runtime yet).
+func (s *Server) newPack() (*enginePack, error) {
+	d := engine.New()
+	if err := s.cfg.Build(d); err != nil {
+		return nil, fmt.Errorf("server: build: %w", err)
+	}
+	p := &enginePack{d: d, hubs: make(map[string]*hub)}
+	for _, name := range d.Queries() {
+		reg, _ := d.Get(name)
+		h := newHub(name, reg.OutputSchema(), s.cfg.Retain, s.cfg.QueueLimit, s.cfg.Slow)
+		h.onDrop = func(query string, elem stream.Element, seq uint64) {
+			if rt := s.runtime(); rt != nil {
+				rt.AddDeadLetter(engine.DeadLetter{
+					Query: query,
+					Elem:  elem,
+					Err:   fmt.Errorf("server: delivery %d dropped: subscriber backlog over %d (policy %v)", seq, s.cfg.QueueLimit, s.cfg.Slow),
+				})
+			}
+		}
+		reg.SetDeliveryHook(h.publish)
+		p.hubs[name] = h
+	}
+	return p, nil
+}
+
+// startPack starts the pack's runtime, restoring from blob when given.
+// When replication is enabled the runtime records every committed wire
+// ingest into the feed, in ingress order.
+func (s *Server) startPack(p *enginePack, blob []byte) error {
+	opts := s.cfg.Runtime
+	if s.repl != nil {
+		opts.IngestTap = s.repl.appendFrame
+	}
+	if blob != nil {
+		rt, err := p.d.RestoreRuntime(bytes.NewReader(blob), opts)
+		if err != nil {
+			return fmt.Errorf("server: restore: %w", err)
+		}
+		p.rt = rt
+		return nil
+	}
+	p.rt = p.d.RunSharded(opts)
+	return nil
+}
+
+func (s *Server) startCheckpointLoop() {
+	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	if s.tickOn {
+		return
+	}
+	select {
+	case <-s.tickStop:
+		return // already shutting down
+	default:
+	}
+	s.tickOn = true
+	s.tickWg.Add(1)
+	go s.checkpointLoop()
+}
+
+// pack returns the current engine incarnation (nil on a standby before
+// its first snapshot install).
+func (s *Server) pack() *enginePack { return s.eng.Load() }
+
+func (s *Server) runtime() *engine.Runtime {
+	if p := s.pack(); p != nil {
+		return p.rt
+	}
+	return nil
 }
 
 // Addr returns the listener address (handy with ":0" listeners).
 func (s *Server) Addr() net.Addr { return s.cfg.Listener.Addr() }
 
-// Runtime exposes the wrapped runtime for stats and dead letters.
-func (s *Server) Runtime() *engine.Runtime { return s.rt }
+// primaryRedirect is the address a standby points rejected data
+// clients at: the primary's advertised client address once the feed
+// handshake has taught it, the replication address before that.
+func (s *Server) primaryRedirect() string {
+	if s.stb != nil {
+		if a := s.stb.primaryAddr(); a != "" {
+			return a
+		}
+	}
+	return s.cfg.ReplicaOf
+}
 
-func (s *Server) acceptLoop() {
+// advertise is the address this server hands out in redirects.
+func (s *Server) advertise() string {
+	if s.cfg.Advertise != "" {
+		return s.cfg.Advertise
+	}
+	return s.cfg.Listener.Addr().String()
+}
+
+// Runtime exposes the wrapped runtime for stats and dead letters (nil
+// on a standby that has not installed a snapshot yet).
+func (s *Server) Runtime() *engine.Runtime { return s.runtime() }
+
+// Epoch returns the server's current fencing epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// IsPrimary reports whether the server currently serves data roles.
+func (s *Server) IsPrimary() bool { return !s.standby.Load() && !s.fenced.Load() }
+
+func (s *Server) acceptLoop(l net.Listener) {
 	defer s.acceptWg.Done()
 	for {
-		c, err := s.cfg.Listener.Accept()
+		c, err := l.Accept()
 		if err != nil {
 			return // listener closed by Shutdown/Kill
 		}
@@ -204,8 +382,38 @@ func (s *Server) acceptLoop() {
 func (s *Server) dropConn(c net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
+	delete(s.replConns, c)
 	s.mu.Unlock()
 	c.Close()
+}
+
+// reject refuses a connection with the server's epoch and an optional
+// redirect to the current primary.
+func (s *Server) reject(c net.Conn, err error, redirect string) {
+	writeReject(c, s.epoch.Load(), err, redirect)
+	s.dropConn(c)
+}
+
+// observeEpoch self-fences when a peer proves a newer primary exists:
+// every data role this server could serve from now on risks
+// split-brain, so it stops serving all of them. The fence is sticky
+// until restart. A standby is exempt — it rejects data roles anyway and
+// its epoch lags until the next snapshot install — but the observed
+// epoch is recorded so a later promotion lands strictly above anything
+// the clients have already seen.
+func (s *Server) observeEpoch(peer uint64) {
+	for {
+		cur := s.observed.Load()
+		if peer <= cur || s.observed.CompareAndSwap(cur, peer) {
+			break
+		}
+	}
+	if s.standby.Load() {
+		return
+	}
+	if peer > s.epoch.Load() && !s.fenced.Swap(true) {
+		s.cfg.Logf("punctserve: fenced: peer at epoch %d, own epoch %d", peer, s.epoch.Load())
+	}
 }
 
 func (s *Server) serveConn(c net.Conn) {
@@ -213,8 +421,38 @@ func (s *Server) serveConn(c net.Conn) {
 	br := bufio.NewReader(c)
 	h, err := readHello(br)
 	if err != nil {
-		writeReject(c, err)
-		s.dropConn(c)
+		s.reject(c, err, "")
+		return
+	}
+	if s.cfg.AuthToken != "" && h.token != s.cfg.AuthToken {
+		s.reject(c, ErrUnauthorized, "")
+		return
+	}
+	s.observeEpoch(h.epoch)
+	if h.role == roleProbe {
+		s.serveProbe(c)
+		return
+	}
+	if s.fenced.Load() {
+		s.reject(c, ErrFenced, "")
+		return
+	}
+	if h.role == roleReplica {
+		// The feed sender outlives the accept drain (producers are
+		// severed and waited first, and the final checkpoint barrier
+		// must still reach the standby), so it runs under replWg.
+		s.mu.Lock()
+		s.replConns[c] = struct{}{}
+		s.mu.Unlock()
+		s.replWg.Add(1)
+		go func() {
+			defer s.replWg.Done()
+			s.serveReplica(c, br, h)
+		}()
+		return
+	}
+	if s.standby.Load() {
+		s.reject(c, fmt.Errorf("%w: standby replicating %s", ErrNotPrimary, s.cfg.ReplicaOf), s.primaryRedirect())
 		return
 	}
 	switch h.role {
@@ -225,6 +463,32 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
+// serveProbe answers a health probe: role byte, fencing epoch (in the
+// OK header), and every source's last-committed offset.
+func (s *Server) serveProbe(c net.Conn) {
+	role := byte(probePrimary)
+	switch {
+	case s.fenced.Load():
+		role = probeFenced
+	case s.standby.Load():
+		role = probeStandby
+	}
+	reply := appendOK(nil, s.epoch.Load())
+	reply = append(reply, role)
+	var offsets map[string]int64
+	if rt := s.runtime(); rt != nil {
+		offsets = rt.SourceOffsets()
+	}
+	reply = binary.AppendUvarint(reply, uint64(len(offsets)))
+	for _, src := range sortedKeys(offsets) {
+		reply = binary.AppendUvarint(reply, uint64(len(src)))
+		reply = append(reply, src...)
+		reply = binary.AppendUvarint(reply, uint64(offsets[src]))
+	}
+	c.Write(reply)
+	s.dropConn(c)
+}
+
 // serveProducer ingests one producer connection: handshake, resume
 // preamble, then raw wire frames committed through the engine's
 // offset-exact ingest path. Acks ride the checkpoint loop, not this
@@ -233,8 +497,7 @@ func (s *Server) serveProducer(c net.Conn, br *bufio.Reader, h hello) {
 	s.mu.Lock()
 	if _, busy := s.producers[h.name]; busy {
 		s.mu.Unlock()
-		writeReject(c, fmt.Errorf("%w: source %q already has an active producer", ErrSourceBusy, h.name))
-		s.dropConn(c)
+		s.reject(c, fmt.Errorf("%w: source %q already has an active producer", ErrSourceBusy, h.name), "")
 		return
 	}
 	s.producers[h.name] = c
@@ -246,8 +509,9 @@ func (s *Server) serveProducer(c net.Conn, br *bufio.Reader, h hello) {
 		s.dropConn(c)
 	}()
 
-	resume := s.rt.ResumeOffset(h.name)
-	reply := append([]byte(replyOK), binary.AppendUvarint(nil, uint64(resume))...)
+	rt := s.runtime()
+	resume := rt.ResumeOffset(h.name)
+	reply := binary.AppendUvarint(appendOK(nil, s.epoch.Load()), uint64(resume))
 	if _, err := c.Write(reply); err != nil {
 		return
 	}
@@ -256,7 +520,7 @@ func (s *Server) serveProducer(c net.Conn, br *bufio.Reader, h hello) {
 		return
 	}
 	if int64(start) > resume {
-		writeReject(c, fmt.Errorf("%w: producer starts at %d, server resumes at %d", ErrBadResume, start, resume))
+		writeReject(c, s.epoch.Load(), fmt.Errorf("%w: producer starts at %d, server resumes at %d", ErrBadResume, start, resume), "")
 		return
 	}
 	// The producer replays from its own buffer floor; skip the prefix
@@ -267,7 +531,7 @@ func (s *Server) serveProducer(c net.Conn, br *bufio.Reader, h hello) {
 			return
 		}
 	}
-	n, err := s.rt.IngestWireResume(h.name, &drainBoundaryReader{br: br}, s.cfg.Schemas...)
+	n, err := rt.IngestWireResume(h.name, &drainBoundaryReader{br: br}, s.cfg.Schemas...)
 	if err != nil && !s.teardownErr() {
 		s.cfg.Logf("punctserve: producer %q: after %d elements: %v", h.name, n, err)
 	}
@@ -301,20 +565,19 @@ func (s *Server) teardownErr() bool {
 
 // serveSubscriber streams seq-stamped deliveries for one query.
 func (s *Server) serveSubscriber(c net.Conn, br *bufio.Reader, h hello) {
-	hub, ok := s.hubs[h.name]
+	p := s.pack()
+	hub, ok := p.hubs[h.name]
 	if !ok {
-		writeReject(c, fmt.Errorf("%w: %q", ErrUnknownQuery, h.name))
-		s.dropConn(c)
+		s.reject(c, fmt.Errorf("%w: %q", ErrUnknownQuery, h.name), "")
 		return
 	}
 	cur, err := hub.attach(h.hint)
 	if err != nil {
-		writeReject(c, err)
-		s.dropConn(c)
+		s.reject(c, err, "")
 		return
 	}
-	reg, _ := s.d.Get(h.name)
-	reply := append([]byte(replyOK), binary.AppendUvarint(nil, h.hint)...)
+	reg, _ := p.d.Get(h.name)
+	reply := binary.AppendUvarint(appendOK(nil, s.epoch.Load()), h.hint)
 	reply = appendSchema(reply, reg.OutputSchema())
 	if _, err := c.Write(reply); err != nil {
 		hub.detach(cur)
@@ -392,27 +655,21 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// CheckpointNow takes one durable checkpoint — the engine snapshot and
-// every hub's retained ring at the same cut, in one atomic file — then
-// acks every connected producer with its durable offset.
-func (s *Server) CheckpointNow() error {
-	if s.cfg.CheckpointPath == "" {
-		return fmt.Errorf("server: no checkpoint path configured")
-	}
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-
+// encodeCheckpoint serializes the full server checkpoint body (callers
+// hold ckptMu) and returns the engine summary taken at its cut.
+func (s *Server) encodeCheckpoint(p *enginePack) ([]byte, engine.CheckpointSummary, error) {
 	var engineBuf bytes.Buffer
-	sum, err := s.rt.CheckpointSummary(&engineBuf)
+	sum, err := p.rt.CheckpointSummary(&engineBuf)
 	if err != nil {
-		return err
+		return nil, sum, err
 	}
-	body := append([]byte(serverCkptMagic), binary.AppendUvarint(nil, uint64(engineBuf.Len()))...)
+	body := binary.AppendUvarint([]byte(serverCkptMagic), s.epoch.Load())
+	body = binary.AppendUvarint(body, uint64(engineBuf.Len()))
 	body = append(body, engineBuf.Bytes()...)
-	body = binary.AppendUvarint(body, uint64(len(s.hubs)))
+	body = binary.AppendUvarint(body, uint64(len(p.hubs)))
 	var payload []byte
-	for _, name := range s.d.Queries() {
-		h := s.hubs[name]
+	for _, name := range p.d.Queries() {
+		h := p.hubs[name]
 		cut := sum.Delivered[name]
 		entries := h.snapshot(cut)
 		body = binary.AppendUvarint(body, uint64(len(name)))
@@ -421,7 +678,7 @@ func (s *Server) CheckpointNow() error {
 		body = binary.AppendUvarint(body, uint64(len(entries)))
 		for _, e := range entries {
 			if payload, err = h.codec.Encode(payload[:0], e.elem); err != nil {
-				return fmt.Errorf("server: checkpoint encode: %w", err)
+				return nil, sum, fmt.Errorf("server: checkpoint encode: %w", err)
 			}
 			body = binary.AppendUvarint(body, e.seq)
 			body = binary.AppendUvarint(body, uint64(len(payload)))
@@ -429,6 +686,32 @@ func (s *Server) CheckpointNow() error {
 		}
 	}
 	body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	return body, sum, nil
+}
+
+// CheckpointNow takes one durable checkpoint — the engine snapshot and
+// every hub's retained ring at the same cut, in one atomic file — then
+// acks every connected producer with its durable offset. With
+// replication enabled the checkpoint also appends a barrier record to
+// the feed, and producer acks are held down to the attached standbys'
+// acknowledged floor: an offset is only acked once BOTH the local file
+// and every attached standby have it, so promoting a standby can never
+// lose an acked frame.
+func (s *Server) CheckpointNow() error {
+	if s.cfg.CheckpointPath == "" {
+		return fmt.Errorf("server: no checkpoint path configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	p := s.pack()
+	if p == nil || p.rt == nil {
+		return fmt.Errorf("server: no runtime to checkpoint")
+	}
+	body, sum, err := s.encodeCheckpoint(p)
+	if err != nil {
+		return err
+	}
 
 	tmp := s.cfg.CheckpointPath + ".tmp"
 	f, err := os.Create(tmp)
@@ -449,6 +732,10 @@ func (s *Server) CheckpointNow() error {
 		return err
 	}
 
+	if s.repl != nil {
+		s.repl.appendBarrier(sum.Offsets)
+	}
+
 	// Ack producers with the offsets this checkpoint made durable: a
 	// client may trim its replay buffer up to (and resume from) exactly
 	// these — never the live offsets, which a crash would rewind.
@@ -456,6 +743,11 @@ func (s *Server) CheckpointNow() error {
 	acks := make(map[net.Conn]int64, len(s.producers))
 	for source, c := range s.producers {
 		if off, ok := sum.Offsets[source]; ok {
+			if s.repl != nil {
+				if floor, held := s.repl.ackFloor(source); held && floor < off {
+					off = floor
+				}
+			}
 			acks[c] = off
 		}
 	}
@@ -466,20 +758,34 @@ func (s *Server) CheckpointNow() error {
 	return nil
 }
 
-// restoreEnvelope validates a server checkpoint, seeds the hubs from
-// its retained rings, and returns the embedded engine snapshot.
-func (s *Server) restoreEnvelope(raw []byte) ([]byte, error) {
-	fail := func(what string) ([]byte, error) {
-		return nil, fmt.Errorf("%w: %s", ErrCorruptServerCheckpoint, what)
+// restoreEnvelope validates a server checkpoint, seeds the pack's hubs
+// from its retained rings, and returns the embedded engine snapshot and
+// the fencing epoch it was sealed at.
+func (s *Server) restoreEnvelope(p *enginePack, raw []byte) ([]byte, uint64, error) {
+	fail := func(what string) ([]byte, uint64, error) {
+		return nil, 0, fmt.Errorf("%w: %s", ErrCorruptServerCheckpoint, what)
 	}
-	if len(raw) < len(serverCkptMagic)+4 || string(raw[:len(serverCkptMagic)]) != serverCkptMagic {
+	if len(raw) < len(serverCkptMagic)+4 {
 		return fail("bad magic")
 	}
+	epoch := uint64(1)
+	switch string(raw[:len(serverCkptMagic)]) {
+	case serverCkptMagic, serverCkptMagicV1:
+	default:
+		return fail("bad magic")
+	}
+	v2 := string(raw[:len(serverCkptMagic)]) == serverCkptMagic
 	bodyEnd := len(raw) - 4
 	if crc32.ChecksumIEEE(raw[:bodyEnd]) != binary.LittleEndian.Uint32(raw[bodyEnd:]) {
 		return fail("checksum mismatch")
 	}
 	rd := bytes.NewReader(raw[len(serverCkptMagic):bodyEnd])
+	if v2 {
+		var err error
+		if epoch, err = binary.ReadUvarint(rd); err != nil || epoch == 0 {
+			return fail("epoch")
+		}
+	}
 	blobLen, err := binary.ReadUvarint(rd)
 	if err != nil || blobLen > uint64(rd.Len()) {
 		return fail("engine snapshot length")
@@ -496,7 +802,7 @@ func (s *Server) restoreEnvelope(raw []byte) ([]byte, error) {
 		if err != nil {
 			return fail("query name")
 		}
-		h, ok := s.hubs[name]
+		h, ok := p.hubs[name]
 		if !ok {
 			return fail(fmt.Sprintf("snapshot names unregistered query %q", name))
 		}
@@ -526,7 +832,7 @@ func (s *Server) restoreEnvelope(raw []byte) ([]byte, error) {
 		}
 		h.seed(entries, cut)
 	}
-	return blob, nil
+	return blob, epoch, nil
 }
 
 func readLenBytes(br *bufio.Reader) ([]byte, error) {
@@ -544,10 +850,24 @@ func readLenBytes(br *bufio.Reader) ([]byte, error) {
 	return b, nil
 }
 
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
 // Shutdown drains gracefully: stop accepting, sever producers (their
 // in-flight frames commit), drain the runtime into the hubs, take a
-// final checkpoint, let subscribers consume the tail, then send
-// end-of-stream markers and close. Safe to call once.
+// final checkpoint (whose barrier reaches attached standbys), send the
+// feed's end-of-stream record, let subscribers consume the tail, then
+// send end-of-stream markers and close. Safe to call once.
 func (s *Server) Shutdown() error {
 	s.mu.Lock()
 	if s.stopping {
@@ -562,33 +882,59 @@ func (s *Server) Shutdown() error {
 	s.mu.Unlock()
 
 	s.cfg.Listener.Close()
+	if s.cfg.ReplListener != nil {
+		s.cfg.ReplListener.Close()
+	}
 	close(s.tickStop)
 	s.tickWg.Wait()
+
+	if s.stb != nil {
+		s.stb.stop()
+	}
+
 	for _, c := range producers {
 		c.Close()
 	}
 	s.acceptWg.Wait() // producer ingest committed and done
 
-	s.rt.Close()
-	err := s.rt.Wait() // all deliveries have reached the hubs
+	p := s.pack()
+	var err error
+	if p != nil && p.rt != nil {
+		p.rt.Close()
+		err = p.rt.Wait() // all deliveries have reached the hubs
+	}
 
-	if s.cfg.CheckpointPath != "" {
+	if s.cfg.CheckpointPath != "" && p != nil && p.rt != nil {
 		if cerr := s.CheckpointNow(); err == nil {
 			err = cerr
 		}
 	}
 
-	// Let connected subscribers consume everything, then end streams.
 	drainBy := s.cfg.DrainTimeout
 	if drainBy <= 0 {
 		drainBy = 10 * time.Second
 	}
-	deadline := time.Now().Add(drainBy)
-	for !s.allDrained() && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+
+	// Hand the tail to attached standbys: the final barrier above is
+	// already in the feed; the end record tells them the stream is
+	// complete (promote-on-end, not crash recovery).
+	if s.repl != nil {
+		s.repl.appendEnd()
+		s.repl.waitDrained(drainBy)
+		s.repl.close()
 	}
-	for _, h := range s.hubs {
-		h.end()
+	s.closeReplicaConns()
+	s.replWg.Wait()
+
+	// Let connected subscribers consume everything, then end streams.
+	if p != nil {
+		deadline := time.Now().Add(drainBy)
+		for !allDrained(p.hubs) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		for _, h := range p.hubs {
+			h.end()
+		}
 	}
 	s.subWg.Wait()
 
@@ -596,8 +942,20 @@ func (s *Server) Shutdown() error {
 	return err
 }
 
-func (s *Server) allDrained() bool {
-	for _, h := range s.hubs {
+func (s *Server) closeReplicaConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.replConns))
+	for c := range s.replConns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func allDrained(hubs map[string]*hub) bool {
+	for _, h := range hubs {
 		if !h.drained() {
 			return false
 		}
@@ -607,7 +965,8 @@ func (s *Server) allDrained() bool {
 
 // Kill is the in-process kill -9: the runtime aborts mid-element, every
 // connection is severed, nothing further is checkpointed. Use New with
-// the same Config (and checkpoint path) to fail over.
+// the same Config (and checkpoint path) to restart in place, or let an
+// attached standby promote.
 func (s *Server) Kill() {
 	s.mu.Lock()
 	if s.stopping {
@@ -622,22 +981,40 @@ func (s *Server) Kill() {
 	}
 	s.mu.Unlock()
 
-	s.rt.Kill()
+	p := s.pack()
+	if p != nil && p.rt != nil {
+		p.rt.Kill()
+	}
 	s.cfg.Listener.Close()
+	if s.cfg.ReplListener != nil {
+		s.cfg.ReplListener.Close()
+	}
 	close(s.tickStop)
 	s.tickWg.Wait()
+	if s.stb != nil {
+		s.stb.kill()
+	}
+	if s.repl != nil {
+		s.repl.close()
+	}
 	for _, c := range conns {
 		c.Close()
 	}
-	for _, h := range s.hubs {
-		h.kill()
+	if p != nil {
+		for _, h := range p.hubs {
+			h.kill()
+		}
 	}
 	s.acceptWg.Wait()
+	s.replWg.Wait()
 	s.subWg.Wait()
-	s.rt.Close()
-	err := s.rt.Wait()
-	if errors.Is(err, engine.ErrKilled) {
-		err = nil
+	var err error
+	if p != nil && p.rt != nil {
+		p.rt.Close()
+		err = p.rt.Wait()
+		if errors.Is(err, engine.ErrKilled) {
+			err = nil
+		}
 	}
 	s.finish(err)
 }

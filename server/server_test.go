@@ -46,7 +46,7 @@ func auctionFeed() []workload.Input {
 // referenceDeliveries runs the query in-process, uninterrupted, and
 // returns every delivery as "seq|elem" in order — the ground truth the
 // network path must reproduce exactly.
-func referenceDeliveries(t *testing.T, feed []workload.Input) []string {
+func referenceDeliveries(t testing.TB, feed []workload.Input) []string {
 	t.Helper()
 	d := engine.New()
 	if err := buildAuction(d); err != nil {
@@ -70,7 +70,7 @@ func referenceDeliveries(t *testing.T, feed []workload.Input) []string {
 	return out
 }
 
-func listenUnix(t *testing.T, path string) net.Listener {
+func listenUnix(t testing.TB, path string) net.Listener {
 	t.Helper()
 	os.Remove(path)
 	l, err := net.Listen("unix", path)
@@ -133,7 +133,7 @@ func collectNAsync(sub *server.Subscriber, n int) (<-chan []server.Delivery, <-c
 
 // waitIngested polls until the server has committed every byte the
 // producer encoded.
-func waitIngested(t *testing.T, s *server.Server, p *server.Producer, source string) {
+func waitIngested(t testing.TB, s *server.Server, p *server.Producer, source string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for s.Runtime().ResumeOffset(source) != p.Sent() {
@@ -158,7 +158,7 @@ func deliveryStrings(ds []server.Delivery) []string {
 	return out
 }
 
-func requireSameStream(t *testing.T, label string, got, want []string) {
+func requireSameStream(t testing.TB, label string, got, want []string) {
 	t.Helper()
 	n := len(got)
 	if len(want) < n {

@@ -1,0 +1,556 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"punctsafe/engine"
+)
+
+// Replication, standby side.
+//
+// A standby is a full Server whose engine is driven by the primary's
+// replication feed instead of producer connections. The tail loop
+// dials the primary, installs the snapshot carried by the replica
+// handshake, then applies feed records synchronously in feed order —
+// which is the primary's ingress order, so the standby's engine walks
+// through the same state (and assigns the same delivery sequence
+// numbers) as the primary's.
+//
+// On primary loss (feed connection dies and stays dead for
+// PromoteTimeout despite redials) the standby promotes: it bumps the
+// fencing epoch past the primary's and starts serving data roles.
+// Producers and subscribers re-run their offset/seq resume protocol
+// against it exactly as they would against a restarted primary. The
+// bumped epoch fences the old primary — any client that has spoken to
+// the new primary carries the higher epoch in its hello, and a revived
+// old primary seeing it refuses to serve.
+
+// errFeedEnded marks a graceful feed end (primary Shutdown): the
+// stream is complete, not lost.
+var errFeedEnded = fmt.Errorf("server: replication feed ended cleanly")
+
+// maxSnapshot bounds the replica-handshake snapshot transfer.
+const maxSnapshot = 1 << 30
+
+type standbyRunner struct {
+	s     *Server
+	stopC chan struct{}
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	conn      net.Conn // live feed connection (closed by stopNow)
+	installed bool
+	primary   string // primary's advertised client address (for redirects)
+	promoted  bool
+	promotedC chan struct{}
+	stopOnce  sync.Once
+}
+
+func newStandbyRunner(s *Server) *standbyRunner {
+	return &standbyRunner{s: s, stopC: make(chan struct{}), promotedC: make(chan struct{})}
+}
+
+func (r *standbyRunner) start() {
+	r.wg.Add(1)
+	go r.run()
+}
+
+func (r *standbyRunner) stopNow() {
+	r.stopOnce.Do(func() { close(r.stopC) })
+	r.mu.Lock()
+	c := r.conn
+	r.mu.Unlock()
+	if c != nil {
+		c.Close() // unblock a tail parked in a feed read
+	}
+}
+
+func (r *standbyRunner) stopped() bool {
+	select {
+	case <-r.stopC:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *standbyRunner) primaryAddr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary
+}
+
+func (r *standbyRunner) isPromoted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promoted
+}
+
+// dial connects to the primary's replication address.
+func (r *standbyRunner) dial() (net.Conn, error) {
+	if r.s.cfg.ReplicaDial != nil {
+		return r.s.cfg.ReplicaDial(r.s.cfg.ReplicaOf)
+	}
+	network, addr := "tcp", r.s.cfg.ReplicaOf
+	switch {
+	case strings.HasPrefix(addr, "tcp://"):
+		addr = strings.TrimPrefix(addr, "tcp://")
+	case strings.HasPrefix(addr, "unix://"):
+		network, addr = "unix", strings.TrimPrefix(addr, "unix://")
+	}
+	return net.Dial(network, addr)
+}
+
+func (r *standbyRunner) sleep(d time.Duration) bool {
+	select {
+	case <-r.stopC:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// run is the standby's life: dial, install, tail, and on primary loss
+// decide between redial and promotion.
+func (r *standbyRunner) run() {
+	defer r.wg.Done()
+	var lostAt time.Time
+	for {
+		if r.stopped() || r.isPromoted() {
+			return
+		}
+		conn, err := r.dial()
+		if err != nil {
+			if lostAt.IsZero() {
+				lostAt = time.Now()
+			}
+			if r.maybePromote(lostAt) {
+				return
+			}
+			if !r.sleep(2 * time.Millisecond) {
+				return
+			}
+			continue
+		}
+		r.mu.Lock()
+		r.conn = conn
+		r.mu.Unlock()
+		if r.stopped() {
+			conn.Close()
+			return
+		}
+		err = r.tail(conn)
+		r.mu.Lock()
+		r.conn = nil
+		r.mu.Unlock()
+		conn.Close()
+		switch {
+		case r.stopped():
+			return
+		case err == errFeedEnded:
+			// Graceful primary shutdown: the feed is complete. With
+			// automatic promotion on, take over (planned handover);
+			// otherwise stay a quiescent standby awaiting Promote.
+			r.s.cfg.Logf("punctserve: standby: primary ended feed cleanly")
+			if r.s.cfg.PromoteTimeout > 0 {
+				r.promote()
+				return
+			}
+			lostAt = time.Time{}
+		default:
+			if !r.s.teardownErr() {
+				r.s.cfg.Logf("punctserve: standby: feed lost: %v", err)
+			}
+			lostAt = time.Now()
+			if r.maybePromote(lostAt) {
+				return
+			}
+		}
+	}
+}
+
+// maybePromote promotes when the feed has been gone past
+// PromoteTimeout and a snapshot was ever installed.
+func (r *standbyRunner) maybePromote(lostAt time.Time) bool {
+	if r.s.cfg.PromoteTimeout <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	installed := r.installed
+	r.mu.Unlock()
+	if !installed {
+		return false // nothing to serve: keep dialing
+	}
+	if time.Since(lostAt) < r.s.cfg.PromoteTimeout {
+		return false
+	}
+	return r.promote()
+}
+
+// promote flips the server into primary mode: bump the fencing epoch
+// past the dead primary's, persist it, start serving data roles.
+func (r *standbyRunner) promote() bool {
+	s := r.s
+	r.mu.Lock()
+	if r.promoted || !r.installed {
+		r.mu.Unlock()
+		return false
+	}
+	if s.fenced.Load() || s.teardownErr() {
+		r.mu.Unlock()
+		return false
+	}
+	r.promoted = true
+	r.mu.Unlock()
+
+	newEpoch := s.epoch.Load() + 1
+	// Clients that already rotated through a newer primary may have
+	// helloed this standby with a higher epoch than its feed installed;
+	// promote past everything observed so the claim is unambiguous.
+	if obs := s.observed.Load(); obs >= newEpoch {
+		newEpoch = obs + 1
+	}
+	s.epoch.Store(newEpoch)
+	s.standby.Store(false)
+	if s.cfg.CheckpointPath != "" {
+		if err := s.CheckpointNow(); err != nil {
+			s.cfg.Logf("punctserve: promotion checkpoint: %v", err)
+		}
+	}
+	s.startCheckpointLoop()
+	s.cfg.Logf("punctserve: PROMOTED to primary at epoch %d, serving on %s", newEpoch, s.cfg.Listener.Addr())
+	close(r.promotedC)
+	return true
+}
+
+// tail runs one feed session: handshake, snapshot install, synchronous
+// apply loop. Any error means the session (or primary) is gone; the
+// caller decides between redial and promotion.
+func (r *standbyRunner) tail(conn net.Conn) error {
+	s := r.s
+	h := hello{role: roleReplica, token: s.cfg.AuthToken, epoch: s.epoch.Load()}
+	if _, err := conn.Write(appendHello(nil, h)); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	epoch, err := readReply(br)
+	if err != nil {
+		return err
+	}
+	if own := s.epoch.Load(); epoch < own {
+		return fmt.Errorf("server: primary at stale epoch %d (standby has seen %d)", epoch, own)
+	}
+	primaryAddr, err := readShortString(br)
+	if err != nil {
+		return fmt.Errorf("server: replica handshake: advertise: %w", err)
+	}
+	snap, err := readSnapshotBytes(br)
+	if err != nil {
+		return fmt.Errorf("server: replica handshake: snapshot: %w", err)
+	}
+
+	pack, err := r.install(snap, epoch)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.primary = primaryAddr
+	r.mu.Unlock()
+	s.cfg.Logf("punctserve: standby: installed snapshot (%d bytes) from %s at epoch %d", len(snap), primaryAddr, epoch)
+
+	ap := newApplier(s, pack)
+	defer ap.closeAll()
+	var ackBuf []byte
+	for {
+		rec, err := readFeedRecord(br)
+		if err != nil {
+			return err
+		}
+		if r.stopped() {
+			return fmt.Errorf("server: standby stopping")
+		}
+		switch rec.kind {
+		case recFrame:
+			if err := ap.apply(rec); err != nil {
+				return err
+			}
+		case recBarrier:
+			// The primary checkpointed: make the applied prefix durable
+			// locally, then ack what we hold — the primary gates its
+			// producer acks on this floor.
+			if s.cfg.CheckpointPath != "" {
+				if err := s.CheckpointNow(); err != nil {
+					return fmt.Errorf("server: standby checkpoint: %w", err)
+				}
+			}
+			ackBuf = appendAckRecord(ackBuf[:0], pack.rt.SourceOffsets())
+			if _, err := conn.Write(ackBuf); err != nil {
+				return err
+			}
+		case recEnd:
+			return errFeedEnded
+		}
+	}
+}
+
+// install builds a fresh engine pack from a primary snapshot and swaps
+// it in, tearing down the previous incarnation (a reconnect always
+// re-seeds: the feed is positional, so a partially-applied session
+// cannot be resumed record-exactly).
+func (r *standbyRunner) install(snap []byte, epoch uint64) (*enginePack, error) {
+	s := r.s
+	pack, err := s.newPack()
+	if err != nil {
+		return nil, err
+	}
+	blob, _, err := s.restoreEnvelope(pack, snap)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.startPack(pack, blob); err != nil {
+		return nil, err
+	}
+	s.epoch.Store(epoch)
+	old := s.eng.Swap(pack)
+	r.mu.Lock()
+	r.installed = true
+	r.mu.Unlock()
+	if old != nil && old.rt != nil {
+		old.rt.Kill()
+		for _, h := range old.hubs {
+			h.kill()
+		}
+		old.rt.Close()
+		old.rt.Wait()
+	}
+	return pack, nil
+}
+
+// readSnapshotBytes reads the length-prefixed snapshot (bounded, but
+// far above readLenBytes' frame-sized cap).
+func readSnapshotBytes(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSnapshot {
+		return nil, fmt.Errorf("snapshot length %d out of range", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// applier feeds frame records into the standby's engine through the
+// same offset-exact ingest path producers use, one long-lived
+// IngestWireResume per source, applying synchronously so feed order is
+// preserved exactly.
+type applier struct {
+	s    *Server
+	pack *enginePack
+
+	pipes map[string]*feedPipe
+	wg    sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+}
+
+func newApplier(s *Server, pack *enginePack) *applier {
+	return &applier{s: s, pack: pack, pipes: make(map[string]*feedPipe)}
+}
+
+func (a *applier) setErr(err error) {
+	a.errMu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.errMu.Unlock()
+}
+
+func (a *applier) getErr() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	return a.err
+}
+
+// apply ingests one frame record, skipping records the installed
+// snapshot already covers (the attach-before-snapshot overlap) and
+// insisting on offset continuity for everything else.
+func (a *applier) apply(rec feedRecord) error {
+	if err := a.getErr(); err != nil {
+		return err
+	}
+	rt := a.pack.rt
+	resume := rt.ResumeOffset(rec.source)
+	end := rec.start + int64(len(rec.frames))
+	if end <= resume {
+		return nil // duplicate: snapshot cut already covers this record
+	}
+	if rec.start != resume {
+		return fmt.Errorf("server: feed gap on %q: record starts at %d, runtime resumes at %d", rec.source, rec.start, resume)
+	}
+	p := a.pipe(rec.source)
+	if !p.supply(rec.frames) {
+		if err := a.getErr(); err != nil {
+			return err
+		}
+		return fmt.Errorf("server: apply pipe for %q closed", rec.source)
+	}
+	if got := rt.ResumeOffset(rec.source); got != end {
+		return fmt.Errorf("server: apply lag on %q: committed %d, want %d", rec.source, got, end)
+	}
+	return nil
+}
+
+func (a *applier) pipe(source string) *feedPipe {
+	if p, ok := a.pipes[source]; ok {
+		return p
+	}
+	p := newFeedPipe()
+	a.pipes[source] = p
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		if _, err := a.pack.rt.IngestWireResume(source, p, a.s.cfg.Schemas...); err != nil {
+			a.setErr(err)
+			p.fail()
+		}
+	}()
+	return p
+}
+
+// closeAll ends every pipe (clean EOF: the ingest goroutines commit
+// their final batch and exit) and waits them out, leaving the engine at
+// a consistent applied prefix — exactly what promotion serves from.
+func (a *applier) closeAll() {
+	for _, p := range a.pipes {
+		p.close()
+	}
+	a.wg.Wait()
+}
+
+// feedPipe adapts the synchronous apply loop to IngestWireResume's
+// reader contract: Read signals engine.ErrWouldBlock exactly once when
+// drained (the commit boundary), then blocks; supply() returns only
+// after the reader has consumed everything AND re-entered an idle Read
+// — i.e. after the commit for those bytes has completed.
+type feedPipe struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	signaled bool // ErrWouldBlock returned since last data
+	idle     bool // reader is parked in Wait (commit done)
+	closed   bool
+	dead     bool
+}
+
+func newFeedPipe() *feedPipe {
+	p := &feedPipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *feedPipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.closed {
+			return 0, io.EOF
+		}
+		if !p.signaled {
+			p.signaled = true
+			return 0, engine.ErrWouldBlock
+		}
+		p.idle = true
+		p.cond.Broadcast()
+		p.cond.Wait()
+		p.idle = false
+	}
+	p.signaled = false
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	return n, nil
+}
+
+// supply hands bytes to the reader and blocks until they are consumed
+// and committed. Returns false when the ingest goroutine died.
+func (p *feedPipe) supply(b []byte) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead || p.closed {
+		return false
+	}
+	p.buf = append(p.buf, b...)
+	p.cond.Broadcast()
+	for !p.dead && !(p.idle && len(p.buf) == 0) {
+		p.cond.Wait()
+	}
+	return !p.dead
+}
+
+// close delivers EOF after the remaining bytes drain.
+func (p *feedPipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// fail marks the ingest side dead, unblocking supply.
+func (p *feedPipe) fail() {
+	p.mu.Lock()
+	p.dead = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Promote manually promotes a standby to primary (the automatic path
+// is Config.PromoteTimeout). It fails on a primary, on a standby that
+// has not installed a snapshot yet, or on a fenced server.
+func (s *Server) Promote() error {
+	if s.stb == nil {
+		return fmt.Errorf("server: not a standby")
+	}
+	if s.fenced.Load() {
+		return ErrFenced
+	}
+	if !s.stb.promote() {
+		if s.stb.isPromoted() {
+			return nil
+		}
+		return fmt.Errorf("server: cannot promote: no snapshot installed yet")
+	}
+	return nil
+}
+
+// Promoted returns a channel closed when the standby promotes.
+func (s *Server) Promoted() <-chan struct{} {
+	if s.stb == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return s.stb.promotedC
+}
+
+// stop ends the standby machinery for graceful shutdown.
+func (r *standbyRunner) stop() {
+	r.stopNow()
+	r.wg.Wait()
+}
+
+// kill ends it abruptly (feed conns are closed by the caller).
+func (r *standbyRunner) kill() {
+	r.stopNow()
+	r.wg.Wait()
+}

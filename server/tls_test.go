@@ -1,0 +1,142 @@
+package server_test
+
+// Transport security end to end: the serving listener wrapped in TLS
+// (as punctserve -tls-cert does), clients dialing through Dialer.TLS,
+// and the shared-token auth gate rejecting mismatched tokens with the
+// typed terminal ErrUnauthorized for every role.
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"punctsafe/server"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// selfSignedCert builds an in-memory certificate for the test listener;
+// clients verify nothing (InsecureSkipVerify), which still exercises
+// the full TLS handshake and record layer over the socket.
+func selfSignedCert(t *testing.T) tls.Certificate {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "punctserve-test"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     []string{"localhost"},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+}
+
+func TestTLSAndAuthToken(t *testing.T) {
+	const token = "s3cret-tok3n"
+	feed := auctionFeed()
+	want := referenceDeliveries(t, feed)
+	sock := filepath.Join(t.TempDir(), "s.sock")
+
+	item, bid := workload.AuctionSchemas()
+	cert := selfSignedCert(t)
+	srv, err := server.New(server.Config{
+		Listener:  tls.NewListener(listenUnix(t, sock), &tls.Config{Certificates: []tls.Certificate{cert}}),
+		Build:     buildAuction,
+		Schemas:   []*stream.Schema{item, bid},
+		AuthToken: token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	secureDialer := func(tok string) *server.Dialer {
+		d := testDialer(sock)
+		d.TLS = &tls.Config{InsecureSkipVerify: true}
+		d.AuthToken = tok
+		return d
+	}
+
+	// The full data path works over TLS with the right token.
+	prod, err := secureDialer(token).Producer("feed", item, bid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range feed {
+		if err := prod.Send(it.Stream, it.Elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitIngested(t, srv, prod, "feed")
+	sub, err := secureDialer(token).Subscribe(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, errc := collectNAsync(sub, len(want))
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	requireSameStream(t, "tls", deliveryStrings(<-got), want)
+	if h, err := secureDialer(token).Probe(); err != nil || h.Role != "primary" {
+		t.Fatalf("probe over TLS: %+v, %v", h, err)
+	}
+
+	// Wrong and missing tokens are terminal for every role: one dial,
+	// typed ErrUnauthorized, no retry loop.
+	for _, tok := range []string{"wrong", ""} {
+		dl := secureDialer(tok)
+		var dials atomic.Int64
+		dl.DialAddr = func(addr string) (net.Conn, error) {
+			dials.Add(1)
+			return net.Dial("unix", strings.TrimPrefix(addr, "unix://"))
+		}
+		if _, err := dl.Producer("feed2", item, bid); !contains(err, server.ErrUnauthorized) {
+			t.Fatalf("producer with token %q: want ErrUnauthorized, got %v", tok, err)
+		}
+		if _, err := dl.Subscribe(testQuery); !contains(err, server.ErrUnauthorized) {
+			t.Fatalf("subscriber with token %q: want ErrUnauthorized, got %v", tok, err)
+		}
+		if _, err := dl.Probe(); !contains(err, server.ErrUnauthorized) {
+			t.Fatalf("probe with token %q: want ErrUnauthorized, got %v", tok, err)
+		}
+		if n := dials.Load(); n != 3 {
+			t.Fatalf("3 terminal rejections took %d dials, want exactly 3", n)
+		}
+	}
+
+	prod.Close()
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errcDrain(sub); err != nil {
+		t.Fatalf("drain after shutdown: %v", err)
+	}
+}
+
+// errcDrain reads the subscriber to its end marker on a goroutine.
+func errcDrain(sub *server.Subscriber) <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Collect()
+		errc <- err
+	}()
+	return errc
+}
