@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race racestress soakfailover fuzzseed bench benchfull benchskew benchserving fmt fmtcheck
+.PHONY: check vet build test race racestress soakfailover fuzzseed bench benchfull benchskew benchserving benchmultiquery fmt fmtcheck
 
 check: fmtcheck vet build test race racestress soakfailover fuzzseed
 
@@ -68,3 +68,9 @@ fmt:
 # Failing formatting gate: `make check` aborts if any file needs gofmt.
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Shared-subplan multi-query benchmark pass only: view ladders per
+# overlap shape, recorded (with per-name medians across repeated
+# samples) into BENCH_multiquery.json.
+benchmultiquery:
+	ONLY=multiquery scripts/bench.sh

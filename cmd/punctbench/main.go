@@ -38,6 +38,14 @@
 // state bounds, run with -count for per-name medians) and prints the
 // state-tiering report consumed as BENCH_tiering.json, with the same
 // appended trajectory.
+//
+//	punctbench -multiquery-json multiquery.txt -prev BENCH_multiquery.json \
+//	    -sha abc1234 -time ...
+//
+// parses BenchmarkMultiQuery output (shared-subplan execution: view
+// ladders per overlap shape, run with -count for per-name medians) and
+// prints the shared-execution report consumed as BENCH_multiquery.json,
+// with the same appended trajectory.
 package main
 
 import (
@@ -60,6 +68,7 @@ func main() {
 	partitionJSON := flag.String("partition-json", "", "parse BenchmarkPartitionedIngest output and emit scaling JSON")
 	servingJSON := flag.String("serving-json", "", "parse BenchmarkServe output and emit serving throughput JSON")
 	tieringJSON := flag.String("tiering-json", "", "parse BenchmarkTiering output and emit state-tiering JSON")
+	multiqueryJSON := flag.String("multiquery-json", "", "parse BenchmarkMultiQuery output and emit shared-execution JSON")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -85,6 +94,13 @@ func main() {
 	}
 	if *tieringJSON != "" {
 		if err := emitTieringJSON(*tieringJSON, *prev, *sha, *timeStr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *multiqueryJSON != "" {
+		if err := emitMultiQueryJSON(*multiqueryJSON, *prev, *sha, *timeStr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,120 @@
+package main
+
+// The -multiquery-json mode turns raw BenchmarkMultiQuery output into
+// BENCH_multiquery.json: the shared-subplan execution acceptance
+// numbers. The ladder runs N fingerprint-equal views per overlap shape
+// (identical = one shared tree, mixed = 10 share groups, disjoint =
+// unique tags, independent = Share off) over the same element feed. The
+// headline bar is the identical ladder: ingesting for 1000 all-identical
+// views must stay within 2x the single-view rate — the whole point of
+// folding equal fingerprints into one physical tree. bench.sh runs the
+// set in an interleaved -count loop; rows take per-name medians and the
+// acceptance ratio is the median of per-loop pairs (pairedRatio), so
+// host load drift between samples does not decide the verdict.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// multiQuerySharing holds the sharing acceptance numbers derived from
+// the identical-overlap ladder.
+type multiQuerySharing struct {
+	// SingleViewNs / Shared1kNs are the median ns/op of the identical
+	// ladder's endpoints (1 view vs 1000 views on one shared tree).
+	SingleViewNs float64 `json:"single_view_ns"`
+	Shared1kNs   float64 `json:"shared_1k_ns"`
+	// Shared1kVsSingleNs = 1000-view ns/op over 1-view ns/op, the median
+	// of interleaved per-loop pairs (<= 2 passes).
+	Shared1kVsSingleNs float64 `json:"shared_1k_vs_single_ns"`
+	SharingWithin2x    bool    `json:"sharing_within_2x"`
+	// SharedVsIndependent100Ns compares 100 identical views on one
+	// shared tree against 100 independent trees over the same feed —
+	// the speedup sharing buys at the largest view count the
+	// independent baseline still runs at.
+	SharedVsIndependent100Ns float64 `json:"shared_vs_independent_100_ns,omitempty"`
+}
+
+type multiQueryReport struct {
+	Note string   `json:"note"`
+	Env  []string `json:"env,omitempty"`
+	Sha  string   `json:"sha,omitempty"`
+	Time string   `json:"time,omitempty"`
+	// Rows are per-benchmark medians across the interleaved samples, in
+	// first-appearance order. elements/op in Extra gives the feed size,
+	// so elements/sec = elements/op / (ns/op / 1e9).
+	Rows    []tieringRow       `json:"rows"`
+	Sharing *multiQuerySharing `json:"sharing,omitempty"`
+	// Trajectory accumulates one slim entry per recorded run, same
+	// scheme as BENCH_hotpath.json.
+	Trajectory []trajectoryEntry `json:"trajectory,omitempty"`
+}
+
+// emitMultiQueryJSON writes the multi-query report to stdout. When
+// prevPath is set, the previous report's run history is carried forward
+// and this run (stamped sha/timeStr) is appended to it.
+func emitMultiQueryJSON(currentPath, prevPath, sha, timeStr string) error {
+	names, samples, env, err := parseBenchSamples(currentPath)
+	if err != nil {
+		return fmt.Errorf("parsing multi-query results %s: %w", currentPath, err)
+	}
+	rep := multiQueryReport{
+		Note: "shared-subplan multi-query execution: one physical tree per distinct fingerprint; " +
+			"acceptance is 1000 all-identical views within 2x the single-view ingest time",
+		Env:  env,
+		Sha:  sha,
+		Time: timeStr,
+	}
+	rows := make(map[string]tieringRow, len(names))
+	for _, name := range names {
+		if !strings.HasPrefix(name, "MultiQuery/") {
+			continue
+		}
+		row := medianRow(name, samples[name])
+		rows[name] = row
+		rep.Rows = append(rep.Rows, row)
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("no MultiQuery benchmark lines in %s", currentPath)
+	}
+	const (
+		singleName = "MultiQuery/identical/views=1/shared"
+		shared1k   = "MultiQuery/identical/views=1000/shared"
+		shared100  = "MultiQuery/identical/views=100/shared"
+		indep100   = "MultiQuery/independent/views=100"
+	)
+	if single, ok := rows[singleName]; ok {
+		if big, ok := rows[shared1k]; ok {
+			sh := &multiQuerySharing{
+				SingleViewNs:       single.NsPerOp,
+				Shared1kNs:         big.NsPerOp,
+				Shared1kVsSingleNs: round2(pairedRatio(samples[shared1k], samples[singleName])),
+			}
+			sh.SharingWithin2x = sh.Shared1kVsSingleNs > 0 && sh.Shared1kVsSingleNs <= 2
+			if _, ok := rows[indep100]; ok {
+				sh.SharedVsIndependent100Ns = round2(pairedRatio(samples[shared100], samples[indep100]))
+			}
+			rep.Sharing = sh
+		}
+	}
+	if prevPath != "" {
+		history, err := loadTrajectory(prevPath)
+		if err != nil {
+			return err
+		}
+		entry := trajectoryEntry{Sha: sha, Time: timeStr}
+		for _, row := range rep.Rows {
+			entry.Benchmarks = append(entry.Benchmarks, trajectoryPoint{
+				Name:        row.Name,
+				NsPerOp:     row.NsPerOp,
+				AllocsPerOp: row.AllocsPerOp,
+			})
+		}
+		rep.Trajectory = append(history, entry)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -59,6 +59,7 @@ func main() {
 		softLimit    = flag.Int("soft-state-limit", 0, "soft per-replica state bound: crossing it forces a purge round and reports pressure (0 = off)")
 		maxSplit     = flag.Int("max-partition-split", 0, "live-split a pressured hot replica at most N times (needs -parallel, -partitions > 1 and -soft-state-limit)")
 		chaosLate    = flag.Int("chaos-late", 0, "inject N late tuples behind their covering punctuation (seeded; pair with -enforce)")
+		views        = flag.Int("views", 1, "register N fingerprint-equal views of the scenario query (shared-subplan execution: one physical tree serves all N)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the ingest loop to this file (go tool pprof)")
 		memProfile   = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 		blockProfile = flag.String("blockprofile", "", "write a goroutine-blocking profile of the ingest loop to this file (channel waits in the parallel front-end; go tool pprof)")
@@ -123,7 +124,7 @@ func main() {
 	}
 	results := 0
 	pressures, freezes, splits := 0, 0, 0
-	reg, err := d.Register(*scenario, q, engine.Options{
+	opts := engine.Options{
 		PurgeBatch:         *batch,
 		PunctLifespan:      *lifespan,
 		PurgePunctuations:  *purgePunct,
@@ -132,7 +133,10 @@ func main() {
 		ColdAfter:          *coldAfter,
 		SoftStateLimit:     *softLimit,
 		MaxPartitionSplits: *maxSplit,
-		OnResult:           func(stream.Tuple) { results++ },
+		// Share is a no-op for a single view; with -views > 1 it folds
+		// every fingerprint-equal registration onto one physical tree.
+		Share:    *views > 1,
+		OnResult: func(stream.Tuple) { results++ },
 		OnPressure: func(ev exec.PressureEvent) {
 			pressures++
 			freezes += ev.Frozen
@@ -152,10 +156,25 @@ func main() {
 			fmt.Printf("repartition: hot partition %d live-split into new replica %d (%d total)\n",
 				ev.Hot, ev.New, ev.Parts)
 		},
-	})
+	}
+	reg, err := d.Register(*scenario, q, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Extra views share the driver's executor config but observe their
+	// deliveries passively (no callbacks), so fan-out to them is the
+	// shared-delivery-log path: per-element cost independent of -views.
+	viewRegs := make([]*engine.Registered, 0, *views-1)
+	for v := 1; v < *views; v++ {
+		vopts := opts
+		vopts.OnResult, vopts.OnPressure, vopts.OnRepartition = nil, nil, nil
+		vreg, err := d.Register(fmt.Sprintf("view%d", v), q, vopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		viewRegs = append(viewRegs, vreg)
 	}
 	if *partitions > 1 && reg.Partitions() == 0 {
 		fmt.Fprintf(os.Stderr, "punctrun: warning: -partitions %d unavailable, running single-tree: %s\n",
@@ -166,6 +185,9 @@ func main() {
 	fmt.Printf("plan:    %s\n", reg.Plan.Render(q))
 	if p := reg.Partitions(); p > 0 {
 		fmt.Printf("parts:   %d hash-partitioned replicas\n", p)
+	}
+	if *views > 1 {
+		fmt.Printf("views:   %d fingerprint-equal views, %d physical tree(s)\n", *views, d.PhysicalTrees())
 	}
 	st := workload.Summarize(inputs)
 	fmt.Printf("feed:    %d tuples, %d punctuations\n", st.Tuples, st.Puncts)
@@ -344,6 +366,20 @@ func main() {
 	fmt.Printf("results:            %d\n", results)
 	fmt.Printf("elapsed:            %v (%.0f elements/s)\n",
 		elapsed.Round(time.Millisecond), float64(len(inputs))/elapsed.Seconds())
+	if *views > 1 {
+		fmt.Printf("views:              %d fingerprint-equal views over %d physical tree(s)\n",
+			*views, d.PhysicalTrees())
+		printed := 0
+		fmt.Printf("  %-16s delivered %d\n", reg.Name, reg.Delivered())
+		for _, vreg := range viewRegs {
+			if printed >= 15 {
+				fmt.Printf("  ... (%d more views)\n", len(viewRegs)-printed)
+				break
+			}
+			fmt.Printf("  %-16s delivered %d (%d results)\n", vreg.Name, vreg.Delivered(), len(vreg.Results))
+			printed++
+		}
+	}
 	fmt.Printf("final state:        %d tuples\n", reg.TotalState())
 	fmt.Printf("max state:          %d tuples\n", reg.MaxState())
 	fmt.Printf("final punct store:  %d\n", reg.TotalPunctStore())

@@ -52,6 +52,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "tcp://127.0.0.1:7341", "listen address: tcp://host:port or unix:///path")
 		scenario   = flag.String("scenario", "auction", "query to serve: auction | netmon | sensors")
+		views      = flag.Int("views", 1, "serve N fingerprint-equal views of the scenario query (shared-subplan execution: one physical tree serves all N; subscribers attach by view name view1..viewN-1)")
 		partitions = flag.Int("partitions", 1, "hash-partitioned join replicas (1 = single tree)")
 		coldAfter  = flag.Uint64("cold-after", 0, "freeze join-state rows older than N elements into the compacted cold tier (0 = all-hot)")
 		softLimit  = flag.Int("soft-state-limit", 0, "soft per-replica state bound: crossing it forces a purge round and logs pressure (0 = off)")
@@ -130,18 +131,23 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "punctserve: "+format+"\n", args...)
 	}
+	var viewRegs []*engine.Registered
+	var trees int
 	cfg := server.Config{
 		Listener: l,
 		Build: func(d *engine.DSMS) error {
 			for _, s := range schemes.All() {
 				d.RegisterScheme(s)
 			}
-			_, err := d.Register(*scenario, q, engine.Options{
+			opts := engine.Options{
 				EnforcePromises:    *enforce,
 				Partitions:         enginePartitions,
 				ColdAfter:          *coldAfter,
 				SoftStateLimit:     *softLimit,
 				MaxPartitionSplits: *maxSplit,
+				// With -views > 1 every registration below folds onto one
+				// shared physical tree (equal fingerprints).
+				Share: *views > 1,
 				OnPressure: func(ev exec.PressureEvent) {
 					where := "single tree"
 					if ev.Partition >= 0 {
@@ -158,8 +164,24 @@ func main() {
 					logf("repartition: hot partition %d live-split into new replica %d (%d total)",
 						ev.Hot, ev.New, ev.Parts)
 				},
-			})
-			return err
+			}
+			reg, err := d.Register(*scenario, q, opts)
+			if err != nil {
+				return err
+			}
+			viewRegs = viewRegs[:0]
+			viewRegs = append(viewRegs, reg)
+			vopts := opts
+			vopts.OnPressure, vopts.OnRepartition = nil, nil
+			for v := 1; v < *views; v++ {
+				vreg, err := d.Register(fmt.Sprintf("view%d", v), q, vopts)
+				if err != nil {
+					return err
+				}
+				viewRegs = append(viewRegs, vreg)
+			}
+			trees = d.PhysicalTrees()
+			return nil
 		},
 		Schemas:         schemas,
 		Runtime:         engine.RuntimeOptions{OnError: policy},
@@ -194,6 +216,9 @@ func main() {
 		}()
 	}
 	logf("serving %q on %s as %s (queue %d, retain %d, slow=%s)", *scenario, srv.Addr(), role, *queue, *retain, slowPolicy)
+	if *views > 1 {
+		logf("views: %d fingerprint-equal views over %d physical tree(s)", *views, trees)
+	}
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -205,6 +230,18 @@ func main() {
 
 	if err := srv.Wait(); err != nil {
 		fatal(err)
+	}
+	if *views > 1 {
+		logf("views: %d over %d physical tree(s); per-view delivery totals at drain:", *views, trees)
+		printed := 0
+		for _, vreg := range viewRegs {
+			if printed >= 16 {
+				logf("  ... (%d more views)", len(viewRegs)-printed)
+				break
+			}
+			logf("  %-16s delivered %d", vreg.Name, vreg.Delivered())
+			printed++
+		}
 	}
 	logf("drained cleanly")
 }

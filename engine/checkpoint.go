@@ -169,8 +169,12 @@ func (rt *Runtime) CheckpointSummary(w io.Writer) (CheckpointSummary, error) {
 	if err := rt.Err(); err != nil {
 		return sum, fmt.Errorf("engine: checkpoint: runtime has failed: %w", err)
 	}
+	// A retired shard (last subscriber detached) is still draining its
+	// final flush but represents no registered query: it contributes
+	// nothing to the snapshot and its input is already closed, so the
+	// barrier must skip it.
 	states := make([][]byte, len(rt.shards))
-	delivered := make([]uint64, len(rt.shards))
+	delivered := make(map[string]uint64, len(rt.d.order))
 	if rt.closed {
 		for _, s := range rt.shards {
 			<-s.done
@@ -179,16 +183,28 @@ func (rt *Runtime) CheckpointSummary(w io.Writer) (CheckpointSummary, error) {
 			return sum, fmt.Errorf("engine: checkpoint: runtime has failed: %w", err)
 		}
 		for i, s := range rt.shards {
+			if s.retired {
+				continue
+			}
 			var buf bytes.Buffer
 			if err := s.reg.writeState(&buf); err != nil {
 				return sum, fmt.Errorf("engine: checkpoint: query %q: %w", s.reg.Name, err)
 			}
 			states[i] = buf.Bytes()
-			delivered[i] = s.reg.delivered
+			// <-s.done above synchronized with the worker's final writes,
+			// so its subscriber list and delivery counts are readable.
+			for _, m := range s.subs {
+				delivered[m.Name] = m.delivered
+			}
 		}
 	} else {
 		reply := make(chan shardCkpt, len(rt.shards))
+		live := 0
 		for _, s := range rt.shards {
+			if s.retired {
+				continue
+			}
+			live++
 			if s.pf != nil {
 				// Partitioned shard: the barrier travels as a control
 				// chunk through every partition mailbox plus the routing
@@ -200,7 +216,7 @@ func (rt *Runtime) CheckpointSummary(w io.Writer) (CheckpointSummary, error) {
 			s.mb <- shardMsg{ckpt: reply}
 		}
 		var firstErr error
-		for range rt.shards {
+		for i := 0; i < live; i++ {
 			c := <-reply
 			if c.err != nil {
 				if firstErr == nil {
@@ -209,17 +225,16 @@ func (rt *Runtime) CheckpointSummary(w io.Writer) (CheckpointSummary, error) {
 				continue
 			}
 			states[c.idx] = c.state
-			delivered[c.idx] = c.delivered
+			for _, sd := range c.subs {
+				delivered[sd.name] = sd.delivered
+			}
 		}
 		if firstErr != nil {
 			return sum, fmt.Errorf("engine: checkpoint: %w", firstErr)
 		}
 	}
 	sum.Offsets = rt.sourceOffsets()
-	sum.Delivered = make(map[string]uint64, len(rt.shards))
-	for i, s := range rt.shards {
-		sum.Delivered[s.reg.Name] = delivered[i]
-	}
+	sum.Delivered = delivered
 	body := rt.appendCheckpointBody(make([]byte, 0, 4096), sum.Offsets, states, delivered)
 	out := make([]byte, 0, len(body)+len(checkpointMagic)+binary.MaxVarintLen64+4)
 	out = append(out, checkpointMagic...)
@@ -261,9 +276,11 @@ func (rt *Runtime) CheckpointFile(path string) error {
 }
 
 // appendCheckpointBody serializes the snapshot body: sorted source
-// offsets, the dead-letter queue, then each shard's delivery count and
-// state in registration order.
-func (rt *Runtime) appendCheckpointBody(dst []byte, offsets map[string]int64, states [][]byte, delivered []uint64) []byte {
+// offsets, the dead-letter queue, then each query's delivery count and
+// state in registration order. A shared physical tree's state is written
+// once, on its group's driver; follower sections carry a zero-length
+// state, which restore recognizes as "aliases the preceding driver".
+func (rt *Runtime) appendCheckpointBody(dst []byte, offsets map[string]int64, states [][]byte, delivered map[string]uint64) []byte {
 	names := make([]string, 0, len(offsets))
 	for name := range offsets {
 		names = append(names, name)
@@ -275,12 +292,17 @@ func (rt *Runtime) appendCheckpointBody(dst []byte, offsets map[string]int64, st
 		dst = binary.AppendUvarint(dst, uint64(offsets[name]))
 	}
 	dst = appendDeadLetterState(dst, rt.dlq.snapshot())
-	dst = binary.AppendUvarint(dst, uint64(len(rt.shards)))
-	for i, s := range rt.shards {
-		dst = appendCkptString(dst, s.reg.Name)
-		dst = binary.AppendUvarint(dst, delivered[i])
-		dst = binary.AppendUvarint(dst, uint64(len(states[i])))
-		dst = append(dst, states[i]...)
+	dst = binary.AppendUvarint(dst, uint64(len(rt.d.order)))
+	for _, name := range rt.d.order {
+		reg := rt.d.queries[name]
+		dst = appendCkptString(dst, name)
+		dst = binary.AppendUvarint(dst, delivered[name])
+		var state []byte
+		if reg.isDriver() {
+			state = states[rt.byName[name].idx]
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(state)))
+		dst = append(dst, state...)
 	}
 	return dst
 }
@@ -325,7 +347,11 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 	// A staged state is either a Tree snapshot or a PartitionedTree
 	// snapshot, matching the executor the query registered with — a
 	// checkpoint taken at one partition count only restores into the same
-	// count (the formats differ, so a mismatch parses as corrupt).
+	// count (the formats differ, so a mismatch parses as corrupt). A
+	// share-group follower carries no state of its own (zero-length
+	// section): its driver's install covers the aliased tree. A state
+	// presence/role mismatch means the register's Share options disagree
+	// with the snapshot's, which restore treats as corrupt.
 	type stagedState struct {
 		reg       *Registered
 		delivered uint64
@@ -344,6 +370,18 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 		}
 		seen[sh.name] = true
 		st := stagedState{reg: reg, delivered: sh.delivered}
+		if !reg.isDriver() {
+			if len(sh.state) != 0 {
+				return nil, fmt.Errorf("%w: query %q: shared-tree subscriber carries %d bytes of state",
+					ErrCorruptCheckpoint, sh.name, len(sh.state))
+			}
+			staged = append(staged, st)
+			continue
+		}
+		if len(sh.state) == 0 {
+			return nil, fmt.Errorf("%w: query %q: tree owner section has no state (share-group mismatch)",
+				ErrCorruptCheckpoint, sh.name)
+		}
 		var err error
 		if reg.Part != nil {
 			st.part, err = reg.Part.DecodeState(bytes.NewReader(sh.state))
@@ -358,9 +396,10 @@ func (d *DSMS) RestoreRuntime(r io.Reader, opts RuntimeOptions) (*Runtime, error
 	// Commit point: everything parsed and validated; install cannot fail.
 	for _, st := range staged {
 		var err error
-		if st.part != nil {
+		switch {
+		case st.part != nil:
 			err = st.reg.Part.InstallState(st.part)
-		} else {
+		case st.state != nil:
 			err = st.reg.Tree.InstallState(st.state)
 		}
 		if err != nil {

@@ -29,6 +29,11 @@ type DSMS struct {
 	schemes *stream.SchemeSet
 	queries map[string]*Registered
 	order   []string
+	// groups indexes the share groups of Options.Share registrations by
+	// fingerprint, so a new registration can attach to an existing
+	// physical tree (see share.go). Singleton unshared groups are not
+	// indexed — nothing can join them.
+	groups map[string]*shareGroup
 }
 
 // New returns an empty DSMS with no schemes registered.
@@ -36,6 +41,7 @@ func New() *DSMS {
 	return &DSMS{
 		schemes: stream.NewSchemeSet(),
 		queries: make(map[string]*Registered),
+		groups:  make(map[string]*shareGroup),
 	}
 }
 
@@ -97,6 +103,23 @@ type Options struct {
 	// OnRepartition, when set, observes every split the skew watcher
 	// attempts — successful or refused — from the watcher goroutine.
 	OnRepartition func(RepartitionEvent)
+	// Share opts the query into common-subplan sharing: if a previously
+	// registered Share query has the same canonical fingerprint (join
+	// shape, streams, equality classes, punctuation schemes, and every
+	// execution-relevant option above plus ShareTag), this query attaches
+	// to that query's physical tree as a subscriber instead of building
+	// its own — the join is evaluated once and outputs fan out to every
+	// member's delivery path with per-member sequence numbers, stats and
+	// dead-letter attribution. Delivery-side callbacks (OnResult,
+	// OnPunct, delivery hooks) stay per-member; executor-side observers
+	// (OnPressure, OnRepartition) ride the group driver's registration.
+	Share bool
+	// ShareTag discriminates Share fingerprints beyond what the engine
+	// can see: callers whose queries differ in ways invisible to the
+	// planner (e.g. SQL input filters, which RegisterSQL canonicalizes
+	// into this tag) must tag them apart, or identical-looking queries
+	// would incorrectly share one tree. Ignored unless Share is set.
+	ShareTag string
 }
 
 // RepartitionEvent describes one attempted skew-driven partition split.
@@ -162,6 +185,27 @@ type Registered struct {
 	pressure      chan exec.PressureEvent
 	maxSplits     int
 	onRepartition func(RepartitionEvent)
+	// group is the share group this query belongs to — a singleton for
+	// unshared queries, shared with every fingerprint-equal Share
+	// registration otherwise (see share.go). Never nil after Register.
+	group *shareGroup
+	// Shared-delivery-log cursors, owned by the shard worker that serves
+	// this subscriber (see shard.materialize). A passive subscriber — no
+	// OnResult/OnPunct/delivery hook — does not receive per-element
+	// fan-out; its Results are materialized at barriers as slices of the
+	// shard's shared tuple log. logBase is the log index where this
+	// subscriber's view begins (fixed at attach), logStart the
+	// materialization cursor, logStartCount the element-count cursor
+	// behind delivered, and logPure whether Results is a pure log alias
+	// (re-sliced zero-copy) or must be extended by appending.
+	logBase       int
+	logStart      int
+	logStartCount uint64
+	logPure       bool
+	// Fingerprint is the canonical subplan fingerprint computed for
+	// Options.Share registrations ("" otherwise); equal fingerprints mean
+	// one physical tree.
+	Fingerprint string
 }
 
 // Register admits a continuous join query: it runs the safety check
@@ -218,6 +262,29 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 	if opts.Partitions < 0 {
 		return nil, fmt.Errorf("engine: query %q: negative partition count %d", name, opts.Partitions)
 	}
+	if opts.Share {
+		r.Fingerprint = plan.Fingerprint(q, d.schemes, p, shareConfigTag(opts))
+		if g, ok := d.groups[r.Fingerprint]; ok {
+			// A fingerprint-equal tree already runs: attach as a
+			// subscriber. The member aliases the driver's executor and
+			// adopts the driver's stream indexing (the canonical
+			// fingerprint guarantees the stream name sets match), so
+			// routed elements feed the shared tree under the indices it
+			// was built with.
+			drv := g.driver()
+			r.Tree, r.Part = drv.Tree, drv.Part
+			r.PartitionReason = drv.PartitionReason
+			r.Output = r.OutputSchema()
+			for streamName, input := range drv.streamInput {
+				r.streamInput[streamName] = input
+			}
+			r.group = g
+			g.members = append(g.members, r)
+			d.queries[name] = r
+			d.order = append(d.order, name)
+			return r, nil
+		}
+	}
 	if opts.Partitions >= 1 && opts.MaxPartitionSplits > 0 {
 		// Arm the sharded runtime's skew watcher: tee replica pressure
 		// events into a channel the watcher drains. The tee never blocks
@@ -262,14 +329,20 @@ func (d *DSMS) Register(name string, q *query.CJQ, opts Options) (*Registered, e
 	for i := 0; i < q.N(); i++ {
 		r.streamInput[q.Stream(i).Name()] = i
 	}
+	r.group = &shareGroup{fp: r.Fingerprint, members: []*Registered{r}}
+	if opts.Share {
+		d.groups[r.Fingerprint] = r.group
+	}
 	d.queries[name] = r
 	d.order = append(d.order, name)
 	return r, nil
 }
 
-// Unregister removes a query.
+// Unregister removes a query. Removing a share-group member detaches its
+// subscription; the physical tree lives on until the last member leaves.
 func (d *DSMS) Unregister(name string) bool {
-	if _, ok := d.queries[name]; !ok {
+	r, ok := d.queries[name]
+	if !ok {
 		return false
 	}
 	delete(d.queries, name)
@@ -278,6 +351,10 @@ func (d *DSMS) Unregister(name string) bool {
 			d.order = append(d.order[:i], d.order[i+1:]...)
 			break
 		}
+	}
+	r.group.removeMember(name)
+	if len(r.group.members) == 0 && r.group.fp != "" {
+		delete(d.groups, r.group.fp)
 	}
 	return true
 }
@@ -294,17 +371,24 @@ func (d *DSMS) Get(name string) (*Registered, bool) {
 // Push feeds one element of the named raw stream to every registered
 // query that consumes that stream (the input manager of Figure 2). This
 // is the sequential path: queries execute in registration order on the
-// calling goroutine. RunSharded provides the concurrent alternative.
+// calling goroutine. A share group executes once, on its driver, and the
+// outputs fan out to every member. RunSharded provides the concurrent
+// alternative.
 func (d *DSMS) Push(streamName string, e stream.Element) error {
 	for _, name := range d.order {
 		r := d.queries[name]
+		if !r.isDriver() {
+			continue
+		}
 		input, ok := r.streamInput[streamName]
 		if !ok || !r.accepts(input, e) {
 			continue
 		}
-		if err := r.push(input, e); err != nil {
+		outs, err := r.pushExec(input, e)
+		if err != nil {
 			return fmt.Errorf("engine: query %q: %w", name, err)
 		}
+		r.group.deliver(outs)
 	}
 	return nil
 }
@@ -317,41 +401,28 @@ func (r *Registered) accepts(input int, e stream.Element) bool {
 	return r.filter == nil || e.IsPunct() || r.filter(input, e.Tuple())
 }
 
-// push feeds one routed element into the query's executor and delivers
-// the outputs. It is the single-query step shared by the sequential Push
-// path and the sharded runtime's workers; everything it touches (tree
-// state, stats, result buffer) belongs to exactly one goroutine at a time.
-func (r *Registered) push(input int, e stream.Element) error {
-	var outs []stream.Element
-	var err error
+// pushExec feeds one routed element into the query's executor and
+// returns the outputs undelivered — the caller (sequential Push, shard
+// worker) owns delivery, which for a shared tree fans out to every group
+// member. Everything it touches (tree state, stats) belongs to exactly
+// one goroutine at a time.
+func (r *Registered) pushExec(input int, e stream.Element) ([]stream.Element, error) {
 	if r.Part != nil {
-		outs, err = r.Part.Push(input, e)
-	} else {
-		outs, err = r.Tree.Push(input, e)
+		return r.Part.Push(input, e)
 	}
-	if err != nil {
-		return err
-	}
-	r.deliver(outs)
-	return nil
+	return r.Tree.Push(input, e)
 }
 
-// pushBatch feeds a run of routed elements into the query's executor via
-// exec's batched path and delivers the outputs, exactly as if push were
-// called per element. On error it returns the offender's index, with the
-// preceding elements' outputs already delivered, so the caller can
-// classify the offender and resume with the rest of the run.
-func (r *Registered) pushBatch(input int, elems []stream.Element) (int, error) {
-	var outs []stream.Element
-	var n int
-	var err error
+// pushBatchExec feeds a run of routed elements into the query's executor
+// via exec's batched path, exactly as if pushExec were called per
+// element. On error it returns the offender's index alongside the
+// outputs of the preceding elements, so the caller can deliver those,
+// classify the offender, and resume with the rest of the run.
+func (r *Registered) pushBatchExec(input int, elems []stream.Element) ([]stream.Element, int, error) {
 	if r.Part != nil {
-		outs, n, err = r.Part.PushBatch(input, elems)
-	} else {
-		outs, n, err = r.Tree.PushBatch(input, elems)
+		return r.Part.PushBatch(input, elems)
 	}
-	r.deliver(outs)
-	return n, err
+	return r.Tree.PushBatch(input, elems)
 }
 
 // sweepExec dispatches Sweep to the active executor.
@@ -430,30 +501,37 @@ func (r *Registered) OutputSchema() *stream.Schema {
 }
 
 // Sweep runs the §5.1 background clean-up over every registered query
-// and returns the total number of tuples removed.
+// (once per share group) and returns the total number of tuples removed.
 func (d *DSMS) Sweep() (int, error) {
 	total := 0
 	for _, name := range d.order {
 		r := d.queries[name]
+		if !r.isDriver() {
+			continue
+		}
 		removed, outs, err := r.sweepExec()
 		if err != nil {
 			return total, err
 		}
 		total += removed
-		r.deliver(outs)
+		r.group.deliver(outs)
 	}
 	return total, nil
 }
 
-// Flush forces pending lazy purge rounds in every query.
+// Flush forces pending lazy purge rounds in every query (once per share
+// group).
 func (d *DSMS) Flush() error {
 	for _, name := range d.order {
 		r := d.queries[name]
+		if !r.isDriver() {
+			continue
+		}
 		outs, err := r.flushExec()
 		if err != nil {
 			return err
 		}
-		r.deliver(outs)
+		r.group.deliver(outs)
 	}
 	return nil
 }
@@ -475,6 +553,15 @@ func (r *Registered) SetDeliveryHook(fn func(seq uint64, e stream.Element)) {
 // on a quiescent query (before a runtime starts or after Wait); while a
 // runtime runs the counter belongs to the driving goroutine.
 func (r *Registered) Delivered() uint64 { return r.delivered }
+
+// passiveSub reports whether the query observes its outputs only through
+// Results and Delivered — no per-element callbacks. Passive subscribers
+// are served from the shard's shared delivery log at barrier points
+// instead of per-element fan-out, so a shared tree's ingest cost is
+// independent of how many passive views subscribe to it.
+func (r *Registered) passiveSub() bool {
+	return r.onDeliver == nil && r.onResult == nil && r.onPunct == nil
+}
 
 func (r *Registered) deliver(outs []stream.Element) {
 	if r.onDeliver != nil {
@@ -517,16 +604,24 @@ func (d *DSMS) Describe(name string) (string, error) {
 	} else if r.PartitionReason != "" {
 		fmt.Fprintf(&b, "partitions: fell back to single-tree execution: %s\n", r.PartitionReason)
 	}
+	if r.Fingerprint != "" {
+		fmt.Fprintf(&b, "shared: fingerprint %s, %d subscriber(s) on one tree\n",
+			r.Fingerprint, len(r.group.members))
+	}
 	for i, st := range r.StatsSnapshot() {
 		fmt.Fprintf(&b, "operator %d: %s\n", i, st)
 	}
 	return b.String(), nil
 }
 
-// TotalState sums stored tuples across all queries.
+// TotalState sums stored tuples across all queries, counting each shared
+// physical tree once.
 func (d *DSMS) TotalState() int {
 	total := 0
 	for _, r := range d.queries {
+		if !r.isDriver() {
+			continue
+		}
 		total += r.TotalState()
 	}
 	return total

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+// multiQueryCap bounds the O(views) configurations: disjoint overlap and
+// the unshared (independent) baseline each run one physical tree per
+// view, so per-op work grows linearly with the view count and 1k/10k
+// rows would measure nothing but that linearity at prohibitive cost.
+// Shared configurations (identical, mixed) run the full ladder — holding
+// per-element cost flat as views grow is exactly what they demonstrate.
+const multiQueryCap = 100
+
+// BenchmarkMultiQuery measures shared-subplan execution as the number of
+// registered views grows. Overlap shapes:
+//
+//   - identical: every view has the same fingerprint → one physical tree,
+//     O(views) fan-out. The acceptance row: 1k identical views must stay
+//     within 2x the single-view ingest rate.
+//   - mixed: views spread over 10 share groups (ShareTag i%10) → 10 trees.
+//   - disjoint: every view carries a unique ShareTag → views trees, the
+//     sharing machinery with zero overlap (capped, see multiQueryCap).
+//   - independent: Share=false baseline, one tree per view on the
+//     pre-sharing registration path (capped, see multiQueryCap).
+func BenchmarkMultiQuery(b *testing.B) {
+	const items = 100
+	const bids = 4
+	var feed []TaggedElement
+	for i := 0; i < items; i++ {
+		feed = append(feed, auctionElems(int64(i), bids)...)
+	}
+
+	run := func(b *testing.B, views, groups int, share bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := New()
+			d.RegisterScheme(stream.MustScheme("item", false, true, false, false))
+			d.RegisterScheme(stream.MustScheme("bid", false, true, false))
+			regs := make([]*Registered, views)
+			for v := 0; v < views; v++ {
+				opts := Options{Share: share}
+				if share && groups > 1 {
+					opts.ShareTag = fmt.Sprintf("g%d", v%groups)
+				}
+				reg, err := d.Register(fmt.Sprintf("view%d", v), workload.AuctionQuery(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				regs[v] = reg
+			}
+			wantTrees := views
+			if share {
+				wantTrees = groups
+				if views < groups {
+					wantTrees = views
+				}
+			}
+			if got := d.PhysicalTrees(); got != wantTrees {
+				b.Fatalf("PhysicalTrees = %d, want %d", got, wantTrees)
+			}
+			b.StartTimer()
+			rt := d.RunSharded(RuntimeOptions{Buffer: 256})
+			for _, te := range feed {
+				if err := rt.Send(te.Stream, te.Elem); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rt.Close()
+			if err := rt.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			for v, reg := range regs {
+				if len(reg.Results) != items*bids {
+					b.Fatalf("view%d delivered %d results, want %d", v, len(reg.Results), items*bids)
+				}
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(len(feed)), "elements/op")
+	}
+
+	ladder := []int{1, 10, 100, 1000, 10000}
+	for _, views := range ladder {
+		views := views
+		b.Run(fmt.Sprintf("identical/views=%d/shared", views), func(b *testing.B) {
+			run(b, views, 1, true)
+		})
+	}
+	for _, views := range ladder {
+		views := views
+		b.Run(fmt.Sprintf("mixed/views=%d/shared", views), func(b *testing.B) {
+			run(b, views, 10, true)
+		})
+	}
+	for _, views := range ladder {
+		views := views
+		if views > multiQueryCap {
+			b.Logf("disjoint/views=%d skipped: O(views) trees, capped at %d", views, multiQueryCap)
+			continue
+		}
+		b.Run(fmt.Sprintf("disjoint/views=%d/shared", views), func(b *testing.B) {
+			run(b, views, views, true)
+		})
+	}
+	for _, views := range ladder {
+		views := views
+		if views > multiQueryCap {
+			b.Logf("independent/views=%d skipped: O(views) trees, capped at %d", views, multiQueryCap)
+			continue
+		}
+		b.Run(fmt.Sprintf("independent/views=%d", views), func(b *testing.B) {
+			run(b, views, views, false)
+		})
+	}
+}

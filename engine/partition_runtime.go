@@ -85,11 +85,14 @@ type scriptBatch struct {
 
 // partCtrl is a control barrier travelling through every partition
 // mailbox and the script: a stats snapshot request, a checkpoint
-// request, a live repartition, or both sides of the quiesce handshake.
+// request, a live repartition, a subscription change, or both sides of
+// the quiesce handshake.
 type partCtrl struct {
 	stats   chan<- []*exec.Stats
 	ckpt    chan<- shardCkpt
 	split   *splitReq
+	attach  *Registered   // new subscriber from this barrier on
+	detach  string        // departing subscriber name
 	release chan struct{} // closed by the merger once the snapshot is taken
 }
 
@@ -467,6 +470,7 @@ func (s *shard) runPartitioned() {
 // answered so they unwind, and the workers are joined before done
 // closes so Wait leaves no goroutine touching the replicas.
 func (s *shard) killDrain() {
+	s.materializePassive()
 	for sb := range s.pf.script {
 		if sb.ctrl != nil {
 			answerCtrlKilled(s, sb.ctrl)
@@ -568,12 +572,7 @@ func (m *partMerger) consume(sb scriptBatch) bool {
 		if oc := m.offCur[p]; oc < len(rec.offIdx) && rec.offIdx[oc] == li {
 			m.offCur[p]++
 			m.lastEnd[p] = rec.ends[li]
-			s.rt.dlq.add(DeadLetter{
-				Stream: sb.stream,
-				Query:  s.reg.Name,
-				Elem:   sb.elems[g],
-				Err:    rec.offErr[oc],
-			})
+			s.deadLetter(sb.stream, sb.elems[g], rec.offErr[oc])
 			m.bump(p)
 			continue
 		}
@@ -583,7 +582,7 @@ func (m *partMerger) consume(sb scriptBatch) bool {
 		m.bump(p)
 	}
 	m.merged = merged
-	s.reg.deliver(merged)
+	s.deliver(merged)
 	clearElements(m.merged)
 	m.merged = m.merged[:0]
 	return true
@@ -596,7 +595,7 @@ func (m *partMerger) consume(sb scriptBatch) bool {
 func (m *partMerger) fail(fatal error, merged *[]stream.Element) {
 	var pe *PanicError
 	if !errors.As(fatal, &pe) {
-		m.s.reg.deliver(*merged)
+		m.s.deliver(*merged)
 	}
 	clearElements(*merged)
 	*merged = (*merged)[:0]
@@ -646,13 +645,9 @@ func (m *partMerger) consumeSeal(sb scriptBatch, g int, merged *[]stream.Element
 			}
 		case offenders == m.pf.p:
 			// Unanimous rejection: the punctuation itself is the
-			// offender. Dead-letter it once, in script position.
-			s.rt.dlq.add(DeadLetter{
-				Stream: sb.stream,
-				Query:  s.reg.Name,
-				Elem:   sb.elems[g],
-				Err:    offErr,
-			})
+			// offender. Dead-letter it once per subscriber, in script
+			// position.
+			s.deadLetter(sb.stream, sb.elems[g], offErr)
 		default:
 			fatal = fmt.Errorf("internal: punctuation rejected by %d of %d partitions", offenders, m.pf.p)
 		}
@@ -715,6 +710,7 @@ func (m *partMerger) consumeCtrl(c *partCtrl) bool {
 		m.release(p)
 	}
 	if c.stats != nil {
+		s.materializePassive()
 		c.stats <- s.reg.StatsSnapshot()
 	}
 	if c.ckpt != nil {
@@ -722,6 +718,14 @@ func (m *partMerger) consumeCtrl(c *partCtrl) bool {
 	}
 	if c.split != nil {
 		c.split.reply <- m.doSplit(c.split.hot)
+	}
+	if c.attach != nil {
+		// The barrier is the subscription cut: everything enqueued before
+		// it has been delivered to the old subscriber set.
+		s.attachSub(c.attach)
+	}
+	if c.detach != "" {
+		s.dropSub(c.detach)
 	}
 	close(c.release)
 	return true
@@ -765,7 +769,7 @@ func (m *partMerger) doSplit(hot int) error {
 	// everything enqueued before the split is already out, so this is
 	// their exact stream position.
 	if len(unblocked) > 0 {
-		s.reg.deliver(unblocked)
+		s.deliver(unblocked)
 	}
 	return nil
 }

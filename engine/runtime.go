@@ -68,6 +68,7 @@ type Runtime struct {
 	shards   []*shard
 	byName   map[string]*shard
 	route    map[string][]*shard
+	buffer   int // per-shard mailbox capacity (Attach reuses it)
 	failFast bool
 	policy   ErrorPolicy
 	dlq      *deadLetterQueue
@@ -101,17 +102,49 @@ type Runtime struct {
 	failed   chan struct{} // closed when firstErr is set
 }
 
-// shard is one query's mailbox goroutine. Everything behind it — the
-// exec.Tree, its operator stats, the Registered result buffer — is
-// confined to the worker goroutine while the runtime runs, which keeps
-// the hot path free of locks.
+// shard is one share group's mailbox goroutine — one physical executor,
+// any number of subscribed queries. Everything behind it — the
+// exec.Tree, its operator stats, the member Registered result buffers —
+// is confined to the worker goroutine while the runtime runs, which
+// keeps the hot path free of locks.
 type shard struct {
-	reg    *Registered
-	mb     chan shardMsg
-	done   chan struct{}
-	rt     *Runtime
-	idx    int  // position in rt.shards (checkpoint reply routing)
-	failed bool // worker-goroutine-local
+	// reg is the executor handle: the group's original driver, whose
+	// Tree/Part every member aliases. It stays the shard's handle even if
+	// that query later detaches (the physical state lives in the tree,
+	// which survives until the last subscriber leaves).
+	reg *Registered
+	// group is the live membership view shared with the DSMS register.
+	// It is mutated only under closeMu's write side (Attach/Detach) and
+	// read by producers under the read side (dead-letter fan-out).
+	group *shareGroup
+	// subs is the worker-owned subscriber list outputs fan out to. It
+	// tracks group.members through attach/detach mailbox messages, so the
+	// cut between "old subscribers" and "new subscribers" falls exactly
+	// on a mailbox FIFO boundary. active/passive split it by delivery
+	// mode (rebuildSubs): active subscribers carry callbacks and get
+	// per-element fan-out; passive ones are served from the shared
+	// delivery log below, so the per-element cost of a shared tree is
+	// O(active), not O(subscribers).
+	subs    []*Registered
+	active  []*Registered
+	passive []*Registered
+	// logTuples/logCount are the shared delivery log, maintained only
+	// while passive subscribers exist: every result tuple once (appended
+	// here instead of into N per-member Results buffers), and the count
+	// of all output elements (tuples + punctuations) for delivery
+	// sequence numbers. Passive members' Results are materialized as
+	// zero-copy slices of this log at barrier points (materialize).
+	logTuples []stream.Tuple
+	logCount  uint64
+	mb        chan shardMsg
+	done      chan struct{}
+	rt        *Runtime
+	idx       int  // position in rt.shards (checkpoint reply routing)
+	failed    bool // worker-goroutine-local
+	// retired is set (under closeMu's write side) when the last
+	// subscriber detaches and the tree is being drained; Close skips the
+	// shard's already-closed mailbox.
+	retired bool
 	// batch accumulates the current contiguous same-input run of mailbox
 	// elements; the worker pushes it through exec's batched path in one
 	// call, amortizing per-element overhead. Worker-goroutine-local.
@@ -127,9 +160,10 @@ type shard struct {
 }
 
 // shardMsg is one mailbox entry: a routed stream element (or, from
-// SendBatch, a run of elements of one stream), or a control request
+// SendBatch, a run of elements of one stream), a control request
 // answered by the worker itself — a stats snapshot (stats non-nil) or a
-// checkpoint barrier (ckpt non-nil).
+// checkpoint barrier (ckpt non-nil) — or a live subscription change
+// (attach/detach) applied at this exact FIFO position.
 type shardMsg struct {
 	input  int
 	stream string
@@ -137,16 +171,25 @@ type shardMsg struct {
 	elems  []stream.Element // batch payload; owned by the shard once sent
 	stats  chan<- []*exec.Stats
 	ckpt   chan<- shardCkpt
+	attach *Registered // new subscriber: outputs after this point fan to it
+	detach string      // departing subscriber name: no outputs after this point
 }
 
 // shardCkpt is a worker's answer to a checkpoint barrier: its tree's
-// serialized state and delivery count, taken after the in-flight batch
-// was flushed.
+// serialized state and each subscriber's delivery count, taken after the
+// in-flight batch was flushed.
 type shardCkpt struct {
-	idx       int
-	state     []byte
+	idx   int
+	state []byte
+	subs  []subDelivered
+	err   error
+}
+
+// subDelivered is one subscriber's delivery count at a checkpoint
+// barrier.
+type subDelivered struct {
+	name      string
 	delivered uint64
-	err       error
 }
 
 // maxShardBatch caps how many elements a worker accumulates before
@@ -164,6 +207,7 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 		d:        d,
 		byName:   make(map[string]*shard, len(d.order)),
 		route:    make(map[string][]*shard),
+		buffer:   buffer,
 		failed:   make(chan struct{}),
 		kill:     make(chan struct{}),
 		sources:  make(map[string]int64),
@@ -173,32 +217,57 @@ func (d *DSMS) RunSharded(opts RuntimeOptions) *Runtime {
 		dlq:      newDeadLetterQueue(opts.OnError == Quarantine, opts.DeadLetterLimit),
 	}
 	for _, name := range d.order {
-		s := &shard{
-			reg:  d.queries[name],
-			done: make(chan struct{}),
-			rt:   rt,
-			idx:  len(rt.shards),
-		}
-		rt.shards = append(rt.shards, s)
-		rt.byName[name] = s
-		for streamName := range s.reg.streamInput {
-			rt.route[streamName] = append(rt.route[streamName], s)
-		}
-		if s.reg.Part != nil {
-			// Partitioned query: no mailbox. Producers scatter directly
-			// into the front's per-partition mailboxes and the shard
-			// goroutine becomes the merge stage.
-			s.pf = newPartFront(s)
-			go s.runPartitioned()
-			if s.reg.pressure != nil && s.reg.maxSplits > 0 {
-				go s.splitWatcher()
-			}
+		r := d.queries[name]
+		if !r.isDriver() {
+			// Share-group member: its driver's shard already (or will,
+			// registration order puts drivers first) fans out to it.
 			continue
 		}
-		s.mb = make(chan shardMsg, buffer)
-		go s.run()
+		rt.spawnShard(r)
 	}
 	return rt
+}
+
+// spawnShard starts the shard goroutine for one share group, wiring
+// routing and the per-member name index. Called from RunSharded and,
+// under closeMu's write side, from Attach.
+func (rt *Runtime) spawnShard(r *Registered) *shard {
+	s := &shard{
+		reg:   r,
+		group: r.group,
+		subs:  append([]*Registered(nil), r.group.members...),
+		done:  make(chan struct{}),
+		rt:    rt,
+		idx:   len(rt.shards),
+	}
+	rt.shards = append(rt.shards, s)
+	for _, m := range s.subs {
+		if m.passiveSub() {
+			m.logBase, m.logStart, m.logStartCount = 0, 0, 0
+			m.logPure = len(m.Results) == 0
+		}
+	}
+	s.rebuildSubs()
+	for _, m := range s.group.members {
+		rt.byName[m.Name] = s
+	}
+	for streamName := range s.reg.streamInput {
+		rt.route[streamName] = append(rt.route[streamName], s)
+	}
+	if s.reg.Part != nil {
+		// Partitioned query: no mailbox. Producers scatter directly
+		// into the front's per-partition mailboxes and the shard
+		// goroutine becomes the merge stage.
+		s.pf = newPartFront(s)
+		go s.runPartitioned()
+		if s.reg.pressure != nil && s.reg.maxSplits > 0 {
+			go s.splitWatcher()
+		}
+		return s
+	}
+	s.mb = make(chan shardMsg, rt.buffer)
+	go s.run()
+	return s
 }
 
 // run is the shard worker: it drains the mailbox into the query's tree
@@ -258,6 +327,7 @@ func (s *shard) run() {
 // mailbox and control-message waiters all unwind. It returns when the
 // mailbox closes.
 func (s *shard) discard() {
+	s.materializePassive()
 	for {
 		msg, ok := <-s.mb
 		if !ok {
@@ -279,6 +349,7 @@ func (s *shard) discard() {
 func (s *shard) handle(msg shardMsg) {
 	if msg.stats != nil {
 		s.flushBatch()
+		s.materializePassive()
 		msg.stats <- s.reg.StatsSnapshot()
 		return
 	}
@@ -291,6 +362,19 @@ func (s *shard) handle(msg shardMsg) {
 		// purges on the same schedule as an uninterrupted one.
 		s.flushBatch()
 		msg.ckpt <- s.checkpointReply()
+		return
+	}
+	if msg.attach != nil || msg.detach != "" {
+		// Live subscription change: flush the pending run first so its
+		// outputs reach exactly the subscribers that were attached when
+		// its elements were enqueued, then cut the list here.
+		s.flushBatch()
+		if msg.attach != nil {
+			s.attachSub(msg.attach)
+		}
+		if msg.detach != "" {
+			s.dropSub(msg.detach)
+		}
 		return
 	}
 	if s.failed {
@@ -310,6 +394,104 @@ func (s *shard) handle(msg shardMsg) {
 	}
 }
 
+// deliver fans one output batch out to every subscribed query. Passive
+// subscribers share one append into the delivery log regardless of how
+// many there are; only subscribers with callbacks pay per-element work.
+func (s *shard) deliver(outs []stream.Element) {
+	if len(outs) == 0 {
+		return
+	}
+	if len(s.passive) > 0 {
+		s.logCount += uint64(len(outs))
+		for _, o := range outs {
+			if !o.IsPunct() {
+				s.logTuples = append(s.logTuples, o.Tuple())
+			}
+		}
+	}
+	for _, m := range s.active {
+		m.deliver(outs)
+	}
+}
+
+// rebuildSubs recomputes the active/passive split after any change to
+// the subscriber list. Slices are rebuilt in subs order so fan-out order
+// stays deterministic.
+func (s *shard) rebuildSubs() {
+	s.active, s.passive = s.active[:0], s.passive[:0]
+	for _, m := range s.subs {
+		if m.passiveSub() {
+			s.passive = append(s.passive, m)
+		} else {
+			s.active = append(s.active, m)
+		}
+	}
+}
+
+// attachSub adds a live subscriber at the current mailbox cut. A passive
+// joiner's log view begins here: its Results will be exactly the log
+// suffix from this point on.
+func (s *shard) attachSub(m *Registered) {
+	if m.passiveSub() {
+		m.logBase, m.logStart = len(s.logTuples), len(s.logTuples)
+		m.logStartCount = s.logCount
+		m.logPure = len(m.Results) == 0
+	}
+	s.subs = append(s.subs, m)
+	s.rebuildSubs()
+}
+
+// materialize publishes one passive subscriber's pending log range into
+// its Results and delivered count. When Results is a pure log alias the
+// publish is a zero-copy re-slice (capacity-clamped so a later append by
+// anyone reallocates instead of scribbling over the shared log);
+// otherwise the new range is appended. O(1) per call on the pure path,
+// so barriers stay cheap at any subscriber count.
+func (s *shard) materialize(m *Registered) {
+	cur := len(s.logTuples)
+	if m.logPure {
+		m.Results = s.logTuples[m.logBase:cur:cur]
+	} else if tail := s.logTuples[m.logStart:cur:cur]; len(tail) > 0 {
+		m.Results = append(m.Results, tail...)
+	}
+	m.logStart = cur
+	m.delivered += s.logCount - m.logStartCount
+	m.logStartCount = s.logCount
+}
+
+// materializePassive publishes every passive subscriber's pending log
+// range. Called at every barrier a subscriber's Results or Delivered may
+// be observed behind: stats, checkpoint, detach, end of input, kill.
+func (s *shard) materializePassive() {
+	for _, m := range s.passive {
+		s.materialize(m)
+	}
+}
+
+// deadLetter records one offender against every subscribed query —
+// exactly the accounting N independent trees would have produced.
+func (s *shard) deadLetter(streamName string, e stream.Element, err error) {
+	for _, m := range s.subs {
+		s.rt.dlq.add(DeadLetter{Stream: streamName, Query: m.Name, Elem: e, Err: err})
+	}
+}
+
+// dropSub removes a departing subscriber from the worker-owned list,
+// freezing a passive leaver's Results at this exact cut (the prefix it
+// was subscribed for; later log appends land beyond its clamped view).
+func (s *shard) dropSub(name string) {
+	for i, m := range s.subs {
+		if m.Name == name {
+			if m.passiveSub() {
+				s.materialize(m)
+			}
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			s.rebuildSubs()
+			return
+		}
+	}
+}
+
 // flushBatch pushes the accumulated run through the tree's batched path,
 // applying the element-level error policy per offender: recoverable
 // offenders are dead-lettered and the rest of the run resumes after them,
@@ -322,12 +504,7 @@ func (s *shard) flushBatch() {
 			break
 		}
 		if s.rt.policy != Fail && recoverableError(err) {
-			s.rt.dlq.add(DeadLetter{
-				Stream: s.batchStream,
-				Query:  s.reg.Name,
-				Elem:   elems[n],
-				Err:    err,
-			})
+			s.deadLetter(s.batchStream, elems[n], err)
 			elems = elems[n+1:]
 			continue
 		}
@@ -338,8 +515,10 @@ func (s *shard) flushBatch() {
 	s.batch = s.batch[:0]
 }
 
-// checkpointReply serializes the shard's tree for a checkpoint barrier.
+// checkpointReply serializes the shard's tree for a checkpoint barrier,
+// with every subscriber's delivery count at the cut.
 func (s *shard) checkpointReply() shardCkpt {
+	s.materializePassive()
 	if s.failed {
 		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q has failed; state not checkpointable", s.reg.Name)}
 	}
@@ -347,11 +526,16 @@ func (s *shard) checkpointReply() shardCkpt {
 	if err := s.reg.writeState(&buf); err != nil {
 		return shardCkpt{idx: s.idx, err: fmt.Errorf("engine: query %q: serializing state: %w", s.reg.Name, err)}
 	}
-	return shardCkpt{idx: s.idx, state: buf.Bytes(), delivered: s.reg.delivered}
+	subs := make([]subDelivered, len(s.subs))
+	for i, m := range s.subs {
+		subs[i] = subDelivered{name: m.Name, delivered: m.delivered}
+	}
+	return shardCkpt{idx: s.idx, state: buf.Bytes(), subs: subs}
 }
 
 // finish runs the end-of-input flush once the mailbox has fully drained.
 func (s *shard) finish() {
+	defer s.materializePassive()
 	if s.failed {
 		return
 	}
@@ -366,18 +550,22 @@ func clearElements(elems []stream.Element) {
 	}
 }
 
-// pushBatchContained feeds a run of elements into the shard's tree,
-// converting an operator panic into a returned *PanicError (one recover
-// frame per batch instead of per element). A panic always fails the whole
-// shard, so the unknown progress index is irrelevant; element-level
-// errors report the offender's index for resumption.
+// pushBatchContained feeds a run of elements into the shard's tree and
+// fans the outputs out to the subscribers, converting an operator panic
+// into a returned *PanicError (one recover frame per batch instead of
+// per element). A panic always fails the whole shard, so the unknown
+// progress index is irrelevant; element-level errors report the
+// offender's index for resumption, with the preceding elements' outputs
+// already delivered.
 func (s *shard) pushBatchContained(input int, elems []stream.Element) (n int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError(r)
 		}
 	}()
-	return s.reg.pushBatch(input, elems)
+	outs, n, err := s.reg.pushBatchExec(input, elems)
+	s.deliver(outs)
+	return n, err
 }
 
 // flushContained runs the end-of-input flush with the same panic
@@ -392,7 +580,7 @@ func (s *shard) flushContained() (err error) {
 	if err != nil {
 		return err
 	}
-	s.reg.deliver(outs)
+	s.deliver(outs)
 	return nil
 }
 
@@ -452,12 +640,15 @@ func (rt *Runtime) sendLocked(streamName string, e stream.Element) error {
 		ok, err := safeAccepts(s.reg, input, e)
 		if err != nil {
 			// A panicking input filter leaves the element unclassifiable
-			// for this query: dead-letter it under Drop/Quarantine, or
-			// fail the runtime under Fail — the router goroutine survives
+			// for this query: dead-letter it under Drop/Quarantine (once
+			// per subscribed query, as independent trees would), or fail
+			// the runtime under Fail — the router goroutine survives
 			// either way.
 			err = fmt.Errorf("engine: query %q: %w", s.reg.Name, err)
 			if rt.policy != Fail {
-				rt.dlq.add(DeadLetter{Stream: streamName, Query: s.reg.Name, Elem: e, Err: err})
+				for _, m := range s.group.members {
+					rt.dlq.add(DeadLetter{Stream: streamName, Query: m.Name, Elem: e, Err: err})
+				}
 				continue
 			}
 			rt.fail(err)
@@ -512,7 +703,9 @@ func (rt *Runtime) sendBatchLocked(streamName string, elems []stream.Element) er
 			if err != nil {
 				err = fmt.Errorf("engine: query %q: %w", s.reg.Name, err)
 				if rt.policy != Fail {
-					rt.dlq.add(DeadLetter{Stream: streamName, Query: s.reg.Name, Elem: e, Err: err})
+					for _, m := range s.group.members {
+						rt.dlq.add(DeadLetter{Stream: streamName, Query: m.Name, Elem: e, Err: err})
+					}
 					continue
 				}
 				ferr = err
@@ -579,6 +772,9 @@ func (rt *Runtime) Close() {
 	}
 	rt.closed = true
 	for _, s := range rt.shards {
+		if s.retired {
+			continue // Detach already closed its input
+		}
 		if s.pf != nil {
 			s.pf.close()
 			continue
@@ -590,28 +786,40 @@ func (rt *Runtime) Close() {
 // Wait blocks until every shard has drained and flushed (after Close) and
 // returns the runtime's first error, if any. Once Wait returns the DSMS
 // and its Registered handles are quiescent and safe to read directly.
+// The shard list is re-snapshotted per iteration so a Wait racing a live
+// Attach (before Close) still joins every spawned shard.
 func (rt *Runtime) Wait() error {
-	for _, s := range rt.shards {
+	for i := 0; ; i++ {
+		rt.closeMu.RLock()
+		if i >= len(rt.shards) {
+			rt.closeMu.RUnlock()
+			break
+		}
+		s := rt.shards[i]
+		rt.closeMu.RUnlock()
 		<-s.done
 	}
 	return rt.Err()
 }
 
 // Stats returns a race-safe snapshot of the named query's operator stats
-// (bottom-up, as exec.Tree.Operators orders them). While the shard runs
-// the request travels through its mailbox and is answered by the worker
-// goroutine itself — a consistent point-in-time snapshot with no locks on
-// the hot path; after the shard has drained the tree is read directly.
-// Safe to call from any goroutine, concurrently with Send and Close: the
-// runtime's close lock serializes the mailbox hand-off, and a request
-// already queued when Close lands is still answered during the drain.
+// (bottom-up, as exec.Tree.Operators orders them). For a share-group
+// member this is the shared tree's stats — identical to what the query's
+// own tree would report, since it would have processed the same input.
+// While the shard runs the request travels through its mailbox and is
+// answered by the worker goroutine itself — a consistent point-in-time
+// snapshot with no locks on the hot path; after the shard has drained
+// the tree is read directly. Safe to call from any goroutine,
+// concurrently with Send and Close: the runtime's close lock serializes
+// the mailbox hand-off, and a request already queued when Close lands is
+// still answered during the drain.
 func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
 	s, ok := rt.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: no query %q", name)
 	}
-	rt.closeMu.RLock()
-	defer rt.closeMu.RUnlock()
 	if rt.closed {
 		// Mailbox closed: the worker is draining or done. Wait for it,
 		// then read directly — the <-done synchronizes with the worker's
@@ -642,6 +850,8 @@ func (rt *Runtime) Stats(name string) ([]*exec.Stats, error) {
 // routing). Safe from any goroutine; the skew watcher calls it
 // automatically when Options.MaxPartitionSplits allows.
 func (rt *Runtime) SplitPartition(name string, hot int) error {
+	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
 	s, ok := rt.byName[name]
 	if !ok {
 		return fmt.Errorf("engine: no query %q", name)
@@ -649,8 +859,6 @@ func (rt *Runtime) SplitPartition(name string, hot int) error {
 	if s.pf == nil {
 		return fmt.Errorf("engine: query %q is not partitioned", name)
 	}
-	rt.closeMu.RLock()
-	defer rt.closeMu.RUnlock()
 	if rt.closed {
 		return fmt.Errorf("engine: runtime: SplitPartition after Close")
 	}

@@ -1,0 +1,182 @@
+package engine_test
+
+// Shared-execution equivalence suite: running N fingerprint-equal views
+// on one shared physical tree must be observationally identical — per
+// view — to running N independent trees, across every error policy and
+// every seeded faultinject workload: same results, same punctuations,
+// same dead-letter attribution. Sharing is a performance lever, never a
+// semantic one.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"punctsafe/engine"
+	"punctsafe/internal/faultinject"
+	"punctsafe/stream"
+	"punctsafe/workload"
+)
+
+const equivViews = 3
+
+// viewOutcome is everything observable per view from one runtime pass.
+type viewOutcome struct {
+	results []string
+	puncts  []string
+}
+
+// multiOutcome is one full pass: per-view observations plus the
+// runtime-wide error and dead-letter snapshot.
+type multiOutcome struct {
+	views map[string]*viewOutcome
+	err   error
+	dl    engine.DeadLetterSnapshot
+	trees int
+}
+
+// runViews drives equivViews copies of the auction query over the feed,
+// either as independent trees or as one shared tree.
+func runViews(t *testing.T, policy engine.ErrorPolicy, feed []faultinject.Item, share bool) multiOutcome {
+	t.Helper()
+	d := engine.New()
+	for _, s := range workload.AuctionSchemes().All() {
+		d.RegisterScheme(s)
+	}
+	out := multiOutcome{views: make(map[string]*viewOutcome, equivViews)}
+	regs := make(map[string]*engine.Registered, equivViews)
+	for i := 0; i < equivViews; i++ {
+		name := fmt.Sprintf("v%d", i)
+		vo := &viewOutcome{}
+		out.views[name] = vo
+		reg, err := d.Register(name, workload.AuctionQuery(), engine.Options{
+			EnforcePromises: true,
+			Share:           share,
+			OnPunct: func(p stream.Punctuation) {
+				vo.puncts = append(vo.puncts, p.String())
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[name] = reg
+	}
+	wantTrees := equivViews
+	if share {
+		wantTrees = 1
+	}
+	if got := d.PhysicalTrees(); got != wantTrees {
+		t.Fatalf("PhysicalTrees = %d, want %d", got, wantTrees)
+	}
+	rt := d.RunSharded(engine.RuntimeOptions{OnError: policy})
+	for _, it := range feed {
+		if err := rt.Send(it.Stream, it.Elem); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	rt.Close()
+	out.err = rt.Wait()
+	for name, reg := range regs {
+		for _, r := range reg.Results {
+			out.views[name].results = append(out.views[name].results, r.String())
+		}
+	}
+	out.dl = rt.DeadLetters()
+	out.trees = d.PhysicalTrees()
+	return out
+}
+
+// normalizeViewNames rewrites every view name in a string to "vX" so
+// error messages are comparable across passes that fail on different
+// (concurrently racing) shards of the same offender.
+func normalizeViewNames(s string) string {
+	for i := 0; i < equivViews; i++ {
+		s = strings.ReplaceAll(s, fmt.Sprintf("%q", fmt.Sprintf("v%d", i)), `"vX"`)
+	}
+	return s
+}
+
+// dlKeys flattens retained dead letters into a sorted multiset of
+// (query, stream, error) keys — retention order interleaves
+// nondeterministically when independent shards quarantine concurrently.
+func dlKeys(s engine.DeadLetterSnapshot) []string {
+	out := make([]string, len(s.Entries))
+	for i, e := range s.Entries {
+		errText := ""
+		if e.Err != nil {
+			errText = normalizeViewNames(e.Err.Error())
+		}
+		out[i] = e.Query + "|" + e.Stream + "|" + errText
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSharedExecutionEquivalence: for every (workload × policy) pair,
+// the shared pass must match the independent pass view-for-view.
+func TestSharedExecutionEquivalence(t *testing.T) {
+	policies := map[string]engine.ErrorPolicy{
+		"fail":       engine.Fail,
+		"drop":       engine.Drop,
+		"quarantine": engine.Quarantine,
+	}
+	for wname, feed := range batchWorkloads(t) {
+		for pname, policy := range policies {
+			t.Run(wname+"/"+pname, func(t *testing.T) {
+				want := runViews(t, policy, feed, false)
+				got := runViews(t, policy, feed, true)
+				if got.trees != 1 {
+					t.Fatalf("shared pass ran %d physical trees, want 1", got.trees)
+				}
+				for name, wv := range want.views {
+					gv := got.views[name]
+					if len(gv.results) != len(wv.results) {
+						t.Fatalf("view %s: shared pass delivered %d results, independent %d", name, len(gv.results), len(wv.results))
+					}
+					for i := range wv.results {
+						if gv.results[i] != wv.results[i] {
+							t.Fatalf("view %s: result %d diverges:\n  shared:      %s\n  independent: %s", name, i, gv.results[i], wv.results[i])
+						}
+					}
+					if len(gv.puncts) != len(wv.puncts) {
+						t.Fatalf("view %s: shared pass propagated %d punctuations, independent %d", name, len(gv.puncts), len(wv.puncts))
+					}
+					for i := range wv.puncts {
+						if gv.puncts[i] != wv.puncts[i] {
+							t.Fatalf("view %s: punctuation %d diverges:\n  shared:      %s\n  independent: %s", name, i, gv.puncts[i], wv.puncts[i])
+						}
+					}
+				}
+				if wname == "clean" && len(want.views["v0"].results) == 0 {
+					t.Fatal("clean workload produced no results; the equivalence check is vacuous")
+				}
+				if (want.err == nil) != (got.err == nil) {
+					t.Fatalf("error divergence: shared %v, independent %v", got.err, want.err)
+				}
+				if want.err != nil {
+					w, g := normalizeViewNames(want.err.Error()), normalizeViewNames(got.err.Error())
+					if w != g {
+						t.Fatalf("different failures:\n  shared:      %s\n  independent: %s", g, w)
+					}
+				}
+				if got.dl.Total != want.dl.Total {
+					t.Fatalf("dead-letter totals diverge: shared %d, independent %d", got.dl.Total, want.dl.Total)
+				}
+				for s, n := range want.dl.ByStream {
+					if got.dl.ByStream[s] != n {
+						t.Fatalf("ByStream[%q] diverges: shared %d, independent %d", s, got.dl.ByStream[s], n)
+					}
+				}
+				for q, n := range want.dl.ByQuery {
+					if got.dl.ByQuery[q] != n {
+						t.Fatalf("ByQuery[%q] diverges: shared %d, independent %d", q, got.dl.ByQuery[q], n)
+					}
+				}
+				if w, g := dlKeys(want.dl), dlKeys(got.dl); !equalStrings(w, g) {
+					t.Fatalf("retained dead-letter multisets diverge:\n  shared:      %v\n  independent: %v", g, w)
+				}
+			})
+		}
+	}
+}

@@ -14,16 +14,12 @@ import (
 // as a continuous query named <prefix>#<n> — with its literal filters
 // applied as selections in front of the join and its select list applied
 // as a projection over the join output. Unsafe queries are rejected, as
-// in Register.
+// in Register. Under Options.Share the literal filters are canonicalized
+// into the share tag, so two SQL views share one physical tree exactly
+// when their joins AND their filters agree (projections stay per-view —
+// they live on the delivery side and never block sharing).
 func (d *DSMS) RegisterSQL(prefix, src string, opts Options) ([]*Registered, error) {
-	script, err := streamsql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range script.Schemes.All() {
-		d.RegisterScheme(s)
-	}
-	compiled, err := streamsql.Compile(script)
+	compiled, err := compileSQL(d, src)
 	if err != nil {
 		return nil, err
 	}
@@ -44,20 +40,67 @@ func (d *DSMS) RegisterSQL(prefix, src string, opts Options) ([]*Registered, err
 	return regs, nil
 }
 
-func (d *DSMS) registerCompiled(name string, cq *streamsql.CompiledQuery, opts Options) (*Registered, error) {
-	// Build the projection over the join output, if any.
-	var project *exec.Project
-	userOnResult := opts.OnResult
-
-	reg, err := d.Register(name, cq.Query, optsWithResultHook(opts, nil))
+// compileSQL parses a script, registers its declared schemes on the
+// DSMS, and compiles its SELECT statements.
+func compileSQL(d *DSMS, src string) ([]*streamsql.CompiledQuery, error) {
+	script, err := streamsql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	for _, s := range script.Schemes.All() {
+		d.RegisterScheme(s)
+	}
+	return streamsql.Compile(script)
+}
+
+func (d *DSMS) registerCompiled(name string, cq *streamsql.CompiledQuery, opts Options) (*Registered, error) {
+	reg, err := d.Register(name, cq.Query, sqlExecOpts(cq, opts))
+	if err != nil {
+		return nil, err
+	}
+	if err := wireCompiled(reg, cq, opts.OnResult); err != nil {
+		d.Unregister(name)
+		return nil, err
+	}
+	return reg, nil
+}
+
+// attachCompiled is registerCompiled on a running runtime: the delivery
+// wiring happens inside Attach's exclusive lock hold, before the query
+// is published to the router or its shard, so no producer or worker ever
+// observes a half-wired registration.
+func (rt *Runtime) attachCompiled(name string, cq *streamsql.CompiledQuery, opts Options) (*Registered, error) {
+	return rt.attach(name, cq.Query, sqlExecOpts(cq, opts), func(reg *Registered) error {
+		return wireCompiled(reg, cq, opts.OnResult)
+	})
+}
+
+// sqlExecOpts derives the executor-side options for a compiled SQL
+// query: the user's OnResult is stripped (the compiled wrapper
+// re-installs it around the projection), and under Share the canonical
+// filter key joins the share tag — filters select which tuples enter the
+// tree, so they are part of the physical tree's identity.
+func sqlExecOpts(cq *streamsql.CompiledQuery, opts Options) Options {
+	opts.OnResult = nil
+	if opts.Share {
+		opts.ShareTag = "sql:" + cq.FilterKey() + "|" + opts.ShareTag
+	}
+	return opts
+}
+
+// wireCompiled installs a compiled query's delivery-side behavior on its
+// registration: the projection over the join output, the result hook,
+// and the per-stream literal filters. Filters are keyed by the
+// registration's live stream indices (reg.streamInput), which for a
+// share-group follower are the DRIVER's indices — the index space the
+// router actually routes in.
+func wireCompiled(reg *Registered, cq *streamsql.CompiledQuery, userOnResult func(stream.Tuple)) error {
+	var project *exec.Project
 	if len(cq.Projection) > 0 {
+		var err error
 		project, err = exec.NewProject(reg.OutputSchema(), cq.Projection...)
 		if err != nil {
-			d.Unregister(name)
-			return nil, err
+			return err
 		}
 		reg.Output = project.OutputSchema()
 	} else {
@@ -86,7 +129,8 @@ func (d *DSMS) registerCompiled(name string, cq *streamsql.CompiledQuery, opts O
 	if len(cq.Filters) > 0 {
 		filters := make(map[int][]streamsql.CompiledFilter)
 		for _, f := range cq.Filters {
-			filters[f.Stream] = append(filters[f.Stream], f)
+			input := reg.streamInput[cq.Query.Stream(f.Stream).Name()]
+			filters[input] = append(filters[input], f)
 		}
 		reg.filter = func(input int, t stream.Tuple) bool {
 			for _, f := range filters[input] {
@@ -97,12 +141,5 @@ func (d *DSMS) registerCompiled(name string, cq *streamsql.CompiledQuery, opts O
 			return true
 		}
 	}
-	return reg, nil
-}
-
-// optsWithResultHook strips the user's OnResult (the compiled wrapper
-// re-installs it around the projection).
-func optsWithResultHook(opts Options, hook func(stream.Tuple)) Options {
-	opts.OnResult = hook
-	return opts
+	return nil
 }

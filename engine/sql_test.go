@@ -147,6 +147,145 @@ SELECT * FROM a, b WHERE a.k = b.k;
 	}
 }
 
+const shareSQLBase = `
+CREATE STREAM ev (k INT, tag INT);
+CREATE STREAM ref (k INT, w INT);
+DECLARE SCHEME ON ev (k);
+DECLARE SCHEME ON ref (k);
+`
+
+// TestSQLShareFiltersAndProjections: two SQL views share one physical
+// tree exactly when their joins AND canonical filters agree — the
+// projection is delivery-side and never blocks sharing — while a
+// different filter value, or a permuted FROM order (different physical
+// child order, different output schema), keeps trees apart.
+func TestSQLShareFiltersAndProjections(t *testing.T) {
+	d := New()
+	mustSQL := func(prefix, stmt string) *Registered {
+		t.Helper()
+		regs, err := d.RegisterSQL(prefix, shareSQLBase+stmt, Options{Share: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return regs[0]
+	}
+	v1 := mustSQL("v1", "SELECT ev.k FROM ev, ref WHERE ev.k = ref.k AND ev.tag = 1;")
+	v2 := mustSQL("v2", "SELECT ref.w FROM ev, ref WHERE ev.k = ref.k AND ev.tag = 1;")
+	v3 := mustSQL("v3", "SELECT * FROM ev, ref WHERE ev.k = ref.k AND ev.tag = 2;")
+	v4 := mustSQL("v4", "SELECT * FROM ref, ev WHERE ev.k = ref.k AND ev.tag = 1;")
+	if v2.Tree != v1.Tree {
+		t.Fatal("same join + same filter + different projection must share one tree")
+	}
+	if v3.Tree == v1.Tree {
+		t.Fatal("a different filter value must not share the tree")
+	}
+	if v4.Tree == v1.Tree {
+		t.Fatal("a permuted FROM order is a different physical tree (different output schema) and must not share")
+	}
+	if got := d.PhysicalTrees(); got != 3 {
+		t.Fatalf("PhysicalTrees = %d, want 3", got)
+	}
+
+	tup := func(vals ...int64) stream.Element {
+		vs := make([]stream.Value, len(vals))
+		for i, v := range vals {
+			vs[i] = stream.Int(v)
+		}
+		return stream.TupleElement(stream.NewTuple(vs...))
+	}
+	if err := d.Push("ref", tup(7, 700)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Push("ev", tup(7, 0)); err != nil { // fails every tag filter
+		t.Fatal(err)
+	}
+	if err := d.Push("ev", tup(7, 1)); err != nil { // passes tag=1
+		t.Fatal(err)
+	}
+	if len(v1.Results) != 1 || v1.Results[0].Values[0].AsInt() != 7 {
+		t.Fatalf("v1 results = %v, want one projected (7)", v1.Results)
+	}
+	if len(v2.Results) != 1 || v2.Results[0].Values[0].AsInt() != 700 {
+		t.Fatalf("v2 results = %v, want one projected (700) off the shared tree", v2.Results)
+	}
+	if len(v3.Results) != 0 {
+		t.Fatalf("v3 (tag=2) delivered %d results, want 0", len(v3.Results))
+	}
+	if len(v4.Results) != 1 {
+		t.Fatalf("v4 delivered %d results, want 1", len(v4.Results))
+	}
+	for _, streamName := range []string{"ev", "ref"} {
+		if err := d.Push(streamName, stream.PunctElement(stream.MustPunctuation(
+			stream.Const(stream.Int(7)), stream.Wildcard()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.TotalState(); got != 0 {
+		t.Fatalf("TotalState = %d after punctuations, want 0", got)
+	}
+}
+
+// TestAttachSQLLive: a SQL view attached to a running runtime joins the
+// matching share group instantly, receives only post-attach outputs
+// through its own projection, and detaches without disturbing the
+// group.
+func TestAttachSQLLive(t *testing.T) {
+	d := New()
+	base, err := d.RegisterSQL("v1", shareSQLBase+"SELECT ev.k FROM ev, ref WHERE ev.k = ref.k AND ev.tag = 1;", Options{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := base[0]
+	rt := d.RunSharded(RuntimeOptions{})
+	tup := func(vals ...int64) stream.Element {
+		vs := make([]stream.Value, len(vals))
+		for i, v := range vals {
+			vs[i] = stream.Int(v)
+		}
+		return stream.TupleElement(stream.NewTuple(vs...))
+	}
+	if err := rt.Send("ref", tup(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send("ev", tup(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier so the pre-attach result is delivered before the cut.
+	if _, err := rt.Stats("v1#1"); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := rt.AttachSQL("v5", shareSQLBase+"SELECT ref.w FROM ev, ref WHERE ev.k = ref.k AND ev.tag = 1;", Options{Share: true})
+	if err != nil {
+		t.Fatalf("AttachSQL: %v", err)
+	}
+	v5 := regs[0]
+	if v5.Tree != v1.Tree {
+		t.Fatal("attached SQL view must join the live share group")
+	}
+	if err := rt.Send("ev", tup(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Detach("v5#1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send("ev", tup(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v1.Results); got != 3 {
+		t.Fatalf("v1 delivered %d results, want 3", got)
+	}
+	if got := len(v5.Results); got != 1 {
+		t.Fatalf("v5 delivered %d results across its attach window, want 1", got)
+	}
+	if v5.Results[0].Values[0].AsInt() != 10 {
+		t.Fatalf("v5 projected %v, want ref.w = 10", v5.Results[0])
+	}
+}
+
 // TestRegisterSQLMultipleQueries: one script, several queries, each
 // independently named and fed.
 func TestRegisterSQLMultipleQueries(t *testing.T) {

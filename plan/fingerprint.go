@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// Fingerprint returns a stable identity for the physical join subtree a
+// (query, scheme set, plan, config) tuple would execute. Two registered
+// queries with equal fingerprints evaluate byte-for-byte identical
+// operator trees over the same input streams — the engine may run one
+// physical tree and fan its output out to both.
+//
+// The canonical form normalizes away presentation differences that do
+// not change execution:
+//
+//   - stream listing order: streams are re-ranked by their schema
+//     rendering (names are unique within a query), and the plan tree and
+//     predicates are rewritten against the canonical ranks;
+//   - predicate listing/orientation: equi-join predicates are collapsed
+//     into equality classes over (stream, attribute) terms, so
+//     {A.x=B.y, B.y=C.z} and {A.x=C.z, C.z=B.y} fingerprint equally;
+//   - scheme listing order: each stream's punctuation schemes sort
+//     before rendering.
+//
+// Join-node child order is preserved: it determines physical state
+// layout, emission order, and per-operator stats, all of which must be
+// identical for subscribers to share a tree. The engine folds every
+// execution-relevant knob that is not visible here (purge cadence,
+// punctuation lifespan, error handling, SQL filters, ...) into tag.
+func Fingerprint(q *query.CJQ, schemes *stream.SchemeSet, root *Node, tag string) string {
+	sum := sha256.Sum256([]byte(Canonical(q, schemes, root, tag)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Canonical renders the normalized form Fingerprint hashes. Exposed so
+// tests and diagnostics can explain why two queries do (or do not)
+// share.
+func Canonical(q *query.CJQ, schemes *stream.SchemeSet, root *Node, tag string) string {
+	n := q.N()
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		labels[i] = q.Stream(i).String()
+	}
+	perm := make([]int, n) // perm[canonical rank] = original index
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return labels[perm[a]] < labels[perm[b]] })
+	rank := make([]int, n) // rank[original index] = canonical rank
+	for c, o := range perm {
+		rank[o] = c
+	}
+
+	var b strings.Builder
+	b.WriteString("streams:")
+	for _, o := range perm {
+		b.WriteByte('|')
+		b.WriteString(labels[o])
+	}
+
+	b.WriteString(";classes:")
+	b.WriteString(equalityClasses(q, rank))
+
+	b.WriteString(";plan:")
+	writeCanonPlan(&b, root, rank)
+
+	b.WriteString(";schemes:")
+	for _, o := range perm {
+		ss := schemes.ForStream(q.Stream(o).Name())
+		strs := make([]string, len(ss))
+		for i, s := range ss {
+			strs[i] = s.String()
+		}
+		sort.Strings(strs)
+		b.WriteByte('{')
+		b.WriteString(strings.Join(strs, ","))
+		b.WriteByte('}')
+	}
+
+	b.WriteString(";tag:")
+	b.WriteString(tag)
+	return b.String()
+}
+
+// equalityClasses merges the query's equi-join predicates into connected
+// components of (canonical stream rank, attribute) terms and renders
+// them sorted, so predicate listing order and transitive phrasing do not
+// affect the fingerprint.
+func equalityClasses(q *query.CJQ, rank []int) string {
+	type term struct{ s, a int }
+	parent := make(map[term]term)
+	var find func(t term) term
+	find = func(t term) term {
+		p, ok := parent[t]
+		if !ok || p == t {
+			parent[t] = t
+			return t
+		}
+		r := find(p)
+		parent[t] = r
+		return r
+	}
+	union := func(a, b term) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range q.Predicates() {
+		union(term{rank[p.Left], p.LeftAttr}, term{rank[p.Right], p.RightAttr})
+	}
+	classes := make(map[term][]string)
+	for t := range parent {
+		r := find(t)
+		classes[r] = append(classes[r], fmt.Sprintf("%d.%d", t.s, t.a))
+	}
+	rendered := make([]string, 0, len(classes))
+	for _, members := range classes {
+		sort.Strings(members)
+		rendered = append(rendered, "{"+strings.Join(members, ",")+"}")
+	}
+	sort.Strings(rendered)
+	return strings.Join(rendered, "")
+}
+
+func writeCanonPlan(b *strings.Builder, n *Node, rank []int) {
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%d", rank[n.Stream])
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		writeCanonPlan(b, c, rank)
+	}
+	b.WriteByte(')')
+}

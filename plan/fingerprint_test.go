@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"punctsafe/query"
+	"punctsafe/stream"
+)
+
+// figure5Permuted is the Figure 5 query with its stream list and
+// predicates written in a different (but equivalent) order: streams
+// listed S3, S1, S2 and predicates phrased through a different chain of
+// the same equality classes.
+func figure5Permuted(t *testing.T) (*query.CJQ, *stream.SchemeSet) {
+	t.Helper()
+	q, err := query.NewBuilder().
+		AddStream(stream.MustSchema("S3", intAttrs("A", "C")...)).
+		AddStream(stream.MustSchema("S1", intAttrs("A", "B")...)).
+		AddStream(stream.MustSchema("S2", intAttrs("B", "C")...)).
+		Join("S1.A", "S3.A").
+		Join("S3.C", "S2.C").
+		Join("S2.B", "S1.B").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := stream.NewSchemeSet(
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+		stream.MustScheme("S1", false, true),
+	)
+	return q, schemes
+}
+
+func TestFingerprintInvariantToListingOrder(t *testing.T) {
+	q1, s1 := figure5(t)
+	q2, s2 := figure5Permuted(t)
+
+	// The same physical plan, expressed against each query's own stream
+	// indices: MJoin(S1, S2, S3).
+	p1 := Join(Leaf(0), Leaf(1), Leaf(2))
+	p2 := Join(Leaf(1), Leaf(2), Leaf(0))
+
+	f1 := Fingerprint(q1, s1, p1, "tag")
+	f2 := Fingerprint(q2, s2, p2, "tag")
+	if f1 != f2 {
+		t.Fatalf("equivalent queries fingerprint differently:\n%s\n%s",
+			Canonical(q1, s1, p1, "tag"), Canonical(q2, s2, p2, "tag"))
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	q, s := figure5(t)
+	base := Join(Leaf(0), Leaf(1), Leaf(2))
+	fp := func(root *Node, schemes *stream.SchemeSet, tag string) string {
+		return Fingerprint(q, schemes, root, tag)
+	}
+	ref := fp(base, s, "tag")
+
+	// Different plan shape (join order is physical).
+	if got := fp(Join(Leaf(0), Leaf(2), Leaf(1)), s, "tag"); got == ref {
+		t.Fatal("child-order change must change the fingerprint")
+	}
+	if got := fp(Join(Join(Leaf(0), Leaf(1)), Leaf(2)), s, "tag"); got == ref {
+		t.Fatal("tree-shape change must change the fingerprint")
+	}
+
+	// Different scheme set.
+	s2 := stream.NewSchemeSet(
+		stream.MustScheme("S1", true, true),
+		stream.MustScheme("S2", false, true),
+		stream.MustScheme("S3", true, false),
+	)
+	if got := fp(base, s2, "tag"); got == ref {
+		t.Fatal("scheme change must change the fingerprint")
+	}
+
+	// Different engine config tag.
+	if got := fp(base, s, "other"); got == ref {
+		t.Fatal("tag change must change the fingerprint")
+	}
+}
+
+func TestCanonicalEqualityClasses(t *testing.T) {
+	q, s := figure5(t)
+	c := Canonical(q, s, Join(Leaf(0), Leaf(1), Leaf(2)), "")
+	// Canonical stream order is the schema-rendering sort: S1, S2, S3
+	// (ranks 0, 1, 2). The three pairwise predicates form three 2-term
+	// classes over those ranks.
+	for _, want := range []string{"{0.0,2.0}", "{0.1,1.0}", "{1.1,2.1}"} {
+		if !strings.Contains(c, want) {
+			t.Fatalf("canonical form missing class %s: %s", want, c)
+		}
+	}
+}

@@ -5,8 +5,9 @@
 # repo root — appending this run (git SHA + timestamp) to the report's
 # `trajectory` array so history accumulates instead of being overwritten.
 # Also runs the partitioned-ingest scaling benchmark (BENCH_partition.json),
-# the punctserve sustained serving benchmark (BENCH_serving.json), and the
-# adaptive state-tiering benchmark (BENCH_tiering.json).
+# the punctserve sustained serving benchmark (BENCH_serving.json), the
+# adaptive state-tiering benchmark (BENCH_tiering.json), and the
+# shared-subplan multi-query benchmark (BENCH_multiquery.json).
 # Run from the repository root, or via `make benchfull`.
 #
 #   BENCHTIME=2s scripts/bench.sh        # the checked-in configuration
@@ -21,16 +22,21 @@ OUT=${OUT:-BENCH_hotpath.json}
 PART_OUT=${PART_OUT:-BENCH_partition.json}
 SERVE_OUT=${SERVE_OUT:-BENCH_serving.json}
 TIER_OUT=${TIER_OUT:-BENCH_tiering.json}
+MQ_OUT=${MQ_OUT:-BENCH_multiquery.json}
 # The tiering acceptance is a ratio of two rows. The loop below runs the
 # whole benchmark set TIER_COUNT times (NOT -count, which runs one name's
 # samples back to back): sample i of each mode lands seconds apart, so
 # punctbench's per-pair ratio medians cancel host load drift.
 TIER_COUNT=${TIER_COUNT:-9}
+# The multi-query acceptance (1k identical views within 2x one view) is
+# also a ratio of rows, interleaved the same way.
+MQ_COUNT=${MQ_COUNT:-5}
 raw=$(mktemp)
 partraw=$(mktemp)
 serveraw=$(mktemp)
 tierraw=$(mktemp)
-trap 'rm -f "$raw" "$partraw" "$serveraw" "$tierraw"' EXIT
+mqraw=$(mktemp)
+trap 'rm -f "$raw" "$partraw" "$serveraw" "$tierraw" "$mqraw"' EXIT
 
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -80,6 +86,18 @@ if [ "$ONLY" = all ] || [ "$ONLY" = tiering ]; then
   done
 fi
 
+# Shared-subplan multi-query execution: view ladders per overlap shape
+# (identical / mixed / disjoint / independent baseline).
+if [ "$ONLY" = all ] || [ "$ONLY" = multiquery ]; then
+  i=0
+  while [ "$i" -lt "$MQ_COUNT" ]; do
+    go test ./engine -run xxx \
+      -bench 'BenchmarkMultiQuery' \
+      -benchtime "$BENCHTIME" | tee -a "$mqraw"
+    i=$((i + 1))
+  done
+fi
+
 if [ "$ONLY" = all ]; then
   tmp=$(mktemp)
   go run ./cmd/punctbench -bench-json "$raw" -baseline scripts/bench_baseline.txt \
@@ -108,4 +126,12 @@ if [ "$ONLY" = all ] || [ "$ONLY" = tiering ]; then
     -prev "$TIER_OUT" -sha "$sha" -time "$now" > "$tmp"
   mv "$tmp" "$TIER_OUT"
   echo "wrote $TIER_OUT"
+fi
+
+if [ "$ONLY" = all ] || [ "$ONLY" = multiquery ]; then
+  tmp=$(mktemp)
+  go run ./cmd/punctbench -multiquery-json "$mqraw" \
+    -prev "$MQ_OUT" -sha "$sha" -time "$now" > "$tmp"
+  mv "$tmp" "$MQ_OUT"
+  echo "wrote $MQ_OUT"
 fi

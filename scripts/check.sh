@@ -44,3 +44,8 @@ rm -f "$ckpt"
 # probe; frame decoding keeps its per-frame bound.
 go test -run 'TestSteadyStateProbeAllocs|TestChainedPurgeAllocs|TestColdTierProbeAllocs' -count 1 ./exec/...
 go test -run 'TestWireReaderReadAllocs' -count 1 ./engine/...
+
+# Shared-tree fan-out alloc floor: delivering one output batch to extra
+# subscribers (callback or passive) must not allocate per batch — sharing
+# is O(subscribers) pointer work, never O(subscribers) copies.
+go test -run 'TestFanOutDeliveryAllocs' -count 1 ./engine/

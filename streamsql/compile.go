@@ -2,6 +2,8 @@ package streamsql
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"punctsafe/query"
 	"punctsafe/safety"
@@ -31,6 +33,23 @@ type CompiledFilter struct {
 	Stream int
 	Attr   int
 	Value  stream.Value
+}
+
+// FilterKey renders the query's literal filters canonically — sorted
+// "stream.attr=value" terms keyed by stream and attribute NAME, so two
+// statements whose filters agree produce the same key regardless of
+// FROM-clause listing order or filter ordering. The engine folds this
+// into the share tag: filters decide which tuples enter a shared tree,
+// so they are part of the tree's physical identity (projections are
+// not — they apply per-subscriber on the way out).
+func (cq *CompiledQuery) FilterKey() string {
+	terms := make([]string, len(cq.Filters))
+	for i, f := range cq.Filters {
+		sc := cq.Query.Stream(f.Stream)
+		terms[i] = sc.Name() + "." + sc.Attr(f.Attr).Name + "=" + f.Value.String()
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, "&")
 }
 
 // Compile resolves and safety-checks every SELECT statement of a parsed
